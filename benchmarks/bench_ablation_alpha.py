@@ -1,0 +1,62 @@
+"""Ablation: sensitivity of PAPI to the scheduling threshold alpha.
+
+DESIGN.md calls out the threshold as the key scheduler design choice
+(Section 5.2.1 calibrates it offline). This ablation sweeps alpha around
+the calibrated value and shows the performance bathtub: too low schedules
+memory-bound FC onto the GPU; too high keeps compute-bound FC starved on
+FC-PIM. The calibrated value must sit within a few percent of the best.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.report import format_table
+from repro.models.config import get_model
+from repro.serving.dataset import sample_requests
+from repro.serving.engine import ServingEngine
+from repro.serving.speculative import SpeculationConfig
+from repro.systems.papi import PAPISystem
+
+ALPHAS = (2.0, 8.0, 20.0, 64.0, 256.0, 4096.0)
+
+
+def run_alpha_sweep():
+    model = get_model("llama-65b")
+    results = {}
+    for alpha in ALPHAS:
+        engine = ServingEngine(
+            system=PAPISystem(alpha=alpha),
+            model=model,
+            speculation=SpeculationConfig(speculation_length=2),
+            seed=29,
+        )
+        summary = engine.run(sample_requests("creative-writing", 32, seed=29))
+        results[alpha] = summary
+    calibrated_system = PAPISystem()
+    calibrated = calibrated_system.calibrate(model)
+    return results, calibrated
+
+
+def test_ablation_alpha(benchmark, show):
+    results, calibrated = run_once(benchmark, run_alpha_sweep)
+
+    rows = [
+        [alpha, s.decode_seconds, s.reschedules,
+         s.fc_target_iterations.get("pu", 0),
+         s.fc_target_iterations.get("fc-pim", 0)]
+        for alpha, s in results.items()
+    ]
+    show(
+        format_table(
+            ["alpha", "decode seconds", "reschedules", "PU iters", "FC-PIM iters"],
+            rows,
+            title=f"Alpha ablation (calibrated alpha = {calibrated:.1f})",
+        )
+    )
+
+    times = {alpha: s.decode_seconds for alpha, s in results.items()}
+    best_alpha = min(times, key=times.get)
+    # The extremes (always-GPU, always-PIM) must both lose to the middle.
+    assert times[best_alpha] < times[ALPHAS[0]]
+    assert times[best_alpha] < times[ALPHAS[-1]]
+    # The offline-calibrated alpha lands in the winning region.
+    nearest = min(ALPHAS, key=lambda a: abs(a - calibrated))
+    assert times[nearest] <= 1.1 * times[best_alpha]

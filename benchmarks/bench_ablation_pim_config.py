@@ -1,0 +1,60 @@
+"""Ablation: FC-PIM FPUs-per-bank design space (paper Section 6.1).
+
+Sweeps 1P1B / 2P1B / 4P1B for the FC pool under the joint area and power
+constraints: more FPUs per bank buy FC throughput but cost banks (capacity)
+and need higher data-reuse levels to stay inside the 116 W budget. The
+paper picks 4P1B; this ablation shows why.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.report import format_table
+from repro.devices.pim import PIMDeviceGroup, derive_config
+from repro.models.config import get_model
+from repro.models.kernels import fc_cost
+
+
+def run_design_space():
+    model = get_model("llama-65b")
+    rows = []
+    for fpus in (1, 2, 4):
+        config = derive_config(f"{fpus}p1b", fpus, 1)
+        pool = PIMDeviceGroup(config, num_stacks=30)
+        latency = pool.execute(fc_cost(model, 16, 2)).seconds
+        rows.append(
+            {
+                "config": config.xpyb,
+                "banks": config.banks_per_stack,
+                "capacity_gb": config.capacity_bytes / 1024 ** 3,
+                "peak_tflops": pool.peak_flops() / 1e12,
+                "fc_latency_ms": latency * 1e3,
+                "budget_at_reuse_4": pool.within_power_budget(4),
+                "budget_at_reuse_1": pool.within_power_budget(1),
+            }
+        )
+    return rows
+
+
+def test_ablation_pim_config(benchmark, show):
+    rows = run_once(benchmark, run_design_space)
+
+    show(
+        format_table(
+            ["config", "banks/stack", "GB/stack", "pool TFLOPS",
+             "FC latency (ms)", "budget ok @ reuse 4", "@ reuse 1"],
+            [[r["config"], r["banks"], r["capacity_gb"], r["peak_tflops"],
+              r["fc_latency_ms"], r["budget_at_reuse_4"], r["budget_at_reuse_1"]]
+             for r in rows],
+            title="FC-PIM design space: FPUs per bank (30 stacks, FC batch 16 spec 2)",
+        )
+    )
+
+    by_config = {r["config"]: r for r in rows}
+    # Compute scales ~with FPUs; latency falls accordingly.
+    assert by_config["4P1B"]["fc_latency_ms"] < by_config["1P1B"]["fc_latency_ms"] / 2
+    # The area constraint bites: 4P1B gives up a quarter of the banks.
+    assert by_config["4P1B"]["banks"] == 96
+    assert by_config["1P1B"]["banks"] == 128
+    # Power: every design needs reuse; 4P1B is safe at the reuse levels
+    # decoding parallelism provides (>= 4).
+    assert by_config["4P1B"]["budget_at_reuse_4"]
+    assert not by_config["4P1B"]["budget_at_reuse_1"]

@@ -1,0 +1,48 @@
+"""Design-space sweeps beyond the paper's fixed configuration.
+
+Extends the evaluation with the deployment questions DESIGN.md lists:
+FC-PIM pool scaling, Attn-PIM link technology (the Section 6.3 claim that
+PCIe/CXL suffice), and PU-count scaling at a compute-bound point.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.design_space import (
+    sweep_attn_link,
+    sweep_fc_stacks,
+    sweep_gpu_count,
+)
+from repro.analysis.report import format_table
+
+
+def _rows(points):
+    return [
+        [p.label, p.decode_seconds, p.tokens_per_second,
+         p.energy_joules / 1e3, p.fits_model]
+        for p in points
+    ]
+
+
+def test_design_space(benchmark, show):
+    def run_all():
+        return (
+            sweep_fc_stacks(),
+            sweep_attn_link(),
+            sweep_gpu_count(),
+        )
+
+    fc, links, gpus = run_once(benchmark, run_all)
+
+    headers = ["configuration", "decode s", "tokens/s", "energy kJ", "model fits"]
+    show(format_table(headers, _rows(fc),
+                      title="FC-PIM pool scaling (LLaMA-65B, batch 8, spec 1)"))
+    show(format_table(headers, _rows(links),
+                      title="Attn-PIM link technology (batch 16, spec 2)"))
+    show(format_table(headers, _rows(gpus),
+                      title="PU count scaling (batch 64, spec 4)"))
+
+    fc_times = [p.decode_seconds for p in fc]
+    assert fc_times == sorted(fc_times, reverse=True)
+    by_link = {p.label: p.decode_seconds for p in links}
+    assert by_link["pcie-gen5"] / by_link["nvlink"] < 1.25  # Section 6.3
+    gpu_times = {p.label: p.decode_seconds for p in gpus}
+    assert gpu_times["12 GPUs"] < gpu_times["2 GPUs"]

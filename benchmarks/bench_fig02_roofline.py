@@ -1,0 +1,39 @@
+"""Figure 2: roofline of FC and attention kernels (OPT-30B on A100).
+
+Regenerates both panels: (a) batch-size sweep at speculation length 8,
+(b) speculation-length sweep at batch 32. The paper's observations to
+check in the output: FC crosses to compute-bound at batch >= 32 (a) and
+spec > 6 (b); attention stays memory-bound everywhere.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.motivation import fig2_roofline_study
+from repro.analysis.report import format_table
+
+
+def test_fig02_roofline(benchmark, show):
+    points = run_once(benchmark, fig2_roofline_study)
+
+    def rows(panel_points):
+        return [
+            [
+                p.kernel,
+                p.batch_size,
+                p.speculation_length,
+                p.point.arithmetic_intensity,
+                p.point.attainable_flops / 1e12,
+                "memory" if p.point.memory_bound else "compute",
+            ]
+            for p in panel_points
+        ]
+
+    panel_a = [p for p in points if p.speculation_length == 8]
+    panel_b = [p for p in points if p.batch_size == 32]
+    headers = ["kernel", "batch", "spec", "AI (FLOP/B)", "attainable TFLOPS", "bound"]
+    show(format_table(headers, rows(panel_a), title="Figure 2(a): spec length = 8"))
+    show(format_table(headers, rows(panel_b), title="Figure 2(b): batch = 32"))
+
+    fc_small = next(p for p in panel_a if p.kernel == "fc" and p.batch_size == 4)
+    fc_large = next(p for p in panel_a if p.kernel == "fc" and p.batch_size == 128)
+    assert fc_small.point.memory_bound and not fc_large.point.memory_bound
+    assert all(p.point.memory_bound for p in points if p.kernel == "attention")

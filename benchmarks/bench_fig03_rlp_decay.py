@@ -1,0 +1,35 @@
+"""Figure 3: runtime RLP decay under static batching.
+
+Regenerates the paper's per-request finish pattern: the number of active
+requests in a batch decays as decoding iterations accumulate, which is the
+dynamic parallelism PAPI schedules against.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.artifacts import write_rlp_trace_csv
+from repro.analysis.motivation import fig3_rlp_decay
+from repro.analysis.report import format_table
+
+
+def test_fig03_rlp_decay(benchmark, show):
+    trace = run_once(benchmark, fig3_rlp_decay, batch_size=32, seed=7)
+    artifact = write_rlp_trace_csv(trace)
+    show(f"[fig03] wrote {artifact}")
+
+    sample_every = max(1, len(trace) // 16)
+    rows = [
+        [iteration, rlp]
+        for iteration, rlp in enumerate(trace)
+        if iteration % sample_every == 0
+    ]
+    show(
+        format_table(
+            ["decoding iteration", "active requests (runtime RLP)"],
+            rows,
+            title="Figure 3: runtime RLP vs decoding iteration (batch = 32)",
+        )
+    )
+
+    assert trace[0] == 32
+    assert all(a >= b for a, b in zip(trace, trace[1:]))
+    assert trace[-1] <= 4  # a long tail of stragglers, as in the paper

@@ -1,0 +1,37 @@
+"""Figure 4: FC kernel latency on A100 / HBM-PIM / AttAcc.
+
+Regenerates the normalized-latency bars across batch sizes {1, 4, 16, 64}
+and speculation lengths {2, 8}. Shape to check: PIM wins at low
+parallelism; the A100 wins by an order of magnitude at batch 64.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.motivation import fig4_fc_latency
+from repro.analysis.report import format_table
+
+
+def test_fig04_fc_latency(benchmark, show):
+    cells = run_once(benchmark, fig4_fc_latency)
+
+    rows = [
+        [c.speculation_length, c.batch_size, c.device,
+         c.seconds * 1e3, c.normalized_to_a100]
+        for c in sorted(
+            cells, key=lambda c: (c.speculation_length, c.batch_size, c.device)
+        )
+    ]
+    show(
+        format_table(
+            ["spec", "batch", "device", "latency (ms)", "normalized to A100"],
+            rows,
+            title="Figure 4: FC kernel latency (GPT-3 66B, one layer)",
+        )
+    )
+
+    norm = {
+        (c.device, c.batch_size, c.speculation_length): c.normalized_to_a100
+        for c in cells
+    }
+    assert norm[("attacc", 1, 2)] < 1.0  # PIM wins at low parallelism
+    assert norm[("attacc", 64, 8)] > 5.0  # GPU wins decisively at high
+    assert norm[("hbm-pim", 64, 8)] > norm[("attacc", 64, 8)]  # 1P2B slowest

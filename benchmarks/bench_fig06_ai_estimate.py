@@ -1,0 +1,30 @@
+"""Figure 6: measured vs estimated arithmetic intensity (GPT-3 66B).
+
+Regenerates the full RLP x TLP grid of the paper: the RLP*TLP estimate
+tracks the exact Equation (1) value closely, overestimating slightly only
+at extreme parallelism where the decision is saturated anyway.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.motivation import fig6_ai_estimation
+from repro.analysis.report import format_table
+
+
+def test_fig06_ai_estimation(benchmark, show):
+    estimates = run_once(benchmark, fig6_ai_estimation)
+
+    rows = [
+        [e.tlp, e.rlp, e.measured, e.estimated, 100 * e.relative_error]
+        for e in estimates
+    ]
+    show(
+        format_table(
+            ["TLP", "RLP", "measured AI", "estimated AI", "error %"],
+            rows,
+            title="Figure 6: FC arithmetic intensity, measured vs RLP*TLP estimate",
+        )
+    )
+
+    assert all(e.measured <= e.estimated for e in estimates)
+    moderate = [e for e in estimates if e.rlp * e.tlp <= 256]
+    assert all(e.relative_error < 0.06 for e in moderate)

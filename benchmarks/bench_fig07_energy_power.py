@@ -1,0 +1,45 @@
+"""Figure 7: PIM energy breakdown and power vs data-reuse level.
+
+Regenerates (a) the DRAM-access energy share with no reuse (~96.7%),
+(b) the share at reuse 64 (~33.1%), and (c) sustained stack power for
+1P1B / 2P1B / 4P1B against the 116 W HBM3 budget. Also prints the
+Equation (3)/(4) area-constrained bank counts.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.motivation import fig7_energy_power
+from repro.analysis.report import format_table
+from repro.devices.area import HBM_PIM_AREA
+
+
+def test_fig07_energy_power(benchmark, show):
+    result = run_once(benchmark, fig7_energy_power)
+
+    share = result["dram_share"]
+    show(
+        format_table(
+            ["reuse level", "DRAM-access energy share"],
+            [[level, fraction] for level, fraction in sorted(share.items())],
+            title="Figure 7(a)/(b): PIM energy breakdown (paper: 96.7% / 33.1%)",
+        )
+    )
+    show(
+        format_table(
+            ["config", "reuse level", "power (W)", "within 116 W budget"],
+            [[c.config, c.reuse_level, c.watts, c.within_budget]
+             for c in result["power"]],
+            title="Figure 7(c): sustained stack power vs data-reuse level",
+        )
+    )
+    show(
+        format_table(
+            ["FPUs/bank", "max banks (Eq. 3)", "usable banks"],
+            [[n, HBM_PIM_AREA.max_banks(n), HBM_PIM_AREA.usable_banks(n)]
+             for n in (0.5, 1, 2, 4)],
+            title="Equation (3)/(4): area-constrained bank counts",
+        )
+    )
+
+    assert abs(share[1] - 0.967) < 0.02
+    assert abs(share[64] - 0.331) < 0.04
+    assert HBM_PIM_AREA.usable_banks(4) == 96

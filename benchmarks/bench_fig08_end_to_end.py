@@ -1,0 +1,54 @@
+"""Figure 8: end-to-end speedup and energy efficiency (creative-writing).
+
+Regenerates the full paper grid: {LLaMA-65B, GPT-3 66B, GPT-3 175B} x
+speculation {1, 2, 4} x batch {4, 16, 64} x four systems, normalized to
+A100+AttAcc. Shapes to check in the output: PAPI >= 1x everywhere and the
+largest gaps at low parallelism; AttAcc-only collapses as parallelism
+grows; A100+HBM-PIM tracks A100+AttAcc.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.artifacts import write_fig8_csv
+from repro.analysis.evaluation import fig8_end_to_end, mean_speedup
+from repro.analysis.report import format_table
+
+
+def test_fig08_end_to_end(benchmark, show):
+    cells = run_once(benchmark, fig8_end_to_end)
+    artifact = write_fig8_csv(cells)
+    show(f"[fig08] wrote {artifact}")
+
+    rows = [
+        [c.model, c.speculation_length, c.batch_size, c.system,
+         c.speedup, c.energy_efficiency]
+        for c in cells
+    ]
+    show(
+        format_table(
+            ["model", "spec", "batch", "system", "speedup", "energy eff."],
+            rows,
+            title=(
+                "Figure 8: end-to-end speedup / energy efficiency "
+                "(Dolly creative-writing, normalized to A100+AttAcc)"
+            ),
+        )
+    )
+    show(
+        format_table(
+            ["system", "mean speedup"],
+            [[name, mean_speedup(cells, name)]
+             for name in ("a100-attacc", "a100-hbm-pim", "attacc-only", "papi")],
+            title="Figure 8 summary (geometric mean over the grid)",
+        )
+    )
+
+    papi_cells = [c for c in cells if c.system == "papi"]
+    assert all(c.speedup > 0.9 for c in papi_cells)
+    assert mean_speedup(cells, "papi") > 1.3
+    # A100+HBM-PIM ~ A100+AttAcc (attention is a small share of runtime).
+    assert abs(mean_speedup(cells, "a100-hbm-pim") - 1.0) < 0.1
+    # AttAcc-only collapses at the high-parallelism corner.
+    worst_attacc = min(
+        c.speedup for c in cells if c.system == "attacc-only"
+    )
+    assert worst_attacc < 0.25

@@ -1,0 +1,47 @@
+"""Figure 10: sensitivity to RLP (batch size) and TLP (speculation length).
+
+Regenerates (a) the batch sweep 4..128 at spec 1 and (b) the spec sweep
+1..8 at batch 4, LLaMA-65B, creative-writing. Shapes to check: the
+AttAcc-only/A100+AttAcc crossover as batch grows; PAPI best everywhere;
+PAPI's edge shrinking toward 1x as TLP grows.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.evaluation import fig10_sensitivity
+from repro.analysis.report import format_table
+
+
+def test_fig10_sensitivity(benchmark, show):
+    result = run_once(benchmark, fig10_sensitivity)
+
+    rlp_rows = [
+        [c.batch_size, c.system, c.speedup] for c in result["rlp"]
+    ]
+    tlp_rows = [
+        [c.speculation_length, c.system, c.speedup] for c in result["tlp"]
+    ]
+    show(
+        format_table(
+            ["batch", "system", "speedup"],
+            rlp_rows,
+            title="Figure 10(a): batch-size sweep (spec = 1, LLaMA-65B)",
+        )
+    )
+    show(
+        format_table(
+            ["spec", "system", "speedup"],
+            tlp_rows,
+            title="Figure 10(b): speculation-length sweep (batch = 4)",
+        )
+    )
+
+    attacc = {c.batch_size: c.speedup
+              for c in result["rlp"] if c.system == "attacc-only"}
+    assert attacc[4] > 1.0      # PIM-only wins at low RLP
+    assert attacc[128] < 0.35   # and collapses at high RLP
+    papi_rlp = {c.batch_size: c.speedup
+                for c in result["rlp"] if c.system == "papi"}
+    assert all(s >= 0.95 for s in papi_rlp.values())
+    papi_tlp = {c.speculation_length: c.speedup
+                for c in result["tlp"] if c.system == "papi"}
+    assert papi_tlp[1] > papi_tlp[8]  # converges toward A100+AttAcc

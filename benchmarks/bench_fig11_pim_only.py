@@ -1,0 +1,34 @@
+"""Figure 11: PIM-only PAPI vs AttAcc-only, decoding phase.
+
+Regenerates the 3x3 grid (batch {4, 16, 64} x spec {1, 2, 4}). Shapes to
+check: the hybrid PIM design wins everywhere (~2.3x mean in the paper)
+and the gap widens with parallelism (1.6x -> 2.7x in the paper).
+"""
+
+import statistics
+
+from benchmarks.conftest import run_once
+from repro.analysis.artifacts import write_fig11_csv
+from repro.analysis.evaluation import fig11_pim_only_speedup
+from repro.analysis.report import format_table
+
+
+def test_fig11_pim_only(benchmark, show):
+    cells = run_once(benchmark, fig11_pim_only_speedup)
+    artifact = write_fig11_csv(cells)
+    show(f"[fig11] wrote {artifact}")
+
+    show(
+        format_table(
+            ["spec", "batch", "PIM-only PAPI speedup over AttAcc-only"],
+            [[c.speculation_length, c.batch_size, c.speedup] for c in cells],
+            title="Figure 11: decoding speedup of hybrid PIM vs AttAcc-only",
+        )
+    )
+
+    assert all(c.speedup > 1.0 for c in cells)
+    mean = statistics.geometric_mean(c.speedup for c in cells)
+    assert 1.5 < mean < 3.5  # paper: 2.3x average
+    lowest = min(cells, key=lambda c: c.batch_size * c.speculation_length)
+    highest = max(cells, key=lambda c: c.batch_size * c.speculation_length)
+    assert highest.speedup > lowest.speedup  # gap widens with parallelism

@@ -1,0 +1,38 @@
+"""Figure 12: per-token decode time breakdown (LLaMA-65B, batch 4, spec 4).
+
+Regenerates the stacked-bar data for AttAcc-only vs PIM-only PAPI:
+attention / FC / communication / other, in ms per token. Shapes to check:
+FC dominates both bars; FC ~2.9x faster on FC-PIM; attention ~1.7x slower
+on Attn-PIM; communication a visible share of the PAPI bar.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.evaluation import fig12_breakdown
+from repro.analysis.report import format_table
+
+
+def test_fig12_breakdown(benchmark, show):
+    breakdown = run_once(benchmark, fig12_breakdown)
+
+    components = ["attention", "fc", "communication", "other", "total"]
+    rows = [
+        [system] + [breakdown[system][c] * 1e3 for c in components]
+        for system in ("attacc-only", "papi-pim-only")
+    ]
+    show(
+        format_table(
+            ["system"] + [f"{c} (ms/token)" for c in components],
+            rows,
+            title="Figure 12: execution time breakdown per token",
+        )
+    )
+
+    attacc = breakdown["attacc-only"]
+    papi = breakdown["papi-pim-only"]
+    assert attacc["fc"] > attacc["attention"]  # FC dominates
+    fc_speedup = attacc["fc"] / papi["fc"]
+    assert 2.3 < fc_speedup < 3.5  # paper: 2.9x
+    attn_slowdown = papi["attention"] / attacc["attention"]
+    assert 1.3 < attn_slowdown < 2.2  # paper: 1.7x
+    comm_share = papi["communication"] / papi["total"]
+    assert 0.08 < comm_share < 0.45  # paper: 28.2%

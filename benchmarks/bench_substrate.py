@@ -1,0 +1,35 @@
+"""Substrate microbenchmarks: DRAM cycle engine and scheduler overhead.
+
+Not a paper figure — these benchmark the reproduction's own substrates:
+the cycle-level bank model's simulation throughput and the PAPI
+scheduler's per-iteration decision cost (the paper's Section 5 claims the
+online monitor is cheap; here we measure our implementation of it).
+"""
+
+from repro.core.scheduler import EOS_TOKEN, PAPIScheduler
+from repro.dram.engine import DRAMEngine
+from repro.dram.timing import HBM3_TIMINGS
+from repro.dram.trace import gemv_trace
+
+
+def test_dram_engine_streaming(benchmark):
+    """Cycle-accurate streaming of 1 MiB through one bank."""
+    engine = DRAMEngine()
+    trace = gemv_trace(HBM3_TIMINGS, weight_bytes=1 << 20, reuse_level=1)
+
+    stats = benchmark(engine.run, trace)
+    assert stats.row_activations == (1 << 20) // HBM3_TIMINGS.row_bytes
+
+
+def test_scheduler_decision_overhead(benchmark):
+    """One runtime-monitoring step (eos count + estimate + compare)."""
+    outputs = [0] * 63 + [EOS_TOKEN]
+
+    def step():
+        scheduler = PAPIScheduler(alpha=20.0)
+        scheduler.initial_schedule(64, 2)
+        scheduler.observe_outputs(outputs)
+        return scheduler
+
+    scheduler = benchmark(step)
+    assert scheduler.rlp == 63

@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_figXX`` module regenerates one table/figure of the paper: the
+pytest-benchmark fixture times the experiment driver, and the resulting
+rows/series are printed in the same layout the paper reports, so running
+``pytest benchmarks/ --benchmark-only`` reproduces the evaluation section.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a report table even under pytest's captured output.
+
+    Suspends capture while writing so the regenerated figure tables appear
+    in ``pytest benchmarks/ --benchmark-only`` output (and tee'd logs)
+    without requiring ``-s``.
+    """
+
+    def _show(text: str) -> None:
+        with capsys.disabled():
+            sys.stdout.write("\n" + text + "\n")
+            sys.stdout.flush()
+
+    return _show
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Time ``fn`` exactly once (experiments are deterministic and slow)."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

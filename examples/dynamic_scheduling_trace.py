@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Reproduce the paper's Figure 5(d): a live dynamic-scheduling trace.
+
+Drives the PAPI scheduler directly (no serving engine) through a small
+batch whose requests finish one by one, printing the per-iteration RLP,
+the arithmetic-intensity estimate, and the resulting FC placement —
+including the PU -> FC-PIM migration when the estimate crosses alpha, and
+a TLP register update pushed by "system software" mid-run.
+
+Usage::
+
+    python examples/dynamic_scheduling_trace.py
+"""
+
+from repro.analysis.report import format_table
+from repro.core.placement import PlacementTarget
+from repro.core.scheduler import EOS_TOKEN, PAPIScheduler
+
+
+def main() -> None:
+    scheduler = PAPIScheduler(alpha=20.0)
+    decision = scheduler.initial_schedule(batch_size=24, speculation_length=2)
+
+    rows = [["init", 24, 2, decision.estimated_intensity,
+             decision.target.value, ""]]
+
+    # Per-iteration <eos> counts: requests trickle out of the batch.
+    eos_schedule = [0, 2, 3, 0, 4, 5, 2, 3, 2, 2]
+    tlp_update_at = 7  # system software raises speculation length mid-run
+
+    for iteration, finishes in enumerate(eos_schedule):
+        if scheduler.rlp == 0:
+            break
+        if iteration == tlp_update_at:
+            scheduler.tlp_register.write(4)  # host CPU notification
+        finishes = min(finishes, scheduler.rlp)
+        outputs = [EOS_TOKEN] * finishes + [0] * (scheduler.rlp - finishes)
+        decision = scheduler.observe_outputs(outputs)
+        rows.append(
+            [
+                iteration,
+                decision.rlp,
+                decision.tlp,
+                decision.estimated_intensity,
+                decision.target.value,
+                "RESCHEDULE" if decision.rescheduled else "",
+            ]
+        )
+
+    print(
+        format_table(
+            ["iteration", "RLP", "TLP", "RLP x TLP", "FC target", "event"],
+            rows,
+            title="Figure 5(d)-style dynamic scheduling trace (alpha = 20)",
+        )
+    )
+    print(
+        f"\nTotal reschedules: {scheduler.reschedule_count}; "
+        f"TLP register writes: {scheduler.tlp_register.writes}"
+    )
+    assert scheduler.reschedule_count >= 1
+    assert scheduler.current_target in (PlacementTarget.PU, PlacementTarget.FC_PIM)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""Explore the hybrid PIM design space of the paper's Section 6.
+
+Walks the joint area / power / performance trade-off behind the FC-PIM
+(4P1B) and Attn-PIM (1P2B) design points:
+
+1. Equation (3): how many banks fit a 121 mm^2 die as FPUs are added.
+2. Figure 7(c): sustained stack power vs data-reuse level per design.
+3. Kernel fit: FC latency and attention latency per design, showing why
+   the two kernel types want *different* PIM devices.
+
+Usage::
+
+    python examples/hybrid_pim_design_space.py
+"""
+
+from repro.analysis.report import format_table
+from repro.devices.area import HBM_PIM_AREA
+from repro.devices.pim import PIMDeviceGroup, derive_config
+from repro.models.config import get_model
+from repro.models.kernels import attention_cost, fc_cost
+
+
+def main() -> None:
+    model = get_model("llama-65b")
+    designs = [
+        derive_config("1p2b", 1, 2),
+        derive_config("1p1b", 1, 1),
+        derive_config("2p1b", 2, 1),
+        derive_config("4p1b", 4, 1),
+    ]
+
+    area_rows = [
+        [
+            d.xpyb,
+            d.fpus_per_bank,
+            HBM_PIM_AREA.bank_footprint(d.fpus_per_bank),
+            d.banks_per_stack,
+            d.capacity_bytes / 1024 ** 3,
+        ]
+        for d in designs
+    ]
+    print(
+        format_table(
+            ["design", "FPUs/bank", "bank footprint (mm^2)", "banks/stack", "GB/stack"],
+            area_rows,
+            title="Equation (3): area-constrained bank counts per design",
+        )
+    )
+
+    power_rows = []
+    for d in designs:
+        pool = PIMDeviceGroup(d, num_stacks=1)
+        for reuse in (1, 4, 16, 64):
+            power_rows.append(
+                [d.xpyb, reuse, pool.sustained_fc_power(reuse),
+                 pool.within_power_budget(reuse)]
+            )
+    print()
+    print(
+        format_table(
+            ["design", "reuse level", "power (W)", "within 116 W"],
+            power_rows,
+            title="Figure 7(c): sustained power vs data-reuse level",
+        )
+    )
+
+    fit_rows = []
+    fc = fc_cost(model, rlp=16, tlp=2)
+    attn = attention_cost(model, rlp=16, tlp=2, context_len=1024)
+    for d in designs:
+        pool = PIMDeviceGroup(d, num_stacks=30)
+        fit_rows.append(
+            [
+                d.xpyb,
+                pool.peak_flops() / 1e12,
+                pool.execute(fc).seconds * 1e3,
+                pool.execute(attn).seconds * 1e3,
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["design", "pool TFLOPS", "FC latency (ms)", "attention latency (ms)"],
+            fit_rows,
+            title="Kernel fit (30 stacks, batch 16, spec 2): FC wants FPUs, "
+                  "attention wants capacity",
+        )
+    )
+    print(
+        "\nTakeaway: 4P1B more than triples FC throughput at the cost of 25% "
+        "capacity and a hard data-reuse requirement; attention gains almost "
+        "nothing from extra FPUs — hence the paper's hybrid FC-PIM + "
+        "Attn-PIM split."
+    )
+
+
+if __name__ == "__main__":
+    main()

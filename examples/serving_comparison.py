@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Compare all five systems across the paper's parallelism grid.
+
+Sweeps batch size and speculation length for a chosen model and dataset
+category, printing the Figure 8-style normalized speedup / energy grid.
+
+Usage::
+
+    python examples/serving_comparison.py [model] [category]
+    python examples/serving_comparison.py gpt3-66b general-qa
+"""
+
+import sys
+
+from repro import build_system, get_model, sample_requests, speedup, energy_efficiency
+from repro.analysis.report import format_table
+from repro.serving import ServingEngine, SpeculationConfig
+
+SYSTEMS = ("a100-attacc", "a100-hbm-pim", "attacc-only", "papi", "papi-pim-only")
+
+
+def main() -> None:
+    model_name = sys.argv[1] if len(sys.argv) > 1 else "llama-65b"
+    category = sys.argv[2] if len(sys.argv) > 2 else "creative-writing"
+    model = get_model(model_name)
+
+    rows = []
+    for spec in (1, 2, 4):
+        for batch in (4, 16, 64):
+            requests_seed = 1000 + spec * 10 + batch
+            summaries = {}
+            for system_name in SYSTEMS:
+                engine = ServingEngine(
+                    system=build_system(system_name),
+                    model=model,
+                    speculation=SpeculationConfig(speculation_length=spec),
+                    seed=requests_seed,
+                )
+                requests = sample_requests(category, batch, seed=requests_seed)
+                summaries[system_name] = engine.run(requests)
+            baseline = summaries["a100-attacc"]
+            for system_name in SYSTEMS:
+                candidate = summaries[system_name]
+                rows.append(
+                    [
+                        spec,
+                        batch,
+                        system_name,
+                        speedup(baseline, candidate),
+                        energy_efficiency(baseline, candidate),
+                        candidate.tokens_per_second,
+                    ]
+                )
+
+    print(
+        format_table(
+            ["spec", "batch", "system", "speedup", "energy eff.", "tokens/s"],
+            rows,
+            title=(
+                f"{model.name} on {category} "
+                "(normalized to A100+AttAcc, Figure 8 layout)"
+            ),
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

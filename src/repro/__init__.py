@@ -1,0 +1,56 @@
+"""PAPI reproduction: a PIM-enabled heterogeneous LLM decoding simulator.
+
+Reproduces "PAPI: Exploiting Dynamic Parallelism in Large Language Model
+Decoding with a Processing-In-Memory-Enabled Computing System"
+(ASPLOS 2025). See README.md for a tour and DESIGN.md for the system
+inventory and per-experiment index.
+
+Quickstart::
+
+    from repro import build_system, get_model, sample_requests
+    from repro.serving import ServingEngine, SpeculationConfig
+
+    system = build_system("papi")
+    engine = ServingEngine(
+        system=system,
+        model=get_model("llama-65b"),
+        speculation=SpeculationConfig(speculation_length=4),
+    )
+    summary = engine.run(sample_requests("creative-writing", count=16))
+    print(summary.tokens_per_second)
+"""
+
+from repro.core.intensity import estimate_fc_intensity, exact_fc_intensity
+from repro.core.placement import PlacementTarget
+from repro.core.scheduler import PAPIScheduler, TLPRegister, calibrate_alpha
+from repro.models.config import ModelConfig, available_models, get_model
+from repro.models.workload import build_decode_step
+from repro.serving.dataset import sample_requests
+from repro.serving.engine import ServingEngine
+from repro.serving.metrics import RunSummary, energy_efficiency, speedup
+from repro.serving.speculative import SpeculationConfig
+from repro.systems.registry import available_systems, build_system
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ModelConfig",
+    "PAPIScheduler",
+    "PlacementTarget",
+    "RunSummary",
+    "ServingEngine",
+    "SpeculationConfig",
+    "TLPRegister",
+    "available_models",
+    "available_systems",
+    "build_decode_step",
+    "build_system",
+    "calibrate_alpha",
+    "energy_efficiency",
+    "estimate_fc_intensity",
+    "exact_fc_intensity",
+    "get_model",
+    "sample_requests",
+    "speedup",
+    "__version__",
+]

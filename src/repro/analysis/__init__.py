@@ -1,0 +1,54 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+:mod:`repro.analysis.motivation` covers the motivational studies
+(Figures 2, 3, 4, 6, 7 and the Equation 3/4 area result);
+:mod:`repro.analysis.evaluation` covers the evaluation section
+(Figures 8-12 and the headline speedups). :mod:`repro.analysis.report`
+renders results as aligned text tables for the benchmark harness.
+"""
+
+from repro.analysis.motivation import (
+    fig2_roofline_study,
+    fig3_rlp_decay,
+    fig4_fc_latency,
+    fig6_ai_estimation,
+    fig7_energy_power,
+)
+from repro.analysis.evaluation import (
+    EndToEndCell,
+    fig8_end_to_end,
+    fig9_general_qa,
+    fig10_sensitivity,
+    fig11_pim_only_speedup,
+    fig12_breakdown,
+    headline_numbers,
+)
+from repro.analysis.report import format_table
+from repro.analysis.artifacts import write_csv, write_fig8_csv, write_fig11_csv
+from repro.analysis.design_space import (
+    sweep_attn_link,
+    sweep_fc_stacks,
+    sweep_gpu_count,
+)
+
+__all__ = [
+    "sweep_attn_link",
+    "sweep_fc_stacks",
+    "sweep_gpu_count",
+    "write_csv",
+    "write_fig11_csv",
+    "write_fig8_csv",
+    "EndToEndCell",
+    "fig10_sensitivity",
+    "fig11_pim_only_speedup",
+    "fig12_breakdown",
+    "fig2_roofline_study",
+    "fig3_rlp_decay",
+    "fig4_fc_latency",
+    "fig6_ai_estimation",
+    "fig7_energy_power",
+    "fig8_end_to_end",
+    "fig9_general_qa",
+    "format_table",
+    "headline_numbers",
+]

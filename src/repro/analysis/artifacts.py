@@ -1,0 +1,82 @@
+"""Artifact writers: dump experiment results as CSV files.
+
+The benchmark harness prints tables; this module persists the same rows
+so plotting notebooks and CI diffing can consume them without re-running
+simulations. Writers are deliberately dependency-free (plain ``csv``).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence, Union
+
+from repro.errors import ConfigurationError
+
+PathLike = Union[str, Path]
+
+
+def write_csv(
+    path: PathLike,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> Path:
+    """Write rows to a CSV file, creating parent directories.
+
+    Args:
+        path: Destination file.
+        headers: Column names.
+        rows: Row values (any str()-able objects).
+
+    Returns:
+        The resolved destination path.
+    """
+    if not headers:
+        raise ConfigurationError("headers must be non-empty")
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    with destination.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            if len(row) != len(headers):
+                raise ConfigurationError(
+                    f"row width {len(row)} != header width {len(headers)}"
+                )
+            writer.writerow(row)
+    return destination
+
+
+def write_fig8_csv(cells, path: PathLike = "results/fig08_end_to_end.csv") -> Path:
+    """Persist Figure 8 grid cells."""
+    return write_csv(
+        path,
+        ["model", "speculation_length", "batch_size", "system",
+         "speedup", "energy_efficiency", "decode_seconds", "total_energy_j"],
+        [
+            [c.model, c.speculation_length, c.batch_size, c.system,
+             c.speedup, c.energy_efficiency, c.summary.decode_seconds,
+             c.summary.total_energy]
+            for c in cells
+        ],
+    )
+
+
+def write_fig11_csv(cells, path: PathLike = "results/fig11_pim_only.csv") -> Path:
+    """Persist Figure 11 cells."""
+    return write_csv(
+        path,
+        ["speculation_length", "batch_size", "speedup"],
+        [[c.speculation_length, c.batch_size, c.speedup] for c in cells],
+    )
+
+
+def write_rlp_trace_csv(
+    trace: Sequence[int], path: PathLike = "results/fig03_rlp_decay.csv"
+) -> Path:
+    """Persist a Figure 3 runtime-RLP trace."""
+    return write_csv(
+        path,
+        ["iteration", "active_requests"],
+        [[i, rlp] for i, rlp in enumerate(trace)],
+    )

@@ -1,0 +1,145 @@
+"""Design-space exploration beyond the paper's fixed configuration.
+
+The paper fixes 30 FC stacks + 60 Attn stacks + 6 GPUs and a PCIe-class
+Attn-PIM link. These sweeps answer the follow-on questions a deployment
+team would ask: how does PAPI scale with the FC-PIM pool size, which link
+technology the disaggregated Attn-PIM pool actually needs, and where the
+GPU count stops mattering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.devices.gpu import GPUGroup
+from repro.devices.interconnect import CXL, Link, NVLINK, PCIE_GEN5
+from repro.devices.pim import FC_PIM_CONFIG, PIMDeviceGroup
+from repro.errors import ConfigurationError
+from repro.models.config import ModelConfig, get_model
+from repro.serving.dataset import sample_requests
+from repro.serving.engine import ServingEngine
+from repro.serving.speculative import SpeculationConfig
+from repro.systems.papi import PAPISystem
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration of a design-space sweep.
+
+    Attributes:
+        label: Human-readable configuration description.
+        decode_seconds: Measured decode time.
+        energy_joules: Measured total energy.
+        tokens_per_second: Decode throughput.
+        fits_model: Whether the model's weights fit the FC pool.
+    """
+
+    label: str
+    decode_seconds: float
+    energy_joules: float
+    tokens_per_second: float
+    fits_model: bool
+
+
+def _measure(system: PAPISystem, model: ModelConfig, batch: int, spec: int,
+             seed: int) -> SweepPoint:
+    engine = ServingEngine(
+        system=system,
+        model=model,
+        speculation=SpeculationConfig(speculation_length=spec),
+        seed=seed,
+        check_capacity=False,
+    )
+    summary = engine.run(sample_requests("creative-writing", batch, seed=seed))
+    return SweepPoint(
+        label="",
+        decode_seconds=summary.decode_seconds,
+        energy_joules=summary.total_energy,
+        tokens_per_second=summary.tokens_per_second,
+        fits_model=model.weight_bytes <= system.fc_pim.capacity_bytes,
+    )
+
+
+def sweep_fc_stacks(
+    stack_counts: Sequence[int] = (10, 20, 30, 45, 60),
+    model_name: str = "llama-65b",
+    batch: int = 8,
+    spec: int = 1,
+    seed: int = 31,
+) -> List[SweepPoint]:
+    """Scale the FC-PIM pool: more stacks buy FC throughput linearly
+    until the scheduler routes work to the GPU anyway."""
+    if not stack_counts:
+        raise ConfigurationError("stack_counts must be non-empty")
+    model = get_model(model_name)
+    points = []
+    for count in stack_counts:
+        system = PAPISystem(fc_pim=PIMDeviceGroup(FC_PIM_CONFIG, count))
+        point = _measure(system, model, batch, spec, seed)
+        points.append(
+            SweepPoint(
+                label=f"{count} FC-PIM stacks",
+                decode_seconds=point.decode_seconds,
+                energy_joules=point.energy_joules,
+                tokens_per_second=point.tokens_per_second,
+                fits_model=point.fits_model,
+            )
+        )
+    return points
+
+
+def sweep_attn_link(
+    links: Sequence[Link] = (PCIE_GEN5, CXL, NVLINK),
+    model_name: str = "llama-65b",
+    batch: int = 16,
+    spec: int = 2,
+    seed: int = 33,
+) -> List[SweepPoint]:
+    """Swap the disaggregated Attn-PIM link (paper Section 6.3's claim:
+    PCIe/CXL suffice; NVLink buys little because attention traffic is
+    small)."""
+    if not links:
+        raise ConfigurationError("links must be non-empty")
+    model = get_model(model_name)
+    points = []
+    for link in links:
+        system = PAPISystem(link=link)
+        point = _measure(system, model, batch, spec, seed)
+        points.append(
+            SweepPoint(
+                label=link.name,
+                decode_seconds=point.decode_seconds,
+                energy_joules=point.energy_joules,
+                tokens_per_second=point.tokens_per_second,
+                fits_model=point.fits_model,
+            )
+        )
+    return points
+
+
+def sweep_gpu_count(
+    counts: Sequence[int] = (2, 4, 6, 12),
+    model_name: str = "llama-65b",
+    batch: int = 64,
+    spec: int = 4,
+    seed: int = 37,
+) -> List[SweepPoint]:
+    """Scale the PU pool at a compute-bound operating point."""
+    if not counts:
+        raise ConfigurationError("counts must be non-empty")
+    model = get_model(model_name)
+    points = []
+    for count in counts:
+        system = PAPISystem(gpus=GPUGroup(count=count))
+        point = _measure(system, model, batch, spec, seed)
+        points.append(
+            SweepPoint(
+                label=f"{count} GPUs",
+                decode_seconds=point.decode_seconds,
+                energy_joules=point.energy_joules,
+                tokens_per_second=point.tokens_per_second,
+                fits_model=point.fits_model,
+            )
+        )
+    return points

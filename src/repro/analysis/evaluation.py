@@ -1,0 +1,242 @@
+"""Evaluation-section experiments: Figures 8-12 and the headline numbers.
+
+Every driver runs full serving simulations through
+:class:`~repro.serving.engine.ServingEngine` with seeded synthetic Dolly
+workloads, then normalizes against the A100+AttAcc baseline exactly as the
+paper's figures do.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.models.config import get_model
+from repro.serving.dataset import sample_requests
+from repro.serving.engine import ServingEngine
+from repro.serving.metrics import RunSummary, energy_efficiency, speedup
+from repro.serving.speculative import SpeculationConfig
+from repro.systems.registry import build_system
+
+#: The paper's Figure 8/9 parameter grid.
+BATCH_SIZES = (4, 16, 64)
+SPECULATION_LENGTHS = (1, 2, 4)
+MODELS = ("llama-65b", "gpt3-66b", "gpt3-175b")
+FOUR_SYSTEMS = ("a100-attacc", "a100-hbm-pim", "attacc-only", "papi")
+THREE_SYSTEMS = ("a100-attacc", "attacc-only", "papi")
+BASELINE = "a100-attacc"
+
+
+@dataclass(frozen=True)
+class EndToEndCell:
+    """One (model, batch, spec, system) cell of Figures 8/9.
+
+    Attributes:
+        model: Model name.
+        system: System name.
+        batch_size: Initial RLP.
+        speculation_length: TLP.
+        summary: Full run summary.
+        speedup: End-to-end speedup vs the A100+AttAcc baseline cell.
+        energy_efficiency: Energy-efficiency improvement vs the baseline.
+    """
+
+    model: str
+    system: str
+    batch_size: int
+    speculation_length: int
+    summary: RunSummary
+    speedup: float
+    energy_efficiency: float
+
+
+def _run_one(
+    system_name: str,
+    model_name: str,
+    batch_size: int,
+    speculation_length: int,
+    category: str,
+    seed: int,
+) -> RunSummary:
+    system = build_system(system_name)
+    engine = ServingEngine(
+        system=system,
+        model=get_model(model_name),
+        speculation=SpeculationConfig(speculation_length=speculation_length),
+        seed=seed,
+    )
+    requests = sample_requests(category, batch_size, seed=seed)
+    return engine.run(requests)
+
+
+def _grid(
+    systems: Sequence[str],
+    models: Sequence[str],
+    batch_sizes: Sequence[int],
+    speculation_lengths: Sequence[int],
+    category: str,
+    seed: int,
+) -> List[EndToEndCell]:
+    cells: List[EndToEndCell] = []
+    for model_name in models:
+        for spec in speculation_lengths:
+            for batch in batch_sizes:
+                baseline = _run_one(BASELINE, model_name, batch, spec, category, seed)
+                for system_name in systems:
+                    if system_name == BASELINE:
+                        summary = baseline
+                    else:
+                        summary = _run_one(
+                            system_name, model_name, batch, spec, category, seed
+                        )
+                    cells.append(
+                        EndToEndCell(
+                            model=model_name,
+                            system=system_name,
+                            batch_size=batch,
+                            speculation_length=spec,
+                            summary=summary,
+                            speedup=speedup(baseline, summary),
+                            energy_efficiency=energy_efficiency(baseline, summary),
+                        )
+                    )
+    return cells
+
+
+def fig8_end_to_end(
+    models: Sequence[str] = MODELS,
+    batch_sizes: Sequence[int] = BATCH_SIZES,
+    speculation_lengths: Sequence[int] = SPECULATION_LENGTHS,
+    seed: int = 11,
+) -> List[EndToEndCell]:
+    """Figure 8: end-to-end speedup and energy efficiency on
+    creative-writing, all four systems, full parameter grid."""
+    return _grid(
+        FOUR_SYSTEMS, models, batch_sizes, speculation_lengths,
+        "creative-writing", seed,
+    )
+
+
+def fig9_general_qa(
+    batch_sizes: Sequence[int] = BATCH_SIZES,
+    speculation_lengths: Sequence[int] = SPECULATION_LENGTHS,
+    seed: int = 13,
+) -> List[EndToEndCell]:
+    """Figure 9: general-qa, GPT-3 175B, three systems."""
+    return _grid(
+        THREE_SYSTEMS, ("gpt3-175b",), batch_sizes, speculation_lengths,
+        "general-qa", seed,
+    )
+
+
+def mean_speedup(cells: Sequence[EndToEndCell], system: str) -> float:
+    """Geometric-mean speedup of ``system`` across its cells."""
+    values = [c.speedup for c in cells if c.system == system]
+    return statistics.geometric_mean(values)
+
+
+def mean_energy_efficiency(cells: Sequence[EndToEndCell], system: str) -> float:
+    """Geometric-mean energy-efficiency gain of ``system``."""
+    values = [c.energy_efficiency for c in cells if c.system == system]
+    return statistics.geometric_mean(values)
+
+
+def headline_numbers(cells: Optional[Sequence[EndToEndCell]] = None) -> Dict[str, float]:
+    """The paper's headline results from the Figure 8 grid.
+
+    Paper: PAPI is 1.8x over A100+AttAcc, 1.9x over A100+HBM-PIM, 11.1x
+    over AttAcc-only, and 3.4x more energy-efficient than A100+AttAcc.
+    Returns our measured equivalents (PAPI's mean speedup divided by each
+    baseline's mean speedup, both vs A100+AttAcc).
+    """
+    if cells is None:
+        cells = fig8_end_to_end()
+    papi = mean_speedup(cells, "papi")
+    return {
+        "speedup_vs_a100_attacc": papi / mean_speedup(cells, "a100-attacc"),
+        "speedup_vs_a100_hbm_pim": papi / mean_speedup(cells, "a100-hbm-pim"),
+        "speedup_vs_attacc_only": papi / mean_speedup(cells, "attacc-only"),
+        "energy_efficiency_vs_a100_attacc": mean_energy_efficiency(cells, "papi"),
+    }
+
+
+# -- Figure 10: sensitivity to RLP and TLP ------------------------------------
+
+def fig10_sensitivity(
+    model_name: str = "llama-65b",
+    rlp_sweep: Sequence[int] = (4, 8, 16, 32, 64, 128),
+    tlp_sweep: Sequence[int] = (1, 2, 4, 8),
+    seed: int = 17,
+) -> Dict[str, List[EndToEndCell]]:
+    """Figure 10: (a) batch-size sweep at spec 1; (b) spec sweep at batch 4."""
+    rlp_cells = _grid(
+        THREE_SYSTEMS, (model_name,), rlp_sweep, (1,), "creative-writing", seed
+    )
+    tlp_cells = _grid(
+        THREE_SYSTEMS, (model_name,), (4,), tlp_sweep, "creative-writing", seed
+    )
+    return {"rlp": rlp_cells, "tlp": tlp_cells}
+
+
+# -- Figure 11: PIM-only PAPI vs AttAcc-only ----------------------------------
+
+@dataclass(frozen=True)
+class PIMOnlyCell:
+    """Decoding-phase speedup of PIM-only PAPI over AttAcc-only."""
+
+    batch_size: int
+    speculation_length: int
+    speedup: float
+
+
+def fig11_pim_only_speedup(
+    model_name: str = "llama-65b",
+    batch_sizes: Sequence[int] = BATCH_SIZES,
+    speculation_lengths: Sequence[int] = SPECULATION_LENGTHS,
+    seed: int = 19,
+) -> List[PIMOnlyCell]:
+    """Figure 11: decoding-phase speedup of the hybrid PIM design over
+    AttAcc-only (no GPU in either system, same stack counts)."""
+    cells: List[PIMOnlyCell] = []
+    for spec in speculation_lengths:
+        for batch in batch_sizes:
+            attacc = _run_one(
+                "attacc-only", model_name, batch, spec, "creative-writing", seed
+            )
+            papi = _run_one(
+                "papi-pim-only", model_name, batch, spec, "creative-writing", seed
+            )
+            cells.append(
+                PIMOnlyCell(
+                    batch_size=batch,
+                    speculation_length=spec,
+                    speedup=attacc.decode_seconds / papi.decode_seconds,
+                )
+            )
+    return cells
+
+
+# -- Figure 12: execution time breakdown --------------------------------------
+
+def fig12_breakdown(
+    model_name: str = "llama-65b",
+    batch_size: int = 4,
+    speculation_length: int = 4,
+    seed: int = 23,
+) -> Dict[str, Dict[str, float]]:
+    """Figure 12: per-token decode time breakdown for AttAcc-only vs
+    PIM-only PAPI (attention / fc / communication / other), in seconds."""
+    result: Dict[str, Dict[str, float]] = {}
+    for system_name in ("attacc-only", "papi-pim-only"):
+        summary = _run_one(
+            system_name, model_name, batch_size, speculation_length,
+            "creative-writing", seed,
+        )
+        tokens = max(1, summary.tokens_generated)
+        result[system_name] = {
+            component: seconds / tokens
+            for component, seconds in summary.time_breakdown.items()
+        }
+        result[system_name]["total"] = summary.seconds_per_token
+    return result

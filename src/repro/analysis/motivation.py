@@ -1,0 +1,202 @@
+"""Motivational studies: Figures 2, 3, 4, 6, and 7 of the paper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.intensity import IntensityEstimate, estimation_error
+from repro.devices.gpu import GPUGroup, GPUSpec, A100_SPEC
+from repro.devices.pim import (
+    ATTACC_CONFIG,
+    HBM_PIM_CONFIG,
+    FC_PIM_CONFIG,
+    PIMConfig,
+    PIMDeviceGroup,
+)
+from repro.models.config import get_model
+from repro.models.kernels import attention_cost, fc_cost
+from repro.models.roofline import RooflinePoint, place_on_roofline
+from repro.serving.dataset import sample_requests
+from repro.serving.engine import ServingEngine
+from repro.systems.registry import build_system
+
+
+# -- Figure 2: roofline of FC and attention kernels ---------------------------
+
+@dataclass(frozen=True)
+class RooflineStudyPoint:
+    """One (kernel, parallelism) point of the Figure 2 study."""
+
+    kernel: str
+    batch_size: int
+    speculation_length: int
+    point: RooflinePoint
+
+
+def fig2_roofline_study(
+    model_name: str = "opt-30b",
+    batch_sizes: Sequence[int] = (4, 8, 16, 32, 64, 128),
+    speculation_lengths: Sequence[int] = (2, 4, 6, 8),
+    context_len: int = 1024,
+    gpu: GPUSpec = A100_SPEC,
+) -> List[RooflineStudyPoint]:
+    """Place FC and attention kernels on the A100 roofline (Figure 2).
+
+    Part (a) of the figure sweeps batch size at speculation length 8;
+    part (b) sweeps speculation length at batch 32. This driver returns
+    the full cross product; callers slice what they need.
+    """
+    model = get_model(model_name)
+    points: List[RooflineStudyPoint] = []
+    for batch in batch_sizes:
+        for spec in speculation_lengths:
+            fc = fc_cost(model, batch, spec)
+            attn = attention_cost(model, batch, spec, context_len)
+            points.append(
+                RooflineStudyPoint(
+                    "fc", batch, spec,
+                    place_on_roofline(fc, gpu.peak_flops, gpu.peak_bandwidth),
+                )
+            )
+            points.append(
+                RooflineStudyPoint(
+                    "attention", batch, spec,
+                    place_on_roofline(attn, gpu.peak_flops, gpu.peak_bandwidth),
+                )
+            )
+    return points
+
+
+# -- Figure 3: runtime RLP decay ----------------------------------------------
+
+def fig3_rlp_decay(
+    model_name: str = "llama-65b",
+    batch_size: int = 32,
+    category: str = "creative-writing",
+    seed: int = 7,
+) -> List[int]:
+    """Runtime RLP per decoding iteration under static batching (Figure 3).
+
+    Returns the number of still-active requests at each iteration; the
+    monotone decay is what makes static FC placement suboptimal.
+    """
+    system = build_system("papi")
+    engine = ServingEngine(system=system, model=get_model(model_name))
+    summary = engine.run(sample_requests(category, batch_size, seed=seed))
+    return summary.rlp_trace()
+
+
+# -- Figure 4: FC kernel latency across architectures -------------------------
+
+@dataclass(frozen=True)
+class FCLatencyCell:
+    """FC latency of one device at one parallelism point, normalized to A100."""
+
+    device: str
+    batch_size: int
+    speculation_length: int
+    seconds: float
+    normalized_to_a100: float
+
+
+def fig4_fc_latency(
+    model_name: str = "gpt3-66b",
+    batch_sizes: Sequence[int] = (1, 4, 16, 64),
+    speculation_lengths: Sequence[int] = (2, 8),
+    fc_stacks: int = 30,
+    gpu_count: int = 6,
+) -> List[FCLatencyCell]:
+    """FC kernel latency on A100, HBM-PIM, and AttAcc (Figure 4).
+
+    PIM wins at low parallelism; the GPU wins decisively once the FC
+    kernel turns compute-bound — and the crossover moves with both batch
+    size and speculation length, motivating dynamic scheduling.
+    """
+    model = get_model(model_name)
+    devices = {
+        "a100": GPUGroup(count=gpu_count),
+        "hbm-pim": PIMDeviceGroup(HBM_PIM_CONFIG, fc_stacks),
+        "attacc": PIMDeviceGroup(ATTACC_CONFIG, fc_stacks),
+    }
+    cells: List[FCLatencyCell] = []
+    for spec in speculation_lengths:
+        for batch in batch_sizes:
+            cost = fc_cost(model, batch, spec)
+            gpu_seconds = devices["a100"].execute(cost).seconds
+            for name, device in devices.items():
+                seconds = device.execute(cost).seconds
+                cells.append(
+                    FCLatencyCell(
+                        device=name,
+                        batch_size=batch,
+                        speculation_length=spec,
+                        seconds=seconds,
+                        normalized_to_a100=seconds / gpu_seconds,
+                    )
+                )
+    return cells
+
+
+# -- Figure 6: AI estimation accuracy ------------------------------------------
+
+def fig6_ai_estimation(
+    model_name: str = "gpt3-66b",
+    rlps: Sequence[int] = (4, 8, 16, 32, 64, 128),
+    tlps: Sequence[int] = (2, 4, 6, 8),
+) -> List[IntensityEstimate]:
+    """Measured vs estimated FC arithmetic intensity (Figure 6)."""
+    model = get_model(model_name)
+    return [
+        estimation_error(model, rlp, tlp) for tlp in tlps for rlp in rlps
+    ]
+
+
+# -- Figure 7: PIM energy breakdown and power ---------------------------------
+
+@dataclass(frozen=True)
+class PowerCell:
+    """Sustained per-stack power of one PIM config at one reuse level."""
+
+    config: str
+    reuse_level: int
+    watts: float
+    within_budget: bool
+
+
+def fig7_energy_power(
+    reuse_levels: Sequence[int] = (1, 4, 16, 64),
+    configs: Optional[Sequence[PIMConfig]] = None,
+) -> Dict[str, object]:
+    """Figure 7: (a/b) DRAM-access energy share, (c) power vs reuse level.
+
+    Returns a dict with ``dram_share`` (reuse level -> fraction) for the
+    1P1B design and ``power`` (list of :class:`PowerCell`) for the swept
+    configs, against the 116 W HBM3 budget.
+    """
+    pim_1p1b = PIMDeviceGroup(ATTACC_CONFIG, num_stacks=1)
+    dram_share = {
+        level: pim_1p1b.energy_fraction_dram(level) for level in (1, 64)
+    }
+    if configs is None:
+        from repro.devices.pim import derive_config
+
+        configs = (
+            ATTACC_CONFIG,
+            derive_config("2p1b", 2, 1),
+            FC_PIM_CONFIG,
+        )
+    power: List[PowerCell] = []
+    for config in configs:
+        group = PIMDeviceGroup(config, num_stacks=1)
+        for level in reuse_levels:
+            watts = group.sustained_fc_power(level)
+            power.append(
+                PowerCell(
+                    config=config.xpyb,
+                    reuse_level=level,
+                    watts=watts,
+                    within_budget=watts <= config.stack.power_budget_watts,
+                )
+            )
+    return {"dram_share": dram_share, "power": power}

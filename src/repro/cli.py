@@ -1,0 +1,192 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``serve`` — run one serving simulation and print the summary.
+* ``compare`` — run all systems on one workload, normalized to a baseline.
+* ``figures`` — regenerate a paper figure's rows (fig2..fig12, headline).
+* ``calibrate`` — report the offline-calibrated alpha for a model.
+* ``list`` — enumerate registered models and systems.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.analysis.report import format_table
+from repro.models.config import available_models, get_model
+from repro.serving.dataset import sample_requests
+from repro.serving.engine import ServingEngine
+from repro.serving.metrics import energy_efficiency, speedup
+from repro.serving.speculative import SpeculationConfig
+from repro.systems.papi import PAPISystem
+from repro.systems.registry import available_systems, build_system
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--model", default="llama-65b", help="model name")
+    parser.add_argument("--batch", type=int, default=16, help="batch size (RLP)")
+    parser.add_argument("--spec", type=int, default=2,
+                        help="speculation length (TLP)")
+    parser.add_argument("--category", default="creative-writing",
+                        choices=("creative-writing", "general-qa"))
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _run(system_name: str, args: argparse.Namespace):
+    engine = ServingEngine(
+        system=build_system(system_name),
+        model=get_model(args.model),
+        speculation=SpeculationConfig(speculation_length=args.spec),
+        seed=args.seed,
+    )
+    requests = sample_requests(args.category, args.batch, seed=args.seed)
+    return engine.run(requests)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    summary = _run(args.system, args)
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["system", summary.system],
+                ["model", summary.model],
+                ["end-to-end seconds", summary.total_seconds],
+                ["decode seconds", summary.decode_seconds],
+                ["energy (kJ)", summary.total_energy / 1e3],
+                ["tokens generated", summary.tokens_generated],
+                ["tokens / second", summary.tokens_per_second],
+                ["iterations", summary.iterations],
+                ["reschedules", summary.reschedules],
+                ["fc placement", str(summary.fc_target_iterations)],
+            ],
+            title=f"{summary.system}: {args.category} batch={args.batch} "
+                  f"spec={args.spec}",
+        )
+    )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    summaries = {name: _run(name, args) for name in available_systems()}
+    baseline = summaries[args.baseline]
+    rows = [
+        [name, s.total_seconds, speedup(baseline, s),
+         energy_efficiency(baseline, s), s.tokens_per_second]
+        for name, s in summaries.items()
+    ]
+    print(
+        format_table(
+            ["system", "seconds", "speedup", "energy eff.", "tokens/s"],
+            rows,
+            title=f"All systems on {args.model} / {args.category} "
+                  f"(batch={args.batch}, spec={args.spec}, "
+                  f"baseline={args.baseline})",
+        )
+    )
+    return 0
+
+
+def cmd_calibrate(args: argparse.Namespace) -> int:
+    system = PAPISystem()
+    alpha = system.calibrate(get_model(args.model))
+    print(f"calibrated alpha for {args.model}: {alpha:.1f} "
+          f"(FC runs on PUs when RLP x TLP > alpha)")
+    return 0
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("models:  " + ", ".join(available_models()))
+    print("systems: " + ", ".join(available_systems()))
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from repro.analysis import evaluation, motivation
+
+    figure = args.figure.lower()
+    if figure in ("fig2", "fig02"):
+        points = motivation.fig2_roofline_study()
+        rows = [[p.kernel, p.batch_size, p.speculation_length,
+                 p.point.arithmetic_intensity,
+                 "memory" if p.point.memory_bound else "compute"]
+                for p in points]
+        print(format_table(
+            ["kernel", "batch", "spec", "AI", "bound"], rows, title="Figure 2"))
+    elif figure in ("fig4", "fig04"):
+        cells = motivation.fig4_fc_latency()
+        rows = [[c.device, c.batch_size, c.speculation_length,
+                 c.normalized_to_a100] for c in cells]
+        print(format_table(
+            ["device", "batch", "spec", "norm latency"], rows, title="Figure 4"))
+    elif figure in ("fig7", "fig07"):
+        result = motivation.fig7_energy_power()
+        rows = [[c.config, c.reuse_level, c.watts, c.within_budget]
+                for c in result["power"]]
+        print(format_table(
+            ["config", "reuse", "watts", "in budget"], rows, title="Figure 7(c)"))
+    elif figure in ("fig8", "fig08"):
+        cells = evaluation.fig8_end_to_end()
+        rows = [[c.model, c.speculation_length, c.batch_size, c.system,
+                 c.speedup, c.energy_efficiency] for c in cells]
+        print(format_table(
+            ["model", "spec", "batch", "system", "speedup", "energy eff."],
+            rows, title="Figure 8"))
+    elif figure == "headline":
+        numbers = evaluation.headline_numbers()
+        print(format_table(
+            ["metric", "value"], list(numbers.items()), title="Headline"))
+    else:
+        print(f"unknown figure {args.figure!r}; "
+              "try fig2, fig4, fig7, fig8, headline", file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PAPI (ASPLOS 2025) reproduction: PIM-enabled "
+                    "heterogeneous LLM decoding simulator",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run one serving simulation")
+    serve.add_argument("--system", default="papi",
+                       choices=available_systems())
+    _add_workload_args(serve)
+    serve.set_defaults(fn=cmd_serve)
+
+    compare = sub.add_parser("compare", help="compare all systems")
+    compare.add_argument("--baseline", default="a100-attacc",
+                         choices=available_systems())
+    _add_workload_args(compare)
+    compare.set_defaults(fn=cmd_compare)
+
+    figures = sub.add_parser("figures", help="regenerate a paper figure")
+    figures.add_argument("figure", help="fig2|fig4|fig7|fig8|headline")
+    figures.set_defaults(fn=cmd_figures)
+
+    calibrate = sub.add_parser("calibrate", help="calibrate alpha")
+    calibrate.add_argument("--model", default="llama-65b")
+    calibrate.set_defaults(fn=cmd_calibrate)
+
+    lister = sub.add_parser("list", help="list models and systems")
+    lister.set_defaults(fn=cmd_list)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

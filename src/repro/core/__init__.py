@@ -1,0 +1,28 @@
+"""PAPI's primary contribution: online kernel characterization + scheduling.
+
+:mod:`repro.core.intensity` implements the paper's Equation (1) exact FC
+arithmetic intensity and the ``RLP * TLP`` low-cost runtime estimate
+(Section 5.1). :mod:`repro.core.scheduler` implements initial scheduling,
+token-level runtime monitoring (eos counting, the TLP register), and the
+offline threshold calibration of Section 5.2. :mod:`repro.core.placement`
+records where each kernel ran, for reporting and tests.
+"""
+
+from repro.core.intensity import (
+    estimate_fc_intensity,
+    exact_fc_intensity,
+    IntensityEstimate,
+)
+from repro.core.placement import Placement, PlacementTarget
+from repro.core.scheduler import PAPIScheduler, SchedulerDecision, TLPRegister
+
+__all__ = [
+    "IntensityEstimate",
+    "PAPIScheduler",
+    "Placement",
+    "PlacementTarget",
+    "SchedulerDecision",
+    "TLPRegister",
+    "estimate_fc_intensity",
+    "exact_fc_intensity",
+]

@@ -1,0 +1,37 @@
+"""Kernel placement records."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.models.kernels import KernelKind
+
+
+class PlacementTarget(enum.Enum):
+    """Hardware units a kernel can be scheduled onto in a PAPI system."""
+
+    PU = "pu"  # high-performance processor (GPU tensor cores)
+    FC_PIM = "fc-pim"
+    ATTN_PIM = "attn-pim"
+
+
+@dataclass(frozen=True)
+class Placement:
+    """Where one kernel of one decoding iteration executed.
+
+    Attributes:
+        kind: Kernel kind.
+        target: Hardware unit chosen.
+        iteration: Decoding iteration index.
+        rlp: Request-level parallelism when the decision was made.
+        tlp: Token-level parallelism when the decision was made.
+        estimated_intensity: The scheduler's AI estimate at decision time.
+    """
+
+    kind: KernelKind
+    target: PlacementTarget
+    iteration: int
+    rlp: int
+    tlp: int
+    estimated_intensity: int

@@ -1,0 +1,251 @@
+"""PAPI's dynamic parallelism-aware scheduler (paper Section 5).
+
+The scheduler decides, for every decoding iteration, whether the FC kernels
+run on the processing units (PUs, i.e. GPU tensor cores) or on FC-PIM.
+Attention always runs on Attn-PIM.
+
+Mechanism (Section 5.2):
+
+* **Initial scheduling** — before serving starts, estimate AI as
+  ``batch_size * speculation_length`` and compare against the threshold
+  ``alpha``: above => compute-bound => PUs; otherwise FC-PIM.
+* **Runtime scheduling** — after each decoding iteration, count ``<eos>``
+  tokens in the gathered output vector to learn how many requests finished
+  (RLP decrement); read TLP from its dedicated register (system software
+  may update it); recompute ``RLP * TLP`` and reschedule if the decision
+  flips.
+* **Alpha calibration** — offline, sweep parallelism levels, time the FC
+  kernel on both PUs and FC-PIM, and pick the crossover (Section 5.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.intensity import estimate_fc_intensity
+from repro.core.placement import Placement, PlacementTarget
+from repro.errors import ConfigurationError, SchedulingError
+from repro.models.config import ModelConfig
+from repro.models.kernels import KernelKind, fc_cost
+
+
+#: Sentinel token id for <|eos|>. Output vectors gathered by the runtime
+#: monitor use this value to mark finished requests.
+EOS_TOKEN = -1
+
+
+@dataclass
+class TLPRegister:
+    """The dedicated TLP register of Section 5.2.2.
+
+    TLP changes rarely; when the host system software updates the
+    speculation length it writes this register, and the scheduler reads it
+    each iteration. Writes are counted so tests can assert the "direct
+    notification" protocol is exercised.
+    """
+
+    value: int = 1
+    writes: int = 0
+
+    def write(self, tlp: int) -> None:
+        """Host CPU notification: update the speculation length."""
+        if tlp <= 0:
+            raise ConfigurationError(f"TLP must be positive, got {tlp}")
+        self.value = tlp
+        self.writes += 1
+
+    def read(self) -> int:
+        """Scheduler-side read of the current TLP."""
+        return self.value
+
+
+@dataclass(frozen=True)
+class SchedulerDecision:
+    """Outcome of one scheduling evaluation.
+
+    Attributes:
+        target: Where the FC kernels will run next iteration.
+        estimated_intensity: The RLP*TLP estimate used.
+        rlp: RLP at decision time.
+        tlp: TLP at decision time.
+        rescheduled: True if the target changed relative to the previous
+            decision (a migration between PUs and FC-PIM).
+    """
+
+    target: PlacementTarget
+    estimated_intensity: int
+    rlp: int
+    tlp: int
+    rescheduled: bool
+
+
+@dataclass
+class PAPIScheduler:
+    """Online parallelism-aware FC scheduler.
+
+    Attributes:
+        alpha: Memory-boundedness threshold on the RLP*TLP estimate;
+            strictly above => compute-bound => PUs.
+        rlp: Current request-level parallelism (active requests).
+        tlp_register: The TLP register read each iteration.
+    """
+
+    alpha: float
+    rlp: int = 0
+    tlp_register: TLPRegister = field(default_factory=TLPRegister)
+    _current_target: Optional[PlacementTarget] = None
+    _iteration: int = 0
+    history: List[SchedulerDecision] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0:
+            raise ConfigurationError("alpha must be positive")
+        if self.rlp < 0:
+            raise ConfigurationError("rlp must be non-negative")
+
+    @property
+    def current_target(self) -> Optional[PlacementTarget]:
+        """Where FC is currently placed (None before initial scheduling)."""
+        return self._current_target
+
+    @property
+    def iteration(self) -> int:
+        """Decoding iterations observed so far."""
+        return self._iteration
+
+    @property
+    def reschedule_count(self) -> int:
+        """How many times FC migrated between PUs and FC-PIM."""
+        return sum(1 for d in self.history if d.rescheduled)
+
+    def _decide(self) -> SchedulerDecision:
+        tlp = self.tlp_register.read()
+        if self.rlp <= 0:
+            raise SchedulingError("cannot schedule with no active requests")
+        estimate = estimate_fc_intensity(self.rlp, tlp)
+        target = (
+            PlacementTarget.PU if estimate > self.alpha else PlacementTarget.FC_PIM
+        )
+        rescheduled = (
+            self._current_target is not None and target is not self._current_target
+        )
+        decision = SchedulerDecision(
+            target=target,
+            estimated_intensity=estimate,
+            rlp=self.rlp,
+            tlp=tlp,
+            rescheduled=rescheduled,
+        )
+        self._current_target = target
+        self.history.append(decision)
+        return decision
+
+    def initial_schedule(self, batch_size: int, speculation_length: int) -> SchedulerDecision:
+        """Initial scheduling before serving starts (Section 5.2.1)."""
+        if batch_size <= 0:
+            raise ConfigurationError("batch_size must be positive")
+        self.rlp = batch_size
+        self.tlp_register.write(speculation_length)
+        self._current_target = None
+        return self._decide()
+
+    def observe_outputs(self, output_tokens: Sequence[int]) -> SchedulerDecision:
+        """Runtime scheduling step after one decoding iteration.
+
+        Gathers the batch's output tokens, counts ``<eos>`` occurrences to
+        decrement RLP (releasing the finished requests' Attn-PIM
+        resources), and re-evaluates the placement (Section 5.2.2).
+
+        Args:
+            output_tokens: One token id per *active request* from the
+                iteration that just finished; ``EOS_TOKEN`` marks a request
+                that completed.
+
+        Returns:
+            The (possibly rescheduled) decision for the next iteration.
+        """
+        if len(output_tokens) != self.rlp:
+            raise SchedulingError(
+                f"expected {self.rlp} output tokens (one per active request), "
+                f"got {len(output_tokens)}"
+            )
+        self._iteration += 1
+        finished = sum(1 for token in output_tokens if token == EOS_TOKEN)
+        self.rlp -= finished
+        if self.rlp == 0:
+            # Batch drained; keep the last decision on record.
+            return self.history[-1]
+        return self._decide()
+
+    def attention_target(self) -> PlacementTarget:
+        """Attention kernels are always memory-bound => always Attn-PIM."""
+        return PlacementTarget.ATTN_PIM
+
+    def placements_for(self, kinds: Sequence[KernelKind]) -> List[Placement]:
+        """Placement records for the kernels of the next iteration."""
+        if not self.history:
+            raise SchedulingError("initial_schedule must run first")
+        decision = self.history[-1]
+        records = []
+        for kind in kinds:
+            target = decision.target if kind.is_fc else PlacementTarget.ATTN_PIM
+            records.append(
+                Placement(
+                    kind=kind,
+                    target=target,
+                    iteration=self._iteration,
+                    rlp=decision.rlp,
+                    tlp=decision.tlp,
+                    estimated_intensity=decision.estimated_intensity,
+                )
+            )
+        return records
+
+
+def calibrate_alpha(
+    model: ModelConfig,
+    pu_device: "object",
+    fc_pim_device: "object",
+    parallelism_levels: Optional[Sequence[int]] = None,
+) -> float:
+    """Offline alpha calibration (Section 5.2.1).
+
+    Runs the FC kernel on both the PUs and FC-PIM across a sweep of
+    parallelism levels (token counts) and returns the crossover point: the
+    largest level at which FC-PIM is still at least as fast, placed halfway
+    to the next level. Devices must expose ``execute(cost) -> KernelResult``.
+
+    Args:
+        model: Model whose FC shape is used for timing.
+        pu_device: The high-performance processor (GPU group).
+        fc_pim_device: The FC-PIM pool.
+        parallelism_levels: Token counts to sweep; defaults to powers of two
+            up to 1024.
+
+    Returns:
+        The calibrated threshold alpha.
+    """
+    if parallelism_levels is None:
+        parallelism_levels = [2 ** i for i in range(0, 11)]
+    levels = list(parallelism_levels)
+    if not levels:
+        raise ConfigurationError("parallelism_levels must be non-empty")
+    levels = sorted(set(levels))
+    best_pim_level: Optional[int] = None
+    first_pu_level: Optional[int] = None
+    for level in levels:
+        cost = fc_cost(model, rlp=level, tlp=1)
+        pim_time = fc_pim_device.execute(cost).seconds
+        pu_time = pu_device.execute(cost).seconds
+        if pim_time <= pu_time:
+            best_pim_level = level
+        elif first_pu_level is None:
+            first_pu_level = level
+    if best_pim_level is None:
+        # PUs always win: schedule everything to PUs.
+        return float(min(levels)) / 2.0
+    if first_pu_level is None or first_pu_level < best_pim_level:
+        candidates = [lv for lv in levels if lv > best_pim_level]
+        first_pu_level = candidates[0] if candidates else best_pim_level * 2
+    return (best_pim_level + first_pu_level) / 2.0

@@ -1,0 +1,83 @@
+"""Hardware device models: GPU, PIM stacks, interconnects, energy, area.
+
+Every device exposes one operation — ``execute(cost) -> KernelResult`` —
+pricing a kernel invocation in seconds and joules using a roofline-style
+timing model plus calibrated energy constants. PIM devices additionally
+model per-bank bandwidth/compute limits and DRAM-access energy amortized by
+the data-reuse level, which is what differentiates FC-PIM from Attn-PIM.
+"""
+
+from repro.devices.base import BoundKind, ComputeDevice, KernelResult
+from repro.devices.energy import EnergyModel, PIM_ENERGY, GPU_ENERGY
+from repro.devices.area import AreaModel, HBM_PIM_AREA, max_banks_per_die
+from repro.devices.hbm import HBMStackSpec, STANDARD_HBM3_STACK
+from repro.devices.gpu import GPUGroup, GPUSpec, A100_SPEC
+from repro.devices.pim import (
+    PIMConfig,
+    PIMDeviceGroup,
+    ATTACC_CONFIG,
+    HBM_PIM_CONFIG,
+    FC_PIM_CONFIG,
+    ATTN_PIM_CONFIG,
+)
+from repro.devices.interconnect import Link, NVLINK, PCIE_GEN5, CXL
+from repro.devices.npu import NPU_SPEC, TPU_V4_SPEC, npu_group, tpu_group
+from repro.devices.organization import (
+    FC_PIM_ORGANIZATION,
+    STANDARD_ORGANIZATION,
+    StackOrganization,
+)
+from repro.devices.partition import (
+    MatrixPartition,
+    Tile,
+    attention_head_placement,
+    partition_fc_weight,
+    partition_kt,
+    partition_v,
+)
+from repro.devices.isa import CommandStreamModel, PIMOpcode
+from repro.devices.trace_exec import TraceExecutionResult, execute_partition
+
+__all__ = [
+    "CommandStreamModel",
+    "FC_PIM_ORGANIZATION",
+    "MatrixPartition",
+    "NPU_SPEC",
+    "PIMOpcode",
+    "STANDARD_ORGANIZATION",
+    "StackOrganization",
+    "TPU_V4_SPEC",
+    "Tile",
+    "TraceExecutionResult",
+    "attention_head_placement",
+    "execute_partition",
+    "npu_group",
+    "partition_fc_weight",
+    "partition_kt",
+    "partition_v",
+    "tpu_group",
+    "A100_SPEC",
+    "ATTACC_CONFIG",
+    "ATTN_PIM_CONFIG",
+    "AreaModel",
+    "BoundKind",
+    "CXL",
+    "ComputeDevice",
+    "EnergyModel",
+    "FC_PIM_CONFIG",
+    "GPUGroup",
+    "GPUSpec",
+    "GPU_ENERGY",
+    "HBMStackSpec",
+    "HBM_PIM_AREA",
+    "HBM_PIM_CONFIG",
+    "KernelResult",
+    "Link",
+    "NVLINK",
+    "PCIE_GEN5",
+    "PIMConfig",
+    "PIMDeviceGroup",
+    "PIM_ENERGY",
+    "STANDARD_HBM3_STACK",
+    "max_banks_per_die",
+]

@@ -1,0 +1,67 @@
+"""Area model for PIM-enabled HBM dies (paper Equation 3 / CACTI-3DD).
+
+The paper constrains each PIM-enabled HBM die to the 121 mm^2 of a
+commercial HBM3 die: ``m * (n * A_fpu + A_bank) <= A_max`` where ``m`` is
+the bank count and ``n`` the FPUs per bank. With the paper's constants a
+4-FPU-per-bank design supports at most 97 banks, rounded down to 96 (three
+of four bank groups), which is why FC-PIM stacks hold 12 GB instead of 16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Area constants in mm^2 (matching the paper's CACTI-3DD numbers).
+
+    Attributes:
+        bank_area: One HBM bank including peripheral circuits (0.83 mm^2).
+        fpu_area: One FP16 FPU (0.1025 mm^2 at 22 nm).
+        die_area: Maximum area of a single HBM die (121 mm^2).
+        baseline_banks: Banks per die in an unmodified stack (no FPUs).
+    """
+
+    bank_area: float = 0.83
+    fpu_area: float = 0.1025
+    die_area: float = 121.0
+    baseline_banks: int = 128
+
+    def __post_init__(self) -> None:
+        if min(self.bank_area, self.fpu_area, self.die_area) <= 0:
+            raise ConfigurationError("areas must be positive")
+        if self.baseline_banks <= 0:
+            raise ConfigurationError("baseline_banks must be positive")
+
+    def bank_footprint(self, fpus_per_bank: float) -> float:
+        """Area of one bank plus its share of FPUs."""
+        if fpus_per_bank < 0:
+            raise ConfigurationError("fpus_per_bank must be non-negative")
+        return self.bank_area + fpus_per_bank * self.fpu_area
+
+    def max_banks(self, fpus_per_bank: float) -> int:
+        """Maximum banks per die satisfying Equation (3), capped at baseline."""
+        raw = int(self.die_area // self.bank_footprint(fpus_per_bank))
+        return min(raw, self.baseline_banks)
+
+    def usable_banks(self, fpus_per_bank: float, granularity: int = 16) -> int:
+        """Max banks rounded down to a bank-group granularity.
+
+        The paper rounds 97 down to 96 (three 32-bank groups of the 8-high
+        stack organization); we round to multiples of ``granularity``.
+        """
+        if granularity <= 0:
+            raise ConfigurationError("granularity must be positive")
+        return (self.max_banks(fpus_per_bank) // granularity) * granularity
+
+
+#: The paper's published constants.
+HBM_PIM_AREA = AreaModel()
+
+
+def max_banks_per_die(fpus_per_bank: float, area: AreaModel = HBM_PIM_AREA) -> int:
+    """Convenience wrapper for Equation (3)."""
+    return area.max_banks(fpus_per_bank)

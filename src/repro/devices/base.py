@@ -1,0 +1,68 @@
+"""Device protocol and the common kernel-execution result type."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Protocol, runtime_checkable
+
+from repro.errors import ConfigurationError
+from repro.models.kernels import KernelCost
+
+
+class BoundKind(enum.Enum):
+    """Which resource limited a kernel's execution on a device."""
+
+    COMPUTE = "compute"
+    MEMORY = "memory"
+
+
+@dataclass(frozen=True)
+class KernelResult:
+    """Outcome of executing one kernel on one device.
+
+    Attributes:
+        device: Human-readable device name.
+        seconds: Execution time.
+        energy_joules: Energy consumed.
+        bound: Whether the kernel was compute- or memory-bound here.
+        energy_breakdown: Joules by component (``dram_access``,
+            ``transfer``, ``compute``, ``static``...). Components sum to
+            ``energy_joules``.
+    """
+
+    device: str
+    seconds: float
+    energy_joules: float
+    bound: BoundKind
+    energy_breakdown: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0 or self.energy_joules < 0:
+            raise ConfigurationError("time and energy must be non-negative")
+
+    @property
+    def average_power(self) -> float:
+        """Mean power (W) over the kernel's execution."""
+        if self.seconds == 0:
+            return 0.0
+        return self.energy_joules / self.seconds
+
+
+@runtime_checkable
+class ComputeDevice(Protocol):
+    """Anything that can price the execution of a kernel cost."""
+
+    name: str
+
+    def execute(self, cost: KernelCost) -> KernelResult:
+        """Price ``cost`` on this device."""
+        ...
+
+    def peak_flops(self) -> float:
+        """Peak FLOP/s of the device (for rooflines and reporting)."""
+        ...
+
+    def peak_bandwidth(self) -> float:
+        """Peak memory bandwidth in bytes/s."""
+        ...

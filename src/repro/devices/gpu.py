@@ -1,0 +1,136 @@
+"""GPU timing/energy model (NVIDIA A100 and multi-GPU groups).
+
+The GPU executes kernels at roofline speed with empirical efficiency
+factors: decoding GEMVs reach a high fraction of peak bandwidth but only a
+fraction of peak tensor throughput at modest batch sizes. A fixed per-kernel
+launch overhead models the driver/runtime cost that makes tiny kernels
+latency-bound — this is why PIM wins at low parallelism even on
+memory-bound kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.base import BoundKind, KernelResult
+from repro.devices.energy import EnergyModel, GPU_ENERGY
+from repro.errors import ConfigurationError
+from repro.models.kernels import KernelCost
+from repro.units import gb_per_s, gib, tflops, us
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """One GPU's peak capabilities.
+
+    Attributes:
+        name: Spec label.
+        peak_flops: Peak dense FP16 tensor throughput (FLOP/s).
+        peak_bandwidth: Peak HBM bandwidth (bytes/s).
+        memory_bytes: HBM capacity.
+        compute_efficiency: Fraction of peak FLOPs attainable on decoding
+            GEMM kernels.
+        bandwidth_efficiency: Fraction of peak bandwidth attainable on
+            streaming weight reads.
+        kernel_overhead_s: Fixed launch/synchronization cost per kernel.
+    """
+
+    name: str
+    peak_flops: float
+    peak_bandwidth: float
+    memory_bytes: float
+    compute_efficiency: float = 0.7
+    bandwidth_efficiency: float = 0.85
+    kernel_overhead_s: float = us(5.0)
+
+    def __post_init__(self) -> None:
+        if min(self.peak_flops, self.peak_bandwidth, self.memory_bytes) <= 0:
+            raise ConfigurationError("GPU peaks must be positive")
+        for eff in (self.compute_efficiency, self.bandwidth_efficiency):
+            if not 0 < eff <= 1:
+                raise ConfigurationError("efficiencies must be in (0, 1]")
+        if self.kernel_overhead_s < 0:
+            raise ConfigurationError("kernel overhead must be non-negative")
+
+
+#: NVIDIA A100 (80 GB SXM): 312 TFLOPS FP16 tensor, 1935 GB/s HBM2e.
+A100_SPEC = GPUSpec(
+    name="a100",
+    peak_flops=tflops(312.0),
+    peak_bandwidth=gb_per_s(1935.0),
+    memory_bytes=gib(80),
+)
+
+
+@dataclass(frozen=True)
+class GPUGroup:
+    """A tensor-parallel group of identical GPUs acting as one device.
+
+    Attributes:
+        spec: Per-GPU capabilities.
+        count: Number of GPUs.
+        parallel_efficiency: Scaling efficiency across the group (all-reduce
+            and load-imbalance losses of tensor parallelism).
+        energy: Energy constants (static power is per GPU).
+    """
+
+    spec: GPUSpec = A100_SPEC
+    count: int = 6
+    parallel_efficiency: float = 0.9
+    energy: EnergyModel = GPU_ENERGY
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise ConfigurationError("GPU count must be positive")
+        if not 0 < self.parallel_efficiency <= 1:
+            raise ConfigurationError("parallel_efficiency must be in (0, 1]")
+
+    @property
+    def name(self) -> str:
+        return f"{self.count}x{self.spec.name}"
+
+    def peak_flops(self) -> float:
+        """Aggregate attainable FLOP/s of the group."""
+        return (
+            self.spec.peak_flops
+            * self.spec.compute_efficiency
+            * self.count
+            * self.parallel_efficiency
+        )
+
+    def peak_bandwidth(self) -> float:
+        """Aggregate attainable bytes/s of the group."""
+        return (
+            self.spec.peak_bandwidth
+            * self.spec.bandwidth_efficiency
+            * self.count
+            * self.parallel_efficiency
+        )
+
+    @property
+    def memory_bytes(self) -> float:
+        """Aggregate HBM capacity."""
+        return self.spec.memory_bytes * self.count
+
+    def execute(self, cost: KernelCost) -> KernelResult:
+        """Price ``cost`` on the GPU group (roofline + launch overhead)."""
+        compute_time = cost.flops / self.peak_flops()
+        memory_time = cost.total_bytes / self.peak_bandwidth()
+        busy = max(compute_time, memory_time)
+        seconds = busy + self.spec.kernel_overhead_s
+        bound = BoundKind.COMPUTE if compute_time >= memory_time else BoundKind.MEMORY
+        breakdown = self.energy.kernel_energy(
+            flops=cost.flops,
+            dram_bytes=cost.weight_bytes,
+            transfer_bytes=cost.activation_bytes,
+            seconds=seconds,
+        )
+        # Static power scales with the number of GPUs held busy.
+        breakdown["static"] *= self.count
+        return KernelResult(
+            device=self.name,
+            seconds=seconds,
+            energy_joules=sum(breakdown.values()),
+            bound=bound,
+            energy_breakdown=breakdown,
+        )

@@ -1,0 +1,77 @@
+"""HBM stack organization specs.
+
+An HBM stack ("cube", "device") is the unit the paper counts: 90 stacks per
+system, 5 per GPU, 16 GB each (12 GB for the area-constrained FC-PIM
+variant). The per-bank internal bandwidth (what PIM cores see) and the
+per-stack external bandwidth (what the GPU sees through the PHY) are very
+different numbers — the entire PIM argument lives in that gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import gb_per_s, gib
+
+
+@dataclass(frozen=True)
+class HBMStackSpec:
+    """Physical organization of one HBM stack.
+
+    Attributes:
+        name: Spec label.
+        num_banks: Total banks across the stack's dies.
+        capacity_bytes: Storage capacity.
+        per_bank_bandwidth: Internal bytes/s a bank-level PIM core can pull
+            from its bank (streaming pattern; calibrated against
+            :mod:`repro.dram`).
+        external_bandwidth: Bytes/s through the stack's external interface
+            (pins), i.e. what a host processor can read.
+        power_budget_watts: Thermal/power ceiling per stack (JEDEC IDD7
+            methodology; 116 W for an 8-high 16 GB HBM3 cube).
+    """
+
+    name: str
+    num_banks: int
+    capacity_bytes: float
+    per_bank_bandwidth: float
+    external_bandwidth: float
+    power_budget_watts: float
+
+    def __post_init__(self) -> None:
+        if self.num_banks <= 0:
+            raise ConfigurationError("num_banks must be positive")
+        if min(
+            self.capacity_bytes,
+            self.per_bank_bandwidth,
+            self.external_bandwidth,
+            self.power_budget_watts,
+        ) <= 0:
+            raise ConfigurationError("HBM spec values must be positive")
+
+    @property
+    def internal_bandwidth(self) -> float:
+        """Aggregate bank-level bandwidth (all banks streaming)."""
+        return self.num_banks * self.per_bank_bandwidth
+
+    def scaled_capacity(self, num_banks: int) -> float:
+        """Capacity if the stack kept only ``num_banks`` banks."""
+        if num_banks <= 0 or num_banks > self.num_banks:
+            raise ConfigurationError(
+                f"num_banks must be in (0, {self.num_banks}], got {num_banks}"
+            )
+        return self.capacity_bytes * num_banks / self.num_banks
+
+
+#: 8-high 16 GB HBM3 stack: 128 banks, 20.8 GB/s per-bank internal
+#: bandwidth (see repro.dram calibration), ~400 GB/s external (5 stacks
+#: give the A100 its ~2 TB/s), 116 W budget.
+STANDARD_HBM3_STACK = HBMStackSpec(
+    name="hbm3-16gb",
+    num_banks=128,
+    capacity_bytes=gib(16),
+    per_bank_bandwidth=gb_per_s(20.8),
+    external_bandwidth=gb_per_s(400.0),
+    power_budget_watts=116.0,
+)

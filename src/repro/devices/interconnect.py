@@ -1,0 +1,85 @@
+"""Interconnect models: NVLink, PCIe, CXL (paper Section 6.3).
+
+FC-PIM stacks talk to the processing units over NVLink (bulk weight and
+activation traffic); the disaggregated Attn-PIM pool hangs off PCIe or CXL
+(small Q-vector and score transfers, where latency matters more than
+bandwidth). A transfer is priced as ``latency + bytes / bandwidth`` plus a
+per-hop energy cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import gb_per_s, pj, us
+
+
+@dataclass(frozen=True)
+class Link:
+    """A point-to-point interconnect.
+
+    Attributes:
+        name: Label.
+        bandwidth: Bytes/s, aggregate across lanes in one direction.
+        latency_s: One-way transfer initiation latency.
+        energy_per_byte: Joules to move one byte across the link.
+        max_devices: How many devices the link technology can address
+            (PCIe ~32 per bus, CXL up to 4096 — paper Section 6.3).
+    """
+
+    name: str
+    bandwidth: float
+    latency_s: float
+    energy_per_byte: float
+    max_devices: int
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0 or self.latency_s < 0 or self.energy_per_byte < 0:
+            raise ConfigurationError("link parameters must be non-negative")
+        if self.max_devices <= 0:
+            raise ConfigurationError("max_devices must be positive")
+
+    def transfer_time(self, num_bytes: float, messages: int = 1) -> float:
+        """Seconds to move ``num_bytes`` in ``messages`` separate transfers."""
+        if num_bytes < 0 or messages <= 0:
+            raise ConfigurationError("bytes must be >= 0 and messages > 0")
+        return messages * self.latency_s + num_bytes / self.bandwidth
+
+    def transfer_energy(self, num_bytes: float) -> float:
+        """Joules to move ``num_bytes``."""
+        if num_bytes < 0:
+            raise ConfigurationError("bytes must be non-negative")
+        return num_bytes * self.energy_per_byte
+
+    def supports(self, num_devices: int) -> bool:
+        """Whether the link technology can address ``num_devices``."""
+        return 0 < num_devices <= self.max_devices
+
+
+#: NVLink 4-class bundle between FC-PIM stacks and the PUs.
+NVLINK = Link(
+    name="nvlink",
+    bandwidth=gb_per_s(450.0),
+    latency_s=us(1.0),
+    energy_per_byte=pj(8.0),
+    max_devices=18,
+)
+
+#: PCIe Gen5 x16 to the disaggregated Attn-PIM pool.
+PCIE_GEN5 = Link(
+    name="pcie-gen5",
+    bandwidth=gb_per_s(64.0),
+    latency_s=us(2.0),
+    energy_per_byte=pj(15.0),
+    max_devices=32,
+)
+
+#: CXL 3.0 fabric (scales to thousands of devices; paper Section 6.3).
+CXL = Link(
+    name="cxl",
+    bandwidth=gb_per_s(64.0),
+    latency_s=us(1.5),
+    energy_per_byte=pj(12.0),
+    max_devices=4096,
+)

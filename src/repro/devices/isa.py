@@ -1,0 +1,150 @@
+"""PIM command stream model (the host-CPU -> PIM instruction path).
+
+The paper's host CPU "sends instructions to the high-performance processor
+and the physically separate Attn-PIM devices" (Section 4.1), and the
+runtime scheduler updates a TLP register by instruction (Section 5.2.2).
+Bank-level PIM products (HBM-PIM, AiM) expose small command sets of this
+shape; we model one to answer two questions the analytic timing model
+glosses over:
+
+1. **How many commands does a kernel need?** (instruction-stream length per
+   GEMV, given the Section 6.4 partition), and
+2. **Does the command bus ever bottleneck execution?** Commands are
+   broadcast per bank group; a kernel is command-bound if its command
+   issue time exceeds its data-streaming time.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator
+
+from repro.devices.pim import PIMConfig
+from repro.errors import ConfigurationError
+from repro.models.kernels import KernelCost
+
+
+class PIMOpcode(enum.Enum):
+    """Bank-level PIM command set (HBM-PIM/AiM-style)."""
+
+    WR_INPUT = "wr_input"  # broadcast activation vector segment to FPUs
+    ACT_ROW = "act_row"  # activate a weight row
+    MAC = "mac"  # multiply-accumulate a column burst into FPU registers
+    PRE = "pre"  # precharge
+    RD_RESULT = "rd_result"  # drain FPU accumulators to the buffer die
+    SET_REG = "set_reg"  # configuration write (e.g. the TLP register)
+
+
+@dataclass(frozen=True)
+class CommandCounts:
+    """Instruction-stream composition for one kernel on one stack.
+
+    Attributes:
+        counts: Commands by opcode (per bank group, broadcast semantics).
+        per_bank_group: True — counts are per broadcast domain.
+    """
+
+    counts: Dict[PIMOpcode, int]
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def __getitem__(self, opcode: PIMOpcode) -> int:
+        return self.counts.get(opcode, 0)
+
+
+@dataclass(frozen=True)
+class CommandStreamModel:
+    """Compiles kernel costs into command counts and issue-time bounds.
+
+    Attributes:
+        config: The PIM stack the stream targets.
+        command_rate_hz: Commands the control path can issue per second
+            per bank group (one per controller cycle at 666 MHz).
+        row_bytes: Weight bytes covered by one ACT_ROW.
+        burst_bytes: Weight bytes consumed by one MAC command.
+        input_segment_bytes: Activation bytes carried per WR_INPUT.
+    """
+
+    config: PIMConfig
+    command_rate_hz: float = 666e6
+    row_bytes: int = 1024
+    burst_bytes: int = 64
+    input_segment_bytes: int = 256
+
+    def __post_init__(self) -> None:
+        if self.command_rate_hz <= 0:
+            raise ConfigurationError("command_rate_hz must be positive")
+        for name in ("row_bytes", "burst_bytes", "input_segment_bytes"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if self.row_bytes % self.burst_bytes:
+            raise ConfigurationError("row_bytes must be a multiple of burst_bytes")
+
+    def _ceil(self, value: float, unit: int) -> int:
+        return int(-(-value // unit))
+
+    def compile(self, cost: KernelCost, num_stacks: int) -> CommandCounts:
+        """Command counts per bank group for one kernel execution.
+
+        Weight traffic is divided across all banks of all stacks; commands
+        are broadcast per bank group, so the stream length is set by one
+        bank's share (banks in a group execute in lockstep).
+
+        Args:
+            cost: Kernel to compile.
+            num_stacks: Stacks sharing the kernel.
+
+        Returns:
+            Per-bank-group command counts.
+        """
+        if num_stacks <= 0:
+            raise ConfigurationError("num_stacks must be positive")
+        total_banks = num_stacks * self.config.banks_per_stack
+        share = cost.weight_bytes / total_banks
+        rows = self._ceil(share, self.row_bytes)
+        macs = self._ceil(share, self.burst_bytes)
+        # Each stored row is re-scanned once per reuse pass beyond the
+        # FPU broadcast width (temporal reuse costs MAC commands, not ACTs).
+        passes = max(
+            1, self._ceil(cost.reuse_level, max(1, self.config.fpus_per_group))
+        )
+        activation_share = cost.activation_bytes / max(1, total_banks)
+        wr_inputs = self._ceil(activation_share, self.input_segment_bytes)
+        counts = {
+            PIMOpcode.ACT_ROW: rows,
+            PIMOpcode.PRE: rows,
+            PIMOpcode.MAC: macs * passes,
+            PIMOpcode.WR_INPUT: max(1, wr_inputs),
+            PIMOpcode.RD_RESULT: max(1, passes),
+        }
+        return CommandCounts(counts=counts)
+
+    def issue_seconds(self, counts: CommandCounts) -> float:
+        """Time for the control path to issue the stream (per bank group)."""
+        return counts.total / self.command_rate_hz
+
+    def is_command_bound(self, cost: KernelCost, num_stacks: int) -> bool:
+        """Whether command issue would outlast data streaming.
+
+        Healthy PIM designs are never command-bound on GEMV: one MAC
+        command covers a whole burst, so the data path (burst time) and
+        the command path (one command per burst) advance in lockstep with
+        the command path slightly ahead.
+        """
+        counts = self.compile(cost, num_stacks)
+        issue = self.issue_seconds(counts)
+        total_banks = num_stacks * self.config.banks_per_stack
+        share = cost.weight_bytes / total_banks
+        passes = max(
+            1, self._ceil(cost.reuse_level, max(1, self.config.fpus_per_group))
+        )
+        stream = share * passes / self.config.per_fpu_stream_bw
+        return issue > stream
+
+
+def tlp_register_update() -> Iterator[PIMOpcode]:
+    """The Section 5.2.2 host-CPU notification: a single SET_REG command."""
+    yield PIMOpcode.SET_REG

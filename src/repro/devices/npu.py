@@ -1,0 +1,56 @@
+"""NPU/TPU processing-unit alternatives (paper Section 4.1).
+
+The paper notes the high-performance processor's PUs need not be GPU
+tensor cores: "any other high-performance processor designed for
+compute-bound kernels (e.g., TPU or NPU) could also be used". These specs
+plug into :class:`~repro.devices.gpu.GPUGroup` (the group abstraction only
+needs peaks and efficiencies) so a PAPI system can be assembled around a
+TPU-class or NPU-class PU pool.
+"""
+
+from __future__ import annotations
+
+from repro.devices.energy import EnergyModel
+from repro.devices.gpu import GPUGroup, GPUSpec
+from repro.units import gb_per_s, gib, pj, tflops, us
+
+#: TPU v4-class part: 275 TFLOPS BF16, 1.2 TB/s HBM, 32 GB.
+TPU_V4_SPEC = GPUSpec(
+    name="tpu-v4",
+    peak_flops=tflops(275.0),
+    peak_bandwidth=gb_per_s(1200.0),
+    memory_bytes=gib(32),
+    compute_efficiency=0.8,  # systolic arrays sustain GEMMs well
+    bandwidth_efficiency=0.85,
+    kernel_overhead_s=us(3.0),
+)
+
+#: Inference-NPU-class part: leaner than a training GPU, lower overheads.
+NPU_SPEC = GPUSpec(
+    name="npu",
+    peak_flops=tflops(200.0),
+    peak_bandwidth=gb_per_s(1000.0),
+    memory_bytes=gib(48),
+    compute_efficiency=0.85,
+    bandwidth_efficiency=0.9,
+    kernel_overhead_s=us(2.0),
+)
+
+#: TPU/NPU parts run leaner than GPUs: lower static power, similar
+#: per-byte memory energy (same HBM technology).
+NPU_ENERGY = EnergyModel(
+    dram_access_per_byte=pj(140.0),
+    transfer_per_byte=pj(8.0),
+    compute_per_flop=pj(1.1),
+    static_power_watts=50.0,
+)
+
+
+def tpu_group(count: int = 8) -> GPUGroup:
+    """A TPU-v4 pod slice usable as PAPI's high-performance processor."""
+    return GPUGroup(spec=TPU_V4_SPEC, count=count, energy=NPU_ENERGY)
+
+
+def npu_group(count: int = 8) -> GPUGroup:
+    """An NPU pool usable as PAPI's high-performance processor."""
+    return GPUGroup(spec=NPU_SPEC, count=count, energy=NPU_ENERGY)

@@ -1,0 +1,86 @@
+"""HBM stack organization hierarchy: pseudo-channels, bank groups, banks.
+
+The paper's data-partitioning scheme (Section 6.4) names four levels —
+pseudo-channel, bank group, bank, and multiplier (FPU lane) — and assigns
+matrix dimensions to each. This module models that hierarchy explicitly so
+the partitioner in :mod:`repro.devices.partition` can produce and validate
+per-bank assignments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class StackOrganization:
+    """Hierarchical organization of one HBM-PIM stack.
+
+    Attributes:
+        pseudo_channels: Pseudo-channels per stack.
+        bank_groups_per_channel: Bank groups per pseudo-channel.
+        banks_per_group: Banks per bank group.
+        lanes_per_fpu: Multiplier lanes in one FPU (FP16 MACs per cycle).
+    """
+
+    pseudo_channels: int = 8
+    bank_groups_per_channel: int = 4
+    banks_per_group: int = 4
+    lanes_per_fpu: int = 16
+
+    def __post_init__(self) -> None:
+        for name in (
+            "pseudo_channels",
+            "bank_groups_per_channel",
+            "banks_per_group",
+            "lanes_per_fpu",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+
+    @property
+    def total_bank_groups(self) -> int:
+        return self.pseudo_channels * self.bank_groups_per_channel
+
+    @property
+    def total_banks(self) -> int:
+        return self.total_bank_groups * self.banks_per_group
+
+    def with_bank_groups_per_channel(self, count: int) -> "StackOrganization":
+        """Derive an organization with fewer bank groups (FC-PIM keeps 3
+        of 4 groups after the area constraint, Section 6.1)."""
+        return StackOrganization(
+            pseudo_channels=self.pseudo_channels,
+            bank_groups_per_channel=count,
+            banks_per_group=self.banks_per_group,
+            lanes_per_fpu=self.lanes_per_fpu,
+        )
+
+    def bank_coordinates(self) -> Iterator[Tuple[int, int, int]]:
+        """Yield (pseudo_channel, bank_group, bank) for every bank."""
+        for channel in range(self.pseudo_channels):
+            for group in range(self.bank_groups_per_channel):
+                for bank in range(self.banks_per_group):
+                    yield (channel, group, bank)
+
+    def flat_index(self, channel: int, group: int, bank: int) -> int:
+        """Linearize a (channel, group, bank) coordinate."""
+        if not 0 <= channel < self.pseudo_channels:
+            raise ConfigurationError("pseudo-channel out of range")
+        if not 0 <= group < self.bank_groups_per_channel:
+            raise ConfigurationError("bank group out of range")
+        if not 0 <= bank < self.banks_per_group:
+            raise ConfigurationError("bank out of range")
+        return (
+            channel * self.bank_groups_per_channel + group
+        ) * self.banks_per_group + bank
+
+
+#: Standard 128-bank stack: 8 pseudo-channels x 4 bank groups x 4 banks.
+STANDARD_ORGANIZATION = StackOrganization()
+
+#: FC-PIM organization: 3 of 4 bank groups kept => 96 banks (Section 6.1).
+FC_PIM_ORGANIZATION = STANDARD_ORGANIZATION.with_bank_groups_per_channel(3)

@@ -1,0 +1,235 @@
+"""Data partitioning across PIM devices (paper Section 6.4).
+
+The paper adopts AttAcc's mapping:
+
+* **Attention** — heads are distributed across Attn-PIM stacks, one head
+  per stack (round-robin when heads exceed stacks). Within a stack, the
+  K^T matrix is partitioned *column-wise* at the pseudo-channel and
+  bank-group levels and *row-wise* at the bank and multiplier levels; the
+  V matrix is the transpose-dual (row-wise at channel/group, column-wise
+  at bank/lane).
+* **FC** — the weight matrix is tiled into 2D blocks, one block per stack;
+  within a stack blocks follow the K^T scheme (column-wise at channel and
+  group, row-wise at bank).
+
+The partitioner emits explicit per-bank tile assignments, validates full
+coverage with no overlap, and reports the per-bank byte share — the
+quantity the device model's per-bank streaming time is built on, and the
+load-imbalance input to :mod:`repro.dram.channel`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.devices.organization import StackOrganization, STANDARD_ORGANIZATION
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Tile:
+    """A 2D sub-matrix assigned to one bank.
+
+    Attributes:
+        row_start / row_end: Half-open row range.
+        col_start / col_end: Half-open column range.
+    """
+
+    row_start: int
+    row_end: int
+    col_start: int
+    col_end: int
+
+    def __post_init__(self) -> None:
+        if self.row_start < 0 or self.col_start < 0:
+            raise ConfigurationError("tile offsets must be non-negative")
+        if self.row_end < self.row_start or self.col_end < self.col_start:
+            raise ConfigurationError("tile ranges must be non-decreasing")
+
+    @property
+    def rows(self) -> int:
+        return self.row_end - self.row_start
+
+    @property
+    def cols(self) -> int:
+        return self.col_end - self.col_start
+
+    @property
+    def elements(self) -> int:
+        return self.rows * self.cols
+
+
+def _split(extent: int, parts: int) -> List[Tuple[int, int]]:
+    """Split ``[0, extent)`` into ``parts`` contiguous near-even ranges."""
+    if extent < 0 or parts <= 0:
+        raise ConfigurationError("extent must be >= 0 and parts > 0")
+    base, extra = divmod(extent, parts)
+    ranges = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+@dataclass(frozen=True)
+class MatrixPartition:
+    """A full per-bank partition of one matrix within one stack.
+
+    Attributes:
+        matrix_rows / matrix_cols: Partitioned matrix shape.
+        assignments: Mapping of bank flat-index -> tile.
+        organization: The stack hierarchy used.
+    """
+
+    matrix_rows: int
+    matrix_cols: int
+    assignments: Dict[int, Tile]
+    organization: StackOrganization
+
+    def validate(self) -> None:
+        """Check exact coverage: tiles partition the matrix.
+
+        Raises:
+            ConfigurationError: On overlap, gap, or out-of-bounds tiles.
+        """
+        total = sum(tile.elements for tile in self.assignments.values())
+        if total != self.matrix_rows * self.matrix_cols:
+            raise ConfigurationError(
+                f"tiles cover {total} elements, matrix has "
+                f"{self.matrix_rows * self.matrix_cols}"
+            )
+        for bank, tile in self.assignments.items():
+            if tile.row_end > self.matrix_rows or tile.col_end > self.matrix_cols:
+                raise ConfigurationError(f"bank {bank} tile out of bounds")
+        # Overlap check via disjoint row/col interval grid: tiles come from
+        # cartesian products of row and column splits, so pairwise overlap
+        # reduces to identical (row, col) ranges.
+        seen = set()
+        for tile in self.assignments.values():
+            key = (tile.row_start, tile.row_end, tile.col_start, tile.col_end)
+            if tile.elements and key in seen:
+                raise ConfigurationError(f"duplicate tile {key}")
+            if tile.elements:
+                seen.add(key)
+
+    def bank_bytes(self, dtype_bytes: int = 2) -> Dict[int, int]:
+        """Bytes resident in each bank."""
+        if dtype_bytes <= 0:
+            raise ConfigurationError("dtype_bytes must be positive")
+        return {
+            bank: tile.elements * dtype_bytes
+            for bank, tile in self.assignments.items()
+        }
+
+    def load_imbalance(self) -> float:
+        """Max bank share divided by mean share (1.0 = perfectly even)."""
+        sizes = [tile.elements for tile in self.assignments.values()]
+        mean = sum(sizes) / len(sizes)
+        if mean == 0:
+            return 1.0
+        return max(sizes) / mean
+
+
+def partition_kt(
+    rows: int,
+    cols: int,
+    organization: StackOrganization = STANDARD_ORGANIZATION,
+) -> MatrixPartition:
+    """Partition a K^T-style matrix within one stack (Section 6.4).
+
+    Column-wise at the pseudo-channel and bank-group levels, row-wise at
+    the bank level: channel c and group g own a column slice; bank b within
+    the group owns a row slice of it.
+    """
+    if rows <= 0 or cols <= 0:
+        raise ConfigurationError("matrix dimensions must be positive")
+    col_splits = _split(cols, organization.total_bank_groups)
+    row_splits = _split(rows, organization.banks_per_group)
+    assignments: Dict[int, Tile] = {}
+    for channel, group, bank in organization.bank_coordinates():
+        group_index = channel * organization.bank_groups_per_channel + group
+        col_start, col_end = col_splits[group_index]
+        row_start, row_end = row_splits[bank]
+        flat = organization.flat_index(channel, group, bank)
+        assignments[flat] = Tile(row_start, row_end, col_start, col_end)
+    partition = MatrixPartition(rows, cols, assignments, organization)
+    partition.validate()
+    return partition
+
+
+def partition_v(
+    rows: int,
+    cols: int,
+    organization: StackOrganization = STANDARD_ORGANIZATION,
+) -> MatrixPartition:
+    """Partition a V-style matrix: the transpose-dual of :func:`partition_kt`
+    (row-wise at channel/group, column-wise at bank)."""
+    transposed = partition_kt(cols, rows, organization)
+    assignments = {
+        bank: Tile(
+            row_start=tile.col_start,
+            row_end=tile.col_end,
+            col_start=tile.row_start,
+            col_end=tile.row_end,
+        )
+        for bank, tile in transposed.assignments.items()
+    }
+    partition = MatrixPartition(rows, cols, assignments, organization)
+    partition.validate()
+    return partition
+
+
+def partition_fc_weight(
+    rows: int,
+    cols: int,
+    num_stacks: int,
+    organization: StackOrganization = STANDARD_ORGANIZATION,
+) -> List[MatrixPartition]:
+    """Partition an FC weight matrix across stacks, then within each stack.
+
+    The matrix is first tiled into ``num_stacks`` near-square 2D blocks
+    (Section 6.4: "divided into smaller 2D blocks, each mapped to an HBM
+    device"), then each block is partitioned like K^T within its stack.
+
+    Returns:
+        One per-stack :class:`MatrixPartition` per block (block offsets are
+        local to the block; stack ordering is row-major over the grid).
+    """
+    if num_stacks <= 0:
+        raise ConfigurationError("num_stacks must be positive")
+    if rows <= 0 or cols <= 0:
+        raise ConfigurationError("matrix dimensions must be positive")
+    grid_rows = max(1, int(math.sqrt(num_stacks)))
+    while num_stacks % grid_rows:
+        grid_rows -= 1
+    grid_cols = num_stacks // grid_rows
+    row_splits = _split(rows, grid_rows)
+    col_splits = _split(cols, grid_cols)
+    partitions = []
+    for row_start, row_end in row_splits:
+        for col_start, col_end in col_splits:
+            block_rows = max(1, row_end - row_start)
+            block_cols = max(1, col_end - col_start)
+            partitions.append(partition_kt(block_rows, block_cols, organization))
+    return partitions
+
+
+def attention_head_placement(
+    num_heads: int, num_stacks: int
+) -> Dict[int, List[int]]:
+    """Distribute attention heads across Attn-PIM stacks (Section 6.4:
+    'each head assigned to a separate HBM device', round-robin beyond).
+
+    Returns:
+        Mapping of stack index -> list of head indices.
+    """
+    if num_heads <= 0 or num_stacks <= 0:
+        raise ConfigurationError("heads and stacks must be positive")
+    placement: Dict[int, List[int]] = {stack: [] for stack in range(num_stacks)}
+    for head in range(num_heads):
+        placement[head % num_stacks].append(head)
+    return placement

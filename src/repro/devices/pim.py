@@ -1,0 +1,251 @@
+"""Bank-level PIM device models (AttAcc, HBM-PIM, FC-PIM, Attn-PIM).
+
+The model follows the paper's Section 6 design space:
+
+* One **FPU** is a 16-lane FP16 MAC unit at 666 MHz => 21.3 GFLOP/s, fed
+  by a 20.8 GB/s column-stream datapath. (Paper Section 6.2: a single FPU
+  at 666 MHz with the per-bank bandwidth exactly matches an arithmetic
+  intensity of 1.)
+* A PIM configuration ``xPyB`` places ``x`` FPUs per ``y`` banks. More
+  FPUs per bank means more column-stream datapaths into the same bank
+  (subarray-level parallelism), trading die area — and, without data
+  reuse, power — for compute throughput.
+* **Data reuse**: weight rows are activated once and their data reused
+  across ``RLP * TLP`` token positions, so DRAM-array energy is charged on
+  *unique* weight traffic only, while FLOPs scale with tokens. This is the
+  energy lever of Figure 7.
+
+Timing model (roofline over the whole device group):
+
+* ``compute_time = flops / (total_fpus * fpu_flops)``
+* ``memory_time = unique_bytes / (total_fpus * per_fpu_stream_bw)``
+* ``seconds = max(compute_time, memory_time) + command overhead``
+
+Because ``fpu_flops ~= per_fpu_stream_bw`` (in FLOPs vs bytes), the device
+ridge point sits at AI ~= 1: any kernel with reuse executes compute-bound,
+which is exactly why FC kernels need the 4x FPU count of FC-PIM while
+attention (AI = TLP, small) is happy on the sparse Attn-PIM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.devices.area import AreaModel, HBM_PIM_AREA
+from repro.devices.base import BoundKind, KernelResult
+from repro.devices.energy import EnergyModel, PIM_ENERGY
+from repro.devices.hbm import HBMStackSpec, STANDARD_HBM3_STACK
+from repro.errors import ConfigurationError
+from repro.models.kernels import KernelCost
+from repro.units import gb_per_s, gflops, us
+
+
+@dataclass(frozen=True)
+class PIMConfig:
+    """One PIM stack design point (the paper's ``xPyB`` notation).
+
+    Attributes:
+        name: Label, e.g. ``"attacc-1p1b"``.
+        fpus_per_group: ``x`` in ``xPyB``.
+        banks_per_group: ``y`` in ``xPyB``.
+        banks_per_stack: Banks kept per stack after the area constraint
+            (Equation 3); 128 for 1-FPU designs, 96 for 4P1B.
+        stack: Underlying HBM stack spec (capacity scales with banks).
+        fpu_flops: Per-FPU throughput (FLOP/s).
+        per_fpu_stream_bw: Column-stream bandwidth feeding one FPU (B/s).
+        command_overhead_s: Fixed per-kernel PIM command/launch cost.
+    """
+
+    name: str
+    fpus_per_group: int
+    banks_per_group: int
+    banks_per_stack: int
+    stack: HBMStackSpec = STANDARD_HBM3_STACK
+    fpu_flops: float = gflops(21.3)
+    per_fpu_stream_bw: float = gb_per_s(20.8)
+    command_overhead_s: float = us(0.5)
+
+    def __post_init__(self) -> None:
+        if self.fpus_per_group <= 0 or self.banks_per_group <= 0:
+            raise ConfigurationError("xPyB parameters must be positive")
+        if self.banks_per_stack <= 0 or self.banks_per_stack > self.stack.num_banks:
+            raise ConfigurationError(
+                f"banks_per_stack must be in (0, {self.stack.num_banks}]"
+            )
+        if self.banks_per_stack % self.banks_per_group != 0:
+            raise ConfigurationError(
+                "banks_per_stack must be a multiple of banks_per_group"
+            )
+        if self.fpu_flops <= 0 or self.per_fpu_stream_bw <= 0:
+            raise ConfigurationError("FPU rates must be positive")
+
+    @property
+    def xpyb(self) -> str:
+        """The paper's ``xPyB`` notation string."""
+        return f"{self.fpus_per_group}P{self.banks_per_group}B"
+
+    @property
+    def fpus_per_stack(self) -> int:
+        """Total FPUs in one stack."""
+        return self.banks_per_stack * self.fpus_per_group // self.banks_per_group
+
+    @property
+    def fpus_per_bank(self) -> float:
+        """FPUs per bank (may be fractional, e.g. 0.5 for 1P2B)."""
+        return self.fpus_per_group / self.banks_per_group
+
+    @property
+    def capacity_bytes(self) -> float:
+        """Stack capacity after the area-driven bank reduction."""
+        return self.stack.scaled_capacity(self.banks_per_stack)
+
+    def stack_compute(self) -> float:
+        """Peak FLOP/s of one stack."""
+        return self.fpus_per_stack * self.fpu_flops
+
+    def stack_stream_bandwidth(self) -> float:
+        """Aggregate column-stream bandwidth of one stack (B/s)."""
+        return self.fpus_per_stack * self.per_fpu_stream_bw
+
+    def fits_area(self, area: AreaModel = HBM_PIM_AREA) -> bool:
+        """Whether this design point satisfies Equation (3)."""
+        return self.banks_per_stack <= area.usable_banks(self.fpus_per_bank)
+
+
+def derive_config(
+    name: str,
+    fpus_per_group: int,
+    banks_per_group: int,
+    area: AreaModel = HBM_PIM_AREA,
+    stack: HBMStackSpec = STANDARD_HBM3_STACK,
+) -> PIMConfig:
+    """Build a PIM config with the bank count set by the area model."""
+    banks = area.usable_banks(fpus_per_group / banks_per_group)
+    banks -= banks % banks_per_group
+    return PIMConfig(
+        name=name,
+        fpus_per_group=fpus_per_group,
+        banks_per_group=banks_per_group,
+        banks_per_stack=banks,
+        stack=stack,
+    )
+
+
+#: AttAcc-style 1P1B stack (one FPU per bank, full 128 banks, 16 GB).
+ATTACC_CONFIG = derive_config("attacc-1p1b", 1, 1)
+
+#: Samsung HBM-PIM-style 1P2B stack (one FPU per two banks, 16 GB).
+HBM_PIM_CONFIG = derive_config("hbm-pim-1p2b", 1, 2)
+
+#: PAPI FC-PIM: 4 FPUs per bank, area-limited to 96 banks => 12 GB.
+FC_PIM_CONFIG = derive_config("fc-pim-4p1b", 4, 1)
+
+#: PAPI Attn-PIM: 1P2B like HBM-PIM, full capacity, power-safe for
+#: no-reuse attention streaming.
+ATTN_PIM_CONFIG = derive_config("attn-pim-1p2b", 1, 2)
+
+
+@dataclass(frozen=True)
+class PIMDeviceGroup:
+    """A pool of identical PIM stacks acting as one device.
+
+    Attributes:
+        config: Stack design point.
+        num_stacks: Stacks in the pool (e.g. 30 for FC weights, 60 for KV).
+        energy: PIM energy constants.
+    """
+
+    config: PIMConfig
+    num_stacks: int
+    energy: EnergyModel = PIM_ENERGY
+
+    def __post_init__(self) -> None:
+        if self.num_stacks <= 0:
+            raise ConfigurationError("num_stacks must be positive")
+
+    @property
+    def name(self) -> str:
+        return f"{self.num_stacks}x{self.config.name}"
+
+    @property
+    def total_fpus(self) -> int:
+        return self.num_stacks * self.config.fpus_per_stack
+
+    @property
+    def capacity_bytes(self) -> float:
+        return self.num_stacks * self.config.capacity_bytes
+
+    def peak_flops(self) -> float:
+        """Aggregate FLOP/s of the pool."""
+        return self.total_fpus * self.config.fpu_flops
+
+    def peak_bandwidth(self) -> float:
+        """Aggregate column-stream bandwidth of the pool (B/s)."""
+        return self.total_fpus * self.config.per_fpu_stream_bw
+
+    def execute(self, cost: KernelCost) -> KernelResult:
+        """Price ``cost`` on the pool.
+
+        DRAM-array energy is charged on unique weight/KV traffic only
+        (rows activated once, data reused across token positions);
+        compute energy scales with FLOPs. Timing is the device roofline
+        described in the module docstring.
+        """
+        compute_time = cost.flops / self.peak_flops()
+        memory_time = cost.total_bytes / self.peak_bandwidth()
+        busy = max(compute_time, memory_time)
+        seconds = busy + self.config.command_overhead_s
+        bound = BoundKind.COMPUTE if compute_time >= memory_time else BoundKind.MEMORY
+        breakdown = self.energy.kernel_energy(
+            flops=cost.flops,
+            dram_bytes=cost.weight_bytes,
+            transfer_bytes=cost.activation_bytes,
+            seconds=seconds,
+        )
+        return KernelResult(
+            device=self.name,
+            seconds=seconds,
+            energy_joules=sum(breakdown.values()),
+            bound=bound,
+            energy_breakdown=breakdown,
+        )
+
+    def sustained_fc_power(self, reuse_level: int) -> float:
+        """Sustained per-stack power (W) running an FC kernel at a reuse level.
+
+        This is the quantity of the paper's Figure 7(c): FPUs run
+        continuously; every ``reuse_level`` FLOPs share one byte of unique
+        DRAM-array traffic. Compared against the stack's 116 W budget.
+        """
+        if reuse_level <= 0:
+            raise ConfigurationError("reuse_level must be positive")
+        flop_rate = self.config.stack_compute()
+        stream_rate = self.config.stack_stream_bandwidth()
+        # Per second of wall clock: unique DRAM bytes streamed and FLOPs done.
+        # Compute-bound when reuse >= fpu_flops/stream_bw (~1).
+        compute_time_per_byte = reuse_level / flop_rate  # s per unique byte
+        memory_time_per_byte = 1.0 / stream_rate
+        time_per_byte = max(compute_time_per_byte, memory_time_per_byte)
+        dram_rate = 1.0 / time_per_byte
+        effective_flop_rate = reuse_level / time_per_byte
+        return (
+            dram_rate * self.energy.dram_access_per_byte
+            + effective_flop_rate * self.energy.compute_per_flop
+        )
+
+    def within_power_budget(self, reuse_level: int) -> bool:
+        """Whether sustained FC execution at this reuse level is budget-safe."""
+        return self.sustained_fc_power(reuse_level) <= self.config.stack.power_budget_watts
+
+    def energy_fraction_dram(self, reuse_level: int) -> float:
+        """Fraction of PIM energy spent on DRAM access at a reuse level.
+
+        Reproduces Figure 7(a)/(b): ~96.7% at reuse 1, ~33.1% at reuse 64.
+        Transfer energy for activations is included assuming the FC shape
+        of the paper's study (activation traffic negligible vs weights).
+        """
+        if reuse_level <= 0:
+            raise ConfigurationError("reuse_level must be positive")
+        dram = self.energy.dram_access_per_byte
+        compute = reuse_level * self.energy.compute_per_flop  # 1 FLOP per B per reuse
+        return dram / reuse_level / (dram / reuse_level + compute / reuse_level)

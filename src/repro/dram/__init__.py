@@ -1,0 +1,42 @@
+"""Cycle-level DRAM bank model ("Ramulator-lite").
+
+The paper builds its PIM evaluation on a Ramulator-2.0-based simulator. This
+subpackage provides the equivalent substrate for our reproduction: HBM3 bank
+timing parameters, per-bank command state machines (ACT / RD / WR / PRE), a
+simple FR-FCFS-style per-bank controller, a GEMV access-trace generator that
+mirrors the paper's PIM data layout (Section 6.4), and an engine that runs a
+trace to completion, counting cycles, row activations, and column accesses.
+
+The analytic PIM device model in :mod:`repro.devices.pim` is calibrated
+against this engine (see ``tests/test_dram_calibration.py``): the effective
+per-bank bandwidth the cycle model achieves for streaming GEMV rows matches
+the 20.8 GB/s figure used by the closed-form model.
+"""
+
+from repro.dram.timing import DRAMTimings, HBM3_TIMINGS
+from repro.dram.commands import Command, CommandKind, Request
+from repro.dram.bank import Bank, BankState
+from repro.dram.controller import BankController
+from repro.dram.engine import DRAMEngine, EngineStats
+from repro.dram.trace import gemv_trace, row_major_stream
+from repro.dram.refresh import HBM3_REFRESH, RefreshParams
+from repro.dram.channel import ChannelEngine, ChannelStats
+
+__all__ = [
+    "Bank",
+    "BankController",
+    "BankState",
+    "ChannelEngine",
+    "ChannelStats",
+    "Command",
+    "CommandKind",
+    "DRAMEngine",
+    "DRAMTimings",
+    "EngineStats",
+    "HBM3_REFRESH",
+    "HBM3_TIMINGS",
+    "RefreshParams",
+    "Request",
+    "gemv_trace",
+    "row_major_stream",
+]

@@ -1,0 +1,114 @@
+"""Per-bank DRAM state machine with timing enforcement.
+
+Each bank tracks its open row and the earliest cycle at which each command
+kind may legally issue, updating those constraints as commands are applied.
+This is the same structural decomposition Ramulator uses (state + timing
+table), reduced to the single-bank timings that matter for PIM streaming:
+tRCD, tRAS, tRP, tRC, and tCCD.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.dram.commands import Command, CommandKind
+from repro.dram.timing import DRAMTimings
+from repro.errors import SimulationError
+
+
+class BankState(enum.Enum):
+    """Row-buffer state of a bank."""
+
+    IDLE = "idle"  # precharged, no open row
+    ACTIVE = "active"  # a row is open
+
+
+@dataclass
+class Bank:
+    """One DRAM bank: open-row state plus next-allowed-issue cycles.
+
+    Attributes:
+        timings: Timing parameters governing this bank.
+        state: Current row-buffer state.
+        open_row: The open row when ``state`` is ACTIVE.
+    """
+
+    timings: DRAMTimings
+    state: BankState = BankState.IDLE
+    open_row: int = -1
+    _earliest: Dict[CommandKind, int] = field(default_factory=dict)
+    _last_activate: int = -(10 ** 12)
+    row_activations: int = 0
+    column_accesses: int = 0
+
+    def __post_init__(self) -> None:
+        for kind in CommandKind:
+            self._earliest.setdefault(kind, 0)
+
+    def earliest_issue(self, kind: CommandKind) -> int:
+        """Earliest cycle at which a command of ``kind`` may issue."""
+        return self._earliest[kind]
+
+    def can_issue(self, command: Command, cycle: int) -> bool:
+        """Whether ``command`` is legal at ``cycle`` (state + timing)."""
+        if cycle < self._earliest[command.kind]:
+            return False
+        if command.kind is CommandKind.ACTIVATE:
+            return self.state is BankState.IDLE
+        if command.kind in (CommandKind.READ, CommandKind.WRITE):
+            return self.state is BankState.ACTIVE and self.open_row == command.row
+        if command.kind is CommandKind.PRECHARGE:
+            return self.state is BankState.ACTIVE
+        return False
+
+    def issue(self, command: Command, cycle: int) -> None:
+        """Apply ``command`` at ``cycle``, updating state and constraints.
+
+        Raises:
+            SimulationError: If the command is illegal at this cycle.
+        """
+        if not self.can_issue(command, cycle):
+            raise SimulationError(
+                f"illegal {command.kind.value} at cycle {cycle} "
+                f"(state={self.state.value}, open_row={self.open_row}, "
+                f"earliest={self._earliest[command.kind]})"
+            )
+        t = self.timings
+        if command.kind is CommandKind.ACTIVATE:
+            self.state = BankState.ACTIVE
+            self.open_row = command.row
+            self.row_activations += 1
+            self._last_activate = cycle
+            self._earliest[CommandKind.READ] = max(
+                self._earliest[CommandKind.READ], cycle + t.tRCD
+            )
+            self._earliest[CommandKind.WRITE] = max(
+                self._earliest[CommandKind.WRITE], cycle + t.tRCD
+            )
+            self._earliest[CommandKind.PRECHARGE] = max(
+                self._earliest[CommandKind.PRECHARGE], cycle + t.tRAS
+            )
+            self._earliest[CommandKind.ACTIVATE] = max(
+                self._earliest[CommandKind.ACTIVATE], cycle + t.tRC
+            )
+        elif command.kind in (CommandKind.READ, CommandKind.WRITE):
+            self.column_accesses += 1
+            self._earliest[CommandKind.READ] = max(
+                self._earliest[CommandKind.READ], cycle + t.tCCD
+            )
+            self._earliest[CommandKind.WRITE] = max(
+                self._earliest[CommandKind.WRITE], cycle + t.tCCD
+            )
+            # Data for this column is on the internal bus tCCD later; the
+            # row may not precharge before the access completes.
+            self._earliest[CommandKind.PRECHARGE] = max(
+                self._earliest[CommandKind.PRECHARGE], cycle + t.tCCD
+            )
+        elif command.kind is CommandKind.PRECHARGE:
+            self.state = BankState.IDLE
+            self.open_row = -1
+            self._earliest[CommandKind.ACTIVATE] = max(
+                self._earliest[CommandKind.ACTIVATE], cycle + t.tRP
+            )

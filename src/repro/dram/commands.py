@@ -1,0 +1,63 @@
+"""DRAM command and request types for the cycle-level bank model."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+class CommandKind(enum.Enum):
+    """DRAM commands the bank state machine understands."""
+
+    ACTIVATE = "ACT"
+    READ = "RD"
+    WRITE = "WR"
+    PRECHARGE = "PRE"
+
+
+@dataclass(frozen=True)
+class Command:
+    """A command issued to one bank at a given cycle.
+
+    Attributes:
+        kind: Command opcode.
+        row: Target row (meaningful for ACTIVATE; kept for RD/WR for checks).
+        column: Target column index within the row (RD/WR only).
+    """
+
+    kind: CommandKind
+    row: int = 0
+    column: int = 0
+
+    def __post_init__(self) -> None:
+        if self.row < 0 or self.column < 0:
+            raise ConfigurationError("row and column must be non-negative")
+
+
+@dataclass(frozen=True)
+class Request:
+    """A memory request against one bank: read or write ``count`` columns.
+
+    The controller decomposes each request into ACT (if the row is not
+    open), a run of RD/WR column commands, and relies on the closed-page /
+    open-page policy for precharging.
+
+    Attributes:
+        row: Target row.
+        column: Starting column.
+        count: Number of column (burst) accesses.
+        is_write: True for writes.
+    """
+
+    row: int
+    column: int
+    count: int = 1
+    is_write: bool = False
+
+    def __post_init__(self) -> None:
+        if self.row < 0 or self.column < 0:
+            raise ConfigurationError("row and column must be non-negative")
+        if self.count <= 0:
+            raise ConfigurationError("count must be positive")

@@ -1,0 +1,78 @@
+"""A simple per-bank DRAM controller.
+
+The controller owns one :class:`~repro.dram.bank.Bank` and serves an ordered
+stream of :class:`~repro.dram.commands.Request` objects. It implements an
+open-page policy: a row stays open until a request for a different row
+arrives (row-buffer conflict), at which point it precharges and activates
+the new row. This matches how the paper's PIM executes GEMV: weight rows
+are streamed sequentially, so consecutive column reads hit the open row and
+the activation count equals the number of distinct rows touched (divided by
+the data-reuse level when activations are amortized).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.dram.bank import Bank, BankState
+from repro.dram.commands import Command, CommandKind, Request
+from repro.dram.timing import DRAMTimings
+
+
+@dataclass
+class BankController:
+    """Serves requests against a single bank, tracking elapsed cycles.
+
+    Attributes:
+        timings: DRAM timing parameters.
+        bank: The bank being controlled (created on construction).
+        cycle: Current cycle; advances as commands issue.
+    """
+
+    timings: DRAMTimings
+    bank: Bank = field(init=False)
+    cycle: int = 0
+
+    def __post_init__(self) -> None:
+        self.bank = Bank(timings=self.timings)
+
+    def _issue_when_ready(self, command: Command) -> None:
+        """Advance time to the command's earliest legal cycle and issue it."""
+        earliest = self.bank.earliest_issue(command.kind)
+        self.cycle = max(self.cycle, earliest)
+        self.bank.issue(command, self.cycle)
+
+    def serve(self, request: Request) -> int:
+        """Serve one request; returns the cycle after its last command.
+
+        Row-buffer hits skip the ACT; conflicts precharge then activate.
+        """
+        if self.bank.state is BankState.ACTIVE and self.bank.open_row != request.row:
+            self._issue_when_ready(Command(CommandKind.PRECHARGE))
+        if self.bank.state is BankState.IDLE:
+            self._issue_when_ready(Command(CommandKind.ACTIVATE, row=request.row))
+        kind = CommandKind.WRITE if request.is_write else CommandKind.READ
+        for i in range(request.count):
+            self._issue_when_ready(
+                Command(kind, row=request.row, column=request.column + i)
+            )
+        return self.cycle
+
+    def serve_all(self, requests: Iterable[Request]) -> int:
+        """Serve an ordered request stream; returns the finishing cycle.
+
+        The finishing cycle accounts for the final column's data transfer
+        (tCCD after its issue cycle) and is the value the engine converts
+        to seconds.
+        """
+        last = self.cycle
+        for request in requests:
+            last = self.serve(request)
+        return last + self.timings.tCCD
+
+    def drain(self) -> int:
+        """Precharge the open row, if any; returns the cycle afterwards."""
+        if self.bank.state is BankState.ACTIVE:
+            self._issue_when_ready(Command(CommandKind.PRECHARGE))
+        return self.cycle

@@ -1,0 +1,76 @@
+"""Engine tying traces, controllers, and statistics together.
+
+The engine runs an access trace against a fresh bank controller and reports
+cycles, wall-clock time, activations, and achieved bandwidth. It is the
+reference against which the closed-form PIM model is calibrated, and it is
+also used directly by the energy model tests: energy = activations *
+E_act + column_accesses * E_col, which must agree with the analytic
+per-byte constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.dram.commands import Request
+from repro.dram.controller import BankController
+from repro.dram.timing import DRAMTimings, HBM3_TIMINGS
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Result of running a trace on one bank.
+
+    Attributes:
+        cycles: Total cycles from first command to last data beat.
+        seconds: Wall-clock equivalent of ``cycles``.
+        row_activations: ACT commands issued.
+        column_accesses: RD/WR commands issued.
+        bytes_transferred: Data moved over the bank's internal bus.
+        achieved_bandwidth: bytes_transferred / seconds.
+    """
+
+    cycles: int
+    seconds: float
+    row_activations: int
+    column_accesses: int
+    bytes_transferred: int
+    achieved_bandwidth: float
+
+
+class DRAMEngine:
+    """Runs request traces on single-bank controllers and reports stats."""
+
+    def __init__(self, timings: Optional[DRAMTimings] = None) -> None:
+        self.timings = timings if timings is not None else HBM3_TIMINGS
+
+    def run(self, trace: Iterable[Request]) -> EngineStats:
+        """Execute ``trace`` on a fresh bank; return aggregate statistics."""
+        controller = BankController(timings=self.timings)
+        finish = controller.serve_all(trace)
+        if finish <= 0:
+            raise ConfigurationError("trace produced no cycles; was it empty?")
+        bank = controller.bank
+        moved = bank.column_accesses * self.timings.burst_bytes
+        seconds = finish * self.timings.cycle_s
+        return EngineStats(
+            cycles=finish,
+            seconds=seconds,
+            row_activations=bank.row_activations,
+            column_accesses=bank.column_accesses,
+            bytes_transferred=moved,
+            achieved_bandwidth=moved / seconds if seconds > 0 else 0.0,
+        )
+
+    def streaming_bandwidth(self, total_bytes: int = 1 << 20) -> float:
+        """Measured per-bank bandwidth for a sequential full-row stream.
+
+        This is the number the analytic PIM model's ``per_bank_bandwidth``
+        must match (the calibration invariant).
+        """
+        from repro.dram.trace import row_major_stream
+
+        stats = self.run(row_major_stream(self.timings, total_bytes))
+        return stats.achieved_bandwidth

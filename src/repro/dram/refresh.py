@@ -1,0 +1,71 @@
+"""DRAM refresh modeling (tREFI / tRFC).
+
+PIM execution steals the banks a refresh needs, so sustained PIM
+bandwidth is degraded by the refresh duty cycle: every ``tREFI`` the bank
+is unavailable for ``tRFC``. The paper's Ramulator-based substrate models
+this implicitly; we expose it as a derating factor applied to streaming
+bandwidth plus a trace-level account for the cycle engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.timing import DRAMTimings
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class RefreshParams:
+    """Refresh timing parameters (in controller clock cycles).
+
+    Attributes:
+        tREFI: Average interval between refresh commands.
+        tRFC: Duration of one refresh (bank unavailable).
+    """
+
+    tREFI: int
+    tRFC: int
+
+    def __post_init__(self) -> None:
+        if self.tREFI <= 0 or self.tRFC <= 0:
+            raise ConfigurationError("tREFI and tRFC must be positive")
+        if self.tRFC >= self.tREFI:
+            raise ConfigurationError("tRFC must be smaller than tREFI")
+
+    @property
+    def duty_cycle(self) -> float:
+        """Fraction of time the bank spends refreshing."""
+        return self.tRFC / self.tREFI
+
+    @property
+    def availability(self) -> float:
+        """Fraction of time the bank can serve PIM accesses."""
+        return 1.0 - self.duty_cycle
+
+    def derate_bandwidth(self, bandwidth: float) -> float:
+        """Sustained bandwidth after refresh stalls."""
+        if bandwidth < 0:
+            raise ConfigurationError("bandwidth must be non-negative")
+        return bandwidth * self.availability
+
+    def refresh_cycles(self, busy_cycles: int) -> int:
+        """Refresh stall cycles incurred over ``busy_cycles`` of work."""
+        if busy_cycles < 0:
+            raise ConfigurationError("busy_cycles must be non-negative")
+        refreshes = busy_cycles // (self.tREFI - self.tRFC)
+        return refreshes * self.tRFC
+
+
+#: HBM3-class refresh at the 666 MHz PIM clock: tREFI ~3.9 us => 2600
+#: cycles; tRFC ~260 ns => 173 cycles. ~6.7% duty cycle — the reason
+#: sustained per-bank PIM bandwidth (20.8 GB/s) sits below the raw
+#: column-streaming rate.
+HBM3_REFRESH = RefreshParams(tREFI=2600, tRFC=173)
+
+
+def refreshed_streaming_bandwidth(
+    timings: DRAMTimings, refresh: RefreshParams = HBM3_REFRESH
+) -> float:
+    """Streaming bandwidth of one bank including refresh stalls."""
+    return refresh.derate_bandwidth(timings.streaming_bandwidth())

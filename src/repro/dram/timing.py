@@ -1,0 +1,94 @@
+"""DRAM timing and organization parameters.
+
+Timings are expressed in memory-controller clock cycles, HBM3-style. The
+preset below corresponds to the HBM3 configuration the paper evaluates
+(5.2 Gb/s per pin, 333 MHz command clock, per Section 7.1); absolute
+nanosecond values follow JEDEC-class parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DRAMTimings:
+    """Bank-level timing parameters (in controller clock cycles).
+
+    Attributes:
+        clock_hz: Controller clock frequency.
+        tRCD: ACT-to-RD/WR delay.
+        tRAS: ACT-to-PRE minimum.
+        tRP: PRE-to-ACT delay.
+        tCCD: Column-to-column delay (back-to-back RD bursts, same bank).
+        tRC: Row cycle (ACT-to-ACT, same bank); must be >= tRAS + tRP.
+        burst_bytes: Bytes transferred per column (RD/WR) command.
+        row_bytes: Bytes per DRAM row (page size per bank).
+    """
+
+    clock_hz: float
+    tRCD: int
+    tRAS: int
+    tRP: int
+    tCCD: int
+    tRC: int
+    burst_bytes: int
+    row_bytes: int
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ConfigurationError("clock_hz must be positive")
+        for name in ("tRCD", "tRAS", "tRP", "tCCD", "tRC"):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        if self.tRC < self.tRAS + self.tRP:
+            raise ConfigurationError("tRC must be >= tRAS + tRP")
+        if self.burst_bytes <= 0 or self.row_bytes <= 0:
+            raise ConfigurationError("burst_bytes and row_bytes must be positive")
+        if self.row_bytes % self.burst_bytes != 0:
+            raise ConfigurationError("row_bytes must be a multiple of burst_bytes")
+
+    @property
+    def cycle_s(self) -> float:
+        """Seconds per controller clock cycle."""
+        return 1.0 / self.clock_hz
+
+    @property
+    def columns_per_row(self) -> int:
+        """Column (burst) commands needed to stream one full row."""
+        return self.row_bytes // self.burst_bytes
+
+    def streaming_row_cycles(self) -> int:
+        """Cycles to activate, fully read, and precharge one row.
+
+        For a streaming access pattern the bank overlaps nothing with other
+        banks (each PIM bank works independently), so the per-row cost is
+        ``tRCD + columns*tCCD`` column streaming, bounded below by ``tRAS``,
+        plus ``tRP``.
+        """
+        read_done = self.tRCD + self.columns_per_row * self.tCCD
+        return max(read_done, self.tRAS) + self.tRP
+
+    def streaming_bandwidth(self) -> float:
+        """Effective bytes/s when streaming whole rows from one bank."""
+        return self.row_bytes / (self.streaming_row_cycles() * self.cycle_s)
+
+
+#: HBM3-class timing preset for the bank-level PIM datapath. The PIM cores
+#: run at 666 MHz (paper Section 6.2) and read 64 B per column command via
+#: the wide internal bank bus. Streaming one 1 KiB row then costs
+#: tRCD(9) + 16 columns * tCCD(1) = 25 cycles (>= tRAS 20), plus tRP(8)
+#: => 33 cycles at 1.50 ns/cycle => ~20.7 GB/s per bank, matching the
+#: 20.8 GB/s per-bank figure the paper's Attn-PIM sizing is built on.
+HBM3_TIMINGS = DRAMTimings(
+    clock_hz=666e6,
+    tRCD=9,
+    tRAS=20,
+    tRP=8,
+    tCCD=1,
+    tRC=28,
+    burst_bytes=64,
+    row_bytes=1024,
+)

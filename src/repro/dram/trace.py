@@ -1,0 +1,62 @@
+"""Access-trace generators for PIM GEMV execution.
+
+The paper's data layout (Section 6.4) stores FC weight blocks row-major in
+each bank: the K^T-style partitioning means a bank streams whole DRAM rows
+of weights sequentially. With decoding parallelism, each streamed row is
+*reused* across ``reuse_level`` token positions before moving on, so the
+activation count per computed output stays constant while the computation
+per activation grows — the effect behind the paper's Figure 7.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.dram.commands import Request
+from repro.dram.timing import DRAMTimings
+from repro.errors import ConfigurationError
+
+
+def row_major_stream(timings: DRAMTimings, total_bytes: int) -> Iterator[Request]:
+    """Yield requests that stream ``total_bytes`` sequentially from a bank.
+
+    Rows are read fully, in order, one request per row (the controller
+    issues the per-column bursts). A trailing partial row issues only the
+    columns it needs.
+    """
+    if total_bytes <= 0:
+        raise ConfigurationError("total_bytes must be positive")
+    full_rows, tail = divmod(total_bytes, timings.row_bytes)
+    for row in range(full_rows):
+        yield Request(row=row, column=0, count=timings.columns_per_row)
+    if tail:
+        count = -(-tail // timings.burst_bytes)  # ceil division
+        yield Request(row=full_rows, column=0, count=count)
+
+
+def gemv_trace(
+    timings: DRAMTimings, weight_bytes: int, reuse_level: int
+) -> List[Request]:
+    """Trace for a bank's share of a GEMV with weight-row data reuse.
+
+    With reuse level ``r``, each weight row is activated once and its
+    columns are consumed ``r`` times by the bank's FPUs (once per token
+    position). The trace therefore repeats the *column reads* of each row
+    ``r`` times under a single activation — which is exactly a row-buffer
+    hit pattern, so no extra activations occur.
+
+    Args:
+        timings: DRAM timing parameters.
+        weight_bytes: Bytes of weights resident in this bank's share.
+        reuse_level: Token positions per weight row (RLP * TLP for FC).
+
+    Returns:
+        The ordered request list for the bank.
+    """
+    if reuse_level <= 0:
+        raise ConfigurationError("reuse_level must be positive")
+    requests: List[Request] = []
+    for base in row_major_stream(timings, weight_bytes):
+        for _ in range(reuse_level):
+            requests.append(base)
+    return requests

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so downstream users can catch one base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A device, model, or system configuration is invalid or inconsistent."""
+
+
+class CapacityError(ReproError):
+    """A workload does not fit in the memory capacity of the target system."""
+
+
+class SchedulingError(ReproError):
+    """The scheduler was asked to do something inconsistent with its state."""
+
+
+class SimulationError(ReproError):
+    """The discrete simulation reached an invalid state."""
+
+
+class UnknownModelError(ConfigurationError):
+    """A model name was requested that is not in the registry."""
+
+
+class UnknownSystemError(ConfigurationError):
+    """A system name was requested that is not in the registry."""

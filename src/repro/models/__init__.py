@@ -1,0 +1,45 @@
+"""LLM workload models: model configurations, kernel cost models, rooflines.
+
+This subpackage answers one question for the rest of the simulator: *given a
+model, a parallelism level (RLP, TLP), and a context length, how many FLOPs
+and how many bytes does each decoding kernel require?* Everything downstream
+(device timing, scheduling, energy) is built on these counts.
+"""
+
+from repro.models.config import (
+    ModelConfig,
+    available_models,
+    get_model,
+    register_model,
+)
+from repro.models.kernels import (
+    KernelCost,
+    KernelKind,
+    attention_cost,
+    fc_cost,
+    feedforward_cost,
+    projection_cost,
+    qkv_cost,
+)
+from repro.models.workload import DecodeStep, KernelInvocation, build_decode_step
+from repro.models.roofline import RooflinePoint, arithmetic_intensity, roofline_time
+
+__all__ = [
+    "DecodeStep",
+    "KernelCost",
+    "KernelInvocation",
+    "KernelKind",
+    "ModelConfig",
+    "RooflinePoint",
+    "arithmetic_intensity",
+    "attention_cost",
+    "available_models",
+    "build_decode_step",
+    "fc_cost",
+    "feedforward_cost",
+    "get_model",
+    "projection_cost",
+    "qkv_cost",
+    "register_model",
+    "roofline_time",
+]

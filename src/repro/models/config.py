@@ -1,0 +1,202 @@
+"""Transformer model configurations and the model registry.
+
+The paper evaluates LLaMA-65B, GPT-3 66B, and GPT-3 175B, and uses OPT-30B
+for the motivational roofline study (Figure 2). All four are registered here
+with their published architectural parameters. Users can register additional
+models with :func:`register_model`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ConfigurationError, UnknownModelError
+
+#: Bytes per parameter / activation element. The paper evaluates FP16.
+FP16_BYTES = 2
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """Architectural description of a decoder-only transformer.
+
+    Attributes:
+        name: Registry key, e.g. ``"llama-65b"``.
+        hidden_dim: Model (embedding) dimension ``h``.
+        num_layers: Number of transformer decoder blocks.
+        num_heads: Number of attention heads.
+        ffn_dim: Feed-forward inner dimension. For GPT-style MLPs this is
+            ``4 * hidden_dim``; LLaMA uses a SwiGLU MLP with a different
+            inner dimension and three weight matrices.
+        ffn_matrices: Number of FFN weight matrices (2 for GPT-style
+            up+down, 3 for SwiGLU gate+up+down).
+        vocab_size: Vocabulary size (used only for capacity accounting of
+            the embedding / LM head, which the paper folds into "other").
+        dtype_bytes: Bytes per element (2 for FP16).
+    """
+
+    name: str
+    hidden_dim: int
+    num_layers: int
+    num_heads: int
+    ffn_dim: int
+    ffn_matrices: int = 2
+    vocab_size: int = 50272
+    dtype_bytes: int = FP16_BYTES
+
+    def __post_init__(self) -> None:
+        if self.hidden_dim <= 0 or self.num_layers <= 0 or self.num_heads <= 0:
+            raise ConfigurationError(
+                f"model {self.name!r}: dimensions must be positive"
+            )
+        if self.hidden_dim % self.num_heads != 0:
+            raise ConfigurationError(
+                f"model {self.name!r}: hidden_dim {self.hidden_dim} not divisible "
+                f"by num_heads {self.num_heads}"
+            )
+        if self.ffn_matrices not in (2, 3):
+            raise ConfigurationError(
+                f"model {self.name!r}: ffn_matrices must be 2 or 3"
+            )
+
+    @property
+    def head_dim(self) -> int:
+        """Per-head dimension ``d = h / num_heads``."""
+        return self.hidden_dim // self.num_heads
+
+    @property
+    def qkv_weight_params(self) -> int:
+        """Parameters in the fused QKV projection of one layer."""
+        return 3 * self.hidden_dim * self.hidden_dim
+
+    @property
+    def projection_weight_params(self) -> int:
+        """Parameters in the attention output projection of one layer."""
+        return self.hidden_dim * self.hidden_dim
+
+    @property
+    def ffn_weight_params(self) -> int:
+        """Parameters in the FFN of one layer."""
+        return self.ffn_matrices * self.hidden_dim * self.ffn_dim
+
+    @property
+    def layer_fc_params(self) -> int:
+        """All FC (weight-stationary GEMV) parameters in one layer."""
+        return (
+            self.qkv_weight_params
+            + self.projection_weight_params
+            + self.ffn_weight_params
+        )
+
+    @property
+    def total_params(self) -> int:
+        """Total parameter count (decoder stack + embedding table)."""
+        return self.num_layers * self.layer_fc_params + self.vocab_size * self.hidden_dim
+
+    @property
+    def weight_bytes(self) -> int:
+        """Bytes to store all model weights."""
+        return self.total_params * self.dtype_bytes
+
+    def kv_bytes_per_token(self) -> int:
+        """KV-cache bytes one token adds per request (all layers, K and V)."""
+        return 2 * self.num_layers * self.hidden_dim * self.dtype_bytes
+
+    def kv_bytes(self, context_len: int) -> int:
+        """KV-cache bytes for one request with ``context_len`` tokens."""
+        if context_len < 0:
+            raise ConfigurationError("context_len must be non-negative")
+        return context_len * self.kv_bytes_per_token()
+
+
+_REGISTRY: Dict[str, ModelConfig] = {}
+
+
+def register_model(config: ModelConfig, overwrite: bool = False) -> ModelConfig:
+    """Add a model to the global registry.
+
+    Args:
+        config: Model to register; its ``name`` is the registry key.
+        overwrite: Replace an existing entry instead of raising.
+
+    Returns:
+        The registered config (for chaining).
+
+    Raises:
+        ConfigurationError: If the name is taken and ``overwrite`` is false.
+    """
+    key = config.name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise ConfigurationError(f"model {config.name!r} is already registered")
+    _REGISTRY[key] = config
+    return config
+
+
+def get_model(name: str) -> ModelConfig:
+    """Look up a registered model by (case-insensitive) name."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise UnknownModelError(f"unknown model {name!r}; known models: {known}") from None
+
+
+def available_models() -> Tuple[str, ...]:
+    """Names of all registered models, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+# -- built-in models evaluated by the paper -----------------------------------
+
+#: LLaMA-65B (Touvron et al. 2023): h=8192, 80 layers, 64 heads, SwiGLU FFN.
+LLAMA_65B = register_model(
+    ModelConfig(
+        name="llama-65b",
+        hidden_dim=8192,
+        num_layers=80,
+        num_heads=64,
+        ffn_dim=22016,
+        ffn_matrices=3,
+        vocab_size=32000,
+    )
+)
+
+#: GPT-3 66Ber-scale config (Brown et al. 2020 Table 2.1, "GPT-3 66B" in the paper).
+GPT3_66B = register_model(
+    ModelConfig(
+        name="gpt3-66b",
+        hidden_dim=9216,
+        num_layers=64,
+        num_heads=72,
+        ffn_dim=4 * 9216,
+        ffn_matrices=2,
+        vocab_size=50257,
+    )
+)
+
+#: GPT-3 175B (Brown et al. 2020): h=12288, 96 layers, 96 heads.
+GPT3_175B = register_model(
+    ModelConfig(
+        name="gpt3-175b",
+        hidden_dim=12288,
+        num_layers=96,
+        num_heads=96,
+        ffn_dim=4 * 12288,
+        ffn_matrices=2,
+        vocab_size=50257,
+    )
+)
+
+#: OPT-30B (Zhang et al. 2022), used for the Figure 2 roofline study.
+OPT_30B = register_model(
+    ModelConfig(
+        name="opt-30b",
+        hidden_dim=7168,
+        num_layers=48,
+        num_heads=56,
+        ffn_dim=4 * 7168,
+        ffn_matrices=2,
+        vocab_size=50272,
+    )
+)

@@ -1,0 +1,186 @@
+"""Mixture-of-Experts extension (paper Section 6.5).
+
+The paper argues FC-PIM is well-suited to MoE models: experts activate
+sparsely, and storing weight slices from different experts in the same
+DRAM bank keeps FPUs busy despite the sparsity while avoiding expert
+weight movement. This module provides:
+
+* :class:`MoEModelConfig` — a decoder config whose FFN is a routed bank of
+  experts with top-k routing.
+* :func:`moe_ffn_cost` — the FFN cost under sparse activation: each token
+  visits ``experts_per_token`` experts, and the *unique* expert weight
+  traffic per iteration depends on how many distinct experts the batch
+  activates (a coupon-collector-style expectation), which is what drives
+  FC-PIM's data-reuse level for MoE.
+* :func:`expert_placement` — the Section 6.5 bank-interleaved placement:
+  slices of every expert in every bank, so any routing pattern keeps all
+  FPUs utilized.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.models.config import ModelConfig
+from repro.models.kernels import KernelCost, KernelKind
+
+
+@dataclass(frozen=True)
+class MoEModelConfig:
+    """A decoder-only MoE transformer.
+
+    Attributes:
+        base: Dense backbone (attention + QKV/projection reuse its dims).
+        num_experts: Experts per MoE FFN layer.
+        experts_per_token: Top-k routing fan-out per token.
+        expert_ffn_dim: Inner dimension of one expert's FFN.
+    """
+
+    base: ModelConfig
+    num_experts: int
+    experts_per_token: int
+    expert_ffn_dim: int
+
+    def __post_init__(self) -> None:
+        if self.num_experts <= 0:
+            raise ConfigurationError("num_experts must be positive")
+        if not 0 < self.experts_per_token <= self.num_experts:
+            raise ConfigurationError(
+                "experts_per_token must be in (0, num_experts]"
+            )
+        if self.expert_ffn_dim <= 0:
+            raise ConfigurationError("expert_ffn_dim must be positive")
+
+    @property
+    def name(self) -> str:
+        return f"{self.base.name}-moe{self.num_experts}x{self.experts_per_token}"
+
+    @property
+    def expert_params(self) -> int:
+        """Parameters of one expert (gate-free two-matrix FFN)."""
+        return 2 * self.base.hidden_dim * self.expert_ffn_dim
+
+    @property
+    def total_ffn_params(self) -> int:
+        """All experts of one layer."""
+        return self.num_experts * self.expert_params
+
+    @property
+    def weight_bytes(self) -> float:
+        """Total model bytes: dense backbone minus dense FFN, plus experts."""
+        dense_ffn = self.base.ffn_weight_params
+        per_layer = (
+            self.base.layer_fc_params - dense_ffn + self.total_ffn_params
+        )
+        return (
+            self.base.num_layers * per_layer
+            + self.base.vocab_size * self.base.hidden_dim
+        ) * self.base.dtype_bytes
+
+
+def expected_active_experts(
+    num_experts: int, experts_per_token: int, tokens: int
+) -> float:
+    """Expected distinct experts activated by ``tokens`` routed tokens.
+
+    Assumes uniform routing: each token draws ``experts_per_token``
+    distinct experts. The expectation is
+    ``E * (1 - (1 - k/E)^tokens)`` — the standard occupancy bound. At small
+    token counts this is ~``k * tokens`` (sparsity helps); at large counts
+    it saturates at ``E`` (every expert touched, dense-like traffic).
+    """
+    if num_experts <= 0 or tokens <= 0:
+        raise ConfigurationError("num_experts and tokens must be positive")
+    if not 0 < experts_per_token <= num_experts:
+        raise ConfigurationError("experts_per_token out of range")
+    miss = (1.0 - experts_per_token / num_experts) ** tokens
+    return num_experts * (1.0 - miss)
+
+
+def moe_ffn_cost(model: MoEModelConfig, rlp: int, tlp: int) -> KernelCost:
+    """FFN cost of one MoE layer under top-k sparse routing.
+
+    FLOPs scale with ``tokens * experts_per_token`` (each token computes
+    through k experts). Unique weight traffic scales with the *expected
+    number of distinct experts* the batch touches — the quantity that sets
+    FC-PIM's effective data-reuse level (tokens-per-expert).
+
+    Args:
+        model: MoE model.
+        rlp: Batch size.
+        tlp: Speculation length.
+
+    Returns:
+        The sparse FFN cost. ``tokens`` carries the *per-expert* reuse
+        level (token-expert visits per activated expert), because that is
+        the reuse FC-PIM can exploit when expert slices share banks.
+    """
+    if rlp <= 0 or tlp <= 0:
+        raise ConfigurationError("rlp and tlp must be positive")
+    tokens = rlp * tlp
+    h = model.base.hidden_dim
+    flops = 2.0 * tokens * model.experts_per_token * model.expert_params
+    active = expected_active_experts(
+        model.num_experts, model.experts_per_token, tokens
+    )
+    weight_bytes = active * model.expert_params * model.base.dtype_bytes
+    activation_bytes = float(
+        tokens * model.experts_per_token * (h + model.expert_ffn_dim)
+        * model.base.dtype_bytes
+    )
+    visits_per_expert = max(1, round(tokens * model.experts_per_token / active))
+    return KernelCost(
+        kind=KernelKind.FFN,
+        flops=flops,
+        weight_bytes=weight_bytes,
+        activation_bytes=activation_bytes,
+        tokens=visits_per_expert,
+    )
+
+
+def moe_ffn_reuse_level(model: MoEModelConfig, rlp: int, tlp: int) -> float:
+    """Data-reuse level FC-PIM sees for the MoE FFN (visits per expert)."""
+    tokens = rlp * tlp
+    active = expected_active_experts(
+        model.num_experts, model.experts_per_token, tokens
+    )
+    return tokens * model.experts_per_token / active
+
+
+def expert_placement(
+    model: MoEModelConfig, num_banks: int
+) -> Dict[int, List[int]]:
+    """Section 6.5's bank-interleaved expert placement.
+
+    Every expert's weight matrix is sliced row-wise across *all* banks, so
+    whichever experts the router activates, every bank (and therefore
+    every FPU attached to it) holds a slice of the active work — no idle
+    FPUs from routing skew.
+
+    Returns:
+        Mapping of bank index -> list of expert ids with a slice in that
+        bank (all experts, by construction).
+    """
+    if num_banks <= 0:
+        raise ConfigurationError("num_banks must be positive")
+    experts = list(range(model.num_experts))
+    return {bank: experts for bank in range(num_banks)}
+
+
+def dense_equivalent(model: MoEModelConfig) -> ModelConfig:
+    """Dense model with the same *active* FFN compute per token.
+
+    Useful baseline: an MoE with top-k routing does the FLOPs of a dense
+    model whose FFN inner dim is ``k * expert_ffn_dim``.
+    """
+    return ModelConfig(
+        name=f"{model.base.name}-dense-equiv",
+        hidden_dim=model.base.hidden_dim,
+        num_layers=model.base.num_layers,
+        num_heads=model.base.num_heads,
+        ffn_dim=model.experts_per_token * model.expert_ffn_dim,
+        ffn_matrices=2,
+        vocab_size=model.base.vocab_size,
+    )

@@ -1,0 +1,71 @@
+"""Roofline analysis utilities (paper Figure 2).
+
+A roofline model bounds attainable throughput by
+``min(peak_compute, AI * peak_bandwidth)``; a kernel is *memory-bound* when
+its arithmetic intensity falls left of the ridge point
+``peak_compute / peak_bandwidth`` and *compute-bound* to the right.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.models.kernels import KernelCost
+
+
+def arithmetic_intensity(flops: float, num_bytes: float) -> float:
+    """FLOPs per byte; infinite when there is no memory traffic."""
+    if num_bytes < 0 or flops < 0:
+        raise ConfigurationError("flops and bytes must be non-negative")
+    if num_bytes == 0:
+        return float("inf")
+    return flops / num_bytes
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel placed on a device roofline.
+
+    Attributes:
+        arithmetic_intensity: FLOPs/byte of the kernel.
+        attainable_flops: Roofline-bounded throughput on the device (FLOP/s).
+        memory_bound: True if the kernel sits left of the ridge point.
+        ridge_point: AI at which the device transitions between regimes.
+    """
+
+    arithmetic_intensity: float
+    attainable_flops: float
+    memory_bound: bool
+    ridge_point: float
+
+
+def ridge_point(peak_flops: float, peak_bandwidth: float) -> float:
+    """AI at which a device transitions from memory- to compute-bound."""
+    if peak_flops <= 0 or peak_bandwidth <= 0:
+        raise ConfigurationError("peaks must be positive")
+    return peak_flops / peak_bandwidth
+
+
+def place_on_roofline(
+    cost: KernelCost, peak_flops: float, peak_bandwidth: float
+) -> RooflinePoint:
+    """Place a kernel cost on a device roofline."""
+    ai = cost.arithmetic_intensity
+    ridge = ridge_point(peak_flops, peak_bandwidth)
+    attainable = min(peak_flops, ai * peak_bandwidth)
+    return RooflinePoint(
+        arithmetic_intensity=ai,
+        attainable_flops=attainable,
+        memory_bound=ai < ridge,
+        ridge_point=ridge,
+    )
+
+
+def roofline_time(
+    flops: float, num_bytes: float, peak_flops: float, peak_bandwidth: float
+) -> float:
+    """Roofline execution time: max of compute time and memory time."""
+    if peak_flops <= 0 or peak_bandwidth <= 0:
+        raise ConfigurationError("peaks must be positive")
+    return max(flops / peak_flops, num_bytes / peak_bandwidth)

@@ -1,0 +1,160 @@
+"""Per-iteration decoding workload construction.
+
+A *decode step* is one decoding iteration of the whole model: for each of
+the ``num_layers`` decoder blocks, the four kernels of Figure 1(a). Because
+every layer is architecturally identical, we compute one layer's kernel
+costs and scale by the layer count; the serving engine then asks a system
+to execute the step and price each kernel on its assigned device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.models.config import ModelConfig
+from repro.models.kernels import (
+    KernelCost,
+    KernelKind,
+    attention_cost,
+    feedforward_cost,
+    projection_cost,
+    qkv_cost,
+)
+
+
+@dataclass(frozen=True)
+class KernelInvocation:
+    """One kernel of one decode step, aggregated over all layers.
+
+    Attributes:
+        kind: Which kernel.
+        per_layer: Cost of the kernel in a single layer.
+        num_layers: How many layers the step spans.
+    """
+
+    kind: KernelKind
+    per_layer: KernelCost
+    num_layers: int
+
+    @property
+    def total(self) -> KernelCost:
+        """Cost aggregated over all layers."""
+        return self.per_layer.scaled(self.num_layers)
+
+
+@dataclass(frozen=True)
+class DecodeStep:
+    """All kernel work of one decoding iteration.
+
+    Attributes:
+        model: The model being decoded.
+        rlp: Active request-level parallelism this iteration.
+        tlp: Token-level parallelism (speculation length) this iteration.
+        mean_context_len: Average per-request KV-cache length, used to size
+            the attention kernel. The serving engine passes the true mean
+            over active requests.
+        invocations: The four kernels, in execution order.
+    """
+
+    model: ModelConfig
+    rlp: int
+    tlp: int
+    mean_context_len: int
+    invocations: Sequence[KernelInvocation]
+
+    @property
+    def fc_invocations(self) -> List[KernelInvocation]:
+        """The fully-connected kernels of the step."""
+        return [inv for inv in self.invocations if inv.kind.is_fc]
+
+    @property
+    def attention_invocation(self) -> KernelInvocation:
+        """The multi-head attention kernel of the step."""
+        for inv in self.invocations:
+            if inv.kind is KernelKind.ATTENTION:
+                return inv
+        raise ConfigurationError("decode step has no attention invocation")
+
+    @property
+    def total_flops(self) -> float:
+        """All FLOPs in the step."""
+        return sum(inv.total.flops for inv in self.invocations)
+
+    @property
+    def total_bytes(self) -> float:
+        """All memory traffic in the step."""
+        return sum(inv.total.total_bytes for inv in self.invocations)
+
+
+def build_decode_step(
+    model: ModelConfig,
+    rlp: int,
+    tlp: int,
+    mean_context_len: int,
+) -> DecodeStep:
+    """Construct the kernel bundle for one decoding iteration.
+
+    Args:
+        model: Model architecture.
+        rlp: Batch size of the iteration (active requests).
+        tlp: Speculation length of the iteration.
+        mean_context_len: Average KV-cache length across active requests.
+
+    Returns:
+        A :class:`DecodeStep` with QKV, attention, projection, and FFN
+        invocations, each aggregated over ``model.num_layers`` layers.
+    """
+    if mean_context_len <= 0:
+        raise ConfigurationError(
+            f"mean_context_len must be positive, got {mean_context_len}"
+        )
+    layers = model.num_layers
+    invocations = (
+        KernelInvocation(KernelKind.QKV, qkv_cost(model, rlp, tlp), layers),
+        KernelInvocation(
+            KernelKind.ATTENTION,
+            attention_cost(model, rlp, tlp, mean_context_len),
+            layers,
+        ),
+        KernelInvocation(
+            KernelKind.PROJECTION, projection_cost(model, rlp, tlp), layers
+        ),
+        KernelInvocation(KernelKind.FFN, feedforward_cost(model, rlp, tlp), layers),
+    )
+    return DecodeStep(
+        model=model,
+        rlp=rlp,
+        tlp=tlp,
+        mean_context_len=mean_context_len,
+        invocations=invocations,
+    )
+
+
+def prefill_cost(model: ModelConfig, rlp: int, input_len: int) -> KernelCost:
+    """Aggregate cost of the prefill phase for a batch of requests.
+
+    Prefill processes all ``input_len`` tokens of each request at once, so
+    it is strongly compute-bound; the paper always runs it on the GPU. We
+    model it as one aggregate kernel (weights read once, FLOPs for all
+    tokens and layers, attention quadratic term included).
+    """
+    if input_len <= 0:
+        raise ConfigurationError(f"input_len must be positive, got {input_len}")
+    if rlp <= 0:
+        raise ConfigurationError(f"rlp must be positive, got {rlp}")
+    tokens = rlp * input_len
+    fc_params = model.num_layers * model.layer_fc_params
+    fc_flops = 2.0 * tokens * fc_params
+    # Causal attention: ~ sum_{i<=L} i = L^2/2 positions per request per layer.
+    attn_flops = 4.0 * model.num_layers * rlp * (input_len * input_len / 2.0) * model.hidden_dim
+    weight_bytes = float(fc_params * model.dtype_bytes)
+    activation_bytes = float(tokens * model.hidden_dim * model.dtype_bytes * 2 * model.num_layers)
+    return KernelCost(
+        kind=KernelKind.QKV,
+        flops=fc_flops + attn_flops,
+        weight_bytes=weight_bytes,
+        activation_bytes=activation_bytes,
+        tokens=tokens,
+    )

@@ -1,0 +1,53 @@
+"""LLM serving simulation: requests, datasets, batching, decoding loop.
+
+This layer reproduces the paper's evaluation methodology: batches of
+requests with realistic (Dolly-like) input/output length distributions are
+decoded on a :class:`~repro.systems.base.ServingSystem`, with static or
+mixed continuous batching and optional speculative decoding. Runtime RLP
+decays as requests hit ``<eos>`` (Figure 3), which is precisely the dynamic
+parallelism PAPI's scheduler exploits.
+"""
+
+from repro.serving.request import Request, RequestState
+from repro.serving.dataset import (
+    DatasetSpec,
+    CREATIVE_WRITING,
+    GENERAL_QA,
+    sample_requests,
+)
+from repro.serving.speculative import SpeculationConfig, SpeculativeSampler
+from repro.serving.batching import ContinuousBatcher, StaticBatcher
+from repro.serving.engine import ServingEngine
+from repro.serving.metrics import IterationRecord, RunSummary
+from repro.serving.arrivals import form_dynamic_batches, poisson_arrivals
+from repro.serving.slo import max_batch_under_slo
+from repro.serving.tlp_policy import (
+    AcceptanceAdaptiveTLP,
+    FixedTLP,
+    UtilizationAdaptiveTLP,
+)
+from repro.serving.export import summary_to_dict, summary_to_json
+
+__all__ = [
+    "AcceptanceAdaptiveTLP",
+    "CREATIVE_WRITING",
+    "ContinuousBatcher",
+    "DatasetSpec",
+    "FixedTLP",
+    "GENERAL_QA",
+    "IterationRecord",
+    "Request",
+    "RequestState",
+    "RunSummary",
+    "ServingEngine",
+    "SpeculationConfig",
+    "SpeculativeSampler",
+    "StaticBatcher",
+    "UtilizationAdaptiveTLP",
+    "form_dynamic_batches",
+    "max_batch_under_slo",
+    "poisson_arrivals",
+    "sample_requests",
+    "summary_to_dict",
+    "summary_to_json",
+]

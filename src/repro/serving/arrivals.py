@@ -1,0 +1,119 @@
+"""Request arrival processes and dynamic batch formation (Section 3.2c).
+
+Dynamic batching "starts processing a batch once the batch is full or
+exceeds a time limit", so with infrequent arrivals the serving system
+launches batches of very different sizes — the third source of
+initial-RLP variation the paper motivates PAPI with. This module provides
+a seeded Poisson arrival process and the full-or-timeout batch former.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.serving.request import Request
+
+
+def poisson_arrivals(
+    requests: Sequence[Request],
+    rate_per_s: float,
+    seed: int = 0,
+) -> List[Request]:
+    """Assign Poisson-process arrival times to requests (in place).
+
+    Args:
+        requests: Requests to stamp, in arrival order.
+        rate_per_s: Mean arrivals per second (lambda).
+        seed: RNG seed.
+
+    Returns:
+        The same request list, stamped and sorted by arrival time.
+    """
+    if rate_per_s <= 0:
+        raise ConfigurationError("rate_per_s must be positive")
+    if not requests:
+        raise ConfigurationError("requests must be non-empty")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(scale=1.0 / rate_per_s, size=len(requests))
+    clock = 0.0
+    for request, gap in zip(requests, gaps):
+        clock += float(gap)
+        request.arrival_s = clock
+    return list(requests)
+
+
+@dataclass(frozen=True)
+class FormedBatch:
+    """One dynamically formed batch.
+
+    Attributes:
+        requests: Members, in arrival order.
+        start_s: Time the batch launched (full or timed out).
+        triggered_by: ``"full"`` or ``"timeout"``.
+    """
+
+    requests: List[Request]
+    start_s: float
+    triggered_by: str
+
+    @property
+    def initial_rlp(self) -> int:
+        return len(self.requests)
+
+
+def form_dynamic_batches(
+    requests: Sequence[Request],
+    max_batch_size: int,
+    timeout_s: float,
+) -> List[FormedBatch]:
+    """Group arrival-stamped requests by the full-or-timeout rule.
+
+    A batch opens when its first request arrives; it launches when it
+    reaches ``max_batch_size`` (trigger ``"full"``) or when ``timeout_s``
+    elapses since it opened (trigger ``"timeout"``), whichever is first.
+
+    Args:
+        requests: Requests with ``arrival_s`` stamped, sorted by arrival.
+        max_batch_size: Full-batch launch threshold.
+        timeout_s: Launch deadline from the batch's first arrival.
+
+    Returns:
+        Batches in launch order; every request appears exactly once.
+    """
+    if max_batch_size <= 0:
+        raise ConfigurationError("max_batch_size must be positive")
+    if timeout_s <= 0:
+        raise ConfigurationError("timeout_s must be positive")
+    ordered = sorted(requests, key=lambda r: r.arrival_s)
+    if not ordered:
+        raise ConfigurationError("requests must be non-empty")
+
+    batches: List[FormedBatch] = []
+    current: List[Request] = []
+    deadline = 0.0
+    for request in ordered:
+        if current and request.arrival_s > deadline:
+            batches.append(
+                FormedBatch(requests=current, start_s=deadline,
+                            triggered_by="timeout")
+            )
+            current = []
+        if not current:
+            deadline = request.arrival_s + timeout_s
+        current.append(request)
+        if len(current) == max_batch_size:
+            batches.append(
+                FormedBatch(requests=current, start_s=request.arrival_s,
+                            triggered_by="full")
+            )
+            current = []
+    if current:
+        batches.append(
+            FormedBatch(requests=current, start_s=deadline,
+                        triggered_by="timeout")
+        )
+    return batches

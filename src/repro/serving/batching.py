@@ -1,0 +1,96 @@
+"""Batching policies: static batching and mixed continuous batching.
+
+Static batching (the paper's main evaluation setting, Section 7.1) admits a
+fixed batch and runs it to completion; runtime RLP decays as requests
+finish (Figure 3). Mixed continuous batching (Section 2.2.1) refills freed
+slots from a queue at iteration granularity, keeping RLP near the target —
+which changes the parallelism dynamics PAPI reacts to.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.serving.request import Request, RequestState
+
+
+class StaticBatcher:
+    """Run one fixed batch to completion (batch-level scheduling)."""
+
+    def __init__(self, requests: Sequence[Request]) -> None:
+        if not requests:
+            raise ConfigurationError("batch must be non-empty")
+        self._requests: List[Request] = list(requests)
+        for request in self._requests:
+            request.state = RequestState.PREFILLING
+
+    @property
+    def initial_batch_size(self) -> int:
+        """Initial RLP of the batch."""
+        return len(self._requests)
+
+    def active(self) -> List[Request]:
+        """Requests still decoding (runtime RLP = len of this list)."""
+        return [r for r in self._requests if not r.is_finished]
+
+    def admitted(self) -> List[Request]:
+        """All requests ever admitted (for summaries)."""
+        return list(self._requests)
+
+    def admit(self) -> List[Request]:
+        """Static batching admits nothing mid-run."""
+        return []
+
+    @property
+    def done(self) -> bool:
+        return not self.active()
+
+
+class ContinuousBatcher:
+    """Mixed continuous batching: refill freed slots at token granularity.
+
+    New requests join the running batch as soon as a slot opens (finished
+    request) and the queue is non-empty — no waiting for the whole batch to
+    drain. The newly admitted requests are prefilled piggybacked on the
+    next iteration (we charge their prefill separately via the engine).
+    """
+
+    def __init__(self, queue: Iterable[Request], max_batch_size: int) -> None:
+        if max_batch_size <= 0:
+            raise ConfigurationError("max_batch_size must be positive")
+        self._queue: Deque[Request] = deque(queue)
+        self._running: List[Request] = []
+        self._admitted: List[Request] = []
+        self.max_batch_size = max_batch_size
+        self.admit()
+        if not self._running:
+            raise ConfigurationError("queue must contain at least one request")
+
+    @property
+    def initial_batch_size(self) -> int:
+        return min(self.max_batch_size, len(self._running) + len(self._queue))
+
+    def active(self) -> List[Request]:
+        self._running = [r for r in self._running if not r.is_finished]
+        return list(self._running)
+
+    def admitted(self) -> List[Request]:
+        return list(self._admitted)
+
+    def admit(self) -> List[Request]:
+        """Fill open slots from the queue; returns newly admitted requests."""
+        self._running = [r for r in self._running if not r.is_finished]
+        fresh: List[Request] = []
+        while self._queue and len(self._running) < self.max_batch_size:
+            request = self._queue.popleft()
+            request.state = RequestState.PREFILLING
+            self._running.append(request)
+            self._admitted.append(request)
+            fresh.append(request)
+        return fresh
+
+    @property
+    def done(self) -> bool:
+        return not self._queue and not self.active()

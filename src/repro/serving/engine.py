@@ -1,0 +1,176 @@
+"""The serving engine: drives a system through prefill + decoding.
+
+The engine is the discrete simulator of the paper's evaluation: it admits
+requests through a batching policy, charges prefill on the system's
+compute-bound unit, then iterates decoding steps. Every iteration it
+
+1. asks the TLP policy for the speculation length (fixed in the paper's
+   main experiments; dynamic policies model its references [28]/[38]) and
+   notifies the system when it changes,
+2. builds the :class:`~repro.models.workload.DecodeStep` for the current
+   (RLP, TLP) and mean context length,
+3. asks the system to price it (the system consults its scheduler),
+4. samples per-request accepted tokens (speculative decoding),
+5. gathers the output-token vector — ``EOS_TOKEN`` for requests that just
+   finished — and feeds it to the system's runtime monitor, exactly the
+   token-level monitoring loop of Section 5.2.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+from repro.core.scheduler import EOS_TOKEN
+from repro.errors import SimulationError
+from repro.models.config import ModelConfig
+from repro.models.workload import build_decode_step
+from repro.serving.batching import ContinuousBatcher, StaticBatcher
+from repro.serving.metrics import IterationRecord, RunSummary
+from repro.serving.request import Request, RequestState
+from repro.serving.speculative import SpeculationConfig, SpeculativeSampler
+from repro.serving.tlp_policy import FixedTLP, TLPPolicy, TLPTrace
+from repro.systems.base import ServingSystem
+
+Batcher = Union[StaticBatcher, ContinuousBatcher]
+
+#: Safety valve against runaway simulations.
+MAX_ITERATIONS = 1_000_000
+
+
+@dataclass
+class ServingEngine:
+    """Simulates serving a workload on a system.
+
+    Attributes:
+        system: The computing platform under evaluation.
+        model: The LLM being served.
+        speculation: Speculative-decoding configuration (acceptance model
+            and default TLP).
+        tlp_policy: Optional dynamic speculation-length policy. ``None``
+            uses the fixed configured length.
+        seed: Seed for the acceptance sampler.
+        check_capacity: Validate weight/KV capacity before running.
+        tlp_trace: TLP chosen each iteration (populated during a run).
+    """
+
+    system: ServingSystem
+    model: ModelConfig
+    speculation: SpeculationConfig = SpeculationConfig()
+    tlp_policy: Optional[TLPPolicy] = None
+    seed: int = 0
+    check_capacity: bool = True
+    tlp_trace: TLPTrace = field(default_factory=TLPTrace)
+
+    def run(self, requests: Sequence[Request]) -> RunSummary:
+        """Serve a static batch of requests to completion."""
+        return self.run_with_batcher(StaticBatcher(requests))
+
+    def run_with_batcher(self, batcher: Batcher) -> RunSummary:
+        """Serve a workload under an arbitrary batching policy."""
+        sampler = SpeculativeSampler(self.speculation, seed=self.seed)
+        summary = RunSummary(system=self.system.name, model=self.model.name)
+        policy = self.tlp_policy if self.tlp_policy is not None else FixedTLP(
+            self.speculation.tlp
+        )
+        self.tlp_trace = TLPTrace()
+
+        active = batcher.active()
+        if self.check_capacity:
+            max_seq = max(r.input_len + r.output_len for r in active)
+            self.system.check_capacity(self.model, len(active), max_seq)
+
+        # Initial scheduling uses the system-configured speculation length
+        # (Section 5.2.1: 'TLP is set to the system-defined speculation
+        # length'); dynamic policies take over from the first iteration.
+        self._charge_prefill(summary, active)
+        current_tlp = self.speculation.tlp
+        self.system.begin_batch(len(active), current_tlp)
+
+        iteration = 0
+        accepted_fraction = 1.0
+        while not batcher.done:
+            if iteration >= MAX_ITERATIONS:
+                raise SimulationError("decoding did not converge (runaway loop)")
+            active = batcher.active()
+            if not active:
+                fresh = batcher.admit()
+                if not fresh:
+                    break
+                self._charge_prefill(summary, fresh)
+                self.system.begin_batch(len(fresh), current_tlp)
+                continue
+
+            rlp = len(active)
+            tlp = policy.next_tlp(iteration, rlp, accepted_fraction)
+            if tlp != current_tlp:
+                self.system.update_tlp(tlp)
+                current_tlp = tlp
+            self.tlp_trace.record(tlp)
+
+            mean_context = max(
+                1, round(sum(r.context_len for r in active) / rlp)
+            )
+            step = build_decode_step(self.model, rlp, tlp, mean_context)
+            result = self.system.execute_step(step)
+            summary.draft_seconds += self.speculation.draft_overhead_s(tlp)
+
+            accepted_total = 0
+            outputs: List[int] = []
+            decode_clock = summary.decode_seconds + result.seconds
+            for request in active:
+                accepted = sampler.accepted_tokens(tlp)
+                credited = request.advance(accepted, iteration)
+                accepted_total += credited
+                outputs.append(EOS_TOKEN if request.is_finished else 0)
+                if request.is_finished:
+                    summary.record_request_latency(decode_clock)
+            accepted_fraction = self._accepted_fraction(
+                accepted_total, rlp, tlp
+            )
+
+            rlp_after = sum(1 for r in active if not r.is_finished)
+            self.system.observe_outputs(outputs)
+            summary.add_iteration(
+                IterationRecord(
+                    iteration=iteration,
+                    result=result,
+                    tokens_accepted=accepted_total,
+                    rlp_before=rlp,
+                    rlp_after=rlp_after,
+                )
+            )
+            iteration += 1
+
+            fresh = batcher.admit()
+            if fresh:
+                self._charge_prefill(summary, fresh)
+                self.system.begin_batch(len(batcher.active()), current_tlp)
+
+        summary.reschedules = self._reschedule_count()
+        return summary
+
+    @staticmethod
+    def _accepted_fraction(accepted_total: int, rlp: int, tlp: int) -> float:
+        """Fraction of drafted tokens accepted (bonus tokens excluded)."""
+        if tlp <= 1:
+            return 1.0
+        drafted = rlp * (tlp - 1)
+        accepted_drafts = max(0, accepted_total - rlp)
+        return accepted_drafts / drafted
+
+    def _charge_prefill(self, summary: RunSummary, requests: Sequence[Request]) -> None:
+        if not requests:
+            return
+        mean_input = max(1, round(sum(r.input_len for r in requests) / len(requests)))
+        result = self.system.execute_prefill(self.model, len(requests), mean_input)
+        summary.prefill_seconds += result.seconds
+        summary.prefill_energy += result.energy_joules
+        for request in requests:
+            request.state = RequestState.DECODING
+
+    def _reschedule_count(self) -> int:
+        scheduler = getattr(self.system, "scheduler", None)
+        if scheduler is None:
+            return 0
+        return scheduler.reschedule_count

@@ -1,0 +1,81 @@
+"""Serialization of run results to plain dicts / JSON.
+
+Lets downstream tooling (plotting notebooks, CI dashboards) consume
+serving results without importing simulator types. The export is lossless
+for the summary-level view; per-iteration records are included optionally
+because long runs produce thousands of them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.errors import ConfigurationError
+from repro.serving.metrics import IterationRecord, RunSummary
+
+
+def iteration_to_dict(record: IterationRecord) -> Dict[str, Any]:
+    """Flatten one iteration record."""
+    return {
+        "iteration": record.iteration,
+        "seconds": record.result.seconds,
+        "energy_joules": record.result.energy_joules,
+        "fc_target": record.result.fc_target.value,
+        "rlp": record.rlp_before,
+        "rlp_after": record.rlp_after,
+        "tlp": record.result.tlp,
+        "tokens_accepted": record.tokens_accepted,
+        "time_breakdown": dict(record.result.time_breakdown),
+        "energy_breakdown": dict(record.result.energy_breakdown),
+    }
+
+
+def summary_to_dict(
+    summary: RunSummary, include_iterations: bool = False
+) -> Dict[str, Any]:
+    """Flatten a run summary into JSON-serializable primitives.
+
+    Args:
+        summary: The run to export.
+        include_iterations: Also export every per-iteration record.
+    """
+    payload: Dict[str, Any] = {
+        "system": summary.system,
+        "model": summary.model,
+        "prefill_seconds": summary.prefill_seconds,
+        "prefill_energy": summary.prefill_energy,
+        "decode_seconds": summary.decode_seconds,
+        "decode_energy": summary.decode_energy,
+        "draft_seconds": summary.draft_seconds,
+        "total_seconds": summary.total_seconds,
+        "total_energy": summary.total_energy,
+        "tokens_generated": summary.tokens_generated,
+        "iterations": summary.iterations,
+        "reschedules": summary.reschedules,
+        "tokens_per_second": summary.tokens_per_second,
+        "seconds_per_token": summary.seconds_per_token,
+        "energy_per_token": summary.energy_per_token,
+        "fc_target_iterations": dict(summary.fc_target_iterations),
+        "time_breakdown": dict(summary.time_breakdown),
+        "energy_breakdown": dict(summary.energy_breakdown),
+        "rlp_trace": summary.rlp_trace(),
+    }
+    if include_iterations:
+        payload["records"] = [
+            iteration_to_dict(record) for record in summary.records
+        ]
+    return payload
+
+
+def summary_to_json(
+    summary: RunSummary, include_iterations: bool = False, indent: int = 2
+) -> str:
+    """Export a run summary as a JSON string."""
+    if indent < 0:
+        raise ConfigurationError("indent must be non-negative")
+    return json.dumps(
+        summary_to_dict(summary, include_iterations=include_iterations),
+        indent=indent,
+        sort_keys=True,
+    )

@@ -1,0 +1,159 @@
+"""Run metrics: per-iteration records and run-level summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import ConfigurationError
+from repro.systems.base import IterationResult
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One decoding iteration of a serving run.
+
+    Attributes:
+        iteration: Iteration index (0-based).
+        result: The system's time/energy accounting.
+        tokens_accepted: Output tokens credited across the batch.
+        rlp_before: Active requests entering the iteration.
+        rlp_after: Active requests after eos processing.
+    """
+
+    iteration: int
+    result: IterationResult
+    tokens_accepted: int
+    rlp_before: int
+    rlp_after: int
+
+
+@dataclass
+class RunSummary:
+    """Aggregated results of one serving run.
+
+    Attributes:
+        system: System name.
+        model: Model name.
+        prefill_seconds: Time spent in prefill.
+        prefill_energy: Energy spent in prefill.
+        decode_seconds: Time spent in decoding iterations.
+        decode_energy: Energy spent in decoding iterations.
+        draft_seconds: Draft-model time (speculative decoding).
+        tokens_generated: Total accepted output tokens.
+        iterations: Decoding iterations executed.
+        reschedules: FC migrations between PUs and FC-PIM (PAPI only).
+        fc_target_iterations: Iterations by FC placement target.
+        time_breakdown: Seconds by component across all iterations.
+        energy_breakdown: Joules by component across all iterations.
+        records: Per-iteration records.
+    """
+
+    system: str
+    model: str
+    prefill_seconds: float = 0.0
+    prefill_energy: float = 0.0
+    decode_seconds: float = 0.0
+    decode_energy: float = 0.0
+    draft_seconds: float = 0.0
+    tokens_generated: int = 0
+    iterations: int = 0
+    reschedules: int = 0
+    fc_target_iterations: Dict[str, int] = field(default_factory=dict)
+    time_breakdown: Dict[str, float] = field(default_factory=dict)
+    energy_breakdown: Dict[str, float] = field(default_factory=dict)
+    records: List[IterationRecord] = field(default_factory=list)
+    request_latencies: List[float] = field(default_factory=list)
+
+    def add_iteration(self, record: IterationRecord) -> None:
+        """Fold one iteration into the summary."""
+        self.records.append(record)
+        self.iterations += 1
+        self.decode_seconds += record.result.seconds
+        self.decode_energy += record.result.energy_joules
+        self.tokens_generated += record.tokens_accepted
+        target = record.result.fc_target.value
+        self.fc_target_iterations[target] = (
+            self.fc_target_iterations.get(target, 0) + 1
+        )
+        for key, value in record.result.time_breakdown.items():
+            self.time_breakdown[key] = self.time_breakdown.get(key, 0.0) + value
+        for key, value in record.result.energy_breakdown.items():
+            self.energy_breakdown[key] = self.energy_breakdown.get(key, 0.0) + value
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end latency: prefill + decode + draft model."""
+        return self.prefill_seconds + self.decode_seconds + self.draft_seconds
+
+    @property
+    def total_energy(self) -> float:
+        """End-to-end energy."""
+        return self.prefill_energy + self.decode_energy
+
+    @property
+    def tokens_per_second(self) -> float:
+        """Decoding throughput (accepted tokens per decoding second)."""
+        if self.decode_seconds == 0:
+            return 0.0
+        return self.tokens_generated / self.decode_seconds
+
+    @property
+    def seconds_per_token(self) -> float:
+        """Mean decoding time per accepted token (Figure 12's unit)."""
+        if self.tokens_generated == 0:
+            return 0.0
+        return self.decode_seconds / self.tokens_generated
+
+    @property
+    def energy_per_token(self) -> float:
+        """Joules per accepted token."""
+        if self.tokens_generated == 0:
+            return 0.0
+        return self.decode_energy / self.tokens_generated
+
+    def rlp_trace(self) -> List[int]:
+        """Runtime RLP per iteration (Figure 3's underlying series)."""
+        return [record.rlp_before for record in self.records]
+
+    def record_request_latency(self, latency_s: float) -> None:
+        """Record one request's completion latency (decode-start relative)."""
+        if latency_s < 0:
+            raise ConfigurationError("latency must be non-negative")
+        self.request_latencies.append(latency_s)
+
+    def latency_percentile(self, percentile: float) -> float:
+        """Per-request completion-latency percentile (e.g. 50, 99).
+
+        Latencies are measured from decode start to the iteration in which
+        the request emits ``<eos>`` — the per-request number an SLO
+        (Section 3.2a) constrains.
+        """
+        if not 0 < percentile <= 100:
+            raise ConfigurationError("percentile must be in (0, 100]")
+        if not self.request_latencies:
+            raise ConfigurationError("no request latencies recorded")
+        ordered = sorted(self.request_latencies)
+        rank = max(0, int(round(percentile / 100 * len(ordered))) - 1)
+        return ordered[rank]
+
+    @property
+    def mean_request_latency(self) -> float:
+        """Mean per-request completion latency."""
+        if not self.request_latencies:
+            return 0.0
+        return sum(self.request_latencies) / len(self.request_latencies)
+
+
+def speedup(baseline: RunSummary, candidate: RunSummary) -> float:
+    """End-to-end speedup of ``candidate`` over ``baseline``."""
+    if candidate.total_seconds <= 0:
+        raise ConfigurationError("candidate has no measured time")
+    return baseline.total_seconds / candidate.total_seconds
+
+
+def energy_efficiency(baseline: RunSummary, candidate: RunSummary) -> float:
+    """Energy-efficiency improvement of ``candidate`` over ``baseline``."""
+    if candidate.total_energy <= 0:
+        raise ConfigurationError("candidate has no measured energy")
+    return baseline.total_energy / candidate.total_energy

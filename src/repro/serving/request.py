@@ -1,0 +1,83 @@
+"""Inference request model."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError, SimulationError
+
+
+class RequestState(enum.Enum):
+    """Lifecycle of a request in the serving system."""
+
+    QUEUED = "queued"
+    PREFILLING = "prefilling"
+    DECODING = "decoding"
+    FINISHED = "finished"
+
+
+@dataclass
+class Request:
+    """One user request.
+
+    Attributes:
+        request_id: Unique id within a run.
+        input_len: Prompt length in tokens.
+        output_len: Tokens the request will generate before ``<eos>``.
+        generated: Output tokens produced so far.
+        state: Lifecycle state.
+        arrival_s: Arrival time (relevant for continuous batching).
+        finish_iteration: Decoding iteration at which the request finished.
+    """
+
+    request_id: int
+    input_len: int
+    output_len: int
+    generated: int = 0
+    state: RequestState = RequestState.QUEUED
+    arrival_s: float = 0.0
+    finish_iteration: int = -1
+
+    def __post_init__(self) -> None:
+        if self.input_len <= 0:
+            raise ConfigurationError("input_len must be positive")
+        if self.output_len <= 0:
+            raise ConfigurationError("output_len must be positive")
+        if self.arrival_s < 0:
+            raise ConfigurationError("arrival_s must be non-negative")
+
+    @property
+    def context_len(self) -> int:
+        """Current KV-cache length: prompt plus generated tokens."""
+        return self.input_len + self.generated
+
+    @property
+    def remaining(self) -> int:
+        """Output tokens still to generate."""
+        return self.output_len - self.generated
+
+    @property
+    def is_finished(self) -> bool:
+        return self.state is RequestState.FINISHED
+
+    def advance(self, tokens: int, iteration: int) -> int:
+        """Record ``tokens`` accepted output tokens; cap at ``output_len``.
+
+        Returns:
+            Tokens actually credited (clipped at the request's eos point).
+
+        Raises:
+            SimulationError: If the request already finished.
+        """
+        if self.is_finished:
+            raise SimulationError(f"request {self.request_id} already finished")
+        if tokens <= 0:
+            raise SimulationError("must advance by at least one token")
+        credited = min(tokens, self.remaining)
+        self.generated += credited
+        self.state = RequestState.DECODING
+        if self.generated >= self.output_len:
+            self.state = RequestState.FINISHED
+            self.finish_iteration = iteration
+        return credited

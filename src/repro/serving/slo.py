@@ -1,0 +1,102 @@
+"""Service-level-objective driven batch sizing (paper Section 3.2a).
+
+The paper's first source of initial-RLP variation: a per-request latency
+SLO caps how large the batch may be, because iteration latency grows with
+RLP. This module searches the largest batch whose *worst-case* decoding
+iteration (full batch, longest expected context) meets a
+time-per-output-token SLO on a given system — the sizing exercise the
+paper describes DGX operators doing ("a 30 ms SLO requires setting the
+initial RLP as low as 22").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.models.config import ModelConfig
+from repro.models.workload import build_decode_step
+from repro.systems.base import ServingSystem
+
+
+@dataclass(frozen=True)
+class SLOResult:
+    """Outcome of an SLO sizing search.
+
+    Attributes:
+        max_batch_size: Largest RLP meeting the SLO (0 if even RLP 1 misses).
+        iteration_seconds: Worst-case iteration latency at that batch size.
+        limited_by: ``"slo"`` when latency binds, ``"memory"`` when KV
+            capacity binds first (Section 3.2b).
+    """
+
+    max_batch_size: int
+    iteration_seconds: float
+    limited_by: str
+
+
+def iteration_latency(
+    system: ServingSystem,
+    model: ModelConfig,
+    batch_size: int,
+    speculation_length: int,
+    context_len: int,
+) -> float:
+    """Worst-case single-iteration latency at a fixed parallelism point."""
+    if batch_size <= 0:
+        raise ConfigurationError("batch_size must be positive")
+    step = build_decode_step(model, batch_size, speculation_length, context_len)
+    return system.execute_step(step).seconds
+
+
+def max_batch_under_slo(
+    system: ServingSystem,
+    model: ModelConfig,
+    slo_seconds: float,
+    speculation_length: int = 1,
+    context_len: int = 1024,
+    hard_cap: int = 1024,
+) -> SLOResult:
+    """Largest batch whose worst-case iteration meets the latency SLO.
+
+    Iteration latency is monotone non-decreasing in batch size, so a
+    binary search over [1, min(hard_cap, memory-capacity bound)] finds the
+    boundary.
+
+    Args:
+        system: Platform to size for.
+        model: Model being served.
+        slo_seconds: Per-iteration (time-per-output-token at TLP 1) SLO.
+        speculation_length: TLP assumed during sizing.
+        context_len: Worst-case per-request context length.
+        hard_cap: Search upper bound.
+
+    Returns:
+        The SLO-constrained batch size and the binding constraint.
+    """
+    if slo_seconds <= 0:
+        raise ConfigurationError("slo_seconds must be positive")
+    memory_cap = system.max_batch_size(model, context_len)
+    if memory_cap <= 0:
+        return SLOResult(0, float("inf"), "memory")
+    cap = min(hard_cap, memory_cap)
+
+    def latency(batch: int) -> float:
+        return iteration_latency(
+            system, model, batch, speculation_length, context_len
+        )
+
+    if latency(1) > slo_seconds:
+        return SLOResult(0, latency(1), "slo")
+    if latency(cap) <= slo_seconds:
+        limited = "memory" if cap == memory_cap else "slo"
+        return SLOResult(cap, latency(cap), limited)
+
+    lo, hi = 1, cap  # latency(lo) <= slo < latency(hi)
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if latency(mid) <= slo_seconds:
+            lo = mid
+        else:
+            hi = mid
+    return SLOResult(lo, latency(lo), "slo")

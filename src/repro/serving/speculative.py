@@ -1,0 +1,102 @@
+"""Speculative decoding acceptance model.
+
+Speculative decoding (Section 2.2.2) lets a draft model propose
+``speculation_length`` tokens that the target LLM verifies in one parallel
+pass. The number of tokens *accepted* per iteration follows the standard
+leading-prefix rule: drafts are accepted until the first rejection, and the
+target model always contributes one token of its own (the correction /
+bonus token). With per-token acceptance probability ``a`` and speculation
+length ``s`` the accepted count is ``min(G, s-1) + 1`` where ``G`` is
+geometric — giving the well-known expected value ``(1 - a^s) / (1 - a)``.
+
+The draft model's own serial decoding cost is charged per drafted token.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.units import us
+
+
+@dataclass(frozen=True)
+class SpeculationConfig:
+    """Speculative decoding parameters.
+
+    Attributes:
+        speculation_length: TLP — tokens verified per decoding iteration
+            (1 disables speculation).
+        acceptance_rate: Probability each drafted token is accepted.
+        draft_token_cost_s: Serial draft-model time per drafted token.
+    """
+
+    speculation_length: int = 1
+    acceptance_rate: float = 0.8
+    draft_token_cost_s: float = us(150.0)
+
+    def __post_init__(self) -> None:
+        if self.speculation_length <= 0:
+            raise ConfigurationError("speculation_length must be positive")
+        if not 0.0 <= self.acceptance_rate < 1.0:
+            raise ConfigurationError("acceptance_rate must be in [0, 1)")
+        if self.draft_token_cost_s < 0:
+            raise ConfigurationError("draft cost must be non-negative")
+
+    @property
+    def tlp(self) -> int:
+        """Token-level parallelism of one verification pass."""
+        return self.speculation_length
+
+    def expected_tokens_per_iteration(self) -> float:
+        """E[accepted tokens] = (1 - a^s) / (1 - a); s when a = 0 means 1."""
+        a = self.acceptance_rate
+        s = self.speculation_length
+        if s == 1 or a == 0.0:
+            return 1.0
+        return (1.0 - a ** s) / (1.0 - a)
+
+    def draft_overhead_s(self, speculation_length: Optional[int] = None) -> float:
+        """Draft-model time per iteration (serial over s-1 drafted tokens).
+
+        With s = 1 there is no draft model and no overhead. Pass
+        ``speculation_length`` to price a dynamically chosen TLP.
+        """
+        s = speculation_length if speculation_length is not None else (
+            self.speculation_length
+        )
+        if s <= 0:
+            raise ConfigurationError("speculation_length must be positive")
+        return (s - 1) * self.draft_token_cost_s
+
+
+class SpeculativeSampler:
+    """Seeded sampler of per-request accepted-token counts."""
+
+    def __init__(self, config: SpeculationConfig, seed: int = 0) -> None:
+        self.config = config
+        self._rng = np.random.default_rng(seed)
+
+    def accepted_tokens(self, speculation_length: Optional[int] = None) -> int:
+        """Accepted tokens for one request in one iteration (>= 1, <= s).
+
+        Args:
+            speculation_length: Override of the configured length — used by
+                dynamic TLP policies that change the draft depth per
+                iteration.
+        """
+        s = speculation_length if speculation_length is not None else (
+            self.config.speculation_length
+        )
+        if s <= 0:
+            raise ConfigurationError("speculation_length must be positive")
+        if s == 1:
+            return 1
+        a = self.config.acceptance_rate
+        accepted_drafts = 0
+        while accepted_drafts < s - 1 and self._rng.random() < a:
+            accepted_drafts += 1
+        return accepted_drafts + 1

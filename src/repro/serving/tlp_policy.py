@@ -1,0 +1,130 @@
+"""Dynamic speculation-length (TLP) policies.
+
+The paper's Section 3.2 motivates TLP as a *runtime-tunable* knob: dynamic
+speculation-length optimization (its reference [28]) adjusts the draft
+length every iteration, and batching/speculation co-optimization (its
+reference [38]) raises TLP when the batch is small to keep hardware
+utilized. These policies plug into the serving engine; each TLP change is
+pushed to the system (PAPI forwards it to the scheduler's TLP register,
+possibly triggering a reschedule — the dynamic behaviour PAPI exists for).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Protocol, runtime_checkable
+
+from repro.errors import ConfigurationError
+
+
+@runtime_checkable
+class TLPPolicy(Protocol):
+    """Decides the speculation length for the next decoding iteration."""
+
+    def next_tlp(self, iteration: int, rlp: int, accepted_fraction: float) -> int:
+        """Speculation length for the next iteration.
+
+        Args:
+            iteration: Iteration index about to execute.
+            rlp: Active requests.
+            accepted_fraction: Fraction of drafted tokens accepted over the
+                recent window (1.0 when no speculation ran yet).
+        """
+        ...
+
+
+@dataclass(frozen=True)
+class FixedTLP:
+    """The paper's main setting: a system-defined constant TLP."""
+
+    tlp: int = 1
+
+    def __post_init__(self) -> None:
+        if self.tlp <= 0:
+            raise ConfigurationError("tlp must be positive")
+
+    def next_tlp(self, iteration: int, rlp: int, accepted_fraction: float) -> int:
+        return self.tlp
+
+
+@dataclass
+class AcceptanceAdaptiveTLP:
+    """Adjust TLP from observed draft-acceptance quality (reference [28]).
+
+    Raise the speculation length when recent drafts are mostly accepted
+    (cheap verified tokens), shrink it when they are mostly rejected
+    (wasted verification work).
+
+    Attributes:
+        min_tlp / max_tlp: Clamping bounds.
+        raise_threshold: Accepted fraction above which TLP grows by one.
+        lower_threshold: Accepted fraction below which TLP shrinks by one.
+        initial_tlp: Starting point.
+    """
+
+    min_tlp: int = 1
+    max_tlp: int = 8
+    raise_threshold: float = 0.8
+    lower_threshold: float = 0.4
+    initial_tlp: int = 2
+    _current: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        if not 0 < self.min_tlp <= self.initial_tlp <= self.max_tlp:
+            raise ConfigurationError("need min_tlp <= initial_tlp <= max_tlp")
+        if not 0.0 <= self.lower_threshold < self.raise_threshold <= 1.0:
+            raise ConfigurationError("need 0 <= lower < raise <= 1")
+        self._current = self.initial_tlp
+
+    def next_tlp(self, iteration: int, rlp: int, accepted_fraction: float) -> int:
+        if accepted_fraction >= self.raise_threshold:
+            self._current = min(self.max_tlp, self._current + 1)
+        elif accepted_fraction < self.lower_threshold:
+            self._current = max(self.min_tlp, self._current - 1)
+        return self._current
+
+
+@dataclass(frozen=True)
+class UtilizationAdaptiveTLP:
+    """Co-optimize TLP with batch size (reference [38]).
+
+    Keeps the product ``RLP * TLP`` near a utilization target: as the
+    batch drains, speculation deepens to keep hardware busy. This is the
+    policy that exercises PAPI's claim hardest — the FC kernel's estimated
+    arithmetic intensity barely moves even though both factors swing.
+
+    Attributes:
+        target_tokens: Desired RLP * TLP product.
+        min_tlp / max_tlp: Clamping bounds.
+    """
+
+    target_tokens: int = 32
+    min_tlp: int = 1
+    max_tlp: int = 8
+
+    def __post_init__(self) -> None:
+        if self.target_tokens <= 0:
+            raise ConfigurationError("target_tokens must be positive")
+        if not 0 < self.min_tlp <= self.max_tlp:
+            raise ConfigurationError("need 0 < min_tlp <= max_tlp")
+
+    def next_tlp(self, iteration: int, rlp: int, accepted_fraction: float) -> int:
+        if rlp <= 0:
+            raise ConfigurationError("rlp must be positive")
+        wanted = max(1, round(self.target_tokens / rlp))
+        return max(self.min_tlp, min(self.max_tlp, wanted))
+
+
+@dataclass
+class TLPTrace:
+    """Records the TLP chosen each iteration (for tests and reporting)."""
+
+    values: List[int] = field(default_factory=list)
+
+    def record(self, tlp: int) -> None:
+        self.values.append(tlp)
+
+    @property
+    def changes(self) -> int:
+        """How many times TLP changed between consecutive iterations."""
+        return sum(1 for a, b in zip(self.values, self.values[1:]) if a != b)

@@ -1,0 +1,34 @@
+"""Complete computing systems: PAPI and the paper's comparison points.
+
+Each system bundles an FC execution unit, an attention execution unit, and
+the interconnect between them, and knows how to price a full decoding
+iteration (Section 7.1's four designs):
+
+* ``a100-attacc`` — 6x A100 for FC, AttAcc 1P1B PIM for attention (static).
+* ``a100-hbm-pim`` — 6x A100 for FC, Samsung HBM-PIM 1P2B for attention.
+* ``attacc-only`` — AttAcc 1P1B PIM for everything.
+* ``papi`` — PAPI: dynamic FC scheduling between PUs and FC-PIM 4P1B,
+  attention on disaggregated Attn-PIM 1P2B.
+* ``papi-pim-only`` — PAPI's hybrid PIM without the GPU (Figure 11/12).
+"""
+
+from repro.systems.base import IterationResult, ServingSystem
+from repro.systems.baselines import (
+    A100AttAccSystem,
+    A100HBMPIMSystem,
+    AttAccOnlySystem,
+)
+from repro.systems.papi import PAPISystem, PIMOnlyPAPISystem
+from repro.systems.registry import available_systems, build_system
+
+__all__ = [
+    "A100AttAccSystem",
+    "A100HBMPIMSystem",
+    "AttAccOnlySystem",
+    "IterationResult",
+    "PAPISystem",
+    "PIMOnlyPAPISystem",
+    "ServingSystem",
+    "available_systems",
+    "build_system",
+]

@@ -1,0 +1,361 @@
+"""Abstract serving system and the per-iteration result type.
+
+A serving system prices decoding iterations. The execution model within an
+iteration is sequential across the four kernels (they are data-dependent
+inside each layer), so iteration time is the sum of per-layer kernel times
+scaled by the layer count, plus the communication time of shipping
+Q/K/V vectors to the attention unit and attention outputs back, plus a
+small host overhead (token gathering, sampling, scheduler bookkeeping —
+the "Other" slice of the paper's Figure 12).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.core.placement import PlacementTarget
+from repro.devices.base import ComputeDevice, KernelResult
+from repro.devices.interconnect import Link
+from repro.errors import CapacityError, ConfigurationError
+from repro.models.config import ModelConfig
+from repro.models.workload import DecodeStep, build_decode_step, prefill_cost
+from repro.units import us
+
+
+@dataclass(frozen=True)
+class IterationResult:
+    """Time/energy accounting for one decoding iteration.
+
+    Attributes:
+        seconds: Wall-clock iteration time.
+        energy_joules: Total energy.
+        time_breakdown: Seconds by component: ``fc``, ``attention``,
+            ``communication``, ``other``.
+        energy_breakdown: Joules by the same components.
+        fc_target: Where the FC kernels ran.
+        rlp: Active requests this iteration.
+        tlp: Speculation length this iteration.
+    """
+
+    seconds: float
+    energy_joules: float
+    time_breakdown: Dict[str, float]
+    energy_breakdown: Dict[str, float]
+    fc_target: PlacementTarget
+    rlp: int
+    tlp: int
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0 or self.energy_joules < 0:
+            raise ConfigurationError("iteration time/energy must be non-negative")
+
+
+class ServingSystem(abc.ABC):
+    """A complete computing platform that executes LLM decoding.
+
+    Subclasses define where FC kernels run (possibly dynamically) and which
+    units/links compose the system. The serving engine drives a system via
+    :meth:`begin_batch`, :meth:`execute_step`, and :meth:`observe_outputs`.
+    """
+
+    #: Registry/reporting name; subclasses override.
+    name: str = "abstract"
+
+    #: Host-side per-iteration cost: output gathering, sampling, and (for
+    #: PAPI) the scheduler's RLP*TLP estimate — all cheap (Section 5.2).
+    host_overhead_s: float = us(200.0)
+
+    #: Sub-batch pipelining depth (SpecPIM-style overlap): the batch is
+    #: split into this many chunks so one chunk's attention (on Attn-PIM,
+    #: behind the link) overlaps the next chunk's FC (on PUs/FC-PIM).
+    #: 1 = the paper's serial execution. Chunking re-streams FC weights per
+    #: chunk, so it only pays off when FC is compute-bound and the
+    #: attention+communication share is substantial.
+    pipeline_chunks: int = 1
+
+    def background_power_watts(self) -> float:
+        """Idle power of every device held by the system while serving.
+
+        Charged over wall-clock time for each iteration and the prefill,
+        so slower systems pay for keeping the whole platform powered —
+        the effect behind the paper's observation that PAPI edges out even
+        the all-PIM design on energy despite using GPU cores part-time.
+        """
+        from repro.devices.energy import GPU_IDLE_WATTS, PIM_STACK_IDLE_WATTS
+
+        watts = 0.0
+        gpus = getattr(self, "gpus", None)
+        if gpus is not None:
+            watts += GPU_IDLE_WATTS * gpus.count
+        for attr in ("fc_pim", "attn_pim"):
+            pool = getattr(self, attr, None)
+            if pool is not None:
+                watts += PIM_STACK_IDLE_WATTS * pool.num_stacks
+        return watts
+
+    @abc.abstractmethod
+    def fc_unit_for(self, target: PlacementTarget) -> ComputeDevice:
+        """The device implementing ``target`` for FC kernels."""
+
+    @abc.abstractmethod
+    def attention_unit(self) -> ComputeDevice:
+        """The device executing attention kernels."""
+
+    @abc.abstractmethod
+    def attention_link(self) -> Link:
+        """Link carrying Q/K/V and attention outputs to/from the unit."""
+
+    @abc.abstractmethod
+    def plan_fc_target(self, rlp: int, tlp: int) -> PlacementTarget:
+        """Decide where the next iteration's FC kernels run."""
+
+    def begin_batch(self, batch_size: int, speculation_length: int) -> None:
+        """Hook called when a new batch starts (PAPI runs initial scheduling)."""
+
+    def observe_outputs(self, output_tokens: Sequence[int]) -> None:
+        """Hook called with the gathered output-token vector (PAPI monitors)."""
+
+    def update_tlp(self, tlp: int) -> None:
+        """Hook called when system software changes the speculation length.
+
+        PAPI forwards this to the scheduler's TLP register (Section 5.2.2's
+        'the host CPU notifies the PAPI system to update the register').
+        """
+
+    # -- capacity ------------------------------------------------------------
+
+    def weight_capacity_bytes(self) -> float:
+        """Bytes available to hold FC weights."""
+        unit = self.fc_unit_for(self.plan_fc_target(1, 1))
+        capacity = getattr(unit, "memory_bytes", None) or getattr(
+            unit, "capacity_bytes", None
+        )
+        if capacity is None:
+            raise ConfigurationError(f"{unit!r} exposes no capacity")
+        return float(capacity)
+
+    def kv_capacity_bytes(self) -> float:
+        """Bytes available to hold KV caches."""
+        unit = self.attention_unit()
+        capacity = getattr(unit, "capacity_bytes", None) or getattr(
+            unit, "memory_bytes", None
+        )
+        if capacity is None:
+            raise ConfigurationError(f"{unit!r} exposes no capacity")
+        return float(capacity)
+
+    def check_capacity(
+        self, model: ModelConfig, batch_size: int, max_seq_len: int
+    ) -> None:
+        """Raise :class:`CapacityError` if the workload cannot fit.
+
+        Weights must fit the FC unit's memory; the batch's worst-case KV
+        cache must fit the attention unit's memory (Section 3.2's memory
+        capacity limit on initial RLP).
+        """
+        weight_need = model.weight_bytes
+        weight_have = self.weight_capacity_bytes()
+        if weight_need > weight_have:
+            raise CapacityError(
+                f"{self.name}: model weights need {weight_need / 1e9:.0f} GB, "
+                f"only {weight_have / 1e9:.0f} GB available"
+            )
+        kv_need = batch_size * model.kv_bytes(max_seq_len)
+        kv_have = self.kv_capacity_bytes()
+        if kv_need > kv_have:
+            raise CapacityError(
+                f"{self.name}: KV cache needs {kv_need / 1e9:.0f} GB for "
+                f"batch {batch_size} x {max_seq_len} tokens, only "
+                f"{kv_have / 1e9:.0f} GB available"
+            )
+
+    def max_batch_size(self, model: ModelConfig, max_seq_len: int) -> int:
+        """Largest batch whose worst-case KV cache fits (Section 3.2b)."""
+        per_request = model.kv_bytes(max_seq_len)
+        return int(self.kv_capacity_bytes() // per_request)
+
+    # -- execution -----------------------------------------------------------
+
+    def _communication(self, step: DecodeStep) -> tuple:
+        """Time and energy to ship attention I/O across the link.
+
+        Per layer: Q vectors plus fresh K/V entries travel to the attention
+        unit; attention context vectors travel back. Each direction is one
+        message (latency) per layer.
+        """
+        link = self.attention_link()
+        tokens = step.rlp * step.tlp
+        elem = step.model.dtype_bytes
+        h = step.model.hidden_dim
+        to_attn = tokens * 3 * h * elem  # Q + new K + new V
+        from_attn = tokens * h * elem
+        per_layer_bytes = to_attn + from_attn
+        total_bytes = per_layer_bytes * step.model.num_layers
+        seconds = link.transfer_time(
+            total_bytes, messages=2 * step.model.num_layers
+        )
+        energy = link.transfer_energy(total_bytes)
+        return seconds, energy
+
+    def execute_step(self, step: DecodeStep) -> IterationResult:
+        """Price one decoding iteration on this system.
+
+        Dispatches to the pipelined path when ``pipeline_chunks > 1`` and
+        the batch is large enough to split.
+        """
+        if self.pipeline_chunks > 1 and step.rlp >= self.pipeline_chunks:
+            return self._execute_step_pipelined(step, self.pipeline_chunks)
+        return self._execute_step_serial(step)
+
+    def _execute_step_serial(self, step: DecodeStep) -> IterationResult:
+        fc_target = self.plan_fc_target(step.rlp, step.tlp)
+        fc_device = self.fc_unit_for(fc_target)
+        attn_device = self.attention_unit()
+
+        fc_seconds = 0.0
+        fc_energy = 0.0
+        attn_seconds = 0.0
+        attn_energy = 0.0
+        for invocation in step.invocations:
+            layers = invocation.num_layers
+            if invocation.kind.is_fc:
+                result = fc_device.execute(invocation.per_layer)
+                fc_seconds += result.seconds * layers
+                fc_energy += result.energy_joules * layers
+            else:
+                result = attn_device.execute(invocation.per_layer)
+                attn_seconds += result.seconds * layers
+                attn_energy += result.energy_joules * layers
+
+        comm_seconds, comm_energy = self._communication(step)
+        other_seconds = self.host_overhead_s
+        total_seconds = fc_seconds + attn_seconds + comm_seconds + other_seconds
+        background_energy = self.background_power_watts() * total_seconds
+        total_energy = fc_energy + attn_energy + comm_energy + background_energy
+        return IterationResult(
+            seconds=total_seconds,
+            energy_joules=total_energy,
+            time_breakdown={
+                "fc": fc_seconds,
+                "attention": attn_seconds,
+                "communication": comm_seconds,
+                "other": other_seconds,
+            },
+            energy_breakdown={
+                "fc": fc_energy,
+                "attention": attn_energy,
+                "communication": comm_energy,
+                "other": background_energy,
+            },
+            fc_target=fc_target,
+            rlp=step.rlp,
+            tlp=step.tlp,
+        )
+
+    def _execute_step_pipelined(
+        self, step: DecodeStep, chunks: int
+    ) -> IterationResult:
+        """SpecPIM-style sub-batch pipelining across the FC and attention
+        units.
+
+        The batch is split into ``chunks`` near-even sub-batches. Chunk
+        ``i``'s attention (+ link traffic) overlaps chunk ``i+1``'s FC,
+        since the two run on different devices. Makespan follows the
+        two-stage pipeline recurrence; weights are re-streamed per chunk,
+        which is the real cost that makes this a trade-off rather than a
+        free win.
+        """
+        base, extra = divmod(step.rlp, chunks)
+        sizes = [base + (1 if i < extra else 0) for i in range(chunks)]
+        sizes = [s for s in sizes if s > 0]
+
+        fc_done = 0.0
+        attn_done = 0.0
+        fc_seconds = 0.0
+        attn_seconds = 0.0
+        comm_seconds = 0.0
+        fc_energy = 0.0
+        attn_energy = 0.0
+        comm_energy = 0.0
+        fc_target = self.plan_fc_target(step.rlp, step.tlp)
+        fc_device = self.fc_unit_for(fc_target)
+        attn_device = self.attention_unit()
+        for size in sizes:
+            sub = build_decode_step(
+                step.model, size, step.tlp, step.mean_context_len
+            )
+            chunk_fc = 0.0
+            chunk_attn = 0.0
+            for invocation in sub.invocations:
+                layers = invocation.num_layers
+                if invocation.kind.is_fc:
+                    result = fc_device.execute(invocation.per_layer)
+                    chunk_fc += result.seconds * layers
+                    fc_energy += result.energy_joules * layers
+                else:
+                    result = attn_device.execute(invocation.per_layer)
+                    chunk_attn += result.seconds * layers
+                    attn_energy += result.energy_joules * layers
+            chunk_comm, chunk_comm_energy = self._communication(sub)
+            fc_seconds += chunk_fc
+            attn_seconds += chunk_attn
+            comm_seconds += chunk_comm
+            comm_energy += chunk_comm_energy
+            fc_done += chunk_fc
+            attn_done = max(attn_done, fc_done) + chunk_attn + chunk_comm
+
+        other_seconds = self.host_overhead_s
+        total_seconds = attn_done + other_seconds
+        background_energy = self.background_power_watts() * total_seconds
+        total_energy = fc_energy + attn_energy + comm_energy + background_energy
+        overlap_saved = (
+            fc_seconds + attn_seconds + comm_seconds + other_seconds
+        ) - total_seconds
+        return IterationResult(
+            seconds=total_seconds,
+            energy_joules=total_energy,
+            time_breakdown={
+                "fc": fc_seconds,
+                "attention": attn_seconds,
+                "communication": comm_seconds,
+                "other": other_seconds,
+                "overlap": -max(0.0, overlap_saved),
+            },
+            energy_breakdown={
+                "fc": fc_energy,
+                "attention": attn_energy,
+                "communication": comm_energy,
+                "other": background_energy,
+            },
+            fc_target=fc_target,
+            rlp=step.rlp,
+            tlp=step.tlp,
+        )
+
+    def execute_prefill(
+        self, model: ModelConfig, batch_size: int, input_len: int
+    ) -> KernelResult:
+        """Price the prefill phase (compute-bound; runs on the FC unit).
+
+        Background power over the prefill duration is folded into the
+        returned energy so prefill and decode are accounted consistently.
+        """
+        cost = prefill_cost(model, batch_size, input_len)
+        device = self.fc_unit_for(self.prefill_target())
+        result = device.execute(cost)
+        background = self.background_power_watts() * result.seconds
+        breakdown = dict(result.energy_breakdown)
+        breakdown["static"] = breakdown.get("static", 0.0) + background
+        return KernelResult(
+            device=result.device,
+            seconds=result.seconds,
+            energy_joules=result.energy_joules + background,
+            bound=result.bound,
+            energy_breakdown=breakdown,
+        )
+
+    def prefill_target(self) -> PlacementTarget:
+        """Prefill is compute-bound: PUs when the system has them."""
+        return self.plan_fc_target(rlp=10 ** 6, tlp=1)

@@ -1,0 +1,102 @@
+"""The paper's baseline systems (Section 7.1 comparison points).
+
+All baselines use *static* kernel mapping — the property PAPI's motivation
+(Section 3.3, Shortcoming 1) criticizes: FC is pinned to one unit no matter
+what the runtime parallelism is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.placement import PlacementTarget
+from repro.devices.base import ComputeDevice
+from repro.devices.gpu import GPUGroup
+from repro.devices.interconnect import Link, NVLINK
+from repro.devices.pim import (
+    ATTACC_CONFIG,
+    HBM_PIM_CONFIG,
+    PIMDeviceGroup,
+)
+from repro.errors import ConfigurationError
+from repro.systems.base import ServingSystem
+
+#: Paper Section 7.1: each system has 90 HBM stacks — 30 holding FC
+#: weights, 60 holding KV caches for attention.
+FC_STACKS = 30
+ATTN_STACKS = 60
+GPU_COUNT = 6
+
+
+@dataclass
+class A100AttAccSystem(ServingSystem):
+    """A100+AttAcc: FC always on 6x A100; attention always on AttAcc PIM.
+
+    The state-of-the-art heterogeneous baseline. The AttAcc PIM stacks sit
+    in the GPUs' memory domain, so attention I/O travels over NVLink.
+    """
+
+    gpus: GPUGroup = field(default_factory=lambda: GPUGroup(count=GPU_COUNT))
+    attn_pim: PIMDeviceGroup = field(
+        default_factory=lambda: PIMDeviceGroup(ATTACC_CONFIG, ATTN_STACKS)
+    )
+    link: Link = NVLINK
+    name: str = "a100-attacc"
+
+    def fc_unit_for(self, target: PlacementTarget) -> ComputeDevice:
+        if target is not PlacementTarget.PU:
+            raise ConfigurationError(f"{self.name} only runs FC on the GPU")
+        return self.gpus
+
+    def attention_unit(self) -> ComputeDevice:
+        return self.attn_pim
+
+    def attention_link(self) -> Link:
+        return self.link
+
+    def plan_fc_target(self, rlp: int, tlp: int) -> PlacementTarget:
+        return PlacementTarget.PU
+
+
+@dataclass
+class A100HBMPIMSystem(A100AttAccSystem):
+    """A100+HBM-PIM: like A100+AttAcc but attention runs on Samsung
+    HBM-PIM (1P2B) stacks — half the attention compute throughput."""
+
+    attn_pim: PIMDeviceGroup = field(
+        default_factory=lambda: PIMDeviceGroup(HBM_PIM_CONFIG, ATTN_STACKS)
+    )
+    name: str = "a100-hbm-pim"
+
+
+@dataclass
+class AttAccOnlySystem(ServingSystem):
+    """AttAcc-only: a PIM-only platform — FC *and* attention on 1P1B PIM.
+
+    Strong at low parallelism (no GPU launch overheads, full bank-level
+    bandwidth) but starved for compute once FC becomes compute-bound,
+    which is the source of the paper's 11.1x headline gap.
+    """
+
+    fc_pim: PIMDeviceGroup = field(
+        default_factory=lambda: PIMDeviceGroup(ATTACC_CONFIG, FC_STACKS)
+    )
+    attn_pim: PIMDeviceGroup = field(
+        default_factory=lambda: PIMDeviceGroup(ATTACC_CONFIG, ATTN_STACKS)
+    )
+    link: Link = NVLINK
+    name: str = "attacc-only"
+
+    def fc_unit_for(self, target: PlacementTarget) -> ComputeDevice:
+        if target is not PlacementTarget.FC_PIM:
+            raise ConfigurationError(f"{self.name} only runs FC on PIM")
+        return self.fc_pim
+
+    def attention_unit(self) -> ComputeDevice:
+        return self.attn_pim
+
+    def attention_link(self) -> Link:
+        return self.link
+
+    def plan_fc_target(self, rlp: int, tlp: int) -> PlacementTarget:
+        return PlacementTarget.FC_PIM

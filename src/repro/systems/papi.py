@@ -1,0 +1,157 @@
+"""The PAPI system (paper Sections 4-6) and its PIM-only ablation.
+
+PAPI composes:
+
+* **PUs** — the high-performance processor's tensor cores (6x A100-class),
+  reading weights from FC-PIM stacks used as its main memory over NVLink.
+* **FC-PIM** — 30 stacks of the 4P1B design (96 banks, 12 GB each; 360 GB
+  total, enough for GPT-3 175B's 350 GB of weights).
+* **Attn-PIM** — 60 disaggregated 1P2B stacks (16 GB each) behind PCIe/CXL,
+  sized for KV-cache capacity growth.
+* **The dynamic scheduler** — FC kernels move between PUs and FC-PIM based
+  on the online RLP*TLP arithmetic-intensity estimate vs. the calibrated
+  threshold alpha.
+
+Migrating FC between PUs and FC-PIM moves no weights: the weights are
+resident in FC-PIM either way (the PUs load them through NVLink when they
+own the kernel, Section 4.1), so rescheduling costs only a mode switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.placement import PlacementTarget
+from repro.core.scheduler import PAPIScheduler, calibrate_alpha
+from repro.devices.base import ComputeDevice
+from repro.devices.gpu import GPUGroup
+from repro.devices.interconnect import Link, PCIE_GEN5
+from repro.devices.pim import ATTN_PIM_CONFIG, FC_PIM_CONFIG, PIMDeviceGroup
+from repro.errors import ConfigurationError
+from repro.models.config import ModelConfig
+from repro.systems.base import ServingSystem
+from repro.systems.baselines import ATTN_STACKS, FC_STACKS, GPU_COUNT
+
+#: Default memory-boundedness threshold when no calibration is run. The
+#: calibrated value for the default device configuration lands near 20
+#: tokens (see PAPISystem.calibrate), consistent with the paper's Figure 4
+#: crossover (GPU starts winning around batch 16 at spec length 1).
+DEFAULT_ALPHA = 20.0
+
+
+@dataclass
+class PAPISystem(ServingSystem):
+    """PAPI: dynamic FC scheduling over a hybrid PIM heterogeneous system."""
+
+    gpus: GPUGroup = field(default_factory=lambda: GPUGroup(count=GPU_COUNT))
+    fc_pim: PIMDeviceGroup = field(
+        default_factory=lambda: PIMDeviceGroup(FC_PIM_CONFIG, FC_STACKS)
+    )
+    attn_pim: PIMDeviceGroup = field(
+        default_factory=lambda: PIMDeviceGroup(ATTN_PIM_CONFIG, ATTN_STACKS)
+    )
+    link: Link = PCIE_GEN5
+    alpha: Optional[float] = None
+    name: str = "papi"
+
+    def __post_init__(self) -> None:
+        if self.alpha is None:
+            self.alpha = DEFAULT_ALPHA
+        if self.alpha <= 0:
+            raise ConfigurationError("alpha must be positive")
+        self.scheduler = PAPIScheduler(alpha=self.alpha)
+
+    # -- scheduling ------------------------------------------------------
+
+    def calibrate(self, model: ModelConfig) -> float:
+        """Offline alpha calibration against this system's devices."""
+        self.alpha = calibrate_alpha(model, self.gpus, self.fc_pim)
+        self.scheduler.alpha = self.alpha
+        return self.alpha
+
+    def begin_batch(self, batch_size: int, speculation_length: int) -> None:
+        """Initial scheduling (Section 5.2.1)."""
+        self.scheduler.initial_schedule(batch_size, speculation_length)
+
+    def observe_outputs(self, output_tokens: Sequence[int]) -> None:
+        """Runtime monitoring: eos counting + re-evaluation (Section 5.2.2)."""
+        self.scheduler.observe_outputs(output_tokens)
+
+    def update_tlp(self, tlp: int) -> None:
+        """Host CPU notification: write the scheduler's TLP register."""
+        if tlp != self.scheduler.tlp_register.read():
+            self.scheduler.tlp_register.write(tlp)
+
+    def plan_fc_target(self, rlp: int, tlp: int) -> PlacementTarget:
+        """FC target from the online estimate.
+
+        Uses the scheduler's standing decision when the query matches its
+        tracked state (the serving path); falls back to a stateless
+        evaluation for ad-hoc queries (capacity checks, prefill).
+        """
+        if (
+            self.scheduler.current_target is not None
+            and rlp == self.scheduler.rlp
+            and tlp == self.scheduler.tlp_register.read()
+        ):
+            return self.scheduler.current_target
+        estimate = rlp * tlp
+        return (
+            PlacementTarget.PU if estimate > self.alpha else PlacementTarget.FC_PIM
+        )
+
+    # -- topology ----------------------------------------------------------
+
+    def fc_unit_for(self, target: PlacementTarget) -> ComputeDevice:
+        if target is PlacementTarget.PU:
+            return self.gpus
+        if target is PlacementTarget.FC_PIM:
+            return self.fc_pim
+        raise ConfigurationError(f"FC cannot run on {target}")
+
+    def attention_unit(self) -> ComputeDevice:
+        return self.attn_pim
+
+    def attention_link(self) -> Link:
+        return self.link
+
+    def weight_capacity_bytes(self) -> float:
+        """Weights are resident in FC-PIM regardless of where FC executes."""
+        return self.fc_pim.capacity_bytes
+
+    def prefill_target(self) -> PlacementTarget:
+        return PlacementTarget.PU
+
+
+@dataclass
+class PIMOnlyPAPISystem(ServingSystem):
+    """PAPI's hybrid PIM without the GPU (Figure 11/12 ablation).
+
+    Demonstrates that the FC-PIM/Attn-PIM split alone (same stack count as
+    AttAcc-only) buys ~2-3x in the decoding phase by matching device
+    compute parallelism to kernel demands.
+    """
+
+    fc_pim: PIMDeviceGroup = field(
+        default_factory=lambda: PIMDeviceGroup(FC_PIM_CONFIG, FC_STACKS)
+    )
+    attn_pim: PIMDeviceGroup = field(
+        default_factory=lambda: PIMDeviceGroup(ATTN_PIM_CONFIG, ATTN_STACKS)
+    )
+    link: Link = PCIE_GEN5
+    name: str = "papi-pim-only"
+
+    def fc_unit_for(self, target: PlacementTarget) -> ComputeDevice:
+        if target is not PlacementTarget.FC_PIM:
+            raise ConfigurationError(f"{self.name} only runs FC on FC-PIM")
+        return self.fc_pim
+
+    def attention_unit(self) -> ComputeDevice:
+        return self.attn_pim
+
+    def attention_link(self) -> Link:
+        return self.link
+
+    def plan_fc_target(self, rlp: int, tlp: int) -> PlacementTarget:
+        return PlacementTarget.FC_PIM

@@ -1,0 +1,48 @@
+"""System registry: build comparison points by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.errors import UnknownSystemError
+from repro.systems.base import ServingSystem
+from repro.systems.baselines import (
+    A100AttAccSystem,
+    A100HBMPIMSystem,
+    AttAccOnlySystem,
+)
+from repro.systems.papi import PAPISystem, PIMOnlyPAPISystem
+
+_BUILDERS: Dict[str, Callable[[], ServingSystem]] = {
+    "a100-attacc": A100AttAccSystem,
+    "a100-hbm-pim": A100HBMPIMSystem,
+    "attacc-only": AttAccOnlySystem,
+    "papi": PAPISystem,
+    "papi-pim-only": PIMOnlyPAPISystem,
+}
+
+
+def build_system(name: str, **kwargs) -> ServingSystem:
+    """Instantiate a system by registry name.
+
+    Args:
+        name: One of :func:`available_systems`.
+        **kwargs: Forwarded to the system's constructor (e.g. ``alpha``
+            for ``papi``).
+
+    Raises:
+        UnknownSystemError: If the name is not registered.
+    """
+    try:
+        builder = _BUILDERS[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(_BUILDERS))
+        raise UnknownSystemError(
+            f"unknown system {name!r}; known systems: {known}"
+        ) from None
+    return builder(**kwargs)
+
+
+def available_systems() -> Tuple[str, ...]:
+    """Names of all registered systems, sorted."""
+    return tuple(sorted(_BUILDERS))

@@ -1,0 +1,109 @@
+"""Unit helpers and conversion constants.
+
+All simulator-internal quantities use SI base units: seconds, bytes,
+FLOPs, joules, watts, square millimetres (area is the one deliberate
+exception, matching the paper's mm^2 convention). These helpers exist so
+that configuration code reads like the paper ("312 TFLOPS", "1935 GB/s")
+instead of raw exponents.
+"""
+
+from __future__ import annotations
+
+# -- scale prefixes -----------------------------------------------------------
+
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+PETA = 1e15
+
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+
+# -- binary capacity ----------------------------------------------------------
+
+KiB = 1024
+MiB = 1024 ** 2
+GiB = 1024 ** 3
+
+
+def tflops(value: float) -> float:
+    """Convert teraFLOP/s to FLOP/s."""
+    return value * TERA
+
+
+def gflops(value: float) -> float:
+    """Convert gigaFLOP/s to FLOP/s."""
+    return value * GIGA
+
+
+def gb_per_s(value: float) -> float:
+    """Convert GB/s (decimal, as vendors quote bandwidth) to bytes/s."""
+    return value * GIGA
+
+
+def tb_per_s(value: float) -> float:
+    """Convert TB/s to bytes/s."""
+    return value * TERA
+
+
+def gib(value: float) -> float:
+    """Convert GiB to bytes."""
+    return value * GiB
+
+
+def mhz(value: float) -> float:
+    """Convert MHz to Hz."""
+    return value * MEGA
+
+
+def ghz(value: float) -> float:
+    """Convert GHz to Hz."""
+    return value * GIGA
+
+
+def ns(value: float) -> float:
+    """Convert nanoseconds to seconds."""
+    return value * NANO
+
+
+def us(value: float) -> float:
+    """Convert microseconds to seconds."""
+    return value * MICRO
+
+
+def ms(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value * MILLI
+
+
+def pj(value: float) -> float:
+    """Convert picojoules to joules."""
+    return value * PICO
+
+
+def nj(value: float) -> float:
+    """Convert nanojoules to joules."""
+    return value * NANO
+
+
+def to_ms(seconds: float) -> float:
+    """Express seconds in milliseconds (for reporting)."""
+    return seconds / MILLI
+
+
+def to_us(seconds: float) -> float:
+    """Express seconds in microseconds (for reporting)."""
+    return seconds / MICRO
+
+
+def to_gb(num_bytes: float) -> float:
+    """Express bytes in decimal gigabytes (for reporting)."""
+    return num_bytes / GIGA
+
+
+def to_tflops(flops_per_s: float) -> float:
+    """Express FLOP/s in TFLOP/s (for reporting)."""
+    return flops_per_s / TERA

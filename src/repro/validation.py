@@ -1,0 +1,100 @@
+"""Cross-validation between the analytic device models and the cycle-level
+DRAM substrate.
+
+The paper evaluates on a Ramulator-2.0-based cycle simulator; our serving
+results come from calibrated closed-form device models. This module ties
+the two together: it executes an FC GEMV slice on the cycle-level channel
+engine and on the analytic PIM model and reports the disagreement, which
+the test suite bounds. If someone retunes one model, the validation tests
+fail until the other is retuned to match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.channel import ChannelEngine
+from repro.dram.timing import DRAMTimings, HBM3_TIMINGS
+from repro.devices.pim import PIMConfig, PIMDeviceGroup
+from repro.errors import ConfigurationError
+from repro.models.kernels import KernelCost, KernelKind
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Disagreement between the cycle model and the analytic model.
+
+    Attributes:
+        analytic_seconds: Analytic PIM model's kernel time.
+        cycle_seconds: Cycle-level channel engine's makespan.
+        relative_error: (analytic - cycle) / cycle.
+    """
+
+    analytic_seconds: float
+    cycle_seconds: float
+
+    @property
+    def relative_error(self) -> float:
+        if self.cycle_seconds == 0:
+            raise ConfigurationError("cycle model produced zero time")
+        return (self.analytic_seconds - self.cycle_seconds) / self.cycle_seconds
+
+    def agrees_within(self, tolerance: float) -> bool:
+        """Whether the two models agree within ``tolerance`` (relative)."""
+        return abs(self.relative_error) <= tolerance
+
+
+def validate_fc_gemv(
+    config: PIMConfig,
+    weight_bytes_per_bank: int,
+    timings: DRAMTimings = HBM3_TIMINGS,
+) -> ValidationReport:
+    """Compare analytic vs cycle-level time for a memory-bound FC stream.
+
+    The workload is a single-pass weight stream (reuse level 1 — the
+    memory-bound regime where the DRAM model fully determines time; with
+    reuse the analytic model is FPU-bound and the DRAM engine is not the
+    limiter). One stack of ``config`` streams ``weight_bytes_per_bank``
+    from each bank.
+
+    Meaningful for one-FPU-per-bank designs (1P1B): those are the configs
+    whose analytic stream bandwidth equals bank count times per-bank
+    bandwidth, which is exactly what the cycle engine models. Multi-FPU
+    designs assume subarray-level parallelism the single-datapath cycle
+    model deliberately does not represent.
+
+    Args:
+        config: PIM stack design point.
+        weight_bytes_per_bank: Unique weight bytes per bank.
+        timings: DRAM timing parameters for the cycle model.
+
+    Returns:
+        The paired timing report.
+    """
+    if weight_bytes_per_bank <= 0:
+        raise ConfigurationError("weight_bytes_per_bank must be positive")
+    banks = config.banks_per_stack
+    total_bytes = weight_bytes_per_bank * banks
+
+    # Cycle model: every bank streams its slice once, in parallel.
+    channel = ChannelEngine(timings)
+    cycle = channel.run_balanced_gemv(
+        num_banks=banks, weight_bytes=total_bytes, reuse_level=1
+    )
+
+    # Analytic model: one stack executing the equivalent kernel cost. A
+    # 1P1B-style config is memory-bound at reuse 1 (AI ~1).
+    group = PIMDeviceGroup(config, num_stacks=1)
+    cost = KernelCost(
+        kind=KernelKind.QKV,
+        flops=float(total_bytes),  # 1 FLOP per weight byte (FP16 GEMV)
+        weight_bytes=float(total_bytes),
+        activation_bytes=0.0,
+        tokens=1,
+    )
+    analytic = group.execute(cost).seconds - config.command_overhead_s
+
+    return ValidationReport(
+        analytic_seconds=analytic,
+        cycle_seconds=cycle.makespan_seconds,
+    )

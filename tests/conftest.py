@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.devices.gpu import GPUGroup
+from repro.devices.pim import (
+    ATTACC_CONFIG,
+    ATTN_PIM_CONFIG,
+    FC_PIM_CONFIG,
+    HBM_PIM_CONFIG,
+    PIMDeviceGroup,
+)
+from repro.models.config import get_model
+
+
+@pytest.fixture
+def llama():
+    return get_model("llama-65b")
+
+
+@pytest.fixture
+def gpt3_66b():
+    return get_model("gpt3-66b")
+
+
+@pytest.fixture
+def gpt3_175b():
+    return get_model("gpt3-175b")
+
+
+@pytest.fixture
+def opt30b():
+    return get_model("opt-30b")
+
+
+@pytest.fixture
+def gpu_group():
+    return GPUGroup(count=6)
+
+
+@pytest.fixture
+def attacc_pool():
+    return PIMDeviceGroup(ATTACC_CONFIG, num_stacks=30)
+
+
+@pytest.fixture
+def hbm_pim_pool():
+    return PIMDeviceGroup(HBM_PIM_CONFIG, num_stacks=30)
+
+
+@pytest.fixture
+def fc_pim_pool():
+    return PIMDeviceGroup(FC_PIM_CONFIG, num_stacks=30)
+
+
+@pytest.fixture
+def attn_pim_pool():
+    return PIMDeviceGroup(ATTN_PIM_CONFIG, num_stacks=60)

@@ -1,0 +1,142 @@
+"""Tests for the experiment drivers (small configurations)."""
+
+import pytest
+
+from repro.analysis.evaluation import (
+    fig10_sensitivity,
+    fig11_pim_only_speedup,
+    fig12_breakdown,
+    fig8_end_to_end,
+    headline_numbers,
+    mean_speedup,
+)
+from repro.analysis.motivation import (
+    fig2_roofline_study,
+    fig3_rlp_decay,
+    fig4_fc_latency,
+    fig6_ai_estimation,
+    fig7_energy_power,
+)
+from repro.analysis.report import format_table
+from repro.errors import ConfigurationError
+
+
+class TestMotivationDrivers:
+    def test_fig2_points_cover_both_kernels(self):
+        points = fig2_roofline_study(batch_sizes=(4, 32), speculation_lengths=(2, 8))
+        kernels = {p.kernel for p in points}
+        assert kernels == {"fc", "attention"}
+        assert len(points) == 2 * 2 * 2
+
+    def test_fig2_attention_always_memory_bound(self):
+        points = fig2_roofline_study(batch_sizes=(4, 128), speculation_lengths=(8,))
+        for p in points:
+            if p.kernel == "attention":
+                assert p.point.memory_bound
+
+    def test_fig3_decay_starts_at_batch_and_reaches_one(self):
+        trace = fig3_rlp_decay(batch_size=8, seed=3)
+        assert trace[0] == 8
+        assert trace[-1] >= 1
+        assert all(a >= b for a, b in zip(trace, trace[1:]))
+
+    def test_fig4_pim_wins_small_gpu_wins_large(self):
+        cells = fig4_fc_latency(batch_sizes=(1, 64), speculation_lengths=(2,))
+        attacc = {c.batch_size: c.normalized_to_a100
+                  for c in cells if c.device == "attacc"}
+        assert attacc[1] < 1.0
+        assert attacc[64] > 1.0
+
+    def test_fig6_estimates_cover_grid(self):
+        estimates = fig6_ai_estimation(rlps=(4, 128), tlps=(2, 8))
+        assert len(estimates) == 4
+        for est in estimates:
+            assert est.measured <= est.estimated
+
+    def test_fig7_shapes(self):
+        result = fig7_energy_power()
+        assert result["dram_share"][1] == pytest.approx(0.967, abs=0.02)
+        assert result["dram_share"][64] == pytest.approx(0.331, abs=0.04)
+        by_config = {}
+        for cell in result["power"]:
+            by_config.setdefault(cell.config, []).append(cell)
+        assert not by_config["1P1B"][0].within_budget  # reuse 1
+        cells_4p1b = {c.reuse_level: c for c in by_config["4P1B"]}
+        assert not cells_4p1b[1].within_budget
+        assert cells_4p1b[4].within_budget
+
+
+class TestEvaluationDrivers:
+    @pytest.fixture(scope="class")
+    def small_grid(self):
+        return fig8_end_to_end(
+            models=("llama-65b",),
+            batch_sizes=(4, 64),
+            speculation_lengths=(1,),
+            seed=3,
+        )
+
+    def test_grid_covers_all_systems(self, small_grid):
+        systems = {c.system for c in small_grid}
+        assert systems == {"a100-attacc", "a100-hbm-pim", "attacc-only", "papi"}
+
+    def test_papi_beats_all_baselines_on_average(self, small_grid):
+        papi = mean_speedup(small_grid, "papi")
+        for baseline in ("a100-attacc", "a100-hbm-pim", "attacc-only"):
+            assert papi > mean_speedup(small_grid, baseline)
+
+    def test_baseline_speedup_is_unity(self, small_grid):
+        for cell in small_grid:
+            if cell.system == "a100-attacc":
+                assert cell.speedup == pytest.approx(1.0)
+
+    def test_headline_ratios_favor_papi(self, small_grid):
+        numbers = headline_numbers(small_grid)
+        assert numbers["speedup_vs_a100_attacc"] > 1.0
+        assert numbers["speedup_vs_attacc_only"] > 1.0
+        assert numbers["energy_efficiency_vs_a100_attacc"] > 1.0
+
+    def test_fig10_speedup_converges_at_high_tlp(self):
+        """Paper Figure 10(b): PAPI's edge over A100+AttAcc shrinks as
+        TLP grows (FC moves to the GPU on both)."""
+        cells = fig10_sensitivity(tlp_sweep=(1, 8), rlp_sweep=(4,), seed=3)["tlp"]
+        papi = {c.speculation_length: c.speedup for c in cells if c.system == "papi"}
+        assert papi[1] > papi[8]
+
+    def test_fig11_hybrid_pim_always_wins(self):
+        cells = fig11_pim_only_speedup(
+            batch_sizes=(4, 64), speculation_lengths=(1, 4), seed=3
+        )
+        assert all(c.speedup > 1.0 for c in cells)
+        by_tokens = sorted(cells, key=lambda c: c.batch_size * c.speculation_length)
+        assert by_tokens[-1].speedup > by_tokens[0].speedup
+
+    def test_fig12_breakdown_components(self):
+        breakdown = fig12_breakdown(batch_size=4, speculation_length=4, seed=3)
+        for system in ("attacc-only", "papi-pim-only"):
+            parts = breakdown[system]
+            assert set(parts) >= {"fc", "attention", "communication", "other"}
+        # FC dominates and the hybrid design accelerates it (Figure 12).
+        assert (
+            breakdown["papi-pim-only"]["fc"] < breakdown["attacc-only"]["fc"]
+        )
+        assert breakdown["attacc-only"]["fc"] > breakdown["attacc-only"]["attention"]
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(
+            ["system", "speedup"],
+            [["papi", 1.8], ["attacc-only", 0.163]],
+            title="Figure 8",
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Figure 8"
+        assert "papi" in lines[3]
+        assert "1.800" in text
+
+    def test_format_table_validates_widths(self):
+        with pytest.raises(ConfigurationError):
+            format_table(["a"], [["x", "y"]])
+        with pytest.raises(ConfigurationError):
+            format_table([], [])

@@ -1,0 +1,63 @@
+"""Tests for CSV artifact writers."""
+
+import csv
+
+import pytest
+
+from repro.analysis.artifacts import (
+    write_csv,
+    write_fig11_csv,
+    write_fig8_csv,
+    write_rlp_trace_csv,
+)
+from repro.analysis.evaluation import PIMOnlyCell, fig8_end_to_end
+from repro.errors import ConfigurationError
+
+
+class TestWriteCSV:
+    def test_round_trip(self, tmp_path):
+        path = write_csv(
+            tmp_path / "out.csv", ["a", "b"], [[1, 2], [3, 4]]
+        )
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["a", "b"], ["1", "2"], ["3", "4"]]
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = write_csv(tmp_path / "deep" / "dir" / "x.csv", ["a"], [[1]])
+        assert path.exists()
+
+    def test_width_mismatch_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_csv(tmp_path / "x.csv", ["a"], [[1, 2]])
+
+    def test_empty_headers_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            write_csv(tmp_path / "x.csv", [], [])
+
+
+class TestFigureWriters:
+    def test_fig8_writer(self, tmp_path):
+        cells = fig8_end_to_end(
+            models=("llama-65b",), batch_sizes=(4,),
+            speculation_lengths=(1,), seed=3,
+        )
+        path = write_fig8_csv(cells, tmp_path / "fig8.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == len(cells)
+        assert rows[0]["model"] == "llama-65b"
+        assert float(rows[0]["speedup"]) > 0
+
+    def test_fig11_writer(self, tmp_path):
+        cells = [PIMOnlyCell(batch_size=4, speculation_length=1, speedup=2.0)]
+        path = write_fig11_csv(cells, tmp_path / "fig11.csv")
+        with path.open() as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows[0]["speedup"] == "2.0"
+
+    def test_rlp_trace_writer(self, tmp_path):
+        path = write_rlp_trace_csv([4, 3, 1], tmp_path / "trace.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[1:] == [["0", "4"], ["1", "3"], ["2", "1"]]

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.system == "papi"
+        assert args.model == "llama-65b"
+        assert args.batch == 16
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--system", "tpu-farm"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "llama-65b" in out
+        assert "papi" in out
+
+    def test_serve_small(self, capsys):
+        code = main([
+            "serve", "--system", "papi", "--batch", "2", "--spec", "1",
+            "--category", "general-qa", "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tokens / second" in out
+        assert "papi" in out
+
+    def test_compare_small(self, capsys):
+        code = main([
+            "compare", "--batch", "2", "--spec", "1",
+            "--category", "general-qa", "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("a100-attacc", "attacc-only", "papi"):
+            assert name in out
+        assert "speedup" in out
+
+    def test_calibrate(self, capsys):
+        assert main(["calibrate", "--model", "llama-65b"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha" in out
+
+    def test_figures_fig7(self, capsys):
+        assert main(["figures", "fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "4P1B" in out
+
+    def test_figures_fig4(self, capsys):
+        assert main(["figures", "fig4"]) == 0
+        assert "attacc" in capsys.readouterr().out
+
+    def test_figures_unknown(self, capsys):
+        assert main(["figures", "fig99"]) == 2
+        assert "unknown figure" in capsys.readouterr().err

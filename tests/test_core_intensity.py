@@ -1,0 +1,67 @@
+"""Tests for arithmetic-intensity estimation (paper Section 5.1 / Figure 6)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.intensity import (
+    estimate_fc_intensity,
+    estimation_error,
+    exact_fc_intensity,
+)
+from repro.errors import ConfigurationError
+from repro.models.config import get_model
+
+
+class TestExactIntensity:
+    def test_equation_1_closed_form(self):
+        h, rlp, tlp = 12288, 4, 8
+        tokens = rlp * tlp
+        expected = (tokens * h * h * 2) / ((2 * tokens * h + h * h) * 2)
+        assert exact_fc_intensity(h, rlp, tlp) == pytest.approx(expected)
+
+    def test_gpt3_175b_example(self):
+        """Paper: AI ~= 31.7 FLOPs/B at batch 4, spec 8, h = 12288."""
+        assert exact_fc_intensity(12288, 4, 8) == pytest.approx(31.7, rel=0.02)
+
+    def test_invalid_inputs_rejected(self):
+        for bad in ((0, 1, 1), (128, 0, 1), (128, 1, 0)):
+            with pytest.raises(ConfigurationError):
+                exact_fc_intensity(*bad)
+        with pytest.raises(ConfigurationError):
+            exact_fc_intensity(128, 1, 1, dtype_bytes=0)
+        with pytest.raises(ConfigurationError):
+            estimate_fc_intensity(0, 1)
+
+
+class TestEstimate:
+    def test_estimate_is_product(self):
+        assert estimate_fc_intensity(16, 4) == 64
+
+    @given(rlp=st.integers(1, 512), tlp=st.integers(1, 16))
+    def test_estimate_upper_bounds_exact(self, rlp, tlp):
+        """The RLP*TLP estimate never underestimates (Figure 6)."""
+        exact = exact_fc_intensity(12288, rlp, tlp)
+        assert exact < estimate_fc_intensity(rlp, tlp) + 1e-9
+
+    @given(rlp=st.integers(1, 64), tlp=st.integers(1, 8))
+    def test_estimate_tight_at_low_parallelism(self, rlp, tlp):
+        """Relative error is small while RLP*TLP << h (paper Figure 6:
+        'in most cases, our estimations very closely match')."""
+        est = estimation_error(get_model("gpt3-66b"), rlp, tlp)
+        assert 0 <= est.relative_error < 0.15
+
+    def test_error_grows_at_extreme_parallelism(self):
+        """At RLP = 128 the estimate is 'slightly larger' (Figure 6)."""
+        model = get_model("gpt3-66b")
+        low = estimation_error(model, 4, 2)
+        high = estimation_error(model, 128, 8)
+        assert high.relative_error > low.relative_error
+        assert high.relative_error < 0.30  # still a small deviation
+
+    def test_figure6_grid_shape(self):
+        model = get_model("gpt3-66b")
+        for tlp in (2, 4, 6, 8):
+            for rlp in (4, 8, 16, 32, 64, 128):
+                est = estimation_error(model, rlp, tlp)
+                assert est.estimated == rlp * tlp
+                assert est.measured <= est.estimated

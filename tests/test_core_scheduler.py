@@ -1,0 +1,180 @@
+"""Tests for the PAPI dynamic scheduler (paper Section 5.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.placement import PlacementTarget
+from repro.core.scheduler import (
+    EOS_TOKEN,
+    PAPIScheduler,
+    TLPRegister,
+    calibrate_alpha,
+)
+from repro.devices.gpu import GPUGroup
+from repro.devices.pim import FC_PIM_CONFIG, PIMDeviceGroup
+from repro.errors import ConfigurationError, SchedulingError
+from repro.models.config import get_model
+from repro.models.kernels import KernelKind
+
+
+class TestTLPRegister:
+    def test_default_is_serial_decoding(self):
+        assert TLPRegister().read() == 1
+
+    def test_write_counts_notifications(self):
+        reg = TLPRegister()
+        reg.write(4)
+        reg.write(2)
+        assert reg.read() == 2
+        assert reg.writes == 2
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            TLPRegister().write(0)
+
+
+class TestInitialScheduling:
+    def test_low_parallelism_goes_to_fc_pim(self):
+        scheduler = PAPIScheduler(alpha=20.0)
+        decision = scheduler.initial_schedule(batch_size=4, speculation_length=2)
+        assert decision.target is PlacementTarget.FC_PIM
+        assert decision.estimated_intensity == 8
+
+    def test_high_parallelism_goes_to_pu(self):
+        scheduler = PAPIScheduler(alpha=20.0)
+        decision = scheduler.initial_schedule(batch_size=64, speculation_length=4)
+        assert decision.target is PlacementTarget.PU
+
+    def test_threshold_is_strict(self):
+        """Estimate exactly at alpha => memory-bound => FC-PIM."""
+        scheduler = PAPIScheduler(alpha=16.0)
+        decision = scheduler.initial_schedule(batch_size=16, speculation_length=1)
+        assert decision.target is PlacementTarget.FC_PIM
+
+    def test_initial_never_counts_as_reschedule(self):
+        scheduler = PAPIScheduler(alpha=20.0)
+        assert not scheduler.initial_schedule(8, 1).rescheduled
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PAPIScheduler(alpha=0.0)
+
+
+class TestRuntimeScheduling:
+    def test_eos_counting_decrements_rlp(self):
+        scheduler = PAPIScheduler(alpha=20.0)
+        scheduler.initial_schedule(4, 1)
+        scheduler.observe_outputs([0, EOS_TOKEN, 0, EOS_TOKEN])
+        assert scheduler.rlp == 2
+
+    def test_reschedule_on_rlp_decay(self):
+        """The Figure 5(d) scenario: RLP decays across iterations and FC
+        migrates from PU to FC-PIM once the estimate crosses alpha."""
+        scheduler = PAPIScheduler(alpha=20.0)
+        scheduler.initial_schedule(batch_size=24, speculation_length=1)
+        assert scheduler.current_target is PlacementTarget.PU
+        scheduler.observe_outputs([EOS_TOKEN] * 3 + [0] * 21)  # rlp 24 -> 21
+        assert scheduler.current_target is PlacementTarget.PU
+        decision = scheduler.observe_outputs([EOS_TOKEN] * 5 + [0] * 16)  # -> 16
+        assert decision.target is PlacementTarget.FC_PIM
+        assert decision.rescheduled
+        assert scheduler.reschedule_count == 1
+
+    def test_tlp_register_update_can_trigger_reschedule(self):
+        scheduler = PAPIScheduler(alpha=20.0)
+        scheduler.initial_schedule(batch_size=8, speculation_length=1)
+        assert scheduler.current_target is PlacementTarget.FC_PIM
+        scheduler.tlp_register.write(4)  # host CPU notification
+        decision = scheduler.observe_outputs([0] * 8)
+        assert decision.estimated_intensity == 32
+        assert decision.target is PlacementTarget.PU
+        assert decision.rescheduled
+
+    def test_output_vector_length_enforced(self):
+        scheduler = PAPIScheduler(alpha=20.0)
+        scheduler.initial_schedule(4, 1)
+        with pytest.raises(SchedulingError):
+            scheduler.observe_outputs([0, 0])
+
+    def test_batch_drain_keeps_last_decision(self):
+        scheduler = PAPIScheduler(alpha=20.0)
+        scheduler.initial_schedule(2, 1)
+        decision = scheduler.observe_outputs([EOS_TOKEN, EOS_TOKEN])
+        assert scheduler.rlp == 0
+        assert decision is scheduler.history[-1]
+
+    def test_attention_always_on_attn_pim(self):
+        scheduler = PAPIScheduler(alpha=20.0)
+        scheduler.initial_schedule(64, 4)
+        assert scheduler.attention_target() is PlacementTarget.ATTN_PIM
+        placements = scheduler.placements_for(list(KernelKind))
+        for placement in placements:
+            if placement.kind is KernelKind.ATTENTION:
+                assert placement.target is PlacementTarget.ATTN_PIM
+            else:
+                assert placement.target is PlacementTarget.PU
+
+    def test_placements_require_initial_schedule(self):
+        with pytest.raises(SchedulingError):
+            PAPIScheduler(alpha=20.0).placements_for([KernelKind.QKV])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        batch=st.integers(1, 128),
+        tlp=st.integers(1, 8),
+        finishes=st.lists(st.integers(0, 3), min_size=1, max_size=20),
+    )
+    def test_rlp_never_negative_and_monotone(self, batch, tlp, finishes):
+        scheduler = PAPIScheduler(alpha=20.0)
+        scheduler.initial_schedule(batch, tlp)
+        for finish in finishes:
+            rlp = scheduler.rlp
+            if rlp == 0:
+                break
+            eos = min(finish, rlp)
+            outputs = [EOS_TOKEN] * eos + [0] * (rlp - eos)
+            scheduler.observe_outputs(outputs)
+            assert 0 <= scheduler.rlp <= rlp
+
+
+class TestAlphaCalibration:
+    def test_calibrated_alpha_in_expected_range(self):
+        """For the default 6xA100 vs 30xFC-PIM setup the FC crossover sits
+        in the tens of tokens (paper Figure 4's crossover region)."""
+        alpha = calibrate_alpha(
+            get_model("llama-65b"),
+            GPUGroup(count=6),
+            PIMDeviceGroup(FC_PIM_CONFIG, 30),
+        )
+        assert 8 <= alpha <= 64
+
+    def test_calibration_separates_devices(self):
+        """Below alpha FC-PIM must win; above it the GPU must win."""
+        from repro.models.kernels import fc_cost
+
+        model = get_model("llama-65b")
+        gpus = GPUGroup(count=6)
+        pim = PIMDeviceGroup(FC_PIM_CONFIG, 30)
+        alpha = calibrate_alpha(model, gpus, pim)
+        below = fc_cost(model, max(1, int(alpha // 2)), 1)
+        above = fc_cost(model, int(alpha * 4), 1)
+        assert pim.execute(below).seconds <= gpus.execute(below).seconds
+        assert gpus.execute(above).seconds <= pim.execute(above).seconds
+
+    def test_gpu_always_wins_gives_min_alpha(self):
+        """With an absurdly large GPU pool, alpha collapses below the
+        smallest level (everything scheduled to PUs)."""
+        model = get_model("opt-30b")
+        giant = GPUGroup(count=64)
+        tiny_pim = PIMDeviceGroup(FC_PIM_CONFIG, 1)
+        alpha = calibrate_alpha(model, giant, tiny_pim, parallelism_levels=[4, 8])
+        assert alpha <= 4
+
+    def test_empty_levels_rejected(self):
+        with pytest.raises(ConfigurationError):
+            calibrate_alpha(
+                get_model("opt-30b"),
+                GPUGroup(count=1),
+                PIMDeviceGroup(FC_PIM_CONFIG, 1),
+                parallelism_levels=[],
+            )

@@ -1,0 +1,98 @@
+"""Tests for design-space sweeps and result export."""
+
+import json
+
+import pytest
+
+from repro.analysis.design_space import (
+    sweep_attn_link,
+    sweep_fc_stacks,
+    sweep_gpu_count,
+)
+from repro.devices.interconnect import NVLINK, PCIE_GEN5
+from repro.errors import ConfigurationError
+from repro.models.config import get_model
+from repro.serving.dataset import sample_requests
+from repro.serving.engine import ServingEngine
+from repro.serving.export import summary_to_dict, summary_to_json
+from repro.systems.registry import build_system
+
+
+class TestFCStackSweep:
+    def test_more_stacks_never_slower(self):
+        points = sweep_fc_stacks(stack_counts=(10, 30, 60), batch=8, spec=1)
+        times = [p.decode_seconds for p in points]
+        assert times == sorted(times, reverse=True)
+
+    def test_capacity_flag_tracks_model_size(self):
+        points = sweep_fc_stacks(stack_counts=(5, 30), model_name="gpt3-175b",
+                                 batch=4, spec=1)
+        fits = {p.label: p.fits_model for p in points}
+        assert not fits["5 FC-PIM stacks"]   # 60 GB < 350 GB
+        assert fits["30 FC-PIM stacks"]      # 360 GB >= 350 GB
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_fc_stacks(stack_counts=())
+
+
+class TestLinkSweep:
+    def test_pcie_within_few_percent_of_nvlink(self):
+        """Paper Section 6.3: attention traffic is small, so a commodity
+        link loses little against NVLink."""
+        points = {p.label: p for p in sweep_attn_link(links=(PCIE_GEN5, NVLINK))}
+        ratio = points["pcie-gen5"].decode_seconds / points["nvlink"].decode_seconds
+        assert 1.0 <= ratio < 1.25
+
+    def test_empty_links_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_attn_link(links=())
+
+
+class TestGPUSweep:
+    def test_more_gpus_help_at_compute_bound_point(self):
+        points = sweep_gpu_count(counts=(2, 12), batch=64, spec=4)
+        times = {p.label: p.decode_seconds for p in points}
+        assert times["12 GPUs"] < times["2 GPUs"]
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            sweep_gpu_count(counts=())
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        engine = ServingEngine(
+            system=build_system("papi"), model=get_model("llama-65b"), seed=8
+        )
+        return engine.run(sample_requests("general-qa", 4, seed=8))
+
+    def test_dict_is_json_serializable(self, summary):
+        payload = summary_to_dict(summary)
+        text = json.dumps(payload)
+        assert json.loads(text)["system"] == "papi"
+
+    def test_dict_preserves_totals(self, summary):
+        payload = summary_to_dict(summary)
+        assert payload["total_seconds"] == pytest.approx(summary.total_seconds)
+        assert payload["tokens_generated"] == summary.tokens_generated
+        assert payload["rlp_trace"] == summary.rlp_trace()
+
+    def test_iterations_optional(self, summary):
+        without = summary_to_dict(summary)
+        with_records = summary_to_dict(summary, include_iterations=True)
+        assert "records" not in without
+        assert len(with_records["records"]) == summary.iterations
+        first = with_records["records"][0]
+        assert first["fc_target"] in ("pu", "fc-pim")
+
+    def test_json_round_trip(self, summary):
+        text = summary_to_json(summary, include_iterations=True)
+        restored = json.loads(text)
+        assert restored["iterations"] == summary.iterations
+        assert restored["records"][0]["iteration"] == 0
+
+    def test_negative_indent_rejected(self, summary):
+        with pytest.raises(ConfigurationError):
+            summary_to_json(summary, indent=-1)

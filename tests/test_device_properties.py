@@ -1,0 +1,123 @@
+"""Metamorphic property tests for the device timing/energy models.
+
+These assert scaling laws that must hold for *any* retuning of the device
+constants — doubling work can never reduce time, doubling hardware can
+never increase it, energy is additive — so calibration changes cannot
+silently break the model structure.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices.gpu import GPUGroup
+from repro.devices.pim import (
+    ATTACC_CONFIG,
+    FC_PIM_CONFIG,
+    PIMDeviceGroup,
+)
+from repro.models.config import get_model
+from repro.models.kernels import KernelCost, KernelKind, attention_cost, fc_cost
+
+#: Shared settings for the exhaustive metamorphic sweeps in this module
+#: (applied per-test to avoid mutating the global hypothesis profile).
+PROPS = settings(max_examples=25, deadline=None)
+
+
+def synthetic_cost(flops, weight_bytes, activation_bytes=0.0, tokens=1):
+    return KernelCost(
+        kind=KernelKind.QKV,
+        flops=float(flops),
+        weight_bytes=float(weight_bytes),
+        activation_bytes=float(activation_bytes),
+        tokens=tokens,
+    )
+
+
+DEVICES = {
+    "gpu": lambda scale=1: GPUGroup(count=6 * scale),
+    "attacc": lambda scale=1: PIMDeviceGroup(ATTACC_CONFIG, 30 * scale),
+    "fc-pim": lambda scale=1: PIMDeviceGroup(FC_PIM_CONFIG, 30 * scale),
+}
+
+
+class TestWorkScaling:
+    @pytest.mark.parametrize("device_name", sorted(DEVICES))
+    @PROPS
+    @given(
+        flops=st.floats(1e6, 1e15),
+        num_bytes=st.floats(1e3, 1e12),
+    )
+    def test_more_work_never_faster(self, device_name, flops, num_bytes):
+        device = DEVICES[device_name]()
+        small = device.execute(synthetic_cost(flops, num_bytes))
+        big = device.execute(synthetic_cost(2 * flops, 2 * num_bytes))
+        assert big.seconds >= small.seconds * (1 - 1e-12)
+        assert big.energy_joules >= small.energy_joules * (1 - 1e-12)
+
+    @pytest.mark.parametrize("device_name", sorted(DEVICES))
+    @PROPS
+    @given(flops=st.floats(1e6, 1e15), num_bytes=st.floats(1e3, 1e12))
+    def test_busy_time_superadditive_under_split(self, device_name, flops, num_bytes):
+        """Splitting a kernel in two halves never reduces total *busy*
+        time — the fixed launch overhead makes splitting strictly worse."""
+        device = DEVICES[device_name]()
+        whole = device.execute(synthetic_cost(flops, num_bytes))
+        half = device.execute(synthetic_cost(flops / 2, num_bytes / 2))
+        assert 2 * half.seconds >= whole.seconds * (1 - 1e-9)
+
+
+class TestHardwareScaling:
+    @PROPS
+    @given(flops=st.floats(1e9, 1e15), num_bytes=st.floats(1e6, 1e12))
+    def test_double_pim_pool_never_slower(self, flops, num_bytes):
+        one = PIMDeviceGroup(FC_PIM_CONFIG, 30)
+        two = PIMDeviceGroup(FC_PIM_CONFIG, 60)
+        cost = synthetic_cost(flops, num_bytes)
+        assert two.execute(cost).seconds <= one.execute(cost).seconds * (1 + 1e-12)
+
+    @PROPS
+    @given(flops=st.floats(1e9, 1e15), num_bytes=st.floats(1e6, 1e12))
+    def test_busy_time_halves_exactly_on_pim(self, flops, num_bytes):
+        """PIM has no parallel-efficiency loss in the model: doubling the
+        pool exactly halves the busy (non-overhead) time."""
+        one = PIMDeviceGroup(FC_PIM_CONFIG, 30)
+        two = PIMDeviceGroup(FC_PIM_CONFIG, 60)
+        cost = synthetic_cost(flops, num_bytes)
+        overhead = FC_PIM_CONFIG.command_overhead_s
+        busy_one = one.execute(cost).seconds - overhead
+        busy_two = two.execute(cost).seconds - overhead
+        assert busy_two == pytest.approx(busy_one / 2, rel=1e-9)
+
+
+class TestEnergyStructure:
+    @pytest.mark.parametrize("device_name", sorted(DEVICES))
+    def test_breakdown_components_nonnegative(self, device_name):
+        model = get_model("llama-65b")
+        device = DEVICES[device_name]()
+        for cost in (fc_cost(model, 4, 2), attention_cost(model, 4, 2, 512)):
+            result = device.execute(cost)
+            assert all(v >= 0 for v in result.energy_breakdown.values())
+            assert sum(result.energy_breakdown.values()) == pytest.approx(
+                result.energy_joules
+            )
+
+    @PROPS
+    @given(reuse=st.integers(1, 512))
+    def test_pim_energy_per_flop_decreases_with_reuse(self, reuse):
+        """The Figure 7 monotonicity: more reuse => lower energy per FLOP."""
+        pool = PIMDeviceGroup(FC_PIM_CONFIG, 30)
+        w = 1e9
+        lo = pool.execute(synthetic_cost(w * reuse, w))
+        hi = pool.execute(synthetic_cost(w * (reuse + 1), w))
+        per_flop_lo = lo.energy_joules / (w * reuse)
+        per_flop_hi = hi.energy_joules / (w * (reuse + 1))
+        assert per_flop_hi <= per_flop_lo * (1 + 1e-9)
+
+    def test_gpu_kernel_energy_exceeds_pim_for_memory_bound_fc(self):
+        """The core energy claim: a memory-bound FC kernel costs more
+        energy on the GPU than on FC-PIM (per kernel, before background)."""
+        model = get_model("llama-65b")
+        cost = fc_cost(model, 4, 1)
+        gpu = DEVICES["gpu"]().execute(cost)
+        pim = DEVICES["fc-pim"]().execute(cost)
+        assert gpu.energy_joules > 2 * pim.energy_joules

@@ -1,0 +1,75 @@
+"""Tests for the energy and area models (paper Figure 7 / Equation 3)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.devices.area import AreaModel, HBM_PIM_AREA, max_banks_per_die
+from repro.devices.energy import EnergyModel, GPU_ENERGY, PIM_ENERGY
+from repro.errors import ConfigurationError
+
+
+class TestEnergyModel:
+    def test_breakdown_components_sum(self):
+        breakdown = PIM_ENERGY.kernel_energy(
+            flops=1e9, dram_bytes=1e9, transfer_bytes=1e6, seconds=0.01
+        )
+        assert set(breakdown) == {"dram_access", "transfer", "compute", "static"}
+        assert breakdown["dram_access"] == pytest.approx(1e9 * 44e-12)
+        assert breakdown["compute"] == pytest.approx(1e9 * 1.35e-12)
+
+    def test_pim_has_no_static_power(self):
+        assert PIM_ENERGY.static_power_watts == 0.0
+
+    def test_gpu_byte_energy_dominates_pim(self):
+        """The PIM argument: per-byte access energy is far lower in-bank."""
+        assert GPU_ENERGY.dram_access_per_byte > 3 * PIM_ENERGY.dram_access_per_byte
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PIM_ENERGY.kernel_energy(-1.0, 0.0, 0.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            EnergyModel(-1.0, 0.0, 0.0)
+
+    @given(
+        flops=st.floats(0, 1e15),
+        dram=st.floats(0, 1e12),
+        transfer=st.floats(0, 1e10),
+        seconds=st.floats(0, 100),
+    )
+    def test_energy_is_linear(self, flops, dram, transfer, seconds):
+        one = PIM_ENERGY.kernel_energy(flops, dram, transfer, seconds)
+        two = PIM_ENERGY.kernel_energy(2 * flops, 2 * dram, 2 * transfer, 2 * seconds)
+        for key in one:
+            assert two[key] == pytest.approx(2 * one[key], rel=1e-9, abs=1e-18)
+
+
+class TestAreaModel:
+    def test_paper_equation_4(self):
+        """m * (0.1025 * 4 + 0.83) <= 121 => max 97 banks (Section 6.1)."""
+        assert max_banks_per_die(4.0) == 97
+
+    def test_fc_pim_usable_banks_is_96(self):
+        assert HBM_PIM_AREA.usable_banks(4.0) == 96
+
+    def test_one_fpu_designs_keep_full_banks(self):
+        assert HBM_PIM_AREA.max_banks(1.0) == 128
+        assert HBM_PIM_AREA.max_banks(0.5) == 128
+
+    def test_more_fpus_means_fewer_banks(self):
+        counts = [HBM_PIM_AREA.max_banks(n) for n in (0.5, 1, 2, 4, 8)]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_bank_footprint(self):
+        assert HBM_PIM_AREA.bank_footprint(4) == pytest.approx(0.83 + 4 * 0.1025)
+
+    def test_invalid_area_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AreaModel(bank_area=0.0)
+        with pytest.raises(ConfigurationError):
+            HBM_PIM_AREA.bank_footprint(-1)
+        with pytest.raises(ConfigurationError):
+            HBM_PIM_AREA.usable_banks(1, granularity=0)
+
+    @given(fpus=st.floats(0.0, 16.0))
+    def test_usable_never_exceeds_max(self, fpus):
+        assert HBM_PIM_AREA.usable_banks(fpus) <= HBM_PIM_AREA.max_banks(fpus)

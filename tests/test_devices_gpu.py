@@ -1,0 +1,88 @@
+"""Tests for the GPU device model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.devices.base import BoundKind
+from repro.devices.gpu import A100_SPEC, GPUGroup, GPUSpec
+from repro.errors import ConfigurationError
+from repro.models.kernels import attention_cost, fc_cost
+from repro.models.config import get_model
+
+
+class TestGPUSpec:
+    def test_a100_published_numbers(self):
+        assert A100_SPEC.peak_flops == 312e12
+        assert A100_SPEC.peak_bandwidth == 1935e9
+        assert A100_SPEC.memory_bytes == 80 * 1024 ** 3
+
+    def test_invalid_efficiency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GPUSpec(name="bad", peak_flops=1.0, peak_bandwidth=1.0,
+                    memory_bytes=1.0, compute_efficiency=1.5)
+
+
+class TestGPUGroup:
+    def test_aggregate_peaks_scale_with_count(self):
+        one = GPUGroup(count=1)
+        six = GPUGroup(count=6)
+        assert six.peak_flops() == pytest.approx(6 * one.peak_flops())
+        assert six.memory_bytes == 6 * one.memory_bytes
+
+    def test_efficiencies_discount_peaks(self):
+        group = GPUGroup(count=1, parallel_efficiency=1.0)
+        assert group.peak_flops() < A100_SPEC.peak_flops
+        assert group.peak_bandwidth() < A100_SPEC.peak_bandwidth
+
+    def test_fc_memory_bound_at_small_batch(self, llama):
+        group = GPUGroup(count=6)
+        result = group.execute(fc_cost(llama, 4, 1))
+        assert result.bound is BoundKind.MEMORY
+
+    def test_fc_compute_bound_at_large_batch(self, llama):
+        group = GPUGroup(count=6)
+        result = group.execute(fc_cost(llama, 128, 8))
+        assert result.bound is BoundKind.COMPUTE
+
+    def test_memory_bound_time_flat_in_batch(self, llama):
+        """While memory-bound, GPU FC time barely moves with batch size —
+        the weight stream dominates (paper Figure 4's flat A100 curves)."""
+        group = GPUGroup(count=6)
+        t4 = group.execute(fc_cost(llama, 4, 1)).seconds
+        t16 = group.execute(fc_cost(llama, 16, 1)).seconds
+        assert t16 < 1.1 * t4
+
+    def test_launch_overhead_floors_latency(self):
+        group = GPUGroup(count=6)
+        tiny = attention_cost(get_model("opt-30b"), 1, 1, 1)
+        result = group.execute(tiny)
+        assert result.seconds >= group.spec.kernel_overhead_s
+
+    def test_energy_includes_static_per_gpu(self, llama):
+        one = GPUGroup(count=1)
+        six = GPUGroup(count=6)
+        cost = fc_cost(llama, 4, 1)
+        e1 = one.execute(cost).energy_breakdown["static"]
+        e6 = six.execute(cost).energy_breakdown["static"]
+        # Six GPUs finish faster but burn static power on all six chips.
+        assert e6 > e1 / 6
+
+    def test_energy_breakdown_sums_to_total(self, llama):
+        result = GPUGroup(count=6).execute(fc_cost(llama, 16, 2))
+        assert sum(result.energy_breakdown.values()) == pytest.approx(
+            result.energy_joules
+        )
+
+    def test_invalid_group_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GPUGroup(count=0)
+        with pytest.raises(ConfigurationError):
+            GPUGroup(count=2, parallel_efficiency=0.0)
+
+    @given(batch=st.integers(1, 256))
+    def test_time_monotone_nondecreasing_in_batch(self, batch):
+        group = GPUGroup(count=6)
+        model = get_model("opt-30b")
+        t1 = group.execute(fc_cost(model, batch, 1)).seconds
+        t2 = group.execute(fc_cost(model, batch + 1, 1)).seconds
+        assert t2 >= t1 * (1 - 1e-12)

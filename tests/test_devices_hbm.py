@@ -1,0 +1,38 @@
+"""Tests for HBM stack specs."""
+
+import pytest
+
+from repro.devices.hbm import HBMStackSpec, STANDARD_HBM3_STACK
+from repro.errors import ConfigurationError
+
+
+class TestHBMStack:
+    def test_standard_stack_parameters(self):
+        s = STANDARD_HBM3_STACK
+        assert s.num_banks == 128
+        assert s.capacity_bytes == 16 * 1024 ** 3
+        assert s.power_budget_watts == 116.0  # paper Section 6.1 footnote
+
+    def test_internal_bandwidth_dwarfs_external(self):
+        """The PIM opportunity: aggregate bank bandwidth >> pin bandwidth."""
+        s = STANDARD_HBM3_STACK
+        assert s.internal_bandwidth > 5 * s.external_bandwidth
+
+    def test_scaled_capacity(self):
+        s = STANDARD_HBM3_STACK
+        assert s.scaled_capacity(96) == pytest.approx(12 * 1024 ** 3)
+        assert s.scaled_capacity(128) == s.capacity_bytes
+
+    def test_scaled_capacity_bounds(self):
+        with pytest.raises(ConfigurationError):
+            STANDARD_HBM3_STACK.scaled_capacity(0)
+        with pytest.raises(ConfigurationError):
+            STANDARD_HBM3_STACK.scaled_capacity(256)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HBMStackSpec(
+                name="bad", num_banks=0, capacity_bytes=1.0,
+                per_bank_bandwidth=1.0, external_bandwidth=1.0,
+                power_budget_watts=1.0,
+            )

@@ -1,0 +1,44 @@
+"""Tests for interconnect models."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.devices.interconnect import CXL, Link, NVLINK, PCIE_GEN5
+from repro.errors import ConfigurationError
+
+
+class TestLinks:
+    def test_nvlink_faster_than_pcie(self):
+        """Paper Section 6.3: FC-PIM needs the high-speed link; Attn-PIM
+        traffic is fine on PCIe/CXL."""
+        assert NVLINK.bandwidth > 5 * PCIE_GEN5.bandwidth
+
+    def test_cxl_scales_to_thousands_of_devices(self):
+        assert CXL.supports(4096)
+        assert not PCIE_GEN5.supports(4096)
+        assert PCIE_GEN5.supports(32)
+
+    def test_transfer_time_includes_latency_per_message(self):
+        t1 = PCIE_GEN5.transfer_time(1024, messages=1)
+        t10 = PCIE_GEN5.transfer_time(1024, messages=10)
+        assert t10 - t1 == pytest.approx(9 * PCIE_GEN5.latency_s)
+
+    def test_zero_bytes_costs_latency_only(self):
+        assert NVLINK.transfer_time(0) == NVLINK.latency_s
+
+    def test_transfer_energy_linear(self):
+        assert CXL.transfer_energy(2000) == pytest.approx(2 * CXL.transfer_energy(1000))
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            NVLINK.transfer_time(-1)
+        with pytest.raises(ConfigurationError):
+            NVLINK.transfer_time(10, messages=0)
+        with pytest.raises(ConfigurationError):
+            Link(name="bad", bandwidth=0, latency_s=0, energy_per_byte=0, max_devices=1)
+
+    @given(num_bytes=st.floats(0, 1e12), messages=st.integers(1, 100))
+    def test_time_monotone_in_bytes(self, num_bytes, messages):
+        t = PCIE_GEN5.transfer_time(num_bytes, messages)
+        t_more = PCIE_GEN5.transfer_time(num_bytes + 1024, messages)
+        assert t_more >= t

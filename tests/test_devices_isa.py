@@ -1,0 +1,98 @@
+"""Tests for the PIM command-stream model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices.isa import (
+    CommandStreamModel,
+    PIMOpcode,
+    tlp_register_update,
+)
+from repro.devices.pim import ATTACC_CONFIG, FC_PIM_CONFIG
+from repro.errors import ConfigurationError
+from repro.models.config import get_model
+from repro.models.kernels import attention_cost, fc_cost
+
+
+@pytest.fixture
+def model():
+    return get_model("llama-65b")
+
+
+@pytest.fixture
+def fc_stream():
+    return CommandStreamModel(config=FC_PIM_CONFIG)
+
+
+class TestCompile:
+    def test_act_and_pre_balance(self, fc_stream, model):
+        counts = fc_stream.compile(fc_cost(model, 4, 1), num_stacks=30)
+        assert counts[PIMOpcode.ACT_ROW] == counts[PIMOpcode.PRE]
+        assert counts[PIMOpcode.ACT_ROW] > 0
+
+    def test_macs_cover_all_bursts(self, fc_stream, model):
+        cost = fc_cost(model, 1, 1)
+        counts = fc_stream.compile(cost, num_stacks=30)
+        share = cost.weight_bytes / (30 * FC_PIM_CONFIG.banks_per_stack)
+        min_macs = share / fc_stream.burst_bytes
+        assert counts[PIMOpcode.MAC] >= min_macs
+
+    def test_temporal_reuse_adds_macs_not_acts(self, fc_stream, model):
+        """Reuse beyond the FPU broadcast width re-scans the open row:
+        more MAC commands, same activations — the Figure 7 energy story
+        at the command level."""
+        low = fc_stream.compile(fc_cost(model, 4, 1), num_stacks=30)
+        high = fc_stream.compile(fc_cost(model, 64, 1), num_stacks=30)
+        assert high[PIMOpcode.ACT_ROW] == low[PIMOpcode.ACT_ROW]
+        assert high[PIMOpcode.MAC] > low[PIMOpcode.MAC]
+
+    def test_attention_single_pass(self, model):
+        stream = CommandStreamModel(config=ATTACC_CONFIG)
+        cost = attention_cost(model, 8, 1, 512)
+        counts = stream.compile(cost, num_stacks=60)
+        assert counts[PIMOpcode.RD_RESULT] == 1  # reuse level 1 => one pass
+
+    def test_invalid_inputs_rejected(self, fc_stream, model):
+        with pytest.raises(ConfigurationError):
+            fc_stream.compile(fc_cost(model, 1, 1), num_stacks=0)
+        with pytest.raises(ConfigurationError):
+            CommandStreamModel(config=FC_PIM_CONFIG, command_rate_hz=0)
+        with pytest.raises(ConfigurationError):
+            CommandStreamModel(config=FC_PIM_CONFIG, row_bytes=100,
+                               burst_bytes=64)
+
+
+class TestCommandBoundedness:
+    def test_gemv_never_command_bound(self, model):
+        """One MAC covers a 64 B burst at one command per cycle: the data
+        path, not the command path, limits GEMV."""
+        for config in (ATTACC_CONFIG, FC_PIM_CONFIG):
+            stream = CommandStreamModel(config=config)
+            for rlp in (1, 16, 128):
+                assert not stream.is_command_bound(
+                    fc_cost(model, rlp, 1), num_stacks=30
+                )
+
+    def test_starved_command_path_detected(self, model):
+        """Sanity: a pathologically slow command bus is flagged."""
+        slow = CommandStreamModel(config=ATTACC_CONFIG, command_rate_hz=1e6)
+        assert slow.is_command_bound(fc_cost(model, 4, 1), num_stacks=30)
+
+    def test_issue_time_positive(self, fc_stream, model):
+        counts = fc_stream.compile(fc_cost(model, 8, 2), num_stacks=30)
+        assert fc_stream.issue_seconds(counts) > 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(rlp=st.integers(1, 128), tlp=st.integers(1, 8))
+    def test_command_total_monotone_in_parallelism(self, rlp, tlp):
+        model = get_model("opt-30b")
+        stream = CommandStreamModel(config=FC_PIM_CONFIG)
+        base = stream.compile(fc_cost(model, rlp, tlp), num_stacks=30)
+        more = stream.compile(fc_cost(model, rlp * 2, tlp), num_stacks=30)
+        assert more.total >= base.total
+
+
+class TestRegisterUpdate:
+    def test_single_set_reg_command(self):
+        commands = list(tlp_register_update())
+        assert commands == [PIMOpcode.SET_REG]

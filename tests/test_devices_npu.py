@@ -1,0 +1,50 @@
+"""Tests for the NPU/TPU processing-unit alternatives."""
+
+import pytest
+
+from repro.core.placement import PlacementTarget
+from repro.devices.npu import NPU_SPEC, TPU_V4_SPEC, npu_group, tpu_group
+from repro.models.config import get_model
+from repro.models.kernels import fc_cost
+from repro.serving.dataset import sample_requests
+from repro.serving.engine import ServingEngine
+from repro.systems.papi import PAPISystem
+
+
+class TestNPUSpecs:
+    def test_groups_expose_device_interface(self):
+        for group in (tpu_group(4), npu_group(4)):
+            assert group.peak_flops() > 0
+            assert group.peak_bandwidth() > 0
+            cost = fc_cost(get_model("opt-30b"), 8, 1)
+            result = group.execute(cost)
+            assert result.seconds > 0
+            assert result.energy_joules > 0
+
+    def test_tpu_sustains_higher_gemm_fraction(self):
+        assert TPU_V4_SPEC.compute_efficiency > 0.7
+        assert NPU_SPEC.kernel_overhead_s < 5e-6
+
+
+class TestPAPIWithNPU:
+    def test_papi_assembles_around_tpu_pus(self):
+        """Paper Section 4.1: any compute-bound-oriented processor can be
+        the PUs. Swap in TPUs and the system still serves and schedules."""
+        system = PAPISystem(gpus=tpu_group(count=8))
+        model = get_model("llama-65b")
+        engine = ServingEngine(system=system, model=model, seed=6)
+        summary = engine.run(sample_requests("general-qa", 32, seed=6))
+        assert summary.tokens_generated > 0
+        assert "pu" in summary.fc_target_iterations  # batch 32 > alpha
+
+    def test_calibration_adapts_to_pu_strength(self):
+        """A weaker PU pool shifts the FC crossover up (more work stays on
+        FC-PIM), a stronger one shifts it down."""
+        model = get_model("llama-65b")
+        weak = PAPISystem(gpus=npu_group(count=2))
+        strong = PAPISystem(gpus=tpu_group(count=16))
+        assert weak.calibrate(model) > strong.calibrate(model)
+
+    def test_prefill_still_on_pus(self):
+        system = PAPISystem(gpus=npu_group(count=8))
+        assert system.prefill_target() is PlacementTarget.PU

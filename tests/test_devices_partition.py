@@ -1,0 +1,170 @@
+"""Tests for the Section 6.4 data-partitioning scheme."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices.organization import (
+    FC_PIM_ORGANIZATION,
+    STANDARD_ORGANIZATION,
+    StackOrganization,
+)
+from repro.devices.partition import (
+    MatrixPartition,
+    Tile,
+    attention_head_placement,
+    partition_fc_weight,
+    partition_kt,
+    partition_v,
+)
+from repro.errors import ConfigurationError
+
+
+class TestOrganization:
+    def test_standard_stack_has_128_banks(self):
+        assert STANDARD_ORGANIZATION.total_banks == 128
+        assert STANDARD_ORGANIZATION.total_bank_groups == 32
+
+    def test_fc_pim_keeps_three_of_four_groups(self):
+        assert FC_PIM_ORGANIZATION.bank_groups_per_channel == 3
+        assert FC_PIM_ORGANIZATION.total_banks == 96
+
+    def test_coordinates_enumerate_all_banks(self):
+        coords = list(STANDARD_ORGANIZATION.bank_coordinates())
+        assert len(coords) == 128
+        assert len(set(coords)) == 128
+
+    def test_flat_index_bijective(self):
+        org = STANDARD_ORGANIZATION
+        indices = [org.flat_index(*coord) for coord in org.bank_coordinates()]
+        assert sorted(indices) == list(range(128))
+
+    def test_flat_index_bounds(self):
+        with pytest.raises(ConfigurationError):
+            STANDARD_ORGANIZATION.flat_index(8, 0, 0)
+        with pytest.raises(ConfigurationError):
+            STANDARD_ORGANIZATION.flat_index(0, 4, 0)
+        with pytest.raises(ConfigurationError):
+            STANDARD_ORGANIZATION.flat_index(0, 0, 4)
+
+    def test_invalid_organization_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StackOrganization(pseudo_channels=0)
+
+
+class TestTile:
+    def test_geometry(self):
+        tile = Tile(0, 4, 2, 10)
+        assert tile.rows == 4
+        assert tile.cols == 8
+        assert tile.elements == 32
+
+    def test_invalid_tiles_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Tile(-1, 2, 0, 2)
+        with pytest.raises(ConfigurationError):
+            Tile(4, 2, 0, 2)
+
+
+class TestKTPartition:
+    def test_covers_matrix_exactly(self):
+        partition = partition_kt(256, 1024)
+        partition.validate()
+        assert len(partition.assignments) == 128
+
+    def test_column_split_at_group_level(self):
+        """Banks in different bank groups own different column ranges;
+        banks within one group share the column range."""
+        org = STANDARD_ORGANIZATION
+        partition = partition_kt(256, 1024, org)
+        a = partition.assignments[org.flat_index(0, 0, 0)]
+        b = partition.assignments[org.flat_index(0, 0, 1)]  # same group
+        c = partition.assignments[org.flat_index(0, 1, 0)]  # other group
+        assert (a.col_start, a.col_end) == (b.col_start, b.col_end)
+        assert (a.col_start, a.col_end) != (c.col_start, c.col_end)
+        assert (a.row_start, a.row_end) != (b.row_start, b.row_end)
+
+    def test_even_load_for_divisible_shapes(self):
+        partition = partition_kt(512, 2048)
+        assert partition.load_imbalance() == pytest.approx(1.0)
+
+    def test_bank_bytes_sum_to_matrix(self):
+        partition = partition_kt(128, 512)
+        assert sum(partition.bank_bytes(2).values()) == 128 * 512 * 2
+
+    @settings(max_examples=25, deadline=None)
+    @given(rows=st.integers(4, 512), cols=st.integers(32, 4096))
+    def test_validates_for_arbitrary_shapes(self, rows, cols):
+        partition = partition_kt(rows, cols)
+        partition.validate()  # coverage + bounds + duplicates
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            partition_kt(0, 16)
+
+
+class TestVPartition:
+    def test_v_is_transpose_dual_of_kt(self):
+        """V splits rows where K^T splits columns (Section 6.4)."""
+        org = STANDARD_ORGANIZATION
+        kt = partition_kt(256, 1024, org)
+        v = partition_v(1024, 256, org)
+        for bank in kt.assignments:
+            kt_tile = kt.assignments[bank]
+            v_tile = v.assignments[bank]
+            assert (v_tile.row_start, v_tile.row_end) == (
+                kt_tile.col_start, kt_tile.col_end,
+            )
+            assert (v_tile.col_start, v_tile.col_end) == (
+                kt_tile.row_start, kt_tile.row_end,
+            )
+
+    def test_covers_matrix(self):
+        partition = partition_v(1024, 64)
+        partition.validate()
+
+
+class TestFCWeightPartition:
+    def test_one_block_per_stack(self):
+        blocks = partition_fc_weight(8192, 8192, num_stacks=30)
+        assert len(blocks) == 30
+        for block in blocks:
+            block.validate()
+
+    def test_blocks_tile_the_full_matrix(self):
+        blocks = partition_fc_weight(8192, 8192, num_stacks=30)
+        total = sum(
+            sum(t.elements for t in block.assignments.values())
+            for block in blocks
+        )
+        assert total == 8192 * 8192
+
+    def test_fc_pim_organization_usable(self):
+        blocks = partition_fc_weight(
+            4096, 4096, num_stacks=4, organization=FC_PIM_ORGANIZATION
+        )
+        assert all(len(b.assignments) == 96 for b in blocks)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            partition_fc_weight(128, 128, num_stacks=0)
+
+
+class TestHeadPlacement:
+    def test_one_head_per_stack_when_possible(self):
+        placement = attention_head_placement(num_heads=64, num_stacks=64)
+        assert all(len(heads) == 1 for heads in placement.values())
+
+    def test_round_robin_beyond_stack_count(self):
+        placement = attention_head_placement(num_heads=96, num_stacks=60)
+        sizes = [len(heads) for heads in placement.values()]
+        assert max(sizes) - min(sizes) <= 1
+        assert sum(sizes) == 96
+
+    def test_all_heads_placed_once(self):
+        placement = attention_head_placement(num_heads=71, num_stacks=60)
+        placed = [h for heads in placement.values() for h in heads]
+        assert sorted(placed) == list(range(71))
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            attention_head_placement(0, 4)

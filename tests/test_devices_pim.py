@@ -1,0 +1,160 @@
+"""Tests for PIM device models (the paper's Section 6 design space)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices.base import BoundKind
+from repro.devices.hbm import STANDARD_HBM3_STACK
+from repro.devices.pim import (
+    ATTACC_CONFIG,
+    ATTN_PIM_CONFIG,
+    FC_PIM_CONFIG,
+    HBM_PIM_CONFIG,
+    PIMConfig,
+    PIMDeviceGroup,
+    derive_config,
+)
+from repro.errors import ConfigurationError
+from repro.models.config import get_model
+from repro.models.kernels import attention_cost, fc_cost
+
+
+class TestPIMConfigs:
+    def test_xpyb_notation(self):
+        assert ATTACC_CONFIG.xpyb == "1P1B"
+        assert HBM_PIM_CONFIG.xpyb == "1P2B"
+        assert FC_PIM_CONFIG.xpyb == "4P1B"
+        assert ATTN_PIM_CONFIG.xpyb == "1P2B"
+
+    def test_fc_pim_has_96_banks_and_12gb(self):
+        """Paper Section 6.1: area constraint => 96 banks, 12 GB."""
+        assert FC_PIM_CONFIG.banks_per_stack == 96
+        assert FC_PIM_CONFIG.capacity_bytes == pytest.approx(12 * 1024 ** 3)
+
+    def test_attn_pim_keeps_full_capacity(self):
+        assert ATTN_PIM_CONFIG.banks_per_stack == 128
+        assert ATTN_PIM_CONFIG.capacity_bytes == pytest.approx(16 * 1024 ** 3)
+
+    def test_fpu_counts(self):
+        assert ATTACC_CONFIG.fpus_per_stack == 128
+        assert HBM_PIM_CONFIG.fpus_per_stack == 64
+        assert FC_PIM_CONFIG.fpus_per_stack == 384
+
+    def test_all_builtin_configs_fit_area(self):
+        for config in (ATTACC_CONFIG, HBM_PIM_CONFIG, FC_PIM_CONFIG, ATTN_PIM_CONFIG):
+            assert config.fits_area()
+
+    def test_fpu_rate_matches_stream_bandwidth(self):
+        """Paper Section 6.2: one 666 MHz FPU matches AI = 1 against the
+        per-bank bandwidth — the ratio must be ~1 FLOP per byte."""
+        ratio = ATTACC_CONFIG.fpu_flops / ATTACC_CONFIG.per_fpu_stream_bw
+        assert ratio == pytest.approx(1.0, rel=0.05)
+
+    def test_derive_config_respects_group_granularity(self):
+        config = derive_config("3p2b", 3, 2)
+        assert config.banks_per_stack % 2 == 0
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PIMConfig(name="bad", fpus_per_group=0, banks_per_group=1,
+                      banks_per_stack=128)
+        with pytest.raises(ConfigurationError):
+            PIMConfig(name="bad", fpus_per_group=1, banks_per_group=2,
+                      banks_per_stack=127)
+        with pytest.raises(ConfigurationError):
+            PIMConfig(name="bad", fpus_per_group=1, banks_per_group=1,
+                      banks_per_stack=256)
+
+
+class TestPIMExecution:
+    def test_fc_pim_has_4x_attacc_compute_per_bank(self):
+        fc = PIMDeviceGroup(FC_PIM_CONFIG, 1)
+        attacc = PIMDeviceGroup(ATTACC_CONFIG, 1)
+        per_bank_fc = fc.peak_flops() / FC_PIM_CONFIG.banks_per_stack
+        per_bank_attacc = attacc.peak_flops() / ATTACC_CONFIG.banks_per_stack
+        assert per_bank_fc == pytest.approx(4 * per_bank_attacc)
+
+    def test_fc_pim_pool_is_about_3x_attacc_pool(self):
+        """30 FC-PIM stacks vs 30 AttAcc stacks: 384/128 FPUs = 3x compute
+        (the source of the paper's 2.9x FC speedup in Figure 12)."""
+        fc = PIMDeviceGroup(FC_PIM_CONFIG, 30)
+        attacc = PIMDeviceGroup(ATTACC_CONFIG, 30)
+        assert fc.peak_flops() / attacc.peak_flops() == pytest.approx(3.0)
+
+    def test_fc_kernel_compute_bound_with_reuse(self, llama):
+        pool = PIMDeviceGroup(FC_PIM_CONFIG, 30)
+        result = pool.execute(fc_cost(llama, 16, 2))
+        assert result.bound is BoundKind.COMPUTE
+
+    def test_fc_time_scales_linearly_with_tokens(self, llama):
+        pool = PIMDeviceGroup(ATTACC_CONFIG, 30)
+        t8 = pool.execute(fc_cost(llama, 8, 1)).seconds
+        t64 = pool.execute(fc_cost(llama, 64, 1)).seconds
+        assert t64 / t8 == pytest.approx(8.0, rel=0.05)
+
+    def test_attention_slower_on_1p2b_than_1p1b(self, llama):
+        """Paper Figure 12: attention ~1.7x slower on Attn-PIM (1P2B)
+        than AttAcc (1P1B) — the accepted cost of the area trade."""
+        attacc = PIMDeviceGroup(ATTACC_CONFIG, 60)
+        attn = PIMDeviceGroup(ATTN_PIM_CONFIG, 60)
+        cost = attention_cost(llama, 16, 4, 2048)
+        ratio = attn.execute(cost).seconds / attacc.execute(cost).seconds
+        assert 1.5 < ratio < 2.1
+
+    def test_dram_energy_charged_on_unique_traffic(self, llama):
+        """DRAM-access energy does not grow with token count (data reuse),
+        while compute energy does — the Figure 7 mechanism."""
+        pool = PIMDeviceGroup(FC_PIM_CONFIG, 30)
+        small = pool.execute(fc_cost(llama, 1, 1)).energy_breakdown
+        large = pool.execute(fc_cost(llama, 64, 1)).energy_breakdown
+        assert large["dram_access"] == pytest.approx(small["dram_access"])
+        assert large["compute"] == pytest.approx(64 * small["compute"])
+
+    def test_energy_breakdown_sums(self, llama):
+        pool = PIMDeviceGroup(ATTACC_CONFIG, 30)
+        result = pool.execute(fc_cost(llama, 4, 2))
+        assert sum(result.energy_breakdown.values()) == pytest.approx(
+            result.energy_joules
+        )
+
+    def test_invalid_pool_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PIMDeviceGroup(ATTACC_CONFIG, 0)
+
+
+class TestPowerBudget:
+    """Paper Figure 7(c) and Section 6.2's power arguments."""
+
+    def test_1p1b_no_reuse_exceeds_budget(self):
+        pool = PIMDeviceGroup(ATTACC_CONFIG, 1)
+        assert not pool.within_power_budget(reuse_level=1)
+
+    def test_4p1b_meets_budget_at_reuse_4(self):
+        pool = PIMDeviceGroup(FC_PIM_CONFIG, 1)
+        assert pool.within_power_budget(reuse_level=4)
+        assert not pool.within_power_budget(reuse_level=1)
+
+    def test_1p2b_attn_pim_safe_without_reuse(self):
+        """Section 6.2: the 1P2B choice keeps no-reuse attention under
+        the HBM power budget."""
+        pool = PIMDeviceGroup(ATTN_PIM_CONFIG, 1)
+        assert pool.within_power_budget(reuse_level=1)
+
+    def test_power_decreases_with_reuse(self):
+        pool = PIMDeviceGroup(FC_PIM_CONFIG, 1)
+        powers = [pool.sustained_fc_power(r) for r in (1, 2, 4, 8, 16, 64)]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_dram_energy_share_matches_paper(self):
+        """Figure 7(a): ~96.7% DRAM share at reuse 1;
+        Figure 7(b): ~33.1% at reuse 64."""
+        pool = PIMDeviceGroup(ATTACC_CONFIG, 1)
+        assert pool.energy_fraction_dram(1) == pytest.approx(0.967, abs=0.015)
+        assert pool.energy_fraction_dram(64) == pytest.approx(0.331, abs=0.04)
+
+    @settings(max_examples=25, deadline=None)
+    @given(reuse=st.integers(1, 256))
+    def test_power_positive_and_finite(self, reuse):
+        pool = PIMDeviceGroup(FC_PIM_CONFIG, 1)
+        watts = pool.sustained_fc_power(reuse)
+        assert 0 < watts < 1000

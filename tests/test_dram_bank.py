@@ -1,0 +1,88 @@
+"""Tests for the DRAM bank state machine."""
+
+import pytest
+
+from repro.dram.bank import Bank, BankState
+from repro.dram.commands import Command, CommandKind
+from repro.dram.timing import HBM3_TIMINGS
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def bank():
+    return Bank(timings=HBM3_TIMINGS)
+
+
+class TestBankStateMachine:
+    def test_starts_idle(self, bank):
+        assert bank.state is BankState.IDLE
+        assert bank.open_row == -1
+
+    def test_activate_opens_row(self, bank):
+        bank.issue(Command(CommandKind.ACTIVATE, row=7), cycle=0)
+        assert bank.state is BankState.ACTIVE
+        assert bank.open_row == 7
+        assert bank.row_activations == 1
+
+    def test_read_requires_open_matching_row(self, bank):
+        with pytest.raises(SimulationError):
+            bank.issue(Command(CommandKind.READ, row=7), cycle=0)
+        bank.issue(Command(CommandKind.ACTIVATE, row=7), cycle=0)
+        with pytest.raises(SimulationError):
+            bank.issue(Command(CommandKind.READ, row=8), cycle=HBM3_TIMINGS.tRCD)
+
+    def test_trcd_enforced(self, bank):
+        bank.issue(Command(CommandKind.ACTIVATE, row=1), cycle=0)
+        assert not bank.can_issue(
+            Command(CommandKind.READ, row=1), cycle=HBM3_TIMINGS.tRCD - 1
+        )
+        bank.issue(Command(CommandKind.READ, row=1), cycle=HBM3_TIMINGS.tRCD)
+        assert bank.column_accesses == 1
+
+    def test_tras_enforced_before_precharge(self, bank):
+        bank.issue(Command(CommandKind.ACTIVATE, row=1), cycle=0)
+        assert not bank.can_issue(
+            Command(CommandKind.PRECHARGE), cycle=HBM3_TIMINGS.tRAS - 1
+        )
+        bank.issue(Command(CommandKind.PRECHARGE), cycle=HBM3_TIMINGS.tRAS)
+        assert bank.state is BankState.IDLE
+
+    def test_trc_enforced_between_activates(self, bank):
+        t = HBM3_TIMINGS
+        bank.issue(Command(CommandKind.ACTIVATE, row=1), cycle=0)
+        bank.issue(Command(CommandKind.PRECHARGE), cycle=t.tRAS)
+        assert not bank.can_issue(Command(CommandKind.ACTIVATE, row=2), cycle=t.tRC - 1)
+        bank.issue(Command(CommandKind.ACTIVATE, row=2), cycle=t.tRC)
+        assert bank.row_activations == 2
+
+    def test_trp_enforced_after_precharge(self, bank):
+        t = HBM3_TIMINGS
+        bank.issue(Command(CommandKind.ACTIVATE, row=1), cycle=0)
+        bank.issue(Command(CommandKind.PRECHARGE), cycle=t.tRAS)
+        # tRAS + tRP may exceed tRC-derived earliest; the stricter bound wins.
+        earliest = bank.earliest_issue(CommandKind.ACTIVATE)
+        assert earliest >= t.tRAS + t.tRP
+
+    def test_tccd_between_column_commands(self, bank):
+        t = HBM3_TIMINGS
+        bank.issue(Command(CommandKind.ACTIVATE, row=1), cycle=0)
+        bank.issue(Command(CommandKind.READ, row=1), cycle=t.tRCD)
+        assert not bank.can_issue(Command(CommandKind.READ, row=1), cycle=t.tRCD)
+        bank.issue(Command(CommandKind.READ, row=1), cycle=t.tRCD + t.tCCD)
+        assert bank.column_accesses == 2
+
+    def test_double_activate_is_illegal(self, bank):
+        bank.issue(Command(CommandKind.ACTIVATE, row=1), cycle=0)
+        with pytest.raises(SimulationError):
+            bank.issue(Command(CommandKind.ACTIVATE, row=2), cycle=10 ** 6)
+
+    def test_precharge_when_idle_is_illegal(self, bank):
+        with pytest.raises(SimulationError):
+            bank.issue(Command(CommandKind.PRECHARGE), cycle=100)
+
+    def test_write_counts_as_column_access(self, bank):
+        bank.issue(Command(CommandKind.ACTIVATE, row=3), cycle=0)
+        bank.issue(
+            Command(CommandKind.WRITE, row=3), cycle=HBM3_TIMINGS.tRCD
+        )
+        assert bank.column_accesses == 1

@@ -1,0 +1,63 @@
+"""Tests for the per-bank DRAM controller."""
+
+import pytest
+
+from repro.dram.bank import BankState
+from repro.dram.commands import Request
+from repro.dram.controller import BankController
+from repro.dram.timing import HBM3_TIMINGS
+
+
+@pytest.fixture
+def controller():
+    return BankController(timings=HBM3_TIMINGS)
+
+
+class TestBankController:
+    def test_single_request_costs_trcd_plus_columns(self, controller):
+        t = HBM3_TIMINGS
+        finish = controller.serve(Request(row=0, column=0, count=4))
+        assert finish == t.tRCD + 3 * t.tCCD  # 1st read at tRCD, 3 more
+
+    def test_row_hit_skips_activation(self, controller):
+        controller.serve(Request(row=0, column=0, count=1))
+        activations_before = controller.bank.row_activations
+        controller.serve(Request(row=0, column=1, count=1))
+        assert controller.bank.row_activations == activations_before
+
+    def test_row_conflict_precharges_and_activates(self, controller):
+        controller.serve(Request(row=0, column=0, count=1))
+        controller.serve(Request(row=1, column=0, count=1))
+        assert controller.bank.row_activations == 2
+        assert controller.bank.open_row == 1
+
+    def test_serve_all_adds_final_burst_time(self, controller):
+        t = HBM3_TIMINGS
+        finish = controller.serve_all([Request(row=0, column=0, count=1)])
+        assert finish == t.tRCD + t.tCCD
+
+    def test_full_row_stream_matches_closed_form(self):
+        """Streaming N full rows costs N * streaming_row_cycles (steady state)."""
+        t = HBM3_TIMINGS
+        controller = BankController(timings=t)
+        n_rows = 50
+        requests = [
+            Request(row=r, column=0, count=t.columns_per_row) for r in range(n_rows)
+        ]
+        finish = controller.serve_all(requests)
+        per_row = finish / n_rows
+        assert per_row == pytest.approx(t.streaming_row_cycles(), rel=0.05)
+
+    def test_drain_precharges(self, controller):
+        controller.serve(Request(row=0, column=0, count=1))
+        controller.drain()
+        assert controller.bank.state is BankState.IDLE
+
+    def test_drain_when_idle_is_noop(self, controller):
+        cycle = controller.drain()
+        assert cycle == 0
+        assert controller.bank.state is BankState.IDLE
+
+    def test_writes_served(self, controller):
+        controller.serve(Request(row=0, column=0, count=2, is_write=True))
+        assert controller.bank.column_accesses == 2

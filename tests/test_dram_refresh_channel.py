@@ -1,0 +1,114 @@
+"""Tests for refresh modeling, the multi-bank channel engine, and the
+analytic-vs-cycle validation layer."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.devices.pim import ATTACC_CONFIG
+from repro.dram.channel import ChannelEngine
+from repro.dram.refresh import (
+    HBM3_REFRESH,
+    RefreshParams,
+    refreshed_streaming_bandwidth,
+)
+from repro.dram.timing import HBM3_TIMINGS
+from repro.dram.trace import gemv_trace
+from repro.errors import ConfigurationError
+from repro.validation import validate_fc_gemv
+
+
+class TestRefresh:
+    def test_duty_cycle(self):
+        params = RefreshParams(tREFI=1000, tRFC=100)
+        assert params.duty_cycle == pytest.approx(0.1)
+        assert params.availability == pytest.approx(0.9)
+
+    def test_hbm3_refresh_overhead_is_mild(self):
+        assert 0.03 < HBM3_REFRESH.duty_cycle < 0.12
+
+    def test_derated_bandwidth_below_raw(self):
+        raw = HBM3_TIMINGS.streaming_bandwidth()
+        derated = refreshed_streaming_bandwidth(HBM3_TIMINGS)
+        assert derated == pytest.approx(raw * HBM3_REFRESH.availability)
+        assert derated < raw
+
+    def test_refresh_cycles_scale_with_busy_time(self):
+        assert HBM3_REFRESH.refresh_cycles(0) == 0
+        short = HBM3_REFRESH.refresh_cycles(10 ** 5)
+        long = HBM3_REFRESH.refresh_cycles(10 ** 6)
+        assert long > short > 0
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RefreshParams(tREFI=100, tRFC=100)
+        with pytest.raises(ConfigurationError):
+            RefreshParams(tREFI=0, tRFC=1)
+        with pytest.raises(ConfigurationError):
+            HBM3_REFRESH.derate_bandwidth(-1.0)
+
+
+class TestChannelEngine:
+    def test_balanced_banks_scale_bandwidth_linearly(self):
+        engine = ChannelEngine()
+        one = engine.run_balanced_gemv(num_banks=1, weight_bytes=1 << 18)
+        eight = engine.run_balanced_gemv(num_banks=8, weight_bytes=8 << 18)
+        assert eight.aggregate_bandwidth == pytest.approx(
+            8 * one.aggregate_bandwidth, rel=0.02
+        )
+        assert eight.load_imbalance == pytest.approx(1.0, rel=0.01)
+
+    def test_makespan_set_by_slowest_bank(self):
+        t = HBM3_TIMINGS
+        engine = ChannelEngine()
+        light = gemv_trace(t, 4 * t.row_bytes, 1)
+        heavy = gemv_trace(t, 64 * t.row_bytes, 1)
+        stats = engine.run([light, heavy])
+        solo_heavy = engine.run([heavy])
+        assert stats.makespan_cycles == solo_heavy.makespan_cycles
+        assert stats.load_imbalance > 1.5
+
+    def test_total_bytes_sum_over_banks(self):
+        engine = ChannelEngine()
+        stats = engine.run_balanced_gemv(num_banks=4, weight_bytes=4 << 16)
+        assert stats.total_bytes == sum(
+            s.bytes_transferred for s in stats.per_bank
+        )
+        assert stats.num_banks == 4
+
+    def test_invalid_inputs_rejected(self):
+        engine = ChannelEngine()
+        with pytest.raises(ConfigurationError):
+            engine.run([])
+        with pytest.raises(ConfigurationError):
+            engine.run_balanced_gemv(num_banks=0, weight_bytes=1024)
+        with pytest.raises(ConfigurationError):
+            engine.run_balanced_gemv(num_banks=8, weight_bytes=4)
+
+    @settings(max_examples=10, deadline=None)
+    @given(banks=st.integers(1, 16))
+    def test_aggregate_bandwidth_tracks_bank_count(self, banks):
+        engine = ChannelEngine()
+        stats = engine.run_balanced_gemv(
+            num_banks=banks, weight_bytes=banks * (1 << 16)
+        )
+        per_bank = HBM3_TIMINGS.streaming_bandwidth()
+        assert stats.aggregate_bandwidth == pytest.approx(
+            banks * per_bank, rel=0.06
+        )
+
+
+class TestValidation:
+    def test_analytic_matches_cycle_model_for_1p1b(self):
+        """The central calibration claim: the closed-form PIM model and
+        the cycle-level substrate agree on memory-bound FC streaming."""
+        report = validate_fc_gemv(ATTACC_CONFIG, weight_bytes_per_bank=1 << 17)
+        assert report.agrees_within(0.05)
+
+    def test_agreement_holds_across_sizes(self):
+        for size in (1 << 14, 1 << 15, 1 << 16):
+            report = validate_fc_gemv(ATTACC_CONFIG, weight_bytes_per_bank=size)
+            assert report.agrees_within(0.06), size
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            validate_fc_gemv(ATTACC_CONFIG, weight_bytes_per_bank=0)

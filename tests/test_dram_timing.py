@@ -1,0 +1,54 @@
+"""Tests for DRAM timing parameters."""
+
+import pytest
+
+from repro.dram.timing import DRAMTimings, HBM3_TIMINGS
+from repro.errors import ConfigurationError
+
+
+class TestDRAMTimings:
+    def test_hbm3_preset_is_valid(self):
+        t = HBM3_TIMINGS
+        assert t.tRC >= t.tRAS + t.tRP
+        assert t.row_bytes % t.burst_bytes == 0
+
+    def test_cycle_time(self):
+        assert HBM3_TIMINGS.cycle_s == pytest.approx(1.0 / 666e6)
+
+    def test_columns_per_row(self):
+        assert HBM3_TIMINGS.columns_per_row == 16
+
+    def test_streaming_row_cycles_formula(self):
+        t = HBM3_TIMINGS
+        read_done = t.tRCD + t.columns_per_row * t.tCCD
+        assert t.streaming_row_cycles() == max(read_done, t.tRAS) + t.tRP
+
+    def test_streaming_bandwidth_matches_paper_figure(self):
+        """Per-bank streaming bandwidth ~= 20.8 GB/s (paper Section 6.2)."""
+        bw = HBM3_TIMINGS.streaming_bandwidth()
+        assert bw == pytest.approx(20.8e9, rel=0.03)
+
+    def test_tras_bound_applies_for_tiny_rows(self):
+        t = DRAMTimings(
+            clock_hz=666e6, tRCD=9, tRAS=40, tRP=8, tCCD=1, tRC=48,
+            burst_bytes=64, row_bytes=128,
+        )
+        # 2 columns: read_done = 11 < tRAS 40 => tRAS binds.
+        assert t.streaming_row_cycles() == 40 + 8
+
+    def test_invalid_timings_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DRAMTimings(
+                clock_hz=0, tRCD=9, tRAS=20, tRP=8, tCCD=1, tRC=28,
+                burst_bytes=64, row_bytes=1024,
+            )
+        with pytest.raises(ConfigurationError):
+            DRAMTimings(
+                clock_hz=666e6, tRCD=9, tRAS=20, tRP=8, tCCD=1, tRC=10,
+                burst_bytes=64, row_bytes=1024,
+            )
+        with pytest.raises(ConfigurationError):
+            DRAMTimings(
+                clock_hz=666e6, tRCD=9, tRAS=20, tRP=8, tCCD=1, tRC=28,
+                burst_bytes=60, row_bytes=1024,
+            )

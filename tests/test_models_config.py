@@ -1,0 +1,84 @@
+"""Tests for model configurations and the registry."""
+
+import pytest
+
+from repro.errors import ConfigurationError, UnknownModelError
+from repro.models.config import (
+    ModelConfig,
+    available_models,
+    get_model,
+    register_model,
+)
+
+
+class TestRegistry:
+    def test_paper_models_are_registered(self):
+        names = available_models()
+        for expected in ("llama-65b", "gpt3-66b", "gpt3-175b", "opt-30b"):
+            assert expected in names
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_model("LLaMA-65B") is get_model("llama-65b")
+
+    def test_unknown_model_raises_with_known_names(self):
+        with pytest.raises(UnknownModelError, match="llama-65b"):
+            get_model("nonexistent-model")
+
+    def test_duplicate_registration_rejected(self):
+        config = get_model("opt-30b")
+        with pytest.raises(ConfigurationError):
+            register_model(config)
+
+    def test_overwrite_allows_replacement(self):
+        config = get_model("opt-30b")
+        assert register_model(config, overwrite=True) is config
+
+
+class TestModelConfig:
+    def test_gpt3_175b_parameters_match_paper(self):
+        model = get_model("gpt3-175b")
+        assert model.hidden_dim == 12288  # paper Section 5.1
+        assert model.num_layers == 96
+        # ~175B parameters, ~350 GB at FP16 (paper Section 7.1).
+        assert 170e9 < model.total_params < 180e9
+        assert 340e9 < model.weight_bytes < 360e9
+
+    def test_llama_65b_uses_swiglu_ffn(self):
+        model = get_model("llama-65b")
+        assert model.ffn_matrices == 3
+        assert 63e9 < model.total_params < 68e9
+
+    def test_head_dim_divides_hidden(self):
+        for name in available_models():
+            model = get_model(name)
+            assert model.head_dim * model.num_heads == model.hidden_dim
+
+    def test_layer_fc_params_decomposition(self):
+        model = get_model("gpt3-66b")
+        expected = (
+            3 * model.hidden_dim ** 2
+            + model.hidden_dim ** 2
+            + 2 * model.hidden_dim * model.ffn_dim
+        )
+        assert model.layer_fc_params == expected
+
+    def test_kv_bytes_scale_linearly_with_context(self):
+        model = get_model("llama-65b")
+        assert model.kv_bytes(200) == 2 * model.kv_bytes(100)
+        per_token = model.kv_bytes_per_token()
+        assert per_token == 2 * model.num_layers * model.hidden_dim * 2
+
+    def test_kv_bytes_rejects_negative_context(self):
+        with pytest.raises(ConfigurationError):
+            get_model("llama-65b").kv_bytes(-1)
+
+    def test_invalid_dimensions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ModelConfig(name="bad", hidden_dim=0, num_layers=2, num_heads=2, ffn_dim=8)
+        with pytest.raises(ConfigurationError):
+            ModelConfig(name="bad", hidden_dim=10, num_layers=2, num_heads=3, ffn_dim=8)
+        with pytest.raises(ConfigurationError):
+            ModelConfig(
+                name="bad", hidden_dim=8, num_layers=2, num_heads=2, ffn_dim=8,
+                ffn_matrices=4,
+            )

@@ -1,0 +1,135 @@
+"""Tests for kernel cost models."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.models.config import get_model
+from repro.models.kernels import (
+    KernelKind,
+    attention_cost,
+    fc_arithmetic_intensity,
+    fc_cost,
+    feedforward_cost,
+    projection_cost,
+    qkv_cost,
+)
+
+
+class TestFCKernels:
+    def test_qkv_flops_formula(self, llama):
+        cost = qkv_cost(llama, rlp=4, tlp=2)
+        assert cost.flops == 2 * 8 * 3 * llama.hidden_dim ** 2
+        assert cost.tokens == 8
+
+    def test_projection_weight_bytes(self, llama):
+        cost = projection_cost(llama, rlp=1, tlp=1)
+        assert cost.weight_bytes == llama.hidden_dim ** 2 * 2
+
+    def test_ffn_counts_all_matrices(self, llama):
+        cost = feedforward_cost(llama, rlp=1, tlp=1)
+        assert cost.weight_bytes == 3 * llama.hidden_dim * llama.ffn_dim * 2
+
+    def test_fc_cost_is_sum_of_parts(self, llama):
+        total = fc_cost(llama, 4, 2)
+        parts = [
+            qkv_cost(llama, 4, 2),
+            projection_cost(llama, 4, 2),
+            feedforward_cost(llama, 4, 2),
+        ]
+        assert total.flops == sum(p.flops for p in parts)
+        assert total.weight_bytes == sum(p.weight_bytes for p in parts)
+
+    def test_fc_weight_bytes_independent_of_parallelism(self, llama):
+        assert (
+            fc_cost(llama, 1, 1).weight_bytes == fc_cost(llama, 64, 8).weight_bytes
+        )
+
+    def test_fc_flops_scale_with_tokens(self, llama):
+        base = fc_cost(llama, 1, 1)
+        scaled = fc_cost(llama, 16, 4)
+        assert math.isclose(scaled.flops, base.flops * 64)
+
+    def test_all_fc_kinds_flagged_fc(self):
+        for kind in (KernelKind.QKV, KernelKind.PROJECTION, KernelKind.FFN):
+            assert kind.is_fc
+        assert not KernelKind.ATTENTION.is_fc
+
+    def test_invalid_parallelism_rejected(self, llama):
+        with pytest.raises(ConfigurationError):
+            qkv_cost(llama, 0, 1)
+        with pytest.raises(ConfigurationError):
+            qkv_cost(llama, 1, -2)
+
+
+class TestAttentionKernel:
+    def test_kv_traffic_formula(self, llama):
+        cost = attention_cost(llama, rlp=2, tlp=1, context_len=100)
+        assert cost.weight_bytes == 2 * 2 * 100 * llama.hidden_dim * 2
+
+    def test_attention_ai_tracks_tlp_not_rlp(self, llama):
+        """Paper Figure 2: batching does not change attention AI."""
+        small = attention_cost(llama, 4, 4, 1024)
+        large = attention_cost(llama, 128, 4, 1024)
+        assert math.isclose(
+            small.arithmetic_intensity, large.arithmetic_intensity, rel_tol=1e-6
+        )
+        longer = attention_cost(llama, 4, 8, 1024)
+        assert longer.arithmetic_intensity > small.arithmetic_intensity
+
+    def test_attention_ai_approximates_tlp(self, gpt3_175b):
+        """AI ~= speculation length for long contexts (paper Section 3.1)."""
+        for tlp in (1, 2, 4, 8):
+            ai = attention_cost(gpt3_175b, 8, tlp, 2048).arithmetic_intensity
+            assert 0.6 * tlp < ai <= tlp
+
+    def test_attention_has_no_fc_style_reuse(self, llama):
+        assert attention_cost(llama, 8, 4, 128).reuse_level == 1.0
+
+    def test_invalid_context_rejected(self, llama):
+        with pytest.raises(ConfigurationError):
+            attention_cost(llama, 1, 1, 0)
+
+
+class TestArithmeticIntensity:
+    def test_paper_equation_1_example(self, gpt3_175b):
+        """Paper Section 3.3: FC AI at batch 4, spec 8 is 31.7 FLOPs/B."""
+        ai = fc_arithmetic_intensity(gpt3_175b, 4, 8)
+        assert ai == pytest.approx(31.7, rel=0.02)
+
+    def test_ai_approaches_rlp_times_tlp(self, gpt3_175b):
+        ai = fc_arithmetic_intensity(gpt3_175b, 2, 2)
+        assert ai == pytest.approx(4.0, rel=0.01)
+
+    @given(rlp=st.integers(1, 256), tlp=st.integers(1, 8))
+    def test_estimate_always_upper_bounds_exact(self, rlp, tlp):
+        model = get_model("gpt3-66b")
+        exact = fc_arithmetic_intensity(model, rlp, tlp)
+        assert exact <= rlp * tlp
+
+    @given(rlp=st.integers(1, 128), tlp=st.integers(1, 8))
+    def test_ai_monotone_in_parallelism(self, rlp, tlp):
+        model = get_model("opt-30b")
+        assert fc_arithmetic_intensity(model, rlp + 1, tlp) > fc_arithmetic_intensity(
+            model, rlp, tlp
+        )
+
+
+class TestKernelCost:
+    def test_scaled_preserves_tokens(self, llama):
+        cost = qkv_cost(llama, 2, 2).scaled(80)
+        assert cost.tokens == 4
+        assert cost.flops == 80 * qkv_cost(llama, 2, 2).flops
+
+    def test_merge_requires_same_kind(self, llama):
+        q = qkv_cost(llama, 1, 1)
+        a = attention_cost(llama, 1, 1, 10)
+        with pytest.raises(ConfigurationError):
+            q.merged_with(a)
+        merged = q.merged_with(q)
+        assert merged.flops == 2 * q.flops
+
+    def test_reuse_level_equals_tokens_for_fc(self, llama):
+        assert fc_cost(llama, 8, 4).reuse_level == 32.0

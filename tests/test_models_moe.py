@@ -1,0 +1,128 @@
+"""Tests for the Mixture-of-Experts extension (paper Section 6.5)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.models.config import get_model
+from repro.models.kernels import feedforward_cost
+from repro.models.moe import (
+    MoEModelConfig,
+    dense_equivalent,
+    expected_active_experts,
+    expert_placement,
+    moe_ffn_cost,
+    moe_ffn_reuse_level,
+)
+
+
+@pytest.fixture
+def moe():
+    base = get_model("gpt3-66b")
+    return MoEModelConfig(
+        base=base, num_experts=64, experts_per_token=2,
+        expert_ffn_dim=base.ffn_dim // 4,
+    )
+
+
+class TestMoEConfig:
+    def test_name_encodes_routing(self, moe):
+        assert moe.name == "gpt3-66b-moe64x2"
+
+    def test_total_weights_exceed_dense(self, moe):
+        assert moe.weight_bytes > moe.base.weight_bytes
+
+    def test_expert_params(self, moe):
+        assert moe.expert_params == 2 * moe.base.hidden_dim * moe.expert_ffn_dim
+
+    def test_invalid_configs_rejected(self):
+        base = get_model("opt-30b")
+        with pytest.raises(ConfigurationError):
+            MoEModelConfig(base=base, num_experts=0, experts_per_token=1,
+                           expert_ffn_dim=128)
+        with pytest.raises(ConfigurationError):
+            MoEModelConfig(base=base, num_experts=4, experts_per_token=5,
+                           expert_ffn_dim=128)
+        with pytest.raises(ConfigurationError):
+            MoEModelConfig(base=base, num_experts=4, experts_per_token=2,
+                           expert_ffn_dim=0)
+
+
+class TestActiveExperts:
+    def test_single_token_activates_k(self):
+        assert expected_active_experts(64, 2, 1) == pytest.approx(2.0)
+
+    def test_saturates_at_num_experts(self):
+        assert expected_active_experts(64, 2, 10 ** 6) == pytest.approx(64.0)
+
+    @given(tokens=st.integers(1, 4096))
+    def test_bounded_and_monotone(self, tokens):
+        lo = expected_active_experts(64, 2, tokens)
+        hi = expected_active_experts(64, 2, tokens + 1)
+        assert 2.0 <= lo <= 64.0
+        assert hi >= lo
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            expected_active_experts(0, 1, 1)
+        with pytest.raises(ConfigurationError):
+            expected_active_experts(8, 9, 1)
+        with pytest.raises(ConfigurationError):
+            expected_active_experts(8, 2, 0)
+
+
+class TestMoECost:
+    def test_flops_track_top_k_not_all_experts(self, moe):
+        cost = moe_ffn_cost(moe, rlp=8, tlp=1)
+        expected = 2.0 * 8 * moe.experts_per_token * moe.expert_params
+        assert cost.flops == pytest.approx(expected)
+
+    def test_sparse_flops_below_dense_of_same_total_size(self, moe):
+        """Section 6.5: sparsity reduces computation demands."""
+        # A dense FFN with all experts' parameters would cost E/k times more.
+        sparse = moe_ffn_cost(moe, 8, 1)
+        all_experts_flops = 2.0 * 8 * moe.num_experts * moe.expert_params
+        assert sparse.flops * (moe.num_experts / moe.experts_per_token) == (
+            pytest.approx(all_experts_flops)
+        )
+
+    def test_weight_traffic_saturates_with_batch(self, moe):
+        small = moe_ffn_cost(moe, 1, 1)
+        large = moe_ffn_cost(moe, 512, 1)
+        ceiling = moe.total_ffn_params * moe.base.dtype_bytes
+        assert small.weight_bytes < large.weight_bytes <= ceiling * 1.0001
+
+    def test_reuse_level_grows_with_batch(self, moe):
+        """The FC-PIM data-reuse story: small MoE batches fragment reuse."""
+        assert moe_ffn_reuse_level(moe, 1, 1) == pytest.approx(1.0)
+        assert moe_ffn_reuse_level(moe, 256, 1) > 4.0
+
+    def test_reuse_below_dense_equivalent(self, moe):
+        """At equal tokens, MoE reuse per weight is lower than dense FC
+        reuse (tokens spread over many experts)."""
+        tokens = 64
+        assert moe_ffn_reuse_level(moe, tokens, 1) < tokens
+
+    def test_dense_equivalent_matches_active_flops(self, moe):
+        dense = dense_equivalent(moe)
+        dense_cost = feedforward_cost(dense, 8, 1)
+        sparse_cost = moe_ffn_cost(moe, 8, 1)
+        assert dense_cost.flops == pytest.approx(sparse_cost.flops)
+
+    def test_invalid_parallelism_rejected(self, moe):
+        with pytest.raises(ConfigurationError):
+            moe_ffn_cost(moe, 0, 1)
+
+
+class TestPlacement:
+    def test_every_bank_holds_every_expert(self, moe):
+        placement = expert_placement(moe, num_banks=96)
+        assert len(placement) == 96
+        for bank, experts in placement.items():
+            assert experts == list(range(moe.num_experts))
+
+    def test_invalid_banks_rejected(self, moe):
+        with pytest.raises(ConfigurationError):
+            expert_placement(moe, 0)

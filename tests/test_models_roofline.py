@@ -1,0 +1,96 @@
+"""Tests for roofline analysis utilities."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.models.kernels import attention_cost, fc_cost
+from repro.models.roofline import (
+    arithmetic_intensity,
+    place_on_roofline,
+    ridge_point,
+    roofline_time,
+)
+
+A100_FLOPS = 312e12
+A100_BW = 1935e9
+
+
+class TestRooflineMath:
+    def test_ridge_point(self):
+        assert ridge_point(100.0, 10.0) == 10.0
+
+    def test_zero_bytes_is_infinite_ai(self):
+        assert arithmetic_intensity(10.0, 0.0) == float("inf")
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            arithmetic_intensity(-1.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            roofline_time(1.0, 1.0, 0.0, 1.0)
+
+    @given(
+        flops=st.floats(1e6, 1e15),
+        num_bytes=st.floats(1e3, 1e12),
+    )
+    def test_time_is_max_of_components(self, flops, num_bytes):
+        t = roofline_time(flops, num_bytes, A100_FLOPS, A100_BW)
+        assert math.isclose(
+            t, max(flops / A100_FLOPS, num_bytes / A100_BW), rel_tol=1e-12
+        )
+
+    @given(ai=st.floats(0.01, 1e4))
+    def test_attainable_never_exceeds_peak(self, ai):
+        from repro.models.kernels import KernelCost, KernelKind
+
+        cost = KernelCost(
+            kind=KernelKind.QKV,
+            flops=ai * 1e6,
+            weight_bytes=1e6,
+            activation_bytes=0.0,
+            tokens=1,
+        )
+        point = place_on_roofline(cost, A100_FLOPS, A100_BW)
+        assert point.attainable_flops <= A100_FLOPS * (1 + 1e-12)
+
+
+class TestFigure2Shapes:
+    """The motivational observations of paper Figure 2."""
+
+    def test_fc_memory_bound_at_small_batch(self, opt30b):
+        """Batch <= 16 (spec 8): FC is memory-bound on the A100."""
+        for batch in (1, 2):
+            cost = fc_cost(opt30b, batch, 8)
+            point = place_on_roofline(cost, A100_FLOPS, A100_BW)
+            assert point.memory_bound
+
+    def test_fc_compute_bound_at_large_batch(self, opt30b):
+        """Batch >= 32 (spec 8): FC turns compute-bound."""
+        for batch in (32, 64, 128):
+            cost = fc_cost(opt30b, batch, 8)
+            point = place_on_roofline(cost, A100_FLOPS, A100_BW)
+            assert not point.memory_bound
+
+    def test_attention_memory_bound_everywhere(self, opt30b):
+        """Attention never crosses the A100 ridge, at any parallelism."""
+        for batch in (4, 32, 128):
+            for spec in (2, 4, 8):
+                cost = attention_cost(opt30b, batch, spec, 1024)
+                point = place_on_roofline(cost, A100_FLOPS, A100_BW)
+                assert point.memory_bound
+
+    def test_fc_ai_crosses_ridge_with_speculation(self, opt30b):
+        """Batch 32: FC becomes compute-bound as spec length grows
+        (paper: crossover past spec length 6)."""
+        ais = [
+            place_on_roofline(
+                fc_cost(opt30b, 32, spec), A100_FLOPS, A100_BW
+            )
+            for spec in (2, 4, 6, 8)
+        ]
+        assert ais[0].memory_bound
+        assert not ais[-1].memory_bound
+        intensities = [p.arithmetic_intensity for p in ais]
+        assert intensities == sorted(intensities)

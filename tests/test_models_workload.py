@@ -1,0 +1,65 @@
+"""Tests for decode-step construction and prefill costs."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.kernels import KernelKind
+from repro.models.workload import build_decode_step, prefill_cost
+
+
+class TestDecodeStep:
+    def test_step_has_four_kernels_in_order(self, llama):
+        step = build_decode_step(llama, rlp=4, tlp=2, mean_context_len=256)
+        kinds = [inv.kind for inv in step.invocations]
+        assert kinds == [
+            KernelKind.QKV,
+            KernelKind.ATTENTION,
+            KernelKind.PROJECTION,
+            KernelKind.FFN,
+        ]
+
+    def test_invocations_span_all_layers(self, llama):
+        step = build_decode_step(llama, 4, 2, 256)
+        for inv in step.invocations:
+            assert inv.num_layers == llama.num_layers
+            assert inv.total.flops == inv.per_layer.flops * llama.num_layers
+
+    def test_fc_and_attention_partitions(self, llama):
+        step = build_decode_step(llama, 4, 2, 256)
+        assert len(step.fc_invocations) == 3
+        assert step.attention_invocation.kind is KernelKind.ATTENTION
+
+    def test_total_flops_sum(self, llama):
+        step = build_decode_step(llama, 4, 2, 256)
+        assert step.total_flops == sum(i.total.flops for i in step.invocations)
+        assert step.total_bytes == sum(i.total.total_bytes for i in step.invocations)
+
+    def test_total_step_weight_traffic_matches_model(self, llama):
+        """One decode step streams every FC weight exactly once."""
+        step = build_decode_step(llama, 1, 1, 64)
+        fc_weight_bytes = sum(i.total.weight_bytes for i in step.fc_invocations)
+        expected = llama.num_layers * llama.layer_fc_params * llama.dtype_bytes
+        assert fc_weight_bytes == expected
+
+    def test_invalid_context_rejected(self, llama):
+        with pytest.raises(ConfigurationError):
+            build_decode_step(llama, 1, 1, 0)
+
+
+class TestPrefill:
+    def test_prefill_is_compute_heavy(self, llama):
+        """Prefill AI >> decode AI: all input tokens share one weight read."""
+        pre = prefill_cost(llama, rlp=8, input_len=512)
+        assert pre.arithmetic_intensity > 500
+
+    def test_prefill_flops_superlinear_in_input_len(self, llama):
+        short = prefill_cost(llama, 1, 128)
+        long = prefill_cost(llama, 1, 1024)
+        # FC part linear (8x) + attention quadratic => more than 8x total.
+        assert long.flops > 8 * short.flops
+
+    def test_prefill_rejects_bad_inputs(self, llama):
+        with pytest.raises(ConfigurationError):
+            prefill_cost(llama, 0, 128)
+        with pytest.raises(ConfigurationError):
+            prefill_cost(llama, 1, 0)

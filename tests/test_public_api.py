@@ -1,0 +1,65 @@
+"""Public API surface tests: every advertised name exists and imports."""
+
+import importlib
+
+import pytest
+
+PACKAGES = (
+    "repro",
+    "repro.models",
+    "repro.dram",
+    "repro.devices",
+    "repro.core",
+    "repro.systems",
+    "repro.serving",
+    "repro.analysis",
+)
+
+
+class TestPublicAPI:
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_all_names_resolve(self, package_name):
+        package = importlib.import_module(package_name)
+        assert hasattr(package, "__all__"), package_name
+        for name in package.__all__:
+            assert hasattr(package, name), f"{package_name}.{name}"
+
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_all_is_sorted_and_unique(self, package_name):
+        package = importlib.import_module(package_name)
+        names = list(package.__all__)
+        assert len(names) == len(set(names)), package_name
+
+    def test_version_exposed(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_docstrings_on_public_modules(self):
+        for package_name in PACKAGES:
+            module = importlib.import_module(package_name)
+            assert module.__doc__, f"{package_name} missing module docstring"
+
+    def test_errors_hierarchy(self):
+        from repro import errors
+
+        for name in (
+            "ConfigurationError",
+            "CapacityError",
+            "SchedulingError",
+            "SimulationError",
+            "UnknownModelError",
+            "UnknownSystemError",
+        ):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_unknown_lookups_raise_subclassed_errors(self):
+        from repro import errors
+        from repro.models.config import get_model
+        from repro.systems.registry import build_system
+
+        with pytest.raises(errors.ReproError):
+            get_model("no-such-model")
+        with pytest.raises(errors.ReproError):
+            build_system("no-such-system")

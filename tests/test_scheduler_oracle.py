@@ -1,0 +1,93 @@
+"""Oracle comparison: PAPI's online decision vs per-iteration best choice.
+
+The strongest property of the scheduler: at every parallelism point, the
+unit PAPI picks for FC (using only the cheap RLP*TLP estimate and the
+calibrated alpha) should be at or near the unit an oracle with full timing
+knowledge would pick. Deviations are allowed only in the crossover band
+where both units are nearly equal anyway.
+"""
+
+import pytest
+
+from repro.core.placement import PlacementTarget
+from repro.models.config import get_model
+from repro.models.kernels import fc_cost
+from repro.systems.papi import PAPISystem
+
+
+@pytest.fixture(scope="module")
+def calibrated_system():
+    system = PAPISystem()
+    system.calibrate(get_model("llama-65b"))
+    return system
+
+
+PARALLELISM_GRID = [
+    (rlp, tlp)
+    for rlp in (1, 2, 4, 8, 16, 32, 64, 128)
+    for tlp in (1, 2, 4, 8)
+]
+
+
+class TestOracle:
+    @pytest.mark.parametrize("rlp,tlp", PARALLELISM_GRID)
+    def test_decision_near_oracle(self, calibrated_system, rlp, tlp):
+        """PAPI's choice costs at most 25% more than the oracle's at any
+        grid point — and far less outside the crossover band."""
+        model = get_model("llama-65b")
+        cost = fc_cost(model, rlp, tlp)
+        gpu_time = calibrated_system.gpus.execute(cost).seconds
+        pim_time = calibrated_system.fc_pim.execute(cost).seconds
+        oracle = min(gpu_time, pim_time)
+        target = calibrated_system.plan_fc_target(rlp, tlp)
+        chosen = gpu_time if target is PlacementTarget.PU else pim_time
+        assert chosen <= 1.25 * oracle
+
+    def test_far_from_threshold_decisions_are_optimal(self, calibrated_system):
+        """Outside the crossover band the estimate-based decision must be
+        exactly the oracle decision."""
+        model = get_model("llama-65b")
+        alpha = calibrated_system.alpha
+        for rlp, tlp in PARALLELISM_GRID:
+            estimate = rlp * tlp
+            if 0.5 * alpha <= estimate <= 2.0 * alpha:
+                continue  # crossover band: either choice is fine
+            cost = fc_cost(model, rlp, tlp)
+            gpu_time = calibrated_system.gpus.execute(cost).seconds
+            pim_time = calibrated_system.fc_pim.execute(cost).seconds
+            target = calibrated_system.plan_fc_target(rlp, tlp)
+            if gpu_time < pim_time:
+                assert target is PlacementTarget.PU, (rlp, tlp)
+            else:
+                assert target is PlacementTarget.FC_PIM, (rlp, tlp)
+
+    def test_regret_bounded_over_serving_run(self, calibrated_system):
+        """Across a full serving run with decaying RLP, PAPI's cumulative
+        FC time is within 10% of the per-iteration oracle's."""
+        from repro.serving.dataset import sample_requests
+        from repro.serving.engine import ServingEngine
+        from repro.serving.speculative import SpeculationConfig
+
+        model = get_model("llama-65b")
+        engine = ServingEngine(
+            system=calibrated_system,
+            model=model,
+            speculation=SpeculationConfig(speculation_length=2),
+            seed=55,
+        )
+        summary = engine.run(sample_requests("creative-writing", 32, seed=55))
+
+        oracle_total = 0.0
+        chosen_total = 0.0
+        for record in summary.records:
+            rlp = record.rlp_before
+            cost = fc_cost(model, rlp, record.result.tlp)
+            gpu_time = calibrated_system.gpus.execute(cost).seconds
+            pim_time = calibrated_system.fc_pim.execute(cost).seconds
+            oracle_total += min(gpu_time, pim_time) * model.num_layers
+            chosen = (
+                gpu_time if record.result.fc_target is PlacementTarget.PU
+                else pim_time
+            )
+            chosen_total += chosen * model.num_layers
+        assert chosen_total <= 1.10 * oracle_total

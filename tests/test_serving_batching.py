@@ -1,0 +1,90 @@
+"""Tests for batching policies."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.serving.batching import ContinuousBatcher, StaticBatcher
+from repro.serving.request import Request
+
+
+def make_requests(count, output_len=4):
+    return [
+        Request(request_id=i, input_len=8, output_len=output_len)
+        for i in range(count)
+    ]
+
+
+class TestStaticBatcher:
+    def test_active_shrinks_as_requests_finish(self):
+        requests = make_requests(4)
+        batcher = StaticBatcher(requests)
+        assert len(batcher.active()) == 4
+        requests[0].advance(4, iteration=0)
+        requests[1].advance(4, iteration=0)
+        assert len(batcher.active()) == 2
+        assert not batcher.done
+
+    def test_never_admits_mid_run(self):
+        batcher = StaticBatcher(make_requests(2))
+        assert batcher.admit() == []
+
+    def test_done_when_all_finish(self):
+        requests = make_requests(2, output_len=1)
+        batcher = StaticBatcher(requests)
+        for request in requests:
+            request.advance(1, iteration=0)
+        assert batcher.done
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StaticBatcher([])
+
+
+class TestContinuousBatcher:
+    def test_initial_fill_to_max(self):
+        batcher = ContinuousBatcher(make_requests(10), max_batch_size=4)
+        assert len(batcher.active()) == 4
+
+    def test_refills_freed_slots(self):
+        requests = make_requests(6, output_len=1)
+        batcher = ContinuousBatcher(requests, max_batch_size=3)
+        first_wave = batcher.active()
+        for request in first_wave:
+            request.advance(1, iteration=0)
+        fresh = batcher.admit()
+        assert len(fresh) == 3
+        assert len(batcher.active()) == 3
+        assert {r.request_id for r in batcher.active()} == {3, 4, 5}
+
+    def test_keeps_unfinished_requests(self):
+        requests = make_requests(4, output_len=5)
+        batcher = ContinuousBatcher(requests, max_batch_size=2)
+        wave = batcher.active()
+        wave[0].advance(5, iteration=0)  # finishes
+        wave[1].advance(1, iteration=0)  # still running
+        fresh = batcher.admit()
+        assert len(fresh) == 1
+        assert wave[1] in batcher.active()
+
+    def test_done_only_when_queue_and_batch_drain(self):
+        requests = make_requests(2, output_len=1)
+        batcher = ContinuousBatcher(requests, max_batch_size=2)
+        assert not batcher.done
+        for request in requests:
+            request.advance(1, iteration=0)
+        assert batcher.done
+
+    def test_admitted_tracks_everything(self):
+        requests = make_requests(5, output_len=1)
+        batcher = ContinuousBatcher(requests, max_batch_size=2)
+        while not batcher.done:
+            for request in batcher.active():
+                request.advance(1, iteration=0)
+            batcher.admit()
+        assert len(batcher.admitted()) == 5
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ContinuousBatcher(make_requests(2), max_batch_size=0)
+        with pytest.raises(ConfigurationError):
+            ContinuousBatcher([], max_batch_size=2)

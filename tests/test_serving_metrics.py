@@ -1,0 +1,108 @@
+"""Tests for run metrics aggregation."""
+
+import pytest
+
+from repro.core.placement import PlacementTarget
+from repro.errors import ConfigurationError
+from repro.serving.metrics import (
+    IterationRecord,
+    RunSummary,
+    energy_efficiency,
+    speedup,
+)
+from repro.systems.base import IterationResult
+
+
+def make_result(seconds=0.01, energy=5.0, target=PlacementTarget.PU, rlp=4, tlp=1):
+    return IterationResult(
+        seconds=seconds,
+        energy_joules=energy,
+        time_breakdown={"fc": seconds * 0.7, "attention": seconds * 0.2,
+                        "communication": seconds * 0.05, "other": seconds * 0.05},
+        energy_breakdown={"fc": energy * 0.8, "attention": energy * 0.1,
+                          "communication": energy * 0.05, "other": energy * 0.05},
+        fc_target=target,
+        rlp=rlp,
+        tlp=tlp,
+    )
+
+
+def make_summary(n_iterations=5):
+    summary = RunSummary(system="papi", model="llama-65b")
+    for i in range(n_iterations):
+        summary.add_iteration(
+            IterationRecord(
+                iteration=i,
+                result=make_result(),
+                tokens_accepted=4,
+                rlp_before=4,
+                rlp_after=4,
+            )
+        )
+    return summary
+
+
+class TestRunSummary:
+    def test_aggregation(self):
+        summary = make_summary(5)
+        assert summary.iterations == 5
+        assert summary.decode_seconds == pytest.approx(0.05)
+        assert summary.decode_energy == pytest.approx(25.0)
+        assert summary.tokens_generated == 20
+
+    def test_breakdowns_accumulate(self):
+        summary = make_summary(4)
+        assert summary.time_breakdown["fc"] == pytest.approx(4 * 0.007)
+        assert sum(summary.time_breakdown.values()) == pytest.approx(
+            summary.decode_seconds
+        )
+
+    def test_throughput_and_per_token(self):
+        summary = make_summary(5)
+        assert summary.tokens_per_second == pytest.approx(20 / 0.05)
+        assert summary.seconds_per_token == pytest.approx(0.05 / 20)
+        assert summary.energy_per_token == pytest.approx(25.0 / 20)
+
+    def test_total_includes_prefill_and_draft(self):
+        summary = make_summary(1)
+        summary.prefill_seconds = 0.5
+        summary.draft_seconds = 0.1
+        assert summary.total_seconds == pytest.approx(0.61)
+
+    def test_fc_target_histogram(self):
+        summary = RunSummary(system="papi", model="m")
+        for target in (PlacementTarget.PU, PlacementTarget.PU,
+                       PlacementTarget.FC_PIM):
+            summary.add_iteration(
+                IterationRecord(0, make_result(target=target), 1, 1, 1)
+            )
+        assert summary.fc_target_iterations == {"pu": 2, "fc-pim": 1}
+
+    def test_empty_summary_safe(self):
+        summary = RunSummary(system="papi", model="m")
+        assert summary.tokens_per_second == 0.0
+        assert summary.seconds_per_token == 0.0
+        assert summary.energy_per_token == 0.0
+
+    def test_rlp_trace(self):
+        summary = RunSummary(system="papi", model="m")
+        for rlp in (4, 3, 1):
+            summary.add_iteration(
+                IterationRecord(0, make_result(rlp=rlp), 1, rlp, rlp)
+            )
+        assert summary.rlp_trace() == [4, 3, 1]
+
+
+class TestComparisons:
+    def test_speedup_and_efficiency(self):
+        slow = make_summary(10)
+        fast = make_summary(5)
+        assert speedup(slow, fast) == pytest.approx(2.0)
+        assert energy_efficiency(slow, fast) == pytest.approx(2.0)
+
+    def test_zero_candidate_rejected(self):
+        empty = RunSummary(system="x", model="m")
+        with pytest.raises(ConfigurationError):
+            speedup(make_summary(1), empty)
+        with pytest.raises(ConfigurationError):
+            energy_efficiency(make_summary(1), empty)

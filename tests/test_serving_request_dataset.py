@@ -1,0 +1,111 @@
+"""Tests for requests and the synthetic Dolly dataset."""
+
+import statistics
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.serving.dataset import (
+    CREATIVE_WRITING,
+    DatasetSpec,
+    GENERAL_QA,
+    sample_requests,
+)
+from repro.serving.request import Request, RequestState
+
+
+class TestRequest:
+    def test_context_grows_with_generation(self):
+        request = Request(request_id=0, input_len=10, output_len=5)
+        assert request.context_len == 10
+        request.advance(2, iteration=0)
+        assert request.context_len == 12
+        assert request.remaining == 3
+
+    def test_finishes_exactly_at_output_len(self):
+        request = Request(request_id=0, input_len=10, output_len=5)
+        credited = request.advance(8, iteration=3)
+        assert credited == 5  # clipped at eos
+        assert request.is_finished
+        assert request.finish_iteration == 3
+
+    def test_advance_after_finish_rejected(self):
+        request = Request(request_id=0, input_len=1, output_len=1)
+        request.advance(1, iteration=0)
+        with pytest.raises(SimulationError):
+            request.advance(1, iteration=1)
+
+    def test_zero_advance_rejected(self):
+        request = Request(request_id=0, input_len=1, output_len=2)
+        with pytest.raises(SimulationError):
+            request.advance(0, iteration=0)
+
+    def test_invalid_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Request(request_id=0, input_len=0, output_len=1)
+        with pytest.raises(ConfigurationError):
+            Request(request_id=0, input_len=1, output_len=0)
+
+    @given(
+        output_len=st.integers(1, 500),
+        chunks=st.lists(st.integers(1, 8), min_size=1, max_size=200),
+    )
+    def test_generated_never_exceeds_output_len(self, output_len, chunks):
+        request = Request(request_id=0, input_len=4, output_len=output_len)
+        for i, chunk in enumerate(chunks):
+            if request.is_finished:
+                break
+            request.advance(chunk, iteration=i)
+            assert request.generated <= request.output_len
+
+
+class TestDataset:
+    def test_sampling_is_deterministic(self):
+        a = sample_requests("creative-writing", 32, seed=5)
+        b = sample_requests("creative-writing", 32, seed=5)
+        assert [(r.input_len, r.output_len) for r in a] == [
+            (r.input_len, r.output_len) for r in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = sample_requests("creative-writing", 32, seed=5)
+        b = sample_requests("creative-writing", 32, seed=6)
+        assert [(r.input_len, r.output_len) for r in a] != [
+            (r.input_len, r.output_len) for r in b
+        ]
+
+    def test_creative_writing_outputs_longer_than_qa(self):
+        """The property the paper's Figure 9 discussion relies on."""
+        cw = sample_requests("creative-writing", 200, seed=1)
+        qa = sample_requests("general-qa", 200, seed=1)
+        assert statistics.median(r.output_len for r in cw) > 2 * statistics.median(
+            r.output_len for r in qa
+        )
+
+    def test_lengths_respect_bounds(self):
+        for category in ("creative-writing", "general-qa"):
+            for request in sample_requests(category, 500, seed=2):
+                assert 1 <= request.input_len <= CREATIVE_WRITING.max_len
+                assert 1 <= request.output_len <= CREATIVE_WRITING.max_len
+
+    def test_request_ids_sequential(self):
+        requests = sample_requests("general-qa", 10, seed=0)
+        assert [r.request_id for r in requests] == list(range(10))
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ConfigurationError, match="general-qa"):
+            sample_requests("code-generation", 4)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DatasetSpec(name="bad", input_median=0, input_sigma=0.5,
+                        output_median=10, output_sigma=0.5)
+        with pytest.raises(ConfigurationError):
+            GENERAL_QA.sample(0)
+
+    def test_output_spread_creates_rlp_decay(self):
+        """Requests must finish at different times for Figure 3's decay."""
+        requests = sample_requests("creative-writing", 64, seed=3)
+        lengths = {r.output_len for r in requests}
+        assert len(lengths) > 32

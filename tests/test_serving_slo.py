@@ -1,0 +1,87 @@
+"""Tests for SLO-driven batch sizing (paper Section 3.2a)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.config import get_model
+from repro.serving.slo import SLOResult, iteration_latency, max_batch_under_slo
+from repro.systems.registry import build_system
+
+
+@pytest.fixture
+def system():
+    return build_system("a100-attacc")
+
+
+@pytest.fixture
+def model():
+    return get_model("llama-65b")
+
+
+class TestIterationLatency:
+    def test_latency_monotone_in_batch(self, system, model):
+        latencies = [
+            iteration_latency(system, model, batch, 1, 1024)
+            for batch in (1, 8, 64, 512)
+        ]
+        assert all(a <= b * 1.001 for a, b in zip(latencies, latencies[1:]))
+
+    def test_invalid_batch_rejected(self, system, model):
+        with pytest.raises(ConfigurationError):
+            iteration_latency(system, model, 0, 1, 1024)
+
+
+class TestMaxBatchUnderSLO:
+    def test_tighter_slo_means_smaller_batch(self, system, model):
+        """The paper's DGX example: a 30 ms SLO forces a small batch."""
+        loose = max_batch_under_slo(system, model, slo_seconds=0.5)
+        tight = max_batch_under_slo(system, model, slo_seconds=0.02)
+        assert loose.max_batch_size > tight.max_batch_size >= 0
+
+    def test_result_actually_meets_slo(self, system, model):
+        slo = 0.05
+        result = max_batch_under_slo(system, model, slo_seconds=slo)
+        assert result.max_batch_size >= 1
+        assert result.iteration_seconds <= slo
+        over = iteration_latency(
+            system, model, result.max_batch_size + 1, 1, 1024
+        )
+        if result.limited_by == "slo":
+            assert over > slo
+
+    def test_impossible_slo_returns_zero(self, system, model):
+        result = max_batch_under_slo(system, model, slo_seconds=1e-6)
+        assert result.max_batch_size == 0
+        assert result.limited_by == "slo"
+
+    def test_memory_binds_for_long_contexts(self, model):
+        """Section 3.2b: at long sequence lengths KV capacity binds before
+        the latency SLO does."""
+        system = build_system("papi")
+        result = max_batch_under_slo(
+            system, model, slo_seconds=10.0, context_len=2048, hard_cap=100000
+        )
+        assert result.limited_by == "memory"
+        assert result.max_batch_size == system.max_batch_size(model, 2048)
+
+    def test_speculation_raises_iteration_cost(self, system, model):
+        """Deeper speculation makes each iteration heavier, shrinking the
+        SLO-feasible batch."""
+        serial = max_batch_under_slo(system, model, slo_seconds=0.05,
+                                     speculation_length=1)
+        spec = max_batch_under_slo(system, model, slo_seconds=0.05,
+                                   speculation_length=8)
+        assert spec.max_batch_size <= serial.max_batch_size
+
+    def test_invalid_slo_rejected(self, system, model):
+        with pytest.raises(ConfigurationError):
+            max_batch_under_slo(system, model, slo_seconds=0.0)
+
+    def test_thirty_ms_slo_anecdote(self):
+        """Paper Section 3.2(a): on a DGX-class system a 30 ms SLO forces
+        initial RLP down to the low tens (the paper quotes 22). Our PAPI
+        platform lands in the same regime for GPT-3 175B."""
+        result = max_batch_under_slo(
+            build_system("papi"), get_model("gpt3-175b"), slo_seconds=0.030
+        )
+        assert 5 <= result.max_batch_size <= 50

@@ -1,0 +1,66 @@
+"""Tests for the speculative-decoding acceptance model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.serving.speculative import SpeculationConfig, SpeculativeSampler
+
+
+class TestSpeculationConfig:
+    def test_serial_decoding_defaults(self):
+        config = SpeculationConfig()
+        assert config.tlp == 1
+        assert config.expected_tokens_per_iteration() == 1.0
+        assert config.draft_overhead_s() == 0.0
+
+    def test_expected_tokens_closed_form(self):
+        config = SpeculationConfig(speculation_length=4, acceptance_rate=0.8)
+        expected = (1 - 0.8 ** 4) / (1 - 0.8)
+        assert config.expected_tokens_per_iteration() == pytest.approx(expected)
+
+    def test_zero_acceptance_yields_one_token(self):
+        config = SpeculationConfig(speculation_length=8, acceptance_rate=0.0)
+        assert config.expected_tokens_per_iteration() == 1.0
+
+    def test_draft_overhead_scales_with_length(self):
+        c2 = SpeculationConfig(speculation_length=2)
+        c8 = SpeculationConfig(speculation_length=8)
+        assert c8.draft_overhead_s() == pytest.approx(7 * c2.draft_overhead_s())
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SpeculationConfig(speculation_length=0)
+        with pytest.raises(ConfigurationError):
+            SpeculationConfig(acceptance_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            SpeculationConfig(acceptance_rate=-0.1)
+
+
+class TestSampler:
+    def test_deterministic_given_seed(self):
+        config = SpeculationConfig(speculation_length=4)
+        a = [SpeculativeSampler(config, seed=9).accepted_tokens() for _ in range(1)]
+        b = [SpeculativeSampler(config, seed=9).accepted_tokens() for _ in range(1)]
+        assert a == b
+
+    def test_serial_always_one(self):
+        sampler = SpeculativeSampler(SpeculationConfig(speculation_length=1))
+        assert all(sampler.accepted_tokens() == 1 for _ in range(100))
+
+    @settings(max_examples=20, deadline=None)
+    @given(s=st.integers(2, 8), a=st.floats(0.0, 0.95))
+    def test_samples_within_bounds(self, s, a):
+        sampler = SpeculativeSampler(
+            SpeculationConfig(speculation_length=s, acceptance_rate=a), seed=1
+        )
+        for _ in range(50):
+            accepted = sampler.accepted_tokens()
+            assert 1 <= accepted <= s
+
+    def test_sample_mean_matches_expectation(self):
+        config = SpeculationConfig(speculation_length=4, acceptance_rate=0.8)
+        sampler = SpeculativeSampler(config, seed=42)
+        n = 20000
+        mean = sum(sampler.accepted_tokens() for _ in range(n)) / n
+        assert mean == pytest.approx(config.expected_tokens_per_iteration(), rel=0.03)

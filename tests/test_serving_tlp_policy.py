@@ -1,0 +1,131 @@
+"""Tests for dynamic TLP policies and their integration with PAPI."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.models.config import get_model
+from repro.serving.dataset import sample_requests
+from repro.serving.engine import ServingEngine
+from repro.serving.speculative import SpeculationConfig
+from repro.serving.tlp_policy import (
+    AcceptanceAdaptiveTLP,
+    FixedTLP,
+    TLPTrace,
+    UtilizationAdaptiveTLP,
+)
+from repro.systems.registry import build_system
+
+
+class TestFixedTLP:
+    def test_constant(self):
+        policy = FixedTLP(4)
+        assert all(policy.next_tlp(i, 8, 0.5) == 4 for i in range(10))
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            FixedTLP(0)
+
+
+class TestAcceptanceAdaptive:
+    def test_grows_on_high_acceptance(self):
+        policy = AcceptanceAdaptiveTLP(initial_tlp=2, max_tlp=8)
+        values = [policy.next_tlp(i, 8, 0.95) for i in range(10)]
+        assert values[-1] == 8
+        assert values == sorted(values)
+
+    def test_shrinks_on_low_acceptance(self):
+        policy = AcceptanceAdaptiveTLP(initial_tlp=6, min_tlp=1)
+        values = [policy.next_tlp(i, 8, 0.1) for i in range(10)]
+        assert values[-1] == 1
+        assert values == sorted(values, reverse=True)
+
+    def test_holds_in_middle_band(self):
+        policy = AcceptanceAdaptiveTLP(initial_tlp=4)
+        assert policy.next_tlp(0, 8, 0.6) == 4
+        assert policy.next_tlp(1, 8, 0.6) == 4
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AcceptanceAdaptiveTLP(min_tlp=4, initial_tlp=2)
+        with pytest.raises(ConfigurationError):
+            AcceptanceAdaptiveTLP(raise_threshold=0.3, lower_threshold=0.5)
+
+
+class TestUtilizationAdaptive:
+    def test_holds_product_near_target(self):
+        policy = UtilizationAdaptiveTLP(target_tokens=32, max_tlp=8)
+        assert policy.next_tlp(0, 32, 1.0) == 1
+        assert policy.next_tlp(0, 16, 1.0) == 2
+        assert policy.next_tlp(0, 4, 1.0) == 8
+
+    def test_clamped_to_bounds(self):
+        policy = UtilizationAdaptiveTLP(target_tokens=32, max_tlp=4)
+        assert policy.next_tlp(0, 1, 1.0) == 4
+        assert policy.next_tlp(0, 1000, 1.0) == 1
+
+    @given(rlp=st.integers(1, 512))
+    def test_always_within_bounds(self, rlp):
+        policy = UtilizationAdaptiveTLP(target_tokens=64, min_tlp=1, max_tlp=8)
+        assert 1 <= policy.next_tlp(0, rlp, 1.0) <= 8
+
+    def test_invalid_configs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UtilizationAdaptiveTLP(target_tokens=0)
+        with pytest.raises(ConfigurationError):
+            UtilizationAdaptiveTLP(min_tlp=4, max_tlp=2)
+        with pytest.raises(ConfigurationError):
+            UtilizationAdaptiveTLP().next_tlp(0, 0, 1.0)
+
+
+class TestTLPTrace:
+    def test_counts_changes(self):
+        trace = TLPTrace()
+        for value in (1, 1, 2, 2, 4, 2):
+            trace.record(value)
+        assert trace.changes == 3
+
+
+class TestEngineIntegration:
+    def test_adaptive_tlp_deepens_as_batch_drains(self):
+        engine = ServingEngine(
+            system=build_system("papi"),
+            model=get_model("llama-65b"),
+            speculation=SpeculationConfig(speculation_length=2),
+            tlp_policy=UtilizationAdaptiveTLP(target_tokens=32, max_tlp=8),
+            seed=11,
+        )
+        engine.run(sample_requests("general-qa", 16, seed=11))
+        values = engine.tlp_trace.values
+        assert values[0] <= 2
+        assert values[-1] > values[0]  # deeper speculation for the tail
+
+    def test_tlp_changes_reach_papi_register(self):
+        system = build_system("papi")
+        engine = ServingEngine(
+            system=system,
+            model=get_model("llama-65b"),
+            speculation=SpeculationConfig(speculation_length=2),
+            tlp_policy=UtilizationAdaptiveTLP(target_tokens=32, max_tlp=8),
+            seed=11,
+        )
+        engine.run(sample_requests("general-qa", 16, seed=11))
+        # Initial write from begin_batch plus at least one policy update.
+        assert system.scheduler.tlp_register.writes >= 2
+
+    def test_fixed_policy_equals_no_policy(self):
+        model = get_model("llama-65b")
+
+        def run(policy):
+            return ServingEngine(
+                system=build_system("a100-attacc"),
+                model=model,
+                speculation=SpeculationConfig(speculation_length=2),
+                tlp_policy=policy,
+                seed=4,
+            ).run(sample_requests("general-qa", 8, seed=4))
+
+        explicit = run(FixedTLP(2))
+        implicit = run(None)
+        assert explicit.total_seconds == implicit.total_seconds
+        assert explicit.tokens_generated == implicit.tokens_generated

@@ -1,0 +1,99 @@
+"""Tests for trace-driven partition execution and per-request latency
+metrics."""
+
+import pytest
+
+from repro.devices.organization import STANDARD_ORGANIZATION
+from repro.devices.partition import partition_kt
+from repro.devices.trace_exec import execute_partition
+from repro.errors import ConfigurationError
+from repro.models.config import get_model
+from repro.serving.dataset import sample_requests
+from repro.serving.engine import ServingEngine
+from repro.serving.metrics import RunSummary
+from repro.systems.registry import build_system
+
+
+class TestTraceExecution:
+    def test_balanced_partition_has_no_penalty(self):
+        """Shapes divisible by the hierarchy stream at the ideal rate."""
+        partition = partition_kt(512, 2048)
+        result = execute_partition(partition)
+        assert result.imbalance_penalty == pytest.approx(1.0, rel=0.05)
+
+    def test_skewed_partition_pays_makespan_penalty(self):
+        """Awkward shapes leave some banks with larger tiles; the cycle
+        model's makespan exposes the imbalance the analytic model hides."""
+        partition = partition_kt(33, 2048)  # 33 rows over 4 banks/group
+        result = execute_partition(partition)
+        assert result.imbalance_penalty > 1.15
+        assert result.imbalance_penalty == pytest.approx(
+            partition.load_imbalance(), rel=0.25
+        )
+
+    def test_reuse_scales_time_sublinearly_not_activations(self):
+        """4x reuse costs < 4x time (the ACT/PRE overhead amortizes over
+        the extra column reads) and exactly 0 extra row activations —
+        the cycle-level view of the Figure 7 energy mechanism."""
+        partition = partition_kt(256, 2048)
+        once = execute_partition(partition, reuse_level=1)
+        four = execute_partition(partition, reuse_level=4)
+        ratio = four.stats.makespan_cycles / once.stats.makespan_cycles
+        assert 2.0 < ratio < 4.0
+        total_act = lambda r: sum(s.row_activations for s in r.stats.per_bank)
+        assert total_act(four) == total_act(once)
+
+    def test_invalid_inputs_rejected(self):
+        partition = partition_kt(64, 1024)
+        with pytest.raises(ConfigurationError):
+            execute_partition(partition, reuse_level=0)
+        with pytest.raises(ConfigurationError):
+            execute_partition(partition, dtype_bytes=0)
+
+
+class TestRequestLatencies:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        engine = ServingEngine(
+            system=build_system("papi"), model=get_model("llama-65b"), seed=61
+        )
+        return engine.run(sample_requests("general-qa", 16, seed=61))
+
+    def test_one_latency_per_request(self, summary):
+        assert len(summary.request_latencies) == 16
+
+    def test_latencies_bounded_by_decode_time(self, summary):
+        assert all(
+            0 < latency <= summary.decode_seconds * (1 + 1e-9)
+            for latency in summary.request_latencies
+        )
+        assert max(summary.request_latencies) == pytest.approx(
+            summary.decode_seconds
+        )
+
+    def test_percentiles_ordered(self, summary):
+        p50 = summary.latency_percentile(50)
+        p99 = summary.latency_percentile(99)
+        assert p50 <= p99
+        assert summary.mean_request_latency <= p99
+
+    def test_shorter_outputs_finish_earlier(self):
+        requests = sample_requests("general-qa", 16, seed=62)
+        engine = ServingEngine(
+            system=build_system("papi"), model=get_model("llama-65b"), seed=62
+        )
+        summary = engine.run(requests)
+        by_output = sorted(requests, key=lambda r: r.output_len)
+        assert (
+            by_output[0].finish_iteration <= by_output[-1].finish_iteration
+        )
+
+    def test_percentile_validation(self):
+        summary = RunSummary(system="x", model="m")
+        with pytest.raises(ConfigurationError):
+            summary.latency_percentile(50)
+        summary.record_request_latency(1.0)
+        with pytest.raises(ConfigurationError):
+            summary.latency_percentile(0)
+        with pytest.raises(ConfigurationError):
+            summary.record_request_latency(-1.0)

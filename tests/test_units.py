@@ -1,0 +1,50 @@
+"""Tests for unit conversion helpers."""
+
+import math
+
+from repro import units
+
+
+def test_scale_prefixes_are_consistent():
+    assert units.TERA == 1e3 * units.GIGA
+    assert units.GIGA == 1e3 * units.MEGA
+    assert math.isclose(units.NANO, 1e-3 * units.MICRO)
+    assert math.isclose(units.PICO, 1e-3 * units.NANO)
+
+
+def test_tflops_round_trip():
+    assert units.to_tflops(units.tflops(312.0)) == 312.0
+
+
+def test_bandwidth_conversions_are_decimal():
+    assert units.gb_per_s(1.0) == 1e9
+    assert units.tb_per_s(1.0) == 1e12
+
+
+def test_capacity_conversions_are_binary():
+    assert units.gib(1.0) == 1024 ** 3
+    assert units.KiB == 1024
+    assert units.MiB == 1024 * 1024
+
+
+def test_time_conversions():
+    assert units.ns(1.0) == 1e-9
+    assert units.us(1.0) == 1e-6
+    assert units.ms(1.0) == 1e-3
+    assert math.isclose(units.to_ms(0.005), 5.0)
+    assert math.isclose(units.to_us(0.005), 5000.0)
+
+
+def test_frequency_conversions():
+    assert units.mhz(666.0) == 666e6
+    assert units.ghz(1.41) == 1.41e9
+
+
+def test_energy_conversions():
+    assert math.isclose(units.pj(44.0), 44e-12)
+    assert math.isclose(units.nj(1.0), 1e-9)
+
+
+def test_reporting_helpers():
+    assert units.to_gb(2e9) == 2.0
+    assert units.to_tflops(312e12) == 312.0
