@@ -27,6 +27,7 @@ def run_alpha_sweep():
             model=model,
             speculation=SpeculationConfig(speculation_length=2),
             seed=29,
+            context_mode="mean",
         )
         summary = engine.run(sample_requests("creative-writing", 32, seed=29))
         results[alpha] = summary

@@ -30,6 +30,7 @@ def run_pipeline_sweep():
             engine = ServingEngine(
                 system=system, model=model,
                 speculation=SpeculationConfig(speculation_length=2), seed=41,
+                context_mode="mean",
             )
             summary = engine.run(
                 sample_requests("creative-writing", 16, seed=41)

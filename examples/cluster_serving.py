@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Cluster serving: compare routing policies under a Poisson arrival trace.
+
+Shards one arrival-stamped workload across four PAPI replicas under each
+routing policy and reports per-replica utilization and reschedule counts
+plus pooled p50/p99 arrival-to-<eos> latency. Round-robin fills every
+replica past the alpha crossover and pays an FC migration per replica at
+drain time; intensity-aware routing packs batches up to (not across) the
+crossover, trading some tail latency for placement stability.
+
+Usage::
+
+    python examples/cluster_serving.py
+"""
+
+from repro import build_system, get_model, sample_requests
+from repro.analysis.report import format_table
+from repro.cluster import ClusterSimulator, Replica, available_routers, build_router
+from repro.serving import SpeculationConfig, StepCostCache, poisson_arrivals
+
+REPLICAS = 4
+REQUESTS = 64
+RATE_PER_S = 32.0
+MAX_BATCH = 16
+SEED = 0
+
+
+def run_router(router_name: str):
+    model = get_model("llama-65b")
+    cache = StepCostCache()
+    replicas = [
+        Replica(
+            replica_id=i,
+            system=build_system("papi"),
+            model=model,
+            max_batch_size=MAX_BATCH,
+            speculation=SpeculationConfig(speculation_length=2),
+            seed=SEED,
+            step_cache=cache,
+        )
+        for i in range(REPLICAS)
+    ]
+    requests = poisson_arrivals(
+        sample_requests("creative-writing", REQUESTS, seed=SEED),
+        rate_per_s=RATE_PER_S,
+        seed=SEED,
+    )
+    return ClusterSimulator(replicas, build_router(router_name)).run(requests)
+
+
+def main() -> None:
+    summaries = {name: run_router(name) for name in available_routers()}
+
+    print(
+        format_table(
+            ["router", "p50 (s)", "p99 (s)", "tokens/s", "makespan (s)",
+             "FC migrations"],
+            [
+                [name, s.latency_percentile(50), s.latency_percentile(99),
+                 s.tokens_per_second, s.makespan_seconds,
+                 s.total_reschedules]
+                for name, s in summaries.items()
+            ],
+            title=f"{REPLICAS}x papi, {REQUESTS} requests @ "
+                  f"{RATE_PER_S:.0f}/s (llama-65b, spec 2)",
+        )
+    )
+    for name, summary in summaries.items():
+        print(
+            format_table(
+                ["replica", "served", "utilization", "reschedules"],
+                [
+                    [r.replica_id, r.requests_served, r.utilization,
+                     r.reschedules]
+                    for r in summary.replicas
+                ],
+                title=f"router={name}",
+            )
+        )
+
+    rr = summaries["round-robin"].total_reschedules
+    intensity = summaries["intensity"].total_reschedules
+    print(
+        f"\nintensity-aware routing: {intensity} FC migrations vs "
+        f"{rr} for round-robin "
+        f"({'fewer' if intensity < rr else 'NOT fewer'} — packing batches "
+        "on one side of the alpha crossover keeps placements stable)"
+    )
+
+
+if __name__ == "__main__":
+    main()

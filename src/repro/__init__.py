@@ -20,30 +20,38 @@ Quickstart::
     print(summary.tokens_per_second)
 """
 
+from repro.cluster import ClusterSimulator, Replica, available_routers, build_router
 from repro.core.intensity import estimate_fc_intensity, exact_fc_intensity
 from repro.core.placement import PlacementTarget
-from repro.core.scheduler import PAPIScheduler, TLPRegister, calibrate_alpha
+from repro.core.scheduler import LoadSignal, PAPIScheduler, TLPRegister, calibrate_alpha
 from repro.models.config import ModelConfig, available_models, get_model
 from repro.models.workload import build_decode_step
 from repro.serving.dataset import sample_requests
 from repro.serving.engine import ServingEngine
 from repro.serving.metrics import RunSummary, energy_efficiency, speedup
 from repro.serving.speculative import SpeculationConfig
+from repro.serving.stepcache import StepCostCache
 from repro.systems.registry import available_systems, build_system
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ClusterSimulator",
+    "LoadSignal",
     "ModelConfig",
     "PAPIScheduler",
     "PlacementTarget",
+    "Replica",
     "RunSummary",
     "ServingEngine",
     "SpeculationConfig",
+    "StepCostCache",
     "TLPRegister",
     "available_models",
+    "available_routers",
     "available_systems",
     "build_decode_step",
+    "build_router",
     "build_system",
     "calibrate_alpha",
     "energy_efficiency",

@@ -5,12 +5,19 @@ Attn-PIM link. These sweeps answer the follow-on questions a deployment
 team would ask: how does PAPI scale with the FC-PIM pool size, which link
 technology the disaggregated Attn-PIM pool actually needs, and where the
 GPU count stops mattering.
+
+Sweeps re-price near-identical decoding steps thousands of times, so they
+run with context lengths quantized to ``context_bucket`` tokens and a
+shared :class:`~repro.serving.stepcache.StepCostCache` in front of every
+system's ``execute_step``. Pass ``use_cache=False`` to disable the cache;
+the results are identical either way (the cache is exact at a fixed
+bucketing), just slower.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from repro.devices.gpu import GPUGroup
 from repro.devices.interconnect import CXL, Link, NVLINK, PCIE_GEN5
@@ -20,7 +27,13 @@ from repro.models.config import ModelConfig, get_model
 from repro.serving.dataset import sample_requests
 from repro.serving.engine import ServingEngine
 from repro.serving.speculative import SpeculationConfig
+from repro.serving.stepcache import StepCostCache
 from repro.systems.papi import PAPISystem
+
+#: Default context quantization for sweeps: fine enough that decode-time
+#: rankings are unaffected, coarse enough that consecutive iterations hit
+#: the step-cost cache.
+SWEEP_CONTEXT_BUCKET = 32
 
 
 @dataclass(frozen=True)
@@ -43,13 +56,17 @@ class SweepPoint:
 
 
 def _measure(system: PAPISystem, model: ModelConfig, batch: int, spec: int,
-             seed: int) -> SweepPoint:
+             seed: int, context_bucket: int = SWEEP_CONTEXT_BUCKET,
+             step_cache: Optional[StepCostCache] = None) -> SweepPoint:
     engine = ServingEngine(
         system=system,
         model=model,
         speculation=SpeculationConfig(speculation_length=spec),
         seed=seed,
         check_capacity=False,
+        context_mode="mean",
+        context_bucket=context_bucket,
+        step_cache=step_cache,
     )
     summary = engine.run(sample_requests("creative-writing", batch, seed=seed))
     return SweepPoint(
@@ -67,16 +84,20 @@ def sweep_fc_stacks(
     batch: int = 8,
     spec: int = 1,
     seed: int = 31,
+    context_bucket: int = SWEEP_CONTEXT_BUCKET,
+    use_cache: bool = True,
 ) -> List[SweepPoint]:
     """Scale the FC-PIM pool: more stacks buy FC throughput linearly
     until the scheduler routes work to the GPU anyway."""
     if not stack_counts:
         raise ConfigurationError("stack_counts must be non-empty")
     model = get_model(model_name)
+    cache = StepCostCache() if use_cache else None
     points = []
     for count in stack_counts:
         system = PAPISystem(fc_pim=PIMDeviceGroup(FC_PIM_CONFIG, count))
-        point = _measure(system, model, batch, spec, seed)
+        point = _measure(system, model, batch, spec, seed,
+                         context_bucket=context_bucket, step_cache=cache)
         points.append(
             SweepPoint(
                 label=f"{count} FC-PIM stacks",
@@ -95,6 +116,8 @@ def sweep_attn_link(
     batch: int = 16,
     spec: int = 2,
     seed: int = 33,
+    context_bucket: int = SWEEP_CONTEXT_BUCKET,
+    use_cache: bool = True,
 ) -> List[SweepPoint]:
     """Swap the disaggregated Attn-PIM link (paper Section 6.3's claim:
     PCIe/CXL suffice; NVLink buys little because attention traffic is
@@ -102,10 +125,12 @@ def sweep_attn_link(
     if not links:
         raise ConfigurationError("links must be non-empty")
     model = get_model(model_name)
+    cache = StepCostCache() if use_cache else None
     points = []
     for link in links:
         system = PAPISystem(link=link)
-        point = _measure(system, model, batch, spec, seed)
+        point = _measure(system, model, batch, spec, seed,
+                         context_bucket=context_bucket, step_cache=cache)
         points.append(
             SweepPoint(
                 label=link.name,
@@ -124,15 +149,19 @@ def sweep_gpu_count(
     batch: int = 64,
     spec: int = 4,
     seed: int = 37,
+    context_bucket: int = SWEEP_CONTEXT_BUCKET,
+    use_cache: bool = True,
 ) -> List[SweepPoint]:
     """Scale the PU pool at a compute-bound operating point."""
     if not counts:
         raise ConfigurationError("counts must be non-empty")
     model = get_model(model_name)
+    cache = StepCostCache() if use_cache else None
     points = []
     for count in counts:
         system = PAPISystem(gpus=GPUGroup(count=count))
-        point = _measure(system, model, batch, spec, seed)
+        point = _measure(system, model, batch, spec, seed,
+                         context_bucket=context_bucket, step_cache=cache)
         points.append(
             SweepPoint(
                 label=f"{count} GPUs",

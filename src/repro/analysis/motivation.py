@@ -82,7 +82,9 @@ def fig3_rlp_decay(
     monotone decay is what makes static FC placement suboptimal.
     """
     system = build_system("papi")
-    engine = ServingEngine(system=system, model=get_model(model_name))
+    engine = ServingEngine(
+        system=system, model=get_model(model_name), context_mode="mean"
+    )
     summary = engine.run(sample_requests(category, batch_size, seed=seed))
     return summary.rlp_trace()
 

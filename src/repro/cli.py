@@ -4,9 +4,11 @@ Commands:
 
 * ``serve`` — run one serving simulation and print the summary.
 * ``compare`` — run all systems on one workload, normalized to a baseline.
+* ``cluster`` — shard a Poisson arrival trace across N replicas under a
+  routing policy; report per-replica utilization/reschedules and p99.
 * ``figures`` — regenerate a paper figure's rows (fig2..fig12, headline).
 * ``calibrate`` — report the offline-calibrated alpha for a model.
-* ``list`` — enumerate registered models and systems.
+* ``list`` — enumerate registered models, systems, and routers.
 """
 
 from __future__ import annotations
@@ -17,11 +19,14 @@ from typing import List, Optional
 
 from repro import __version__
 from repro.analysis.report import format_table
+from repro.cluster import ClusterSimulator, Replica, available_routers, build_router
 from repro.models.config import available_models, get_model
+from repro.serving.arrivals import poisson_arrivals
 from repro.serving.dataset import sample_requests
-from repro.serving.engine import ServingEngine
+from repro.serving.engine import CONTEXT_MODES, ServingEngine
 from repro.serving.metrics import energy_efficiency, speedup
 from repro.serving.speculative import SpeculationConfig
+from repro.serving.stepcache import StepCostCache
 from repro.systems.papi import PAPISystem
 from repro.systems.registry import available_systems, build_system
 
@@ -34,6 +39,10 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--category", default="creative-writing",
                         choices=("creative-writing", "general-qa"))
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--context-mode", default="per-request",
+                        choices=CONTEXT_MODES,
+                        help="attention context accounting (mean reproduces "
+                             "the paper-figure approximation)")
 
 
 def _run(system_name: str, args: argparse.Namespace):
@@ -42,6 +51,7 @@ def _run(system_name: str, args: argparse.Namespace):
         model=get_model(args.model),
         speculation=SpeculationConfig(speculation_length=args.spec),
         seed=args.seed,
+        context_mode=args.context_mode,
     )
     requests = sample_requests(args.category, args.batch, seed=args.seed)
     return engine.run(requests)
@@ -91,6 +101,60 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cluster(args: argparse.Namespace) -> int:
+    model = get_model(args.model)
+    speculation = SpeculationConfig(speculation_length=args.spec)
+    cache = StepCostCache() if args.step_cache else None
+    replicas = [
+        Replica(
+            replica_id=i,
+            system=build_system(args.system),
+            model=model,
+            max_batch_size=args.max_batch,
+            speculation=speculation,
+            seed=args.seed,
+            context_mode=args.context_mode,
+            step_cache=cache,
+        )
+        for i in range(args.replicas)
+    ]
+    requests = poisson_arrivals(
+        sample_requests(args.category, args.requests, seed=args.seed),
+        rate_per_s=args.rate,
+        seed=args.seed,
+    )
+    summary = ClusterSimulator(replicas, build_router(args.router)).run(requests)
+
+    print(
+        format_table(
+            ["replica", "served", "tokens", "iterations", "utilization",
+             "reschedules"],
+            [
+                [r.replica_id, r.requests_served, r.tokens_generated,
+                 r.iterations, r.utilization, r.reschedules]
+                for r in summary.replicas
+            ],
+            title=f"{args.replicas}x {args.system} / router={summary.router} "
+                  f"({args.requests} requests @ {args.rate}/s)",
+        )
+    )
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["makespan seconds", summary.makespan_seconds],
+                ["tokens / second", summary.tokens_per_second],
+                ["p50 latency (s)", summary.latency_percentile(50)],
+                ["p99 latency (s)", summary.latency_percentile(99)],
+                ["mean latency (s)", summary.mean_latency],
+                ["total reschedules", summary.total_reschedules],
+            ],
+            title="Cluster aggregate",
+        )
+    )
+    return 0
+
+
 def cmd_calibrate(args: argparse.Namespace) -> int:
     system = PAPISystem()
     alpha = system.calibrate(get_model(args.model))
@@ -102,6 +166,7 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
 def cmd_list(args: argparse.Namespace) -> int:
     print("models:  " + ", ".join(available_models()))
     print("systems: " + ", ".join(available_systems()))
+    print("routers: " + ", ".join(available_routers()))
     return 0
 
 
@@ -167,6 +232,34 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=available_systems())
     _add_workload_args(compare)
     compare.set_defaults(fn=cmd_compare)
+
+    cluster = sub.add_parser(
+        "cluster", help="multi-replica serving under a routing policy"
+    )
+    cluster.add_argument("--system", default="papi",
+                         choices=available_systems())
+    cluster.add_argument("--replicas", type=int, default=4,
+                         help="number of system replicas")
+    cluster.add_argument("--router", default="intensity",
+                         choices=available_routers())
+    cluster.add_argument("--requests", type=int, default=64,
+                         help="trace length (requests)")
+    cluster.add_argument("--rate", type=float, default=32.0,
+                         help="Poisson arrival rate (requests/s)")
+    cluster.add_argument("--max-batch", type=int, default=16,
+                         help="per-replica continuous-batching slots")
+    cluster.add_argument("--no-step-cache", dest="step_cache",
+                         action="store_false",
+                         help="disable the shared step-cost cache")
+    cluster.add_argument("--model", default="llama-65b", help="model name")
+    cluster.add_argument("--spec", type=int, default=2,
+                         help="speculation length (TLP)")
+    cluster.add_argument("--category", default="creative-writing",
+                         choices=("creative-writing", "general-qa"))
+    cluster.add_argument("--seed", type=int, default=0)
+    cluster.add_argument("--context-mode", default="per-request",
+                         choices=CONTEXT_MODES)
+    cluster.set_defaults(fn=cmd_cluster)
 
     figures = sub.add_parser("figures", help="regenerate a paper figure")
     figures.add_argument("figure", help="fig2|fig4|fig7|fig8|headline")

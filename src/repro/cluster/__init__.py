@@ -1,0 +1,49 @@
+"""Multi-replica cluster serving: routing, replicas, event simulation.
+
+Shards traffic across N independent :class:`~repro.systems.base.ServingSystem`
+replicas under a pluggable routing policy, on one discrete-event timeline
+(see :mod:`repro.serving.clock`). The cluster — not a single engine loop —
+is the unit of evaluation: per-replica utilization, FC-migration counts,
+and pooled p50/p99 arrival-to-``<eos>`` latency come out of one run.
+
+Quickstart::
+
+    from repro import build_system, get_model, sample_requests
+    from repro.cluster import ClusterSimulator, Replica, build_router
+    from repro.serving.arrivals import poisson_arrivals
+
+    model = get_model("llama-65b")
+    replicas = [
+        Replica(i, build_system("papi"), model, max_batch_size=16)
+        for i in range(4)
+    ]
+    requests = poisson_arrivals(
+        sample_requests("creative-writing", 64), rate_per_s=32.0
+    )
+    summary = ClusterSimulator(replicas, build_router("intensity")).run(requests)
+    print(summary.latency_percentile(99), summary.total_reschedules)
+"""
+
+from repro.cluster.cluster import ClusterSimulator, ClusterSummary, ReplicaReport
+from repro.cluster.replica import Replica
+from repro.cluster.router import (
+    IntensityAwareRouter,
+    LeastOutstandingRouter,
+    RoundRobinRouter,
+    Router,
+    available_routers,
+    build_router,
+)
+
+__all__ = [
+    "ClusterSimulator",
+    "ClusterSummary",
+    "IntensityAwareRouter",
+    "LeastOutstandingRouter",
+    "Replica",
+    "ReplicaReport",
+    "RoundRobinRouter",
+    "Router",
+    "available_routers",
+    "build_router",
+]

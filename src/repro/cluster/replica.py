@@ -1,0 +1,271 @@
+"""One serving replica: a system + model behind a continuous batch.
+
+A replica owns a complete :class:`~repro.systems.base.ServingSystem`, an
+admission queue, and the decoding state machine of the serving engine,
+re-expressed as event-handler methods so a cluster simulator (or the
+single-node :meth:`ServingEngine.run_trace`) can interleave many replicas
+on one simulated clock:
+
+* :meth:`enqueue` — a routed request joins the replica's waiting queue.
+* :meth:`poke` — an idle replica admits waiting requests (charging
+  prefill and queueing time) and schedules its next ``STEP_DONE``.
+* :meth:`on_step_done` — one decoding iteration completes: accepted
+  tokens are sampled, finished requests record their arrival-to-``<eos>``
+  latency, the runtime monitor observes the output vector, freed slots
+  are refilled, and the next iteration is scheduled.
+
+Iteration pricing goes through the shared
+:class:`~repro.serving.engine.StepPricer`, so replicas honor the same
+context-accounting modes and step-cost cache as the blocking engine.
+
+The blocking loop in ``ServingEngine.run_with_batcher`` is deliberately
+*not* folded into this state machine: it must stay bit-identical to the
+seed implementation for paper-figure reproduction and is tuned as a hot
+loop, while this class pays per-event overhead for clock interleaving.
+``tests/test_cluster.py::TestRunTrace::test_matches_static_run_when_all_arrive_at_once``
+pins the two paths to identical results on their common ground — change
+either loop's semantics and that test is the tripwire.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Sequence, Tuple
+
+from repro.core.scheduler import EOS_TOKEN
+from repro.errors import ConfigurationError, SimulationError
+from repro.models.config import ModelConfig
+from repro.serving.engine import MAX_ITERATIONS, ServingEngine, StepPricer
+from repro.serving.metrics import IterationRecord, RunSummary
+from repro.serving.request import Request, RequestState
+from repro.serving.speculative import SpeculationConfig, SpeculativeSampler
+from repro.serving.stepcache import StepCostCache
+from repro.serving.tlp_policy import FixedTLP, TLPPolicy, TLPTrace
+from repro.systems.base import IterationResult, ServingSystem
+
+
+class Replica:
+    """Event-driven serving state machine for one system replica.
+
+    Args:
+        replica_id: Index within the cluster (also offsets the sampler
+            seed so replicas draw independent acceptance streams).
+        system: The platform this replica serves on.
+        model: The model being served.
+        max_batch_size: Continuous-batching slot count.
+        speculation: Speculative-decoding configuration.
+        tlp_policy: Optional dynamic speculation-length policy.
+        seed: Base RNG seed (offset by ``replica_id``).
+        check_capacity: Validate weight/KV capacity at each admission.
+        context_mode: Context accounting mode (see ``ServingEngine``).
+        context_bucket: Context quantization bucket.
+        step_cache: Optional shared step-cost cache.
+    """
+
+    def __init__(
+        self,
+        replica_id: int,
+        system: ServingSystem,
+        model: ModelConfig,
+        max_batch_size: int,
+        speculation: SpeculationConfig = SpeculationConfig(),
+        tlp_policy: Optional[TLPPolicy] = None,
+        seed: int = 0,
+        check_capacity: bool = True,
+        context_mode: str = "per-request",
+        context_bucket: int = 1,
+        step_cache: Optional[StepCostCache] = None,
+    ) -> None:
+        if max_batch_size <= 0:
+            raise ConfigurationError("max_batch_size must be positive")
+        self.replica_id = replica_id
+        self.system = system
+        self.model = model
+        self.max_batch_size = max_batch_size
+        self.speculation = speculation
+        self.check_capacity = check_capacity
+        self.seed = seed
+        self.pricer = StepPricer(
+            system=system,
+            model=model,
+            context_mode=context_mode,
+            context_bucket=context_bucket,
+            step_cache=step_cache,
+        )
+        self.sampler = SpeculativeSampler(speculation, seed=seed + replica_id)
+        self.policy: TLPPolicy = (
+            tlp_policy if tlp_policy is not None else FixedTLP(speculation.tlp)
+        )
+        self.tlp_trace = TLPTrace()
+        self.summary = RunSummary(system=system.name, model=model.name)
+
+        self.waiting: Deque[Request] = deque()
+        self.active: List[Request] = []
+        self.busy = False
+        self.requests_routed = 0
+        self.requests_served = 0
+        self._current_tlp = speculation.tlp
+        self._iteration = 0
+        self._accepted_fraction = 1.0
+        self._pending: Optional[Tuple[IterationResult, int]] = None
+
+    # -- load view (used by routers) ------------------------------------
+
+    def outstanding(self) -> int:
+        """Requests routed here and not yet finished (queued + active)."""
+        return len(self.waiting) + len(self.active)
+
+    @property
+    def idle(self) -> bool:
+        """True when no prefill/decode work is in flight."""
+        return not self.busy
+
+    def reschedule_count(self) -> int:
+        """FC migrations the replica's scheduler performed so far."""
+        scheduler = getattr(self.system, "scheduler", None)
+        if scheduler is None:
+            return 0
+        return scheduler.reschedule_count
+
+    # -- event handlers --------------------------------------------------
+
+    def enqueue(self, request: Request) -> None:
+        """Accept a routed request into the waiting queue."""
+        request.state = RequestState.QUEUED
+        self.waiting.append(request)
+        self.requests_routed += 1
+
+    def poke(self, now: float) -> Optional[float]:
+        """Start serving if idle; returns the next ``STEP_DONE`` time."""
+        if self.busy:
+            return None
+        duration = self._admit(now)
+        if not self.active:
+            return None
+        duration += self._schedule_step()
+        self.busy = True
+        return now + duration
+
+    def on_step_done(self, now: float) -> Optional[float]:
+        """Complete the in-flight iteration; returns the next one's time."""
+        if self._pending is None:
+            raise SimulationError(
+                f"replica {self.replica_id}: STEP_DONE with no step in flight"
+            )
+        result, tlp = self._pending
+        self._pending = None
+
+        accepted_total = 0
+        outputs: List[int] = []
+        still_active: List[Request] = []
+        serial = tlp == 1  # no draft model => exactly one token accepted
+        for request in self.active:
+            accepted = 1 if serial else self.sampler.accepted_tokens(tlp)
+            credited = request.advance(accepted, self._iteration)
+            accepted_total += credited
+            if request.is_finished:
+                outputs.append(EOS_TOKEN)
+                self.requests_served += 1
+                self.summary.record_request_latency(
+                    max(0.0, now - request.arrival_s)
+                )
+            else:
+                outputs.append(0)
+                still_active.append(request)
+        self._accepted_fraction = ServingEngine._accepted_fraction(
+            accepted_total, len(self.active), tlp
+        )
+        self.system.observe_outputs(outputs)
+        self.summary.add_iteration(
+            IterationRecord(
+                iteration=self._iteration,
+                result=result,
+                tokens_accepted=accepted_total,
+                rlp_before=len(self.active),
+                rlp_after=len(still_active),
+            )
+        )
+        self._iteration += 1
+        if self._iteration >= MAX_ITERATIONS:
+            raise SimulationError("decoding did not converge (runaway loop)")
+        self.active = still_active
+
+        duration = self._admit(now)
+        if not self.active:
+            self.busy = False
+            return None
+        duration += self._schedule_step()
+        return now + duration
+
+    def finalize(self, makespan_s: float) -> RunSummary:
+        """Close out the run summary once the cluster trace has drained."""
+        if self.waiting or self.active or self.busy:
+            raise SimulationError(
+                f"replica {self.replica_id} finalized with work outstanding"
+            )
+        self.summary.reschedules = self.reschedule_count()
+        self.summary.makespan_seconds = makespan_s
+        return self.summary
+
+    # -- internals -------------------------------------------------------
+
+    def _admit(self, now: float) -> float:
+        """Fill open batch slots; returns the prefill seconds charged."""
+        fresh: List[Request] = []
+        while self.waiting and (
+            len(self.active) + len(fresh) < self.max_batch_size
+        ):
+            request = self.waiting.popleft()
+            request.state = RequestState.PREFILLING
+            fresh.append(request)
+        if not fresh:
+            return 0.0
+        if self.check_capacity:
+            cohort = self.active + fresh
+            max_seq = max(r.input_len + r.output_len for r in cohort)
+            self.system.check_capacity(self.model, len(cohort), max_seq)
+        self.summary.queueing_seconds += sum(
+            max(0.0, now - r.arrival_s) for r in fresh
+        )
+        mean_input = max(
+            1, round(sum(r.input_len for r in fresh) / len(fresh))
+        )
+        result = self.system.execute_prefill(self.model, len(fresh), mean_input)
+        self.summary.prefill_seconds += result.seconds
+        self.summary.prefill_energy += result.energy_joules
+        for request in fresh:
+            request.state = RequestState.DECODING
+        self.active.extend(fresh)
+        self.system.begin_batch(len(self.active), self._current_tlp)
+        return result.seconds
+
+    def _schedule_step(self) -> float:
+        """Price the next iteration; returns its duration (draft + step)."""
+        rlp = len(self.active)
+        tlp = self.policy.next_tlp(self._iteration, rlp, self._accepted_fraction)
+        if tlp != self._current_tlp:
+            self.system.update_tlp(tlp)
+            self._current_tlp = tlp
+        self.tlp_trace.record(tlp)
+        result = self.pricer.price(self.active, tlp)
+        draft = self.speculation.draft_overhead_s(tlp)
+        self.summary.draft_seconds += draft
+        self._pending = (result, tlp)
+        return draft + result.seconds
+
+    # -- standalone single-replica loop ----------------------------------
+
+    def serve_trace(self, requests: Sequence[Request]) -> RunSummary:
+        """Serve an arrival-stamped trace on this replica alone.
+
+        The single-replica degenerate case of the cluster event loop;
+        :meth:`ServingEngine.run_trace` delegates here. Runs the one
+        shared event loop (``ClusterSimulator.run``) rather than keeping a
+        private copy of the dispatch logic.
+        """
+        # Imported here: repro.cluster.cluster imports this module.
+        from repro.cluster.cluster import ClusterSimulator
+        from repro.cluster.router import RoundRobinRouter
+
+        ClusterSimulator([self], RoundRobinRouter()).run(requests)
+        return self.summary

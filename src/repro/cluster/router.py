@@ -1,0 +1,160 @@
+"""Pluggable request-routing policies for multi-replica serving.
+
+The router is the cluster's admission-control brain: every arriving
+request is assigned to exactly one replica, and the choice shapes both
+tail latency (load balance) and scheduler behavior (how often each
+replica's FC placement migrates between PUs and FC-PIM).
+
+Three policies:
+
+* **round-robin** — classic stateless spreading; the baseline every
+  serving stack ships.
+* **least-outstanding** — route to the replica with the fewest queued +
+  active requests; the standard load-aware heuristic.
+* **intensity** — parallelism-aware routing built on the PAPI scheduler's
+  load signal (:class:`~repro.core.scheduler.LoadSignal`): prefer
+  replicas whose projected ``RLP * TLP`` stays on the same side of the
+  calibrated ``alpha`` crossover after admission, so batches sit firmly
+  on one FC placement instead of hovering at the boundary and thrashing
+  between PUs and FC-PIM as runtime RLP decays.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Sequence, Tuple, Type
+
+from repro.cluster.replica import Replica
+from repro.errors import ConfigurationError
+from repro.serving.request import Request
+
+
+class Router(abc.ABC):
+    """Assigns each arriving request to a replica index."""
+
+    #: Registry/reporting name; subclasses override.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def select(
+        self, request: Request, replicas: Sequence[Replica], now: float
+    ) -> int:
+        """Index of the replica that should serve ``request``."""
+
+
+class RoundRobinRouter(Router):
+    """Cycle through replicas in arrival order."""
+
+    name = "round-robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def select(
+        self, request: Request, replicas: Sequence[Replica], now: float
+    ) -> int:
+        index = self._next % len(replicas)
+        self._next += 1
+        return index
+
+
+class LeastOutstandingRouter(Router):
+    """Route to the replica with the fewest queued + active requests."""
+
+    name = "least-outstanding"
+
+    def select(
+        self, request: Request, replicas: Sequence[Replica], now: float
+    ) -> int:
+        return min(
+            range(len(replicas)), key=lambda i: (replicas[i].outstanding(), i)
+        )
+
+
+class IntensityAwareRouter(Router):
+    """Route to keep each replica's RLP*TLP on its current FC placement.
+
+    For every replica the router projects the post-admission intensity
+    ``(active + waiting + 1) * TLP`` (capped at the batch size) against
+    the replica's scheduler ``alpha``:
+
+    * Among busy replicas whose projected intensity stays on their current
+      placement side, pick the least loaded: admitting there costs no
+      migration, now or (to first order) when RLP decays.
+    * Otherwise open an idle replica: admission runs initial scheduling,
+      which never counts as a migration, and a fresh batch starts on its
+      preferred side.
+    * If every choice would flip a placement, pick the replica with the
+      most *headroom* — the projected intensity farthest from ``alpha`` —
+      because a batch deep on one side takes the longest RLP decay to
+      migrate.
+
+    The net effect is that batches are packed up to (but not across) the
+    crossover, instead of round-robin's pattern of filling every replica
+    past ``alpha`` and letting each one thrash back at drain time. Falls
+    back to least-outstanding for systems without a load signal
+    (statically placed baselines).
+    """
+
+    name = "intensity"
+
+    def select(
+        self, request: Request, replicas: Sequence[Replica], now: float
+    ) -> int:
+        stay: List[Tuple[int, int]] = []  # (outstanding, index) — has a slot
+        idle: List[int] = []
+        saturated: List[Tuple[int, int]] = []  # on-side but batch is full
+        flip: List[Tuple[float, int, int]] = []  # (-headroom, outstanding, i)
+        fallback: List[Tuple[int, int]] = []
+        for index, replica in enumerate(replicas):
+            signal = replica.system.load_signal()
+            outstanding = replica.outstanding()
+            if signal is None:
+                fallback.append((outstanding, index))
+                continue
+            if outstanding == 0:
+                # Admission re-runs initial scheduling: placement is free.
+                idle.append(index)
+                continue
+            projected = min(outstanding + 1, replica.max_batch_size)
+            extra = projected - signal.rlp
+            if signal.would_migrate(extra):
+                flip.append((-signal.headroom(extra), outstanding, index))
+            elif outstanding + 1 > replica.max_batch_size:
+                saturated.append((outstanding, index))
+            else:
+                stay.append((outstanding, index))
+        if stay:
+            return min(stay)[1]
+        if idle:
+            return idle[0]
+        if saturated:
+            return min(saturated)[1]
+        if flip:
+            return min(flip)[2]
+        if fallback:
+            return min(fallback)[1]
+        raise ConfigurationError("cluster has no replicas")
+
+
+_ROUTERS: Dict[str, Type[Router]] = {
+    RoundRobinRouter.name: RoundRobinRouter,
+    LeastOutstandingRouter.name: LeastOutstandingRouter,
+    IntensityAwareRouter.name: IntensityAwareRouter,
+}
+
+
+def available_routers() -> Tuple[str, ...]:
+    """Names of all registered routing policies, sorted."""
+    return tuple(sorted(_ROUTERS))
+
+
+def build_router(name: str) -> Router:
+    """Instantiate a routing policy by registry name."""
+    try:
+        return _ROUTERS[name.lower()]()
+    except KeyError:
+        known = ", ".join(sorted(_ROUTERS))
+        raise ConfigurationError(
+            f"unknown router {name!r}; known routers: {known}"
+        ) from None

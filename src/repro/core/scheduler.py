@@ -61,6 +61,56 @@ class TLPRegister:
 
 
 @dataclass(frozen=True)
+class LoadSignal:
+    """Snapshot of a scheduler's load state, exposed for cluster routing.
+
+    Routers use this to predict whether adding requests to a replica would
+    flip its FC placement across the ``alpha`` boundary (a reschedule /
+    migration), without reaching into scheduler internals.
+
+    Attributes:
+        rlp: Active requests the scheduler currently tracks.
+        tlp: Current speculation length (TLP register value).
+        intensity: The scheduler's ``RLP * TLP`` estimate (0 when idle).
+        alpha: Memory-boundedness threshold.
+        target: Current FC placement (``None`` before initial scheduling).
+    """
+
+    rlp: int
+    tlp: int
+    intensity: int
+    alpha: float
+    target: Optional[PlacementTarget]
+
+    def side(self, intensity: Optional[float] = None) -> PlacementTarget:
+        """FC placement implied by an intensity (default: the current one)."""
+        estimate = self.intensity if intensity is None else intensity
+        return (
+            PlacementTarget.PU
+            if estimate > self.alpha
+            else PlacementTarget.FC_PIM
+        )
+
+    def projected_side(self, extra_rlp: int) -> PlacementTarget:
+        """Placement implied by admitting ``extra_rlp`` more requests."""
+        return self.side((self.rlp + extra_rlp) * max(1, self.tlp))
+
+    def would_migrate(self, extra_rlp: int) -> bool:
+        """Whether ``extra_rlp`` more requests would flip FC placement."""
+        anchor = self.target if self.target is not None else self.side()
+        return self.projected_side(extra_rlp) is not anchor
+
+    def headroom(self, extra_rlp: int = 0) -> float:
+        """Distance of the projected intensity from the alpha boundary.
+
+        Larger means the replica sits more firmly on one side of the
+        crossover, so RLP decay takes longer to force a migration.
+        """
+        projected = (self.rlp + extra_rlp) * max(1, self.tlp)
+        return abs(projected - self.alpha)
+
+
+@dataclass(frozen=True)
 class SchedulerDecision:
     """Outcome of one scheduling evaluation.
 
@@ -181,6 +231,19 @@ class PAPIScheduler:
     def attention_target(self) -> PlacementTarget:
         """Attention kernels are always memory-bound => always Attn-PIM."""
         return PlacementTarget.ATTN_PIM
+
+    def load_signal(self) -> LoadSignal:
+        """Current load snapshot for cluster routing (Section 5.2 state)."""
+        tlp = self.tlp_register.read()
+        rlp = max(0, self.rlp)
+        intensity = estimate_fc_intensity(rlp, tlp) if rlp > 0 else 0
+        return LoadSignal(
+            rlp=rlp,
+            tlp=tlp,
+            intensity=intensity,
+            alpha=self.alpha,
+            target=self._current_target,
+        )
 
     def placements_for(self, kinds: Sequence[KernelKind]) -> List[Placement]:
         """Placement records for the kernels of the next iteration."""

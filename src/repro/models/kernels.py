@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.errors import ConfigurationError
 from repro.models.config import ModelConfig
@@ -204,6 +205,50 @@ def attention_cost(model: ModelConfig, rlp: int, tlp: int, context_len: int) -> 
     kv_bytes = float(2 * rlp * context_len * h * model.dtype_bytes)
     # Q in, attention scores (tlp x context per head), output context vectors.
     score_elems = rlp * tlp * context_len * model.num_heads
+    activation_bytes = float(
+        (2 * tokens * h + 2 * score_elems) * model.dtype_bytes
+    )
+    return KernelCost(
+        kind=KernelKind.ATTENTION,
+        flops=flops,
+        weight_bytes=kv_bytes,
+        activation_bytes=activation_bytes,
+        tokens=tokens,
+    )
+
+
+def attention_cost_batch(
+    model: ModelConfig, tlp: int, context_lens: "Sequence[int]"
+) -> KernelCost:
+    """Multi-head attention of one layer with per-request KV lengths.
+
+    Exact sum of :func:`attention_cost` over requests: every term of the
+    attention cost is linear in the per-request context length, so the
+    batch aggregate depends only on ``sum(context_lens)`` — this prices a
+    heterogeneous batch without the mean-context rounding error.
+
+    Args:
+        model: Model architecture.
+        tlp: Token-level parallelism (speculation length).
+        context_lens: KV-cache length of each active request.
+
+    Returns:
+        Aggregate attention cost over the whole batch for one layer.
+    """
+    if not context_lens:
+        raise ConfigurationError("context_lens must be non-empty")
+    for context_len in context_lens:
+        if context_len <= 0:
+            raise ConfigurationError(
+                f"context_len must be positive, got {context_len}"
+            )
+    rlp = len(context_lens)
+    tokens = _validate(rlp, tlp)
+    total_context = sum(context_lens)
+    h = model.hidden_dim
+    flops = 4.0 * tlp * total_context * h
+    kv_bytes = float(2 * total_context * h * model.dtype_bytes)
+    score_elems = tlp * total_context * model.num_heads
     activation_bytes = float(
         (2 * tokens * h + 2 * score_elems) * model.dtype_bytes
     )

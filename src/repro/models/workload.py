@@ -10,7 +10,7 @@ to execute the step and price each kernel on its assigned device.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.models.config import ModelConfig
@@ -18,6 +18,7 @@ from repro.models.kernels import (
     KernelCost,
     KernelKind,
     attention_cost,
+    attention_cost_batch,
     feedforward_cost,
     projection_cost,
     qkv_cost,
@@ -56,6 +57,9 @@ class DecodeStep:
             the attention kernel. The serving engine passes the true mean
             over active requests.
         invocations: The four kernels, in execution order.
+        context_lens: Per-request KV-cache lengths when the step was built
+            with per-request context accounting; ``None`` for mean-context
+            pricing.
     """
 
     model: ModelConfig
@@ -63,6 +67,7 @@ class DecodeStep:
     tlp: int
     mean_context_len: int
     invocations: Sequence[KernelInvocation]
+    context_lens: Optional[Tuple[int, ...]] = None
 
     @property
     def fc_invocations(self) -> List[KernelInvocation]:
@@ -93,6 +98,7 @@ def build_decode_step(
     rlp: int,
     tlp: int,
     mean_context_len: int,
+    context_lens: Optional[Sequence[int]] = None,
 ) -> DecodeStep:
     """Construct the kernel bundle for one decoding iteration.
 
@@ -101,6 +107,10 @@ def build_decode_step(
         rlp: Batch size of the iteration (active requests).
         tlp: Speculation length of the iteration.
         mean_context_len: Average KV-cache length across active requests.
+        context_lens: Optional per-request KV-cache lengths (one per active
+            request). When given, the attention kernel is priced as the
+            exact sum of per-request costs instead of the rounded-mean
+            approximation; ``mean_context_len`` is retained for reporting.
 
     Returns:
         A :class:`DecodeStep` with QKV, attention, projection, and FFN
@@ -110,14 +120,19 @@ def build_decode_step(
         raise ConfigurationError(
             f"mean_context_len must be positive, got {mean_context_len}"
         )
+    if context_lens is not None and len(context_lens) != rlp:
+        raise ConfigurationError(
+            f"context_lens must have one entry per request: "
+            f"got {len(context_lens)} for rlp={rlp}"
+        )
     layers = model.num_layers
+    if context_lens is None:
+        attention = attention_cost(model, rlp, tlp, mean_context_len)
+    else:
+        attention = attention_cost_batch(model, tlp, context_lens)
     invocations = (
         KernelInvocation(KernelKind.QKV, qkv_cost(model, rlp, tlp), layers),
-        KernelInvocation(
-            KernelKind.ATTENTION,
-            attention_cost(model, rlp, tlp, mean_context_len),
-            layers,
-        ),
+        KernelInvocation(KernelKind.ATTENTION, attention, layers),
         KernelInvocation(
             KernelKind.PROJECTION, projection_cost(model, rlp, tlp), layers
         ),
@@ -129,6 +144,7 @@ def build_decode_step(
         tlp=tlp,
         mean_context_len=mean_context_len,
         invocations=invocations,
+        context_lens=None if context_lens is None else tuple(context_lens),
     )
 
 

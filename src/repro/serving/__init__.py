@@ -9,6 +9,7 @@ parallelism PAPI's scheduler exploits.
 """
 
 from repro.serving.request import Request, RequestState
+from repro.serving.clock import Event, EventKind, EventQueue
 from repro.serving.dataset import (
     DatasetSpec,
     CREATIVE_WRITING,
@@ -17,10 +18,11 @@ from repro.serving.dataset import (
 )
 from repro.serving.speculative import SpeculationConfig, SpeculativeSampler
 from repro.serving.batching import ContinuousBatcher, StaticBatcher
-from repro.serving.engine import ServingEngine
+from repro.serving.engine import ServingEngine, StepPricer
 from repro.serving.metrics import IterationRecord, RunSummary
 from repro.serving.arrivals import form_dynamic_batches, poisson_arrivals
 from repro.serving.slo import max_batch_under_slo
+from repro.serving.stepcache import StepCostCache
 from repro.serving.tlp_policy import (
     AcceptanceAdaptiveTLP,
     FixedTLP,
@@ -33,6 +35,9 @@ __all__ = [
     "CREATIVE_WRITING",
     "ContinuousBatcher",
     "DatasetSpec",
+    "Event",
+    "EventKind",
+    "EventQueue",
     "FixedTLP",
     "GENERAL_QA",
     "IterationRecord",
@@ -43,6 +48,8 @@ __all__ = [
     "SpeculationConfig",
     "SpeculativeSampler",
     "StaticBatcher",
+    "StepCostCache",
+    "StepPricer",
     "UtilizationAdaptiveTLP",
     "form_dynamic_batches",
     "max_batch_under_slo",

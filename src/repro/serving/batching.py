@@ -39,6 +39,10 @@ class StaticBatcher:
         """All requests ever admitted (for summaries)."""
         return list(self._requests)
 
+    def all_requests(self) -> List[Request]:
+        """Every request this batcher will ever serve (capacity checks)."""
+        return list(self._requests)
+
     def admit(self) -> List[Request]:
         """Static batching admits nothing mid-run."""
         return []
@@ -78,6 +82,15 @@ class ContinuousBatcher:
 
     def admitted(self) -> List[Request]:
         return list(self._admitted)
+
+    def all_requests(self) -> List[Request]:
+        """Every request this batcher will ever serve (capacity checks).
+
+        Includes still-queued requests: a queued request with a longer
+        ``input_len + output_len`` than anything in the initial batch must
+        still fit the KV capacity once admitted.
+        """
+        return list(self._admitted) + list(self._queue)
 
     def admit(self) -> List[Request]:
         """Fill open slots from the queue; returns newly admitted requests."""

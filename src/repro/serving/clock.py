@@ -1,0 +1,101 @@
+"""Discrete-event simulation core: simulated clock and event queue.
+
+The serving stack is arrival-driven: requests enter the system at trace
+timestamps, wait in a queue, get admitted into a replica's running batch,
+and complete decoding iterations whose durations the cost model prices.
+This module provides the minimal event machinery all of that runs on — a
+priority queue of timestamped events over a simulated clock.
+
+Three event kinds cover LLM serving:
+
+* ``ARRIVAL`` — a request reaches the cluster at its trace timestamp.
+* ``ADMIT`` — a replica pulls waiting requests into its running batch
+  (charging prefill) because capacity opened or it was idle.
+* ``STEP_DONE`` — one decoding iteration (plus any piggybacked prefill and
+  draft-model time) finishes on a replica.
+
+Events at equal timestamps are processed in push order (a monotone
+sequence number breaks ties), which keeps runs deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+from repro.errors import ConfigurationError, SimulationError
+
+
+class EventKind(enum.Enum):
+    """What happened at a simulated timestamp."""
+
+    ARRIVAL = "arrival"
+    ADMIT = "admit"
+    STEP_DONE = "step-done"
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """One scheduled occurrence on the simulated timeline.
+
+    Attributes:
+        time_s: Simulated timestamp of the event.
+        seq: Monotone tie-breaker (push order at equal timestamps).
+        kind: Event kind.
+        payload: Event-specific data (e.g. the arriving request, or the
+            replica index the event belongs to).
+    """
+
+    time_s: float
+    seq: int
+    kind: EventKind = field(compare=False)
+    payload: Any = field(compare=False, default=None)
+
+
+class EventQueue:
+    """Priority queue of events over a simulated clock.
+
+    ``now`` advances to each popped event's timestamp; pushing an event
+    into the past raises, so causality violations fail loudly instead of
+    silently reordering the timeline.
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = 0
+        self.now = 0.0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def empty(self) -> bool:
+        return not self._heap
+
+    def push(self, time_s: float, kind: EventKind, payload: Any = None) -> Event:
+        """Schedule an event at ``time_s`` (>= the current clock)."""
+        if time_s < 0:
+            raise ConfigurationError("event time must be non-negative")
+        if time_s < self.now:
+            raise SimulationError(
+                f"cannot schedule {kind.value} at {time_s:.6f}s: "
+                f"clock already at {self.now:.6f}s"
+            )
+        event = Event(time_s=time_s, seq=self._seq, kind=kind, payload=payload)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event, advancing the clock."""
+        if not self._heap:
+            raise SimulationError("event queue is empty")
+        event = heapq.heappop(self._heap)
+        self.now = event.time_s
+        return event
+
+    def peek(self) -> Optional[Event]:
+        """The earliest scheduled event without popping it."""
+        return self._heap[0] if self._heap else None

@@ -8,34 +8,140 @@ compute-bound unit, then iterates decoding steps. Every iteration it
    main experiments; dynamic policies model its references [28]/[38]) and
    notifies the system when it changes,
 2. builds the :class:`~repro.models.workload.DecodeStep` for the current
-   (RLP, TLP) and mean context length,
+   (RLP, TLP) and the active requests' contexts,
 3. asks the system to price it (the system consults its scheduler),
 4. samples per-request accepted tokens (speculative decoding),
 5. gathers the output-token vector — ``EOS_TOKEN`` for requests that just
    finished — and feeds it to the system's runtime monitor, exactly the
    token-level monitoring loop of Section 5.2.2.
+
+Two pricing refinements sit behind engine knobs:
+
+* ``context_mode`` — ``"per-request"`` (default) prices attention as the
+  exact sum of per-request KV-cache costs; ``"mean"`` reproduces the
+  original rounded-mean approximation bit-for-bit (the paper-figure
+  drivers pin this mode so their outputs stay stable).
+* ``context_bucket`` / ``step_cache`` — quantize context lengths to a
+  bucket and memoize priced steps in a
+  :class:`~repro.serving.stepcache.StepCostCache`, which removes most of
+  the cost-model work from design-space sweeps (identical steps are
+  re-priced thousands of times).
+
+Arrival-driven serving (requests admitted at their trace timestamps,
+latency measured from arrival) lives in :meth:`ServingEngine.run_trace`,
+which runs the single-replica case of the cluster event loop in
+``repro.cluster``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from repro.core.scheduler import EOS_TOKEN
-from repro.errors import SimulationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.models.config import ModelConfig
 from repro.models.workload import build_decode_step
 from repro.serving.batching import ContinuousBatcher, StaticBatcher
 from repro.serving.metrics import IterationRecord, RunSummary
 from repro.serving.request import Request, RequestState
 from repro.serving.speculative import SpeculationConfig, SpeculativeSampler
+from repro.serving.stepcache import StepCostCache
 from repro.serving.tlp_policy import FixedTLP, TLPPolicy, TLPTrace
-from repro.systems.base import ServingSystem
+from repro.systems.base import IterationResult, ServingSystem
 
 Batcher = Union[StaticBatcher, ContinuousBatcher]
 
 #: Safety valve against runaway simulations.
 MAX_ITERATIONS = 1_000_000
+
+#: Supported context-accounting modes.
+CONTEXT_MODES = ("per-request", "mean")
+
+
+@dataclass
+class StepPricer:
+    """Prices decoding iterations for a batch of active requests.
+
+    Encapsulates the context-accounting mode, optional context bucketing,
+    and the optional step-cost cache, so the blocking engine loop and the
+    event-driven cluster replicas share one pricing path.
+
+    Attributes:
+        system: The platform pricing the steps.
+        model: The model being decoded.
+        context_mode: ``"per-request"`` for exact per-request attention
+            accounting, ``"mean"`` for the rounded-mean approximation.
+        context_bucket: Quantize context lengths to multiples of this
+            bucket before pricing (1 = exact). Coarser buckets trade a
+            bounded pricing error for step-cache hit rate.
+        step_cache: Optional shared LRU of priced steps.
+    """
+
+    system: ServingSystem
+    model: ModelConfig
+    context_mode: str = "per-request"
+    context_bucket: int = 1
+    step_cache: Optional[StepCostCache] = None
+
+    def __post_init__(self) -> None:
+        if self.context_mode not in CONTEXT_MODES:
+            raise ConfigurationError(
+                f"context_mode must be one of {CONTEXT_MODES}, "
+                f"got {self.context_mode!r}"
+            )
+        if self.context_bucket < 1:
+            raise ConfigurationError("context_bucket must be >= 1")
+
+    def _bucketize(self, context_len: int) -> int:
+        bucket = self.context_bucket
+        if bucket <= 1:
+            return context_len
+        # Clamp to one full bucket: rounding a short context down to zero
+        # would underprice its attention by up to bucket/2 x, while one
+        # bucket overprices it by at most 2x (and only transiently — the
+        # context grows past the bucket within a few iterations).
+        return max(bucket, round(context_len / bucket) * bucket)
+
+    def price(self, active: Sequence[Request], tlp: int) -> IterationResult:
+        """Price one decoding iteration over the active requests."""
+        rlp = len(active)
+        if rlp == 0:
+            raise SimulationError("cannot price a step with no active requests")
+        context_lens: Optional[Tuple[int, ...]] = None
+        if self.context_mode == "mean":
+            # input_len + generated inline: context_len is a property and
+            # this sum runs once per decoding iteration over the batch.
+            total = sum([r.input_len + r.generated for r in active])
+            mean_context = self._bucketize(max(1, round(total / rlp)))
+            context_key: object = mean_context
+        else:
+            bucketize = self._bucketize
+            context_lens = tuple(
+                sorted(bucketize(r.input_len + r.generated) for r in active)
+            )
+            mean_context = max(1, round(sum(context_lens) / rlp))
+            context_key = context_lens
+
+        if self.step_cache is None:
+            step = build_decode_step(
+                self.model, rlp, tlp, mean_context, context_lens=context_lens
+            )
+            return self.system.execute_step(step)
+
+        # The model name is part of the key: a cache (and a system) may be
+        # shared by engines serving different models.
+        fc_target = self.system.plan_fc_target(rlp, tlp)
+        key = (self.model.name, fc_target, rlp, tlp, context_key)
+        cached = self.step_cache.get(self.system, key)
+        if cached is not None:
+            return cached
+        step = build_decode_step(
+            self.model, rlp, tlp, mean_context, context_lens=context_lens
+        )
+        result = self.system.execute_step(step)
+        self.step_cache.put(self.system, key, result)
+        return result
 
 
 @dataclass
@@ -52,6 +158,11 @@ class ServingEngine:
         seed: Seed for the acceptance sampler.
         check_capacity: Validate weight/KV capacity before running.
         tlp_trace: TLP chosen each iteration (populated during a run).
+        context_mode: Context accounting: ``"per-request"`` (exact) or
+            ``"mean"`` (the original rounded-mean approximation, kept for
+            bit-stable paper-figure reproduction).
+        context_bucket: Context-length quantization bucket (1 = exact).
+        step_cache: Optional :class:`StepCostCache` shared across runs.
     """
 
     system: ServingSystem
@@ -61,10 +172,64 @@ class ServingEngine:
     seed: int = 0
     check_capacity: bool = True
     tlp_trace: TLPTrace = field(default_factory=TLPTrace)
+    context_mode: str = "per-request"
+    context_bucket: int = 1
+    step_cache: Optional[StepCostCache] = None
+
+    def __post_init__(self) -> None:
+        # Fail on bad knobs at construction, not mid-run.
+        self._make_pricer()
+
+    def _make_pricer(self) -> StepPricer:
+        return StepPricer(
+            system=self.system,
+            model=self.model,
+            context_mode=self.context_mode,
+            context_bucket=self.context_bucket,
+            step_cache=self.step_cache,
+        )
 
     def run(self, requests: Sequence[Request]) -> RunSummary:
         """Serve a static batch of requests to completion."""
         return self.run_with_batcher(StaticBatcher(requests))
+
+    def run_trace(
+        self, requests: Sequence[Request], max_batch_size: int
+    ) -> RunSummary:
+        """Serve an arrival-stamped trace with event-driven admission.
+
+        Requests enter at their ``arrival_s`` timestamps and wait in a
+        queue until a batch slot opens; per-request latency therefore
+        covers queueing + prefill + decoding. This is the single-replica
+        case of the cluster event loop (``repro.cluster``).
+
+        Args:
+            requests: Requests with ``arrival_s`` stamped (e.g. via
+                :func:`~repro.serving.arrivals.poisson_arrivals`).
+            max_batch_size: Continuous-batching slot count.
+
+        Returns:
+            The run summary, with ``makespan_seconds`` covering the whole
+            trace and ``queueing_seconds`` aggregating admission waits.
+        """
+        from repro.cluster.replica import Replica
+
+        replica = Replica(
+            replica_id=0,
+            system=self.system,
+            model=self.model,
+            max_batch_size=max_batch_size,
+            speculation=self.speculation,
+            tlp_policy=self.tlp_policy,
+            seed=self.seed,
+            check_capacity=self.check_capacity,
+            context_mode=self.context_mode,
+            context_bucket=self.context_bucket,
+            step_cache=self.step_cache,
+        )
+        replica.serve_trace(requests)
+        self.tlp_trace = replica.tlp_trace
+        return replica.summary
 
     def run_with_batcher(self, batcher: Batcher) -> RunSummary:
         """Serve a workload under an arbitrary batching policy."""
@@ -74,80 +239,110 @@ class ServingEngine:
             self.speculation.tlp
         )
         self.tlp_trace = TLPTrace()
+        pricer = self._make_pricer()
 
         active = batcher.active()
         if self.check_capacity:
-            max_seq = max(r.input_len + r.output_len for r in active)
-            self.system.check_capacity(self.model, len(active), max_seq)
+            # Validate the whole workload, not just the initial batch: a
+            # queued request with a longer input+output must still fit KV
+            # capacity once continuous batching admits it.
+            everyone = batcher.all_requests()
+            max_seq = max(r.input_len + r.output_len for r in everyone)
+            self.system.check_capacity(
+                self.model, batcher.initial_batch_size, max_seq
+            )
 
         # Initial scheduling uses the system-configured speculation length
         # (Section 5.2.1: 'TLP is set to the system-defined speculation
         # length'); dynamic policies take over from the first iteration.
-        self._charge_prefill(summary, active)
+        clock = self._charge_prefill(summary, active)
         current_tlp = self.speculation.tlp
         self.system.begin_batch(len(active), current_tlp)
 
+        # Hot loop: bind the per-iteration callees once. The loop runs
+        # hundreds of thousands of times in design-space sweeps, where
+        # attribute lookups are a measurable slice of wall-clock.
+        price = pricer.price
+        next_tlp = policy.next_tlp
+        trace_tlp = self.tlp_trace.record
+        accepted_tokens = sampler.accepted_tokens
+        record_latency = summary.record_request_latency
+        draft_overhead = self.speculation.draft_overhead_s
+        observe_outputs = self.system.observe_outputs
+        add_iteration = summary.add_iteration
+        finished_state = RequestState.FINISHED
+
         iteration = 0
         accepted_fraction = 1.0
-        while not batcher.done:
+        while True:
             if iteration >= MAX_ITERATIONS:
                 raise SimulationError("decoding did not converge (runaway loop)")
-            active = batcher.active()
             if not active:
                 fresh = batcher.admit()
                 if not fresh:
                     break
-                self._charge_prefill(summary, fresh)
+                clock += self._charge_prefill(summary, fresh)
                 self.system.begin_batch(len(fresh), current_tlp)
+                active = fresh
                 continue
 
             rlp = len(active)
-            tlp = policy.next_tlp(iteration, rlp, accepted_fraction)
+            tlp = next_tlp(iteration, rlp, accepted_fraction)
             if tlp != current_tlp:
                 self.system.update_tlp(tlp)
                 current_tlp = tlp
-            self.tlp_trace.record(tlp)
+            trace_tlp(tlp)
 
-            mean_context = max(
-                1, round(sum(r.context_len for r in active) / rlp)
-            )
-            step = build_decode_step(self.model, rlp, tlp, mean_context)
-            result = self.system.execute_step(step)
-            summary.draft_seconds += self.speculation.draft_overhead_s(tlp)
+            result = price(active, tlp)
+            draft_seconds = draft_overhead(tlp)
+            summary.draft_seconds += draft_seconds
+            clock += draft_seconds + result.seconds
 
             accepted_total = 0
             outputs: List[int] = []
-            decode_clock = summary.decode_seconds + result.seconds
+            still_active: List[Request] = []
+            # Latency is the run-relative wall clock at finish time:
+            # queueing (iterations spent waiting for a slot), prefill, and
+            # decoding. The blocking loop starts its clock at admission of
+            # the first batch — arrival stamps are the event-driven
+            # run_trace path's job (dynamic batches launched via
+            # form_dynamic_batches carry their own start_s offset).
+            serial = tlp == 1  # no draft model => exactly one token, no RNG
             for request in active:
-                accepted = sampler.accepted_tokens(tlp)
+                accepted = 1 if serial else accepted_tokens(tlp)
                 credited = request.advance(accepted, iteration)
                 accepted_total += credited
-                outputs.append(EOS_TOKEN if request.is_finished else 0)
-                if request.is_finished:
-                    summary.record_request_latency(decode_clock)
+                if request.state is finished_state:
+                    outputs.append(EOS_TOKEN)
+                    record_latency(clock)
+                else:
+                    outputs.append(0)
+                    still_active.append(request)
             accepted_fraction = self._accepted_fraction(
                 accepted_total, rlp, tlp
             )
 
-            rlp_after = sum(1 for r in active if not r.is_finished)
-            self.system.observe_outputs(outputs)
-            summary.add_iteration(
+            observe_outputs(outputs)
+            add_iteration(
                 IterationRecord(
                     iteration=iteration,
                     result=result,
                     tokens_accepted=accepted_total,
                     rlp_before=rlp,
-                    rlp_after=rlp_after,
+                    rlp_after=len(still_active),
                 )
             )
             iteration += 1
+            active = still_active
 
             fresh = batcher.admit()
             if fresh:
-                self._charge_prefill(summary, fresh)
-                self.system.begin_batch(len(batcher.active()), current_tlp)
+                clock += self._charge_prefill(summary, fresh)
+                active = active + fresh
+                self.system.begin_batch(len(active), current_tlp)
 
         summary.reschedules = self._reschedule_count()
+        summary.makespan_seconds = summary.total_seconds
         return summary
 
     @staticmethod
@@ -159,15 +354,19 @@ class ServingEngine:
         accepted_drafts = max(0, accepted_total - rlp)
         return accepted_drafts / drafted
 
-    def _charge_prefill(self, summary: RunSummary, requests: Sequence[Request]) -> None:
+    def _charge_prefill(
+        self, summary: RunSummary, requests: Sequence[Request]
+    ) -> float:
+        """Charge prefill for ``requests``; returns the seconds consumed."""
         if not requests:
-            return
+            return 0.0
         mean_input = max(1, round(sum(r.input_len for r in requests) / len(requests)))
         result = self.system.execute_prefill(self.model, len(requests), mean_input)
         summary.prefill_seconds += result.seconds
         summary.prefill_energy += result.energy_joules
         for request in requests:
             request.state = RequestState.DECODING
+        return result.seconds
 
     def _reschedule_count(self) -> int:
         scheduler = getattr(self.system, "scheduler", None)

@@ -60,6 +60,10 @@ def summary_to_dict(
         "time_breakdown": dict(summary.time_breakdown),
         "energy_breakdown": dict(summary.energy_breakdown),
         "rlp_trace": summary.rlp_trace(),
+        "request_latencies": list(summary.request_latencies),
+        "queueing_seconds": summary.queueing_seconds,
+        "makespan_seconds": summary.makespan_seconds,
+        "utilization": summary.utilization,
     }
     if include_iterations:
         payload["records"] = [

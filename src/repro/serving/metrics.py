@@ -3,10 +3,25 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 from repro.errors import ConfigurationError
 from repro.systems.base import IterationResult
+
+
+def latency_percentile_of(latencies: Sequence[float], percentile: float) -> float:
+    """Percentile of a latency sample (nearest-rank convention).
+
+    Shared by run-level and cluster-level summaries so the two report the
+    same convention for the SLO-defining p50/p99 numbers.
+    """
+    if not 0 < percentile <= 100:
+        raise ConfigurationError("percentile must be in (0, 100]")
+    if not latencies:
+        raise ConfigurationError("no request latencies recorded")
+    ordered = sorted(latencies)
+    rank = max(0, int(round(percentile / 100 * len(ordered))) - 1)
+    return ordered[rank]
 
 
 @dataclass(frozen=True)
@@ -47,6 +62,13 @@ class RunSummary:
         time_breakdown: Seconds by component across all iterations.
         energy_breakdown: Joules by component across all iterations.
         records: Per-iteration records.
+        request_latencies: Per-request completion latencies (arrival to
+            ``<eos>``: queueing + prefill + decode).
+        queueing_seconds: Total time requests spent waiting for admission
+            (arrival-driven runs; 0 when every request is admitted at once).
+        makespan_seconds: Simulated wall-clock span of the run. Equals
+            ``total_seconds`` for back-to-back batch runs; under sparse
+            arrival traces it also covers idle gaps between batches.
     """
 
     system: str
@@ -64,6 +86,8 @@ class RunSummary:
     energy_breakdown: Dict[str, float] = field(default_factory=dict)
     records: List[IterationRecord] = field(default_factory=list)
     request_latencies: List[float] = field(default_factory=list)
+    queueing_seconds: float = 0.0
+    makespan_seconds: float = 0.0
 
     def add_iteration(self, record: IterationRecord) -> None:
         """Fold one iteration into the summary."""
@@ -117,7 +141,12 @@ class RunSummary:
         return [record.rlp_before for record in self.records]
 
     def record_request_latency(self, latency_s: float) -> None:
-        """Record one request's completion latency (decode-start relative)."""
+        """Record one request's completion latency.
+
+        The engine passes the full arrival-to-``<eos>`` latency: time
+        queued before admission, prefill, and every decoding iteration
+        (plus draft-model time) up to the one that finished the request.
+        """
         if latency_s < 0:
             raise ConfigurationError("latency must be non-negative")
         self.request_latencies.append(latency_s)
@@ -125,17 +154,11 @@ class RunSummary:
     def latency_percentile(self, percentile: float) -> float:
         """Per-request completion-latency percentile (e.g. 50, 99).
 
-        Latencies are measured from decode start to the iteration in which
-        the request emits ``<eos>`` — the per-request number an SLO
-        (Section 3.2a) constrains.
+        Latencies run from the request's arrival to the iteration in which
+        it emits ``<eos>`` — queueing and prefill included, the per-request
+        number an SLO (Section 3.2a) constrains.
         """
-        if not 0 < percentile <= 100:
-            raise ConfigurationError("percentile must be in (0, 100]")
-        if not self.request_latencies:
-            raise ConfigurationError("no request latencies recorded")
-        ordered = sorted(self.request_latencies)
-        rank = max(0, int(round(percentile / 100 * len(ordered))) - 1)
-        return ordered[rank]
+        return latency_percentile_of(self.request_latencies, percentile)
 
     @property
     def mean_request_latency(self) -> float:
@@ -143,6 +166,17 @@ class RunSummary:
         if not self.request_latencies:
             return 0.0
         return sum(self.request_latencies) / len(self.request_latencies)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the makespan the replica spent serving.
+
+        1.0 for back-to-back batch runs; below 1.0 when an arrival trace
+        leaves the replica idle between batches.
+        """
+        if self.makespan_seconds <= 0:
+            return 1.0 if self.total_seconds > 0 else 0.0
+        return min(1.0, self.total_seconds / self.makespan_seconds)
 
 
 def speedup(baseline: RunSummary, candidate: RunSummary) -> float:

@@ -70,14 +70,16 @@ class Request:
         Raises:
             SimulationError: If the request already finished.
         """
-        if self.is_finished:
+        if self.state is RequestState.FINISHED:
             raise SimulationError(f"request {self.request_id} already finished")
         if tokens <= 0:
             raise SimulationError("must advance by at least one token")
-        credited = min(tokens, self.remaining)
+        remaining = self.output_len - self.generated
+        credited = tokens if tokens < remaining else remaining
         self.generated += credited
-        self.state = RequestState.DECODING
         if self.generated >= self.output_len:
             self.state = RequestState.FINISHED
             self.finish_iteration = iteration
+        else:
+            self.state = RequestState.DECODING
         return credited

@@ -1,0 +1,123 @@
+"""LRU cache of priced decoding steps (the serving hot path).
+
+Pricing one decoding iteration walks the whole cost model: four kernel
+cost constructions, four device roofline evaluations, link transfer math
+and energy accounting. Design-space sweeps and long serving runs price
+*identical* steps thousands of times — same system, same (RLP, TLP), same
+(bucketed) context — so a small LRU in front of
+:meth:`~repro.systems.base.ServingSystem.execute_step` removes most of
+that work.
+
+Keys are ``(model_name, fc_target, rlp, tlp, context_key)`` scoped per
+system instance: :class:`~repro.systems.base.IterationResult` is frozen,
+so a cached result can be shared safely, but prices are only valid for
+the exact system that produced them (device inventory, link, pipeline
+depth) and the model whose kernels were priced — a system instance may
+serve several models over its lifetime.
+Systems are held via weak references so a cache shared across a sweep does
+not keep dead configurations alive. The planned FC target is part of the
+key, which keeps the cache exact for PAPI: a placement flip at the same
+(RLP, TLP) — impossible today, but cheap to guard — would miss instead of
+returning a stale price.
+
+Context bucketing is the engine's job (see ``ServingEngine.context_bucket``);
+with bucket size 1 the cache is bit-exact with the uncached path.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.systems.base import IterationResult, ServingSystem
+
+#: A fully resolved step-price key:
+#: (model_name, fc_target, rlp, tlp, context_key).
+StepKey = Tuple[str, Hashable, int, int, Hashable]
+
+
+class StepCostCache:
+    """Bounded LRU of :class:`IterationResult` values, scoped per system.
+
+    One cache instance can front any number of systems (e.g. every replica
+    of a cluster, or every point of a design-space sweep); entries never
+    leak across systems because the outer map is keyed by system identity.
+
+    Attributes:
+        max_entries: Per-system entry cap; least-recently-used entries are
+            evicted beyond it.
+        hits: Lookups served from the cache.
+        misses: Lookups that fell through to the cost model.
+    """
+
+    def __init__(self, max_entries: int = 4096) -> None:
+        if max_entries <= 0:
+            raise ConfigurationError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        # Keyed by id(system): dataclass systems define __eq__ without
+        # __hash__, so they cannot key a WeakKeyDictionary directly. A
+        # finalizer purges a system's entries when it is collected, which
+        # both bounds memory and prevents a recycled id from ever reading
+        # another system's prices.
+        self._per_system: Dict[int, OrderedDict] = {}
+
+    def _entries(self, system: ServingSystem, create: bool) -> Optional[OrderedDict]:
+        system_id = id(system)
+        entries = self._per_system.get(system_id)
+        if entries is None and create:
+            entries = OrderedDict()
+            self._per_system[system_id] = entries
+            weakref.finalize(system, self._per_system.pop, system_id, None)
+        return entries
+
+    def get(self, system: ServingSystem, key: StepKey) -> Optional[IterationResult]:
+        """Cached price of ``key`` on ``system``, or ``None`` on a miss."""
+        entries = self._entries(system, create=False)
+        result = entries.get(key) if entries is not None else None
+        if result is None:
+            self.misses += 1
+            return None
+        entries.move_to_end(key)
+        self.hits += 1
+        return result
+
+    def put(
+        self, system: ServingSystem, key: StepKey, result: IterationResult
+    ) -> None:
+        """Store one priced step, evicting the LRU entry if at capacity."""
+        entries = self._entries(system, create=True)
+        entries[key] = result
+        entries.move_to_end(key)
+        if len(entries) > self.max_entries:
+            entries.popitem(last=False)
+
+    @property
+    def lookups(self) -> int:
+        """Total lookups observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0 when unused)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def stats(self) -> Dict[str, float]:
+        """Counters for reporting (hits, misses, hit rate, systems)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "systems": len(self._per_system),
+        }
+
+    def clear(self) -> None:
+        """Drop every entry and reset the counters."""
+        self._per_system.clear()
+        self.hits = 0
+        self.misses = 0

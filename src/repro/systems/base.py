@@ -13,9 +13,12 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence, TYPE_CHECKING
 
 from repro.core.placement import PlacementTarget
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.scheduler import LoadSignal
 from repro.devices.base import ComputeDevice, KernelResult
 from repro.devices.interconnect import Link
 from repro.errors import CapacityError, ConfigurationError
@@ -123,6 +126,11 @@ class ServingSystem(abc.ABC):
         PAPI forwards this to the scheduler's TLP register (Section 5.2.2's
         'the host CPU notifies the PAPI system to update the register').
         """
+
+    def load_signal(self) -> Optional["LoadSignal"]:
+        """Scheduler load snapshot for cluster routing, if the system has
+        a dynamic scheduler (``None`` for statically placed systems)."""
+        return None
 
     # -- capacity ------------------------------------------------------------
 
@@ -271,6 +279,21 @@ class ServingSystem(abc.ABC):
         sizes = [base + (1 if i < extra else 0) for i in range(chunks)]
         sizes = [s for s in sizes if s > 0]
 
+        def sub_step(offset: int, size: int) -> DecodeStep:
+            if step.context_lens is not None:
+                # Per-request accounting: carry each chunk's slice of the
+                # real context lengths so exact attention pricing survives
+                # the split (attention cost is linear in context, so the
+                # chunk sum equals the whole-batch cost).
+                chunk_lens = step.context_lens[offset:offset + size]
+                mean = max(1, round(sum(chunk_lens) / size))
+                return build_decode_step(
+                    step.model, size, step.tlp, mean, context_lens=chunk_lens
+                )
+            return build_decode_step(
+                step.model, size, step.tlp, step.mean_context_len
+            )
+
         fc_done = 0.0
         attn_done = 0.0
         fc_seconds = 0.0
@@ -282,10 +305,10 @@ class ServingSystem(abc.ABC):
         fc_target = self.plan_fc_target(step.rlp, step.tlp)
         fc_device = self.fc_unit_for(fc_target)
         attn_device = self.attention_unit()
+        offset = 0
         for size in sizes:
-            sub = build_decode_step(
-                step.model, size, step.tlp, step.mean_context_len
-            )
+            sub = sub_step(offset, size)
+            offset += size
             chunk_fc = 0.0
             chunk_attn = 0.0
             for invocation in sub.invocations:

@@ -83,6 +83,10 @@ class PAPISystem(ServingSystem):
         if tlp != self.scheduler.tlp_register.read():
             self.scheduler.tlp_register.write(tlp)
 
+    def load_signal(self):
+        """Expose the scheduler's RLP/TLP/alpha state for cluster routing."""
+        return self.scheduler.load_signal()
+
     def plan_fc_target(self, rlp: int, tlp: int) -> PlacementTarget:
         """FC target from the online estimate.
 

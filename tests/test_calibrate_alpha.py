@@ -1,0 +1,98 @@
+"""Edge-case tests for offline alpha calibration (Section 5.2.1)."""
+
+import pytest
+
+from repro.core.scheduler import calibrate_alpha
+from repro.devices.base import BoundKind, KernelResult
+from repro.errors import ConfigurationError
+from repro.models.config import get_model
+
+
+class FakeDevice:
+    """Device whose FC latency is a configurable function of token count."""
+
+    name = "fake"
+
+    def __init__(self, seconds_of_tokens):
+        self._seconds_of_tokens = seconds_of_tokens
+
+    def execute(self, cost):
+        return KernelResult(
+            device=self.name,
+            seconds=self._seconds_of_tokens(cost.tokens),
+            energy_joules=0.0,
+            bound=BoundKind.COMPUTE,
+        )
+
+
+def crossover_devices(crossover):
+    """PIM wins at or below ``crossover`` tokens, PU wins above."""
+    pim = FakeDevice(lambda tokens: 1.0 if tokens <= crossover else 3.0)
+    pu = FakeDevice(lambda tokens: 2.0)
+    return pu, pim
+
+
+class TestCalibrateAlphaEdges:
+    def test_empty_levels_rejected(self):
+        pu, pim = crossover_devices(8)
+        with pytest.raises(ConfigurationError):
+            calibrate_alpha(get_model("llama-65b"), pu, pim,
+                            parallelism_levels=())
+
+    def test_single_level_pim_wins(self):
+        """One level where PIM wins: the crossover is extrapolated one
+        doubling beyond the sweep."""
+        pu, pim = crossover_devices(8)
+        alpha = calibrate_alpha(get_model("llama-65b"), pu, pim,
+                                parallelism_levels=(8,))
+        assert alpha == pytest.approx((8 + 16) / 2.0)
+
+    def test_single_level_pu_wins(self):
+        pu, pim = crossover_devices(2)
+        alpha = calibrate_alpha(get_model("llama-65b"), pu, pim,
+                                parallelism_levels=(8,))
+        assert alpha == pytest.approx(4.0)
+        assert alpha < 8  # everything in the sweep schedules to PUs
+
+    def test_pu_always_wins(self):
+        """PUs faster everywhere: alpha lands below the smallest level so
+        every operating point is compute-bound."""
+        pu = FakeDevice(lambda tokens: 0.1)
+        pim = FakeDevice(lambda tokens: 1.0)
+        alpha = calibrate_alpha(get_model("llama-65b"), pu, pim,
+                                parallelism_levels=(4, 8, 16))
+        assert alpha == pytest.approx(2.0)
+        assert alpha < 4
+
+    def test_pim_always_wins(self):
+        """FC-PIM faster everywhere: alpha lands above the largest level
+        so every operating point stays on FC-PIM."""
+        pu = FakeDevice(lambda tokens: 1.0)
+        pim = FakeDevice(lambda tokens: 0.1)
+        alpha = calibrate_alpha(get_model("llama-65b"), pu, pim,
+                                parallelism_levels=(4, 8, 16))
+        assert alpha == pytest.approx((16 + 32) / 2.0)
+        assert alpha > 16
+
+    def test_non_power_of_two_sweep(self):
+        """The crossover midpoint respects arbitrary level spacing."""
+        pu, pim = crossover_devices(5)
+        alpha = calibrate_alpha(get_model("llama-65b"), pu, pim,
+                                parallelism_levels=(3, 5, 7, 11))
+        assert alpha == pytest.approx((5 + 7) / 2.0)
+
+    def test_unsorted_duplicated_levels(self):
+        pu, pim = crossover_devices(5)
+        alpha = calibrate_alpha(get_model("llama-65b"), pu, pim,
+                                parallelism_levels=(7, 3, 5, 3, 7))
+        assert alpha == pytest.approx(6.0)
+
+    def test_real_devices_default_sweep_sane(self):
+        """The shipped configuration calibrates to a positive, finite
+        threshold in the neighborhood of the paper's crossover."""
+        from repro.systems.papi import PAPISystem
+
+        system = PAPISystem()
+        alpha = system.calibrate(get_model("llama-65b"))
+        assert 1 <= alpha <= 1024
+        assert system.scheduler.alpha == alpha

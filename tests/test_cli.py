@@ -38,6 +38,29 @@ class TestCommands:
         assert "tokens / second" in out
         assert "papi" in out
 
+    def test_cluster_small(self, capsys):
+        code = main([
+            "cluster", "--replicas", "2", "--router", "intensity",
+            "--requests", "8", "--rate", "16", "--max-batch", "4",
+            "--category", "general-qa", "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "reschedules" in out
+        assert "p99 latency (s)" in out
+        assert "utilization" in out
+
+    def test_cluster_defaults(self):
+        args = build_parser().parse_args(["cluster"])
+        assert args.replicas == 4
+        assert args.router == "intensity"
+        assert args.requests == 64
+        assert args.step_cache is True
+
+    def test_cluster_unknown_router_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cluster", "--router", "coin-flip"])
+
     def test_compare_small(self, capsys):
         code = main([
             "compare", "--batch", "2", "--spec", "1",

@@ -1,0 +1,228 @@
+"""Tests for the multi-replica cluster layer (routing, replicas, events)."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterSimulator,
+    IntensityAwareRouter,
+    LeastOutstandingRouter,
+    Replica,
+    RoundRobinRouter,
+    available_routers,
+    build_router,
+)
+from repro.errors import CapacityError, ConfigurationError
+from repro.models.config import get_model
+from repro.serving.arrivals import poisson_arrivals
+from repro.serving.dataset import sample_requests
+from repro.serving.engine import ServingEngine
+from repro.serving.request import Request
+from repro.serving.speculative import SpeculationConfig
+from repro.systems.registry import build_system
+
+
+def make_cluster(router_name, replicas=4, max_batch=16, spec=2, seed=0):
+    model = get_model("llama-65b")
+    speculation = SpeculationConfig(speculation_length=spec)
+    members = [
+        Replica(
+            replica_id=i,
+            system=build_system("papi"),
+            model=model,
+            max_batch_size=max_batch,
+            speculation=speculation,
+            seed=seed,
+        )
+        for i in range(replicas)
+    ]
+    return ClusterSimulator(members, build_router(router_name))
+
+
+def default_trace(count=64, rate=32.0, seed=0):
+    return poisson_arrivals(
+        sample_requests("creative-writing", count, seed=seed),
+        rate_per_s=rate,
+        seed=seed,
+    )
+
+
+class TestRouterRegistry:
+    def test_available_routers(self):
+        assert available_routers() == (
+            "intensity", "least-outstanding", "round-robin"
+        )
+
+    def test_unknown_router_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_router("random")
+
+    def test_round_robin_cycles(self):
+        model = get_model("llama-65b")
+        replicas = [
+            Replica(i, build_system("papi"), model, max_batch_size=4)
+            for i in range(3)
+        ]
+        router = RoundRobinRouter()
+        request = Request(request_id=0, input_len=8, output_len=8)
+        picks = [router.select(request, replicas, 0.0) for _ in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_least_outstanding_prefers_empty(self):
+        model = get_model("llama-65b")
+        replicas = [
+            Replica(i, build_system("papi"), model, max_batch_size=4)
+            for i in range(3)
+        ]
+        replicas[0].enqueue(Request(request_id=0, input_len=8, output_len=8))
+        replicas[2].enqueue(Request(request_id=1, input_len=8, output_len=8))
+        router = LeastOutstandingRouter()
+        request = Request(request_id=2, input_len=8, output_len=8)
+        assert router.select(request, replicas, 0.0) == 1
+
+    def test_intensity_falls_back_without_load_signal(self):
+        """Statically placed systems expose no load signal; the intensity
+        router degrades to least-outstanding instead of failing."""
+        model = get_model("llama-65b")
+        replicas = [
+            Replica(i, build_system("a100-attacc"), model, max_batch_size=4)
+            for i in range(2)
+        ]
+        replicas[0].enqueue(Request(request_id=0, input_len=8, output_len=8))
+        router = IntensityAwareRouter()
+        request = Request(request_id=1, input_len=8, output_len=8)
+        assert router.select(request, replicas, 0.0) == 1
+
+
+class TestClusterRuns:
+    def test_every_request_served_once(self):
+        cluster = make_cluster("round-robin")
+        requests = default_trace()
+        summary = cluster.run(requests)
+        assert summary.total_requests == len(requests)
+        assert all(r.is_finished for r in requests)
+        assert len(summary.request_latencies) == len(requests)
+        served = [rep.requests_served for rep in summary.replicas]
+        assert sum(served) == len(requests)
+
+    def test_deterministic_given_seed(self):
+        a = make_cluster("intensity").run(default_trace())
+        b = make_cluster("intensity").run(default_trace())
+        assert a.makespan_seconds == b.makespan_seconds
+        assert a.request_latencies == b.request_latencies
+        assert a.total_reschedules == b.total_reschedules
+
+    def test_latency_percentiles_ordered(self):
+        summary = make_cluster("least-outstanding").run(default_trace())
+        p50 = summary.latency_percentile(50)
+        p99 = summary.latency_percentile(99)
+        assert 0 < p50 <= p99 <= summary.makespan_seconds
+        assert summary.mean_latency <= p99
+
+    def test_utilization_bounded(self):
+        summary = make_cluster("round-robin").run(default_trace())
+        for report in summary.replicas:
+            assert 0.0 <= report.utilization <= 1.0
+        # The trace keeps at least one replica busy most of the run.
+        assert max(r.utilization for r in summary.replicas) > 0.5
+
+    def test_intensity_routing_reduces_migrations(self):
+        """The acceptance property: intensity-aware routing produces fewer
+        FC migrations than round-robin on the default workload."""
+        round_robin = make_cluster("round-robin").run(default_trace())
+        intensity = make_cluster("intensity").run(default_trace())
+        assert round_robin.total_reschedules >= 1
+        assert (
+            intensity.total_reschedules < round_robin.total_reschedules
+        )
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterSimulator([], RoundRobinRouter())
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_cluster("round-robin").run([])
+
+    def test_percentile_validation(self):
+        summary = make_cluster("round-robin").run(default_trace(count=8))
+        with pytest.raises(ConfigurationError):
+            summary.latency_percentile(0)
+
+
+class TestReplica:
+    def test_capacity_checked_at_admission(self):
+        model = get_model("gpt3-175b")
+        system = build_system("papi")
+        too_many = system.max_batch_size(model, 2100) + 1
+        replica = Replica(
+            0, system, model, max_batch_size=too_many,
+            check_capacity=True,
+        )
+        oversized = [
+            Request(request_id=i, input_len=100, output_len=2000)
+            for i in range(too_many)
+        ]
+        with pytest.raises(CapacityError):
+            replica.serve_trace(oversized)
+
+    def test_invalid_batch_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Replica(0, build_system("papi"), get_model("llama-65b"),
+                    max_batch_size=0)
+
+
+class TestRunTrace:
+    def test_matches_static_run_when_all_arrive_at_once(self):
+        """With every request arriving at t=0 and a batch slot for each,
+        the event-driven path degenerates to the blocking static loop:
+        token counts, time accounting, and latencies must all agree."""
+        model = get_model("llama-65b")
+
+        def engine():
+            return ServingEngine(
+                system=build_system("papi"),
+                model=model,
+                speculation=SpeculationConfig(speculation_length=2),
+                seed=17,
+            )
+
+        classic = engine().run(sample_requests("general-qa", 8, seed=17))
+        trace = engine().run_trace(
+            sample_requests("general-qa", 8, seed=17), max_batch_size=8
+        )
+        assert trace.tokens_generated == classic.tokens_generated
+        assert trace.iterations == classic.iterations
+        assert trace.decode_seconds == pytest.approx(classic.decode_seconds)
+        assert trace.prefill_seconds == pytest.approx(classic.prefill_seconds)
+        assert trace.request_latencies == pytest.approx(
+            classic.request_latencies
+        )
+        assert trace.queueing_seconds == 0.0
+
+    def test_latency_includes_queueing(self):
+        """A request that arrives while the batch is full waits, and its
+        recorded latency covers that wait."""
+        model = get_model("llama-65b")
+        requests = [
+            Request(request_id=0, input_len=64, output_len=32, arrival_s=0.0),
+            Request(request_id=1, input_len=64, output_len=32, arrival_s=0.0),
+        ]
+        engine = ServingEngine(system=build_system("papi"), model=model)
+        summary = engine.run_trace(requests, max_batch_size=1)
+        assert summary.queueing_seconds > 0
+        # The queued request finishes strictly later than the first.
+        assert summary.request_latencies[1] > summary.request_latencies[0]
+
+    def test_idle_gap_extends_makespan(self):
+        """A late arrival leaves the replica idle in between: makespan
+        exceeds busy time and utilization drops below 1."""
+        model = get_model("llama-65b")
+        requests = [
+            Request(request_id=0, input_len=64, output_len=16, arrival_s=0.0),
+            Request(request_id=1, input_len=64, output_len=16, arrival_s=60.0),
+        ]
+        engine = ServingEngine(system=build_system("papi"), model=model)
+        summary = engine.run_trace(requests, max_batch_size=4)
+        assert summary.makespan_seconds > 60.0
+        assert summary.makespan_seconds > summary.total_seconds
+        assert summary.utilization < 0.5

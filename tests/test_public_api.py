@@ -33,7 +33,7 @@ class TestPublicAPI:
     def test_version_exposed(self):
         import repro
 
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_docstrings_on_public_modules(self):
         for package_name in PACKAGES:

@@ -1,0 +1,63 @@
+"""Tests for the discrete-event clock and queue."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.serving.clock import EventKind, EventQueue
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        queue = EventQueue()
+        queue.push(2.0, EventKind.STEP_DONE, "late")
+        queue.push(0.5, EventKind.ARRIVAL, "early")
+        queue.push(1.0, EventKind.ADMIT, "middle")
+        order = [queue.pop().payload for _ in range(3)]
+        assert order == ["early", "middle", "late"]
+
+    def test_clock_advances_on_pop(self):
+        queue = EventQueue()
+        assert queue.now == 0.0
+        queue.push(1.5, EventKind.ARRIVAL)
+        queue.push(3.0, EventKind.STEP_DONE)
+        queue.pop()
+        assert queue.now == 1.5
+        queue.pop()
+        assert queue.now == 3.0
+
+    def test_equal_timestamps_pop_in_push_order(self):
+        queue = EventQueue()
+        for index in range(5):
+            queue.push(1.0, EventKind.ARRIVAL, index)
+        assert [queue.pop().payload for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_push_into_past_rejected(self):
+        queue = EventQueue()
+        queue.push(2.0, EventKind.ARRIVAL)
+        queue.pop()
+        with pytest.raises(SimulationError):
+            queue.push(1.0, EventKind.ADMIT)
+
+    def test_push_at_now_allowed(self):
+        queue = EventQueue()
+        queue.push(2.0, EventKind.ARRIVAL)
+        queue.pop()
+        event = queue.push(2.0, EventKind.ADMIT)
+        assert event.time_s == 2.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EventQueue().push(-1.0, EventKind.ARRIVAL)
+
+    def test_pop_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_peek_and_len(self):
+        queue = EventQueue()
+        assert queue.empty
+        assert queue.peek() is None
+        queue.push(1.0, EventKind.ARRIVAL, "x")
+        assert len(queue) == 1
+        assert queue.peek().payload == "x"
+        assert queue.now == 0.0  # peek does not advance the clock

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import CapacityError
+from repro.errors import CapacityError, ConfigurationError
 from repro.models.config import get_model
 from repro.serving.batching import ContinuousBatcher
 from repro.serving.dataset import sample_requests
@@ -135,6 +135,89 @@ class TestPAPIDynamics:
         pim_static = run("attacc-only")
         assert papi.decode_seconds <= 1.05 * gpu_static.decode_seconds
         assert papi.decode_seconds <= 1.05 * pim_static.decode_seconds
+
+
+class TestCapacityOverWholeWorkload:
+    def test_queued_requests_validated(self):
+        """A queued request longer than anything in the initial batch must
+        not slip past the capacity check (it will be admitted later with
+        the same KV budget)."""
+        system = build_system("papi")
+        model = get_model("gpt3-175b")
+        cap = system.max_batch_size(model, 2100)
+        short = [
+            Request(request_id=i, input_len=100, output_len=100)
+            for i in range(cap)
+        ]
+        # Way past the per-request KV budget at the full batch size.
+        monster = Request(request_id=cap, input_len=100, output_len=50_000)
+        engine = ServingEngine(system=system, model=model)
+        with pytest.raises(CapacityError):
+            engine.run_with_batcher(
+                ContinuousBatcher(short + [monster], max_batch_size=cap)
+            )
+
+
+class TestLatencyAccounting:
+    def test_latency_covers_prefill_plus_decode(self):
+        """Regression pin for the accounting fix: per-request latency used
+        to count only the decode clock; it now adds queueing + prefill.
+        At TLP 1 (no draft model) the new value is exactly the old
+        decode-only clock plus the batch prefill time."""
+        engine = ServingEngine(
+            system=build_system("papi"), model=get_model("llama-65b")
+        )
+        requests = small_requests(4, output_len=12)
+        summary = engine.run(requests)
+
+        decode_clock = 0.0
+        old_style = {}
+        for record in summary.records:
+            decode_clock += record.result.seconds
+            old_style[record.iteration] = decode_clock
+        expected = sorted(
+            old_style[r.finish_iteration] + summary.prefill_seconds
+            for r in requests
+        )
+        assert sorted(summary.request_latencies) == pytest.approx(expected)
+
+    def test_makespan_matches_total_for_batch_runs(self):
+        engine = ServingEngine(
+            system=build_system("papi"), model=get_model("llama-65b")
+        )
+        summary = engine.run(small_requests(2, output_len=8))
+        assert summary.makespan_seconds == pytest.approx(summary.total_seconds)
+        assert summary.utilization == pytest.approx(1.0)
+
+
+class TestContextModes:
+    def test_per_request_close_to_mean(self):
+        """Per-request pricing removes only the mean-rounding error, so the
+        two modes agree to well under a percent on a mixed batch."""
+        model = get_model("llama-65b")
+
+        def run(mode):
+            engine = ServingEngine(
+                system=build_system("papi"), model=model, seed=21,
+                context_mode=mode,
+            )
+            return engine.run(sample_requests("creative-writing", 8, seed=21))
+
+        mean = run("mean")
+        exact = run("per-request")
+        assert exact.tokens_generated == mean.tokens_generated
+        assert exact.decode_seconds == pytest.approx(
+            mean.decode_seconds, rel=5e-3
+        )
+        assert exact.decode_seconds != mean.decode_seconds  # really distinct
+
+    def test_invalid_mode_rejected_at_construction(self):
+        with pytest.raises(ConfigurationError):
+            ServingEngine(
+                system=build_system("papi"),
+                model=get_model("llama-65b"),
+                context_mode="harmonic",
+            )
 
 
 class TestContinuousBatching:
