@@ -9,31 +9,16 @@ FC-PIM. The calibrated value must sit within a few percent of the best.
 
 from benchmarks.conftest import run_once
 from repro.analysis.report import format_table
-from repro.models.config import get_model
-from repro.serving.dataset import sample_requests
-from repro.serving.engine import ServingEngine
-from repro.serving.speculative import SpeculationConfig
-from repro.systems.papi import PAPISystem
+from repro.analysis.sweep import sweep_alpha
 
 ALPHAS = (2.0, 8.0, 20.0, 64.0, 256.0, 4096.0)
 
 
 def run_alpha_sweep():
-    model = get_model("llama-65b")
-    results = {}
-    for alpha in ALPHAS:
-        engine = ServingEngine(
-            system=PAPISystem(alpha=alpha),
-            model=model,
-            speculation=SpeculationConfig(speculation_length=2),
-            seed=29,
-            context_mode="mean",
-        )
-        summary = engine.run(sample_requests("creative-writing", 32, seed=29))
-        results[alpha] = summary
-    calibrated_system = PAPISystem()
-    calibrated = calibrated_system.calibrate(model)
-    return results, calibrated
+    # The ablation rides the unified sweep engine; defaults reproduce the
+    # original hand-rolled loop (batch 32, spec 2, seed 29, mean context).
+    return sweep_alpha(alphas=ALPHAS, model_name="llama-65b",
+                       batch=32, spec=2, seed=29)
 
 
 def test_ablation_alpha(benchmark, show):

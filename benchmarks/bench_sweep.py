@@ -1,0 +1,82 @@
+"""Vectorized sweep throughput: batch pricing vs the scalar step path.
+
+Times a 1k-point RLP x TLP x context grid through both pricing routes on
+the PAPI system, asserts they agree lane-for-lane, and emits the
+machine-readable ``results/BENCH_sweep.json`` (points/sec for each path
+and the speedup) that CI and the acceptance criteria consume. The
+vectorized path must hold a >= 10x advantage.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import run_once
+from repro.analysis.report import format_table
+from repro.models.config import get_model
+from repro.models.workload import cartesian_step_grid
+from repro.systems.papi import PAPISystem
+
+#: 40 x 5 x 5 = 1000 operating points spanning both FC placements.
+RLP_VALUES = tuple(range(1, 41))
+TLP_VALUES = (1, 2, 4, 8, 16)
+CONTEXT_VALUES = (256, 512, 1024, 2048, 4096)
+
+BENCH_JSON = Path("results") / "BENCH_sweep.json"
+
+
+def run_sweep_comparison():
+    model = get_model("llama-65b")
+    system = PAPISystem()
+
+    # Vectorized route: grid construction + one price_steps call (the
+    # grid build is part of the work the batch path saves callers).
+    t0 = time.perf_counter()
+    grid = cartesian_step_grid(model, RLP_VALUES, TLP_VALUES, CONTEXT_VALUES)
+    priced = system.price_steps(grid)
+    vector_seconds = time.perf_counter() - t0
+
+    # Scalar route: one DecodeStep build + execute_step per point.
+    t0 = time.perf_counter()
+    scalar = [system.execute_step(grid.step_at(i)) for i in range(len(grid))]
+    scalar_seconds = time.perf_counter() - t0
+
+    mismatches = sum(
+        1 for i in range(len(grid)) if priced.at(i) != scalar[i]
+    )
+    points = len(grid)
+    payload = {
+        "points": points,
+        "scalar_seconds": scalar_seconds,
+        "vector_seconds": vector_seconds,
+        "scalar_points_per_second": points / scalar_seconds,
+        "vector_points_per_second": points / vector_seconds,
+        "speedup": scalar_seconds / vector_seconds,
+        "mismatches": mismatches,
+    }
+    BENCH_JSON.parent.mkdir(parents=True, exist_ok=True)
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_sweep_vectorization(benchmark, show):
+    payload = run_once(benchmark, run_sweep_comparison)
+
+    show(
+        format_table(
+            ["metric", "value"],
+            [
+                ["grid points", payload["points"]],
+                ["scalar points/s", payload["scalar_points_per_second"]],
+                ["vector points/s", payload["vector_points_per_second"]],
+                ["speedup", payload["speedup"]],
+                ["output file", str(BENCH_JSON)],
+            ],
+            title="Vectorized sweep vs scalar step pricing (1k points)",
+        )
+    )
+
+    # Equivalence first: a fast wrong answer is no answer.
+    assert payload["mismatches"] == 0
+    # The acceptance bar: >= 10x on the 1k-point sweep.
+    assert payload["speedup"] >= 10.0, payload

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Price a 10,000+ point operating grid in well under a second.
+
+The batch-first pricing core evaluates whole grids of decoding steps as
+numpy arrays: every (RLP, TLP, context) combination below flows through
+``ServingSystem.price_steps`` — kernel cost arrays, device rooflines,
+link transfer, energy — without constructing a single scalar
+``DecodeStep``. The same sweep through the scalar ``execute_step`` path
+is an order of magnitude slower (see ``benchmarks/bench_sweep.py``).
+
+The sweep maps PAPI's operating envelope:
+
+* where the scheduler's alpha crossover moves FC from FC-PIM to the PUs,
+* the throughput ridge along batch size for each speculation length,
+* how context growth erodes tokens/s as attention traffic inflates.
+
+Usage::
+
+    python examples/wide_sweep.py
+"""
+
+import time
+
+from repro.analysis.report import format_table
+from repro.analysis.sweep import SweepRunner, SweepSpec
+from repro.models.config import get_model
+from repro.systems.papi import PAPISystem
+
+
+def main() -> None:
+    model = get_model("llama-65b")
+    system = PAPISystem()
+
+    spec = SweepSpec.of(
+        rlp=tuple(range(1, 101)),                  # 100 batch sizes
+        tlp=(1, 2, 4, 8, 16),                      # 5 speculation lengths
+        context=tuple(range(256, 5377, 256)),      # 20 context lengths
+    )  # = 10,000 points
+    print(f"sweeping {spec.size:,} operating points on {system.name}...")
+
+    start = time.perf_counter()
+    result = SweepRunner(spec).price(system, model)
+    elapsed = time.perf_counter() - start
+    print(
+        f"priced {len(result):,} points in {elapsed:.2f}s "
+        f"({len(result) / elapsed:,.0f} points/s)\n"
+    )
+
+    # The placement crossover: first RLP that moves FC to the PUs.
+    crossover_rows = []
+    for tlp in (1, 2, 4, 8):
+        on_pu = [
+            row["rlp"]
+            for row in result.rows
+            if row["tlp"] == tlp and row["fc_target"] == "pu"
+        ]
+        crossover_rows.append([tlp, min(on_pu) if on_pu else "-"])
+    print(
+        format_table(
+            ["TLP", "first RLP on PUs"],
+            crossover_rows,
+            title="Scheduler crossover (alpha) along the grid",
+        )
+    )
+
+    # Best throughput point per speculation length at 1k context.
+    best_rows = []
+    for tlp in (1, 2, 4, 8):
+        rows = [
+            row for row in result.rows
+            if row["tlp"] == tlp and row["context"] == 1024
+        ]
+        best = max(rows, key=lambda row: row["tokens_per_second"])
+        best_rows.append(
+            [tlp, best["rlp"], best["fc_target"],
+             best["tokens_per_second"], best["seconds"] * 1e3]
+        )
+    print(
+        format_table(
+            ["TLP", "best RLP", "FC on", "tokens/s", "step ms"],
+            best_rows,
+            title="Throughput-optimal batch size at 1k context",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -26,12 +26,28 @@ from repro.analysis.evaluation import (
 from repro.analysis.report import format_table
 from repro.analysis.artifacts import write_csv, write_fig8_csv, write_fig11_csv
 from repro.analysis.design_space import (
+    SweepPoint,
     sweep_attn_link,
     sweep_fc_stacks,
     sweep_gpu_count,
 )
+from repro.analysis.sweep import (
+    SweepAxis,
+    SweepResult,
+    SweepRunner,
+    SweepSpec,
+    price_step_sweep,
+    sweep_alpha,
+)
 
 __all__ = [
+    "SweepAxis",
+    "SweepPoint",
+    "SweepResult",
+    "SweepRunner",
+    "SweepSpec",
+    "price_step_sweep",
+    "sweep_alpha",
     "sweep_attn_link",
     "sweep_fc_stacks",
     "sweep_gpu_count",

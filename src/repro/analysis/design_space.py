@@ -6,6 +6,13 @@ team would ask: how does PAPI scale with the FC-PIM pool size, which link
 technology the disaggregated Attn-PIM pool actually needs, and where the
 GPU count stops mattering.
 
+All three drivers ride the unified sweep engine
+(:mod:`repro.analysis.sweep`): each is a one-axis
+:class:`~repro.analysis.sweep.SweepSpec` over system configurations, a
+module-level measurement per point (picklable, so ``workers > 1`` fans
+points out to a process pool), and outputs identical to the original
+hand-rolled loops.
+
 Sweeps re-price near-identical decoding steps thousands of times, so they
 run with context lengths quantized to ``context_bucket`` tokens and a
 shared :class:`~repro.serving.stepcache.StepCostCache` in front of every
@@ -17,8 +24,10 @@ bucketing), just slower.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from functools import partial
+from typing import Any, Dict, List, Optional, Sequence
 
+from repro.analysis.sweep import SweepRunner, SweepSpec
 from repro.devices.gpu import GPUGroup
 from repro.devices.interconnect import CXL, Link, NVLINK, PCIE_GEN5
 from repro.devices.pim import FC_PIM_CONFIG, PIMDeviceGroup
@@ -35,6 +44,21 @@ from repro.systems.papi import PAPISystem
 #: the step-cost cache.
 SWEEP_CONTEXT_BUCKET = 32
 
+#: Named links the attn-link sweep (and the CLI) can select.
+LINKS_BY_NAME = {link.name: link for link in (PCIE_GEN5, CXL, NVLINK)}
+
+#: Per-process shared step-cost cache for process-parallel sweeps: points
+#: mapped to the same worker share it, and exactness guarantees results
+#: identical to the serial shared-cache path.
+_PROCESS_CACHE: Optional[StepCostCache] = None
+
+
+def _process_cache() -> StepCostCache:
+    global _PROCESS_CACHE
+    if _PROCESS_CACHE is None:
+        _PROCESS_CACHE = StepCostCache()
+    return _PROCESS_CACHE
+
 
 @dataclass(frozen=True)
 class SweepPoint:
@@ -45,7 +69,7 @@ class SweepPoint:
         decode_seconds: Measured decode time.
         energy_joules: Measured total energy.
         tokens_per_second: Decode throughput.
-        fits_model: Whether the model's weights fit the FC pool.
+        fits_model: Whether the model's weights fit the FC weight pool.
     """
 
     label: str
@@ -57,7 +81,8 @@ class SweepPoint:
 
 def _measure(system: PAPISystem, model: ModelConfig, batch: int, spec: int,
              seed: int, context_bucket: int = SWEEP_CONTEXT_BUCKET,
-             step_cache: Optional[StepCostCache] = None) -> SweepPoint:
+             step_cache: Optional[StepCostCache] = None,
+             label: str = "") -> SweepPoint:
     engine = ServingEngine(
         system=system,
         model=model,
@@ -70,12 +95,86 @@ def _measure(system: PAPISystem, model: ModelConfig, batch: int, spec: int,
     )
     summary = engine.run(sample_requests("creative-writing", batch, seed=seed))
     return SweepPoint(
-        label="",
+        label=label,
         decode_seconds=summary.decode_seconds,
         energy_joules=summary.total_energy,
         tokens_per_second=summary.tokens_per_second,
-        fits_model=model.weight_bytes <= system.fc_pim.capacity_bytes,
+        # Capacity through the system's own accounting, not a reach into
+        # `.fc_pim`: PIM-only and hybrid systems report fits_model
+        # correctly whichever unit holds the weights.
+        fits_model=model.weight_bytes <= system.weight_capacity_bytes(),
     )
+
+
+def _system_point(
+    point: Dict[str, Any],
+    model_name: str,
+    batch: int,
+    spec: int,
+    seed: int,
+    context_bucket: int,
+    use_cache: bool,
+    cache: Optional[StepCostCache] = None,
+) -> SweepPoint:
+    """Measure one system-configuration grid point (module-level so
+    process-parallel sweeps can pickle it)."""
+    if cache is None and use_cache:
+        cache = _process_cache()
+    if "stacks" in point:
+        system = PAPISystem(
+            fc_pim=PIMDeviceGroup(FC_PIM_CONFIG, point["stacks"])
+        )
+        label = f"{point['stacks']} FC-PIM stacks"
+    elif "link" in point:
+        # Axis values are Link objects (frozen dataclasses — picklable),
+        # so custom interconnects sweep as easily as the named ones.
+        link = point["link"]
+        system = PAPISystem(link=link)
+        label = link.name
+    elif "gpus" in point:
+        system = PAPISystem(gpus=GPUGroup(count=point["gpus"]))
+        label = f"{point['gpus']} GPUs"
+    else:
+        raise ConfigurationError(f"unknown design-space point {point!r}")
+    return _measure(
+        system,
+        get_model(model_name),
+        batch,
+        spec,
+        seed,
+        context_bucket=context_bucket,
+        step_cache=cache,
+        label=label,
+    )
+
+
+def _run_config_sweep(
+    spec: SweepSpec,
+    model_name: str,
+    batch: int,
+    spec_len: int,
+    seed: int,
+    context_bucket: int,
+    use_cache: bool,
+    workers: int,
+) -> List[SweepPoint]:
+    """Shared driver for the three one-axis configuration sweeps."""
+    cache: Optional[StepCostCache] = None
+    if workers <= 1 and use_cache:
+        # Serial path: one cache shared across every point of this sweep,
+        # exactly like the original hand-rolled loops.
+        cache = StepCostCache()
+    measure = partial(
+        _system_point,
+        model_name=model_name,
+        batch=batch,
+        spec=spec_len,
+        seed=seed,
+        context_bucket=context_bucket,
+        use_cache=use_cache,
+        cache=cache,
+    )
+    return SweepRunner(spec, measure, workers=workers).run()
 
 
 def sweep_fc_stacks(
@@ -86,28 +185,16 @@ def sweep_fc_stacks(
     seed: int = 31,
     context_bucket: int = SWEEP_CONTEXT_BUCKET,
     use_cache: bool = True,
+    workers: int = 0,
 ) -> List[SweepPoint]:
     """Scale the FC-PIM pool: more stacks buy FC throughput linearly
     until the scheduler routes work to the GPU anyway."""
     if not stack_counts:
         raise ConfigurationError("stack_counts must be non-empty")
-    model = get_model(model_name)
-    cache = StepCostCache() if use_cache else None
-    points = []
-    for count in stack_counts:
-        system = PAPISystem(fc_pim=PIMDeviceGroup(FC_PIM_CONFIG, count))
-        point = _measure(system, model, batch, spec, seed,
-                         context_bucket=context_bucket, step_cache=cache)
-        points.append(
-            SweepPoint(
-                label=f"{count} FC-PIM stacks",
-                decode_seconds=point.decode_seconds,
-                energy_joules=point.energy_joules,
-                tokens_per_second=point.tokens_per_second,
-                fits_model=point.fits_model,
-            )
-        )
-    return points
+    return _run_config_sweep(
+        SweepSpec.of(stacks=tuple(stack_counts)),
+        model_name, batch, spec, seed, context_bucket, use_cache, workers,
+    )
 
 
 def sweep_attn_link(
@@ -118,29 +205,17 @@ def sweep_attn_link(
     seed: int = 33,
     context_bucket: int = SWEEP_CONTEXT_BUCKET,
     use_cache: bool = True,
+    workers: int = 0,
 ) -> List[SweepPoint]:
     """Swap the disaggregated Attn-PIM link (paper Section 6.3's claim:
     PCIe/CXL suffice; NVLink buys little because attention traffic is
     small)."""
     if not links:
         raise ConfigurationError("links must be non-empty")
-    model = get_model(model_name)
-    cache = StepCostCache() if use_cache else None
-    points = []
-    for link in links:
-        system = PAPISystem(link=link)
-        point = _measure(system, model, batch, spec, seed,
-                         context_bucket=context_bucket, step_cache=cache)
-        points.append(
-            SweepPoint(
-                label=link.name,
-                decode_seconds=point.decode_seconds,
-                energy_joules=point.energy_joules,
-                tokens_per_second=point.tokens_per_second,
-                fits_model=point.fits_model,
-            )
-        )
-    return points
+    return _run_config_sweep(
+        SweepSpec.of(link=tuple(links)),
+        model_name, batch, spec, seed, context_bucket, use_cache, workers,
+    )
 
 
 def sweep_gpu_count(
@@ -151,24 +226,12 @@ def sweep_gpu_count(
     seed: int = 37,
     context_bucket: int = SWEEP_CONTEXT_BUCKET,
     use_cache: bool = True,
+    workers: int = 0,
 ) -> List[SweepPoint]:
     """Scale the PU pool at a compute-bound operating point."""
     if not counts:
         raise ConfigurationError("counts must be non-empty")
-    model = get_model(model_name)
-    cache = StepCostCache() if use_cache else None
-    points = []
-    for count in counts:
-        system = PAPISystem(gpus=GPUGroup(count=count))
-        point = _measure(system, model, batch, spec, seed,
-                         context_bucket=context_bucket, step_cache=cache)
-        points.append(
-            SweepPoint(
-                label=f"{count} GPUs",
-                decode_seconds=point.decode_seconds,
-                energy_joules=point.energy_joules,
-                tokens_per_second=point.tokens_per_second,
-                fits_model=point.fits_model,
-            )
-        )
-    return points
+    return _run_config_sweep(
+        SweepSpec.of(gpus=tuple(counts)),
+        model_name, batch, spec, seed, context_bucket, use_cache, workers,
+    )

@@ -1,0 +1,364 @@
+"""Unified sweep engine: cartesian grids, workers, vectorized pricing.
+
+Every design-space study in this repo is the same shape — a cartesian
+grid of configurations, a measurement per point, a table out. This
+module owns that shape once:
+
+* :class:`SweepAxis` / :class:`SweepSpec` — the axes DSL. A spec is an
+  ordered set of named axes; its grid is their cartesian product (last
+  axis fastest, like ``itertools.product``).
+* :class:`SweepRunner` — drives a measurement function over the grid,
+  serially or with process-parallel workers, and its
+  :meth:`SweepRunner.price` fast path prices workload grids (axes named
+  ``rlp`` / ``tlp`` / ``context``) through the vectorized
+  :meth:`~repro.systems.base.ServingSystem.price_steps` — thousands of
+  operating points in a handful of numpy passes.
+* :class:`SweepResult` — rows with stable column order plus CSV/JSON
+  export, shared by the CLI ``repro sweep`` subcommand and the
+  benchmark harness.
+
+The legacy drivers (:func:`repro.analysis.design_space.sweep_fc_stacks`
+and friends, and the alpha ablation of ``bench_ablation_alpha``) are
+reimplemented on this engine with outputs identical to their original
+hand-rolled loops.
+"""
+
+from __future__ import annotations
+
+import csv
+import itertools
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.models.config import ModelConfig
+from repro.models.workload import StepGrid, build_step_grid
+from repro.systems.base import ServingSystem
+
+#: Axis names the vectorized pricing fast path consumes.
+STEP_AXES = ("rlp", "tlp", "context")
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One named dimension of a sweep grid.
+
+    Attributes:
+        name: Axis label; becomes a column of the result table.
+        values: The points along the axis, in sweep order.
+    """
+
+    name: str
+    values: Tuple[Any, ...]
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("sweep axis needs a name")
+        if not self.values:
+            raise ConfigurationError(f"sweep axis {self.name!r} has no values")
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """An ordered set of axes whose cartesian product is the sweep grid."""
+
+    axes: Tuple[SweepAxis, ...]
+
+    def __post_init__(self) -> None:
+        names = [axis.name for axis in self.axes]
+        if not names:
+            raise ConfigurationError("sweep spec needs at least one axis")
+        if len(names) != len(set(names)):
+            raise ConfigurationError(f"duplicate sweep axis names: {names}")
+
+    @staticmethod
+    def of(**axes: Sequence[Any]) -> "SweepSpec":
+        """Build a spec from keyword axes: ``SweepSpec.of(rlp=[1, 2])``.
+
+        Axis order follows keyword order; each value sequence becomes one
+        :class:`SweepAxis`.
+        """
+        return SweepSpec(
+            axes=tuple(
+                SweepAxis(name=name, values=tuple(values))
+                for name, values in axes.items()
+            )
+        )
+
+    @property
+    def axis_names(self) -> Tuple[str, ...]:
+        return tuple(axis.name for axis in self.axes)
+
+    @property
+    def size(self) -> int:
+        """Number of grid points (product of axis lengths)."""
+        total = 1
+        for axis in self.axes:
+            total *= len(axis)
+        return total
+
+    def points(self) -> Iterator[Dict[str, Any]]:
+        """Iterate the grid in C-order (last axis fastest)."""
+        names = self.axis_names
+        for combo in itertools.product(*(axis.values for axis in self.axes)):
+            yield dict(zip(names, combo))
+
+    def point_arrays(self) -> Dict[str, np.ndarray]:
+        """The full grid as one flat array per axis (points() order)."""
+        columns = {name: [] for name in self.axis_names}
+        for point in self.points():
+            for name, value in point.items():
+                columns[name].append(value)
+        return {name: np.asarray(values) for name, values in columns.items()}
+
+
+@dataclass
+class SweepResult:
+    """Tabular sweep output: ordered columns, one dict per grid point."""
+
+    columns: Tuple[str, ...]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        if name not in self.columns:
+            raise ConfigurationError(
+                f"unknown sweep column {name!r}; have {self.columns}"
+            )
+        return [row.get(name) for row in self.rows]
+
+    def to_table_rows(self) -> List[List[Any]]:
+        """Rows as lists in column order (for ``format_table``)."""
+        return [[row.get(col) for col in self.columns] for row in self.rows]
+
+    def write_csv(self, path: str) -> None:
+        """Write the result as CSV with a header row."""
+        with open(path, "w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=list(self.columns))
+            writer.writeheader()
+            for row in self.rows:
+                writer.writerow({col: row.get(col) for col in self.columns})
+
+    def write_json(self, path: str) -> None:
+        """Write the result as a JSON object with columns and rows."""
+        payload = {
+            "columns": list(self.columns),
+            "rows": [
+                {col: row.get(col) for col in self.columns}
+                for row in self.rows
+            ],
+        }
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+
+    @staticmethod
+    def from_rows(rows: Sequence[Dict[str, Any]]) -> "SweepResult":
+        """Build a result from row dicts, columns in first-seen order."""
+        columns: List[str] = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+        return SweepResult(columns=tuple(columns), rows=list(rows))
+
+
+class SweepRunner:
+    """Drives a measurement over a sweep grid.
+
+    Two execution paths:
+
+    * :meth:`run` — call ``measure(point)`` for every grid point, in
+      grid order. With ``workers > 1`` the points are fanned out to a
+      process pool (the measure callable and its outputs must be
+      picklable — module-level functions and ``functools.partial`` of
+      them are); results come back in grid order either way.
+    * :meth:`price` — the vectorized fast path for workload grids: axes
+      named ``rlp``/``tlp``/``context`` are cartesian-expanded into a
+      :class:`~repro.models.workload.StepGrid` and priced in one
+      :meth:`~repro.systems.base.ServingSystem.price_steps` call. No
+      workers needed — numpy *is* the parallelism.
+
+    Args:
+        spec: The sweep grid.
+        measure: Per-point measurement for :meth:`run`.
+        workers: Process-pool width for :meth:`run`; ``0``/``1`` runs
+            inline.
+    """
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        measure: Optional[Callable[[Dict[str, Any]], Any]] = None,
+        workers: int = 0,
+    ) -> None:
+        if workers < 0:
+            raise ConfigurationError("workers must be non-negative")
+        self.spec = spec
+        self.measure = measure
+        self.workers = workers
+
+    def run(self) -> List[Any]:
+        """Measure every grid point; outputs in grid order."""
+        if self.measure is None:
+            raise ConfigurationError("SweepRunner.run needs a measure callable")
+        points = list(self.spec.points())
+        if self.workers > 1:
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                return list(pool.map(self.measure, points))
+        return [self.measure(point) for point in points]
+
+    def step_grid(self, model: ModelConfig) -> StepGrid:
+        """Expand the spec's ``rlp``/``tlp``/``context`` axes to a grid.
+
+        Axes beyond the three step axes are rejected — a workload grid
+        prices steps only; configuration axes belong on :meth:`run`.
+        """
+        names = self.spec.axis_names
+        missing = [name for name in STEP_AXES if name not in names]
+        if missing:
+            raise ConfigurationError(
+                f"step sweep needs axes named {STEP_AXES}, missing {missing}"
+            )
+        extra = [name for name in names if name not in STEP_AXES]
+        if extra:
+            raise ConfigurationError(
+                f"step sweep supports only axes {STEP_AXES}, got extra {extra}"
+            )
+        arrays = self.spec.point_arrays()
+        return build_step_grid(
+            model, arrays["rlp"], arrays["tlp"], arrays["context"]
+        )
+
+    def price(self, system: ServingSystem, model: ModelConfig) -> SweepResult:
+        """Price the workload grid on ``system`` via the vectorized path.
+
+        Returns one row per grid point with the point's axes plus
+        ``fc_target``, ``seconds``, ``energy_joules``, and
+        ``tokens_per_second`` — bit-equal to pricing each point through
+        the scalar ``execute_step``.
+        """
+        grid = self.step_grid(model)
+        priced = system.price_steps(grid)
+        tokens_per_second = priced.tokens_per_second()
+        rows = []
+        for index, point in enumerate(self.spec.points()):
+            row = dict(point)
+            row["fc_target"] = priced.fc_targets[index].value
+            row["seconds"] = float(priced.seconds[index])
+            row["energy_joules"] = float(priced.energy_joules[index])
+            row["tokens_per_second"] = float(tokens_per_second[index])
+            rows.append(row)
+        return SweepResult.from_rows(rows)
+
+
+def price_step_sweep(
+    system: ServingSystem,
+    model: ModelConfig,
+    rlp_values: Sequence[int],
+    tlp_values: Sequence[int],
+    context_values: Sequence[int],
+) -> SweepResult:
+    """One-call wide sweep: cartesian RLP x TLP x context, vectorized.
+
+    Convenience wrapper over :class:`SweepRunner` used by the CLI, the
+    ``wide_sweep`` example, and the sweep benchmark.
+    """
+    spec = SweepSpec.of(
+        rlp=tuple(rlp_values), tlp=tuple(tlp_values), context=tuple(context_values)
+    )
+    return SweepRunner(spec).price(system, model)
+
+
+# -- reimplemented legacy drivers -------------------------------------------
+#
+# The alpha ablation previously lived as a hand-rolled loop in
+# ``benchmarks/bench_ablation_alpha.py``; it now rides the sweep engine
+# (the benchmark imports ``sweep_alpha``). The serving-level design-space
+# sweeps (``sweep_fc_stacks`` etc.) live in
+# :mod:`repro.analysis.design_space`, also on this engine. Outputs are
+# identical to the original implementations.
+
+
+def _alpha_point(
+    point: Dict[str, Any],
+    model_name: str,
+    batch: int,
+    spec_len: int,
+    seed: int,
+):
+    """Measure one alpha setting (module-level: picklable for workers)."""
+    from repro.models.config import get_model
+    from repro.serving.dataset import sample_requests
+    from repro.serving.engine import ServingEngine
+    from repro.serving.speculative import SpeculationConfig
+    from repro.systems.papi import PAPISystem
+
+    engine = ServingEngine(
+        system=PAPISystem(alpha=point["alpha"]),
+        model=get_model(model_name),
+        speculation=SpeculationConfig(speculation_length=spec_len),
+        seed=seed,
+        context_mode="mean",
+    )
+    return engine.run(sample_requests("creative-writing", batch, seed=seed))
+
+
+def sweep_alpha(
+    alphas: Sequence[float] = (2.0, 8.0, 20.0, 64.0, 256.0, 4096.0),
+    model_name: str = "llama-65b",
+    batch: int = 32,
+    spec: int = 2,
+    seed: int = 29,
+    workers: int = 0,
+) -> Tuple[Dict[float, Any], float]:
+    """Sensitivity of PAPI to the scheduling threshold alpha.
+
+    Sweeps alpha around the calibrated value and returns
+    ``(results, calibrated)`` where ``results`` maps each alpha to its
+    :class:`~repro.serving.metrics.RunSummary` and ``calibrated`` is the
+    offline-calibrated threshold. Reimplements the alpha ablation of
+    ``benchmarks/bench_ablation_alpha.py`` on the sweep engine with
+    identical outputs.
+    """
+    if not alphas:
+        raise ConfigurationError("alphas must be non-empty")
+    from functools import partial
+
+    from repro.models.config import get_model
+    from repro.systems.papi import PAPISystem
+
+    runner = SweepRunner(
+        SweepSpec.of(alpha=tuple(alphas)),
+        measure=partial(
+            _alpha_point,
+            model_name=model_name,
+            batch=batch,
+            spec_len=spec,
+            seed=seed,
+        ),
+        workers=workers,
+    )
+    summaries = runner.run()
+    results = dict(zip(alphas, summaries))
+    calibrated = PAPISystem().calibrate(get_model(model_name))
+    return results, calibrated

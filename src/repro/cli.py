@@ -6,6 +6,11 @@ Commands:
 * ``compare`` — run all systems on one workload, normalized to a baseline.
 * ``cluster`` — shard a Poisson arrival trace across N replicas under a
   routing policy; report per-replica utilization/reschedules and p99.
+* ``sweep`` — run a design-space sweep: ``grid`` prices an RLP x TLP x
+  context cartesian grid through the vectorized batch path; ``fc-stacks``
+  / ``attn-link`` / ``gpu-count`` / ``alpha`` re-run the serving-level
+  configuration sweeps (optionally process-parallel via ``--workers``).
+  All modes export CSV/JSON.
 * ``figures`` — regenerate a paper figure's rows (fig2..fig12, headline).
 * ``calibrate`` — report the offline-calibrated alpha for a model.
 * ``list`` — enumerate registered models, systems, and routers.
@@ -155,6 +160,161 @@ def cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_axis(text: str) -> List[int]:
+    """Parse an integer axis spec: ``1,2,4`` and/or ``lo:hi[:step]``.
+
+    Range tokens are inclusive of ``hi`` when the step lands on it:
+    ``1:8:2`` is 1, 3, 5, 7 and ``2:8:2`` is 2, 4, 6, 8.
+    """
+    values: List[int] = []
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        if ":" in token:
+            parts = token.split(":")
+            if len(parts) not in (2, 3):
+                raise SystemExit(f"bad axis range {token!r}; use lo:hi[:step]")
+            try:
+                lo, hi = int(parts[0]), int(parts[1])
+                step = int(parts[2]) if len(parts) == 3 else 1
+            except ValueError:
+                raise SystemExit(
+                    f"bad axis range {token!r}; bounds must be integers"
+                ) from None
+            if step <= 0 or hi < lo:
+                raise SystemExit(f"bad axis range {token!r}")
+            values.extend(range(lo, hi + 1, step))
+        else:
+            try:
+                values.append(int(token))
+            except ValueError:
+                raise SystemExit(
+                    f"bad axis value {token!r}; must be an integer"
+                ) from None
+    if not values:
+        raise SystemExit(f"axis spec {text!r} produced no values")
+    if min(values) <= 0:
+        raise SystemExit(
+            f"axis spec {text!r} has non-positive values; "
+            "RLP/TLP/context/config axes must be positive"
+        )
+    return values
+
+
+def _export_sweep(result, args: argparse.Namespace) -> None:
+    if args.csv:
+        result.write_csv(args.csv)
+        print(f"wrote {len(result)} rows to {args.csv}")
+    if args.json:
+        result.write_json(args.json)
+        print(f"wrote {len(result)} rows to {args.json}")
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.design_space import (
+        LINKS_BY_NAME,
+        sweep_attn_link,
+        sweep_fc_stacks,
+        sweep_gpu_count,
+    )
+    from repro.analysis.sweep import SweepResult, price_step_sweep, sweep_alpha
+
+    mode = args.mode
+    if mode == "grid":
+        system = build_system(args.system)
+        model = get_model(args.model)
+        result = price_step_sweep(
+            system,
+            model,
+            _parse_axis(args.rlp),
+            _parse_axis(args.tlp),
+            _parse_axis(args.context),
+        )
+        shown = result.rows if args.all_rows else result.rows[:20]
+        print(
+            format_table(
+                list(result.columns),
+                [[row.get(col) for col in result.columns] for row in shown],
+                title=f"{args.system} step grid: {len(result)} points "
+                      f"({'all' if args.all_rows else 'first 20'} shown)",
+            )
+        )
+    elif mode == "alpha":
+        alphas = tuple(
+            float(token) for token in args.values.split(",") if token.strip()
+        ) if args.values else (2.0, 8.0, 20.0, 64.0, 256.0, 4096.0)
+        summaries, calibrated = sweep_alpha(
+            alphas=alphas,
+            model_name=args.model,
+            batch=args.batch,
+            spec=args.spec,
+            seed=args.seed,
+            workers=args.workers,
+        )
+        rows = [
+            {
+                "alpha": alpha,
+                "decode_seconds": s.decode_seconds,
+                "reschedules": s.reschedules,
+                "pu_iterations": s.fc_target_iterations.get("pu", 0),
+                "fc_pim_iterations": s.fc_target_iterations.get("fc-pim", 0),
+            }
+            for alpha, s in summaries.items()
+        ]
+        result = SweepResult.from_rows(rows)
+        print(
+            format_table(
+                list(result.columns),
+                result.to_table_rows(),
+                title=f"Alpha sweep (calibrated alpha = {calibrated:.1f})",
+            )
+        )
+    else:
+        if mode == "fc-stacks":
+            values = _parse_axis(args.values) if args.values else (10, 20, 30, 45, 60)
+            points = sweep_fc_stacks(values, model_name=args.model,
+                                     workers=args.workers)
+        elif mode == "attn-link":
+            names = (
+                [t.strip() for t in args.values.split(",") if t.strip()]
+                if args.values else list(LINKS_BY_NAME)
+            )
+            unknown = [name for name in names if name not in LINKS_BY_NAME]
+            if unknown:
+                raise SystemExit(
+                    f"unknown links {unknown}; known: {sorted(LINKS_BY_NAME)}"
+                )
+            points = sweep_attn_link([LINKS_BY_NAME[n] for n in names],
+                                     model_name=args.model,
+                                     workers=args.workers)
+        elif mode == "gpu-count":
+            values = _parse_axis(args.values) if args.values else (2, 4, 6, 12)
+            points = sweep_gpu_count(values, model_name=args.model,
+                                     workers=args.workers)
+        else:  # pragma: no cover - argparse choices guard this
+            raise SystemExit(f"unknown sweep mode {mode!r}")
+        result = SweepResult.from_rows([
+            {
+                "label": p.label,
+                "decode_seconds": p.decode_seconds,
+                "energy_joules": p.energy_joules,
+                "tokens_per_second": p.tokens_per_second,
+                "fits_model": p.fits_model,
+            }
+            for p in points
+        ])
+        print(
+            format_table(
+                list(result.columns),
+                result.to_table_rows(),
+                title=f"{mode} sweep ({args.model})",
+            )
+        )
+    _export_sweep(result, args)
+    return 0
+
+
 def cmd_calibrate(args: argparse.Namespace) -> int:
     system = PAPISystem()
     alpha = system.calibrate(get_model(args.model))
@@ -260,6 +420,41 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--context-mode", default="per-request",
                          choices=CONTEXT_MODES)
     cluster.set_defaults(fn=cmd_cluster)
+
+    sweep = sub.add_parser(
+        "sweep", help="design-space sweeps (vectorized grid or config axes)"
+    )
+    sweep.add_argument("mode",
+                       choices=("grid", "fc-stacks", "attn-link",
+                                "gpu-count", "alpha"),
+                       help="grid prices RLP x TLP x context through the "
+                            "vectorized path; the rest sweep system configs")
+    sweep.add_argument("--model", default="llama-65b", help="model name")
+    sweep.add_argument("--system", default="papi",
+                       choices=available_systems(),
+                       help="system priced by the grid mode")
+    sweep.add_argument("--rlp", default="1:32",
+                       help="grid RLP axis: comma list and/or lo:hi[:step]")
+    sweep.add_argument("--tlp", default="1,2,4",
+                       help="grid TLP axis: comma list and/or lo:hi[:step]")
+    sweep.add_argument("--context", default="256:4096:256",
+                       help="grid context axis: comma list and/or lo:hi[:step]")
+    sweep.add_argument("--values", default="",
+                       help="config-axis values for fc-stacks/attn-link/"
+                            "gpu-count/alpha (defaults per mode)")
+    sweep.add_argument("--batch", type=int, default=32,
+                       help="alpha sweep batch size")
+    sweep.add_argument("--spec", type=int, default=2,
+                       help="alpha sweep speculation length")
+    sweep.add_argument("--seed", type=int, default=29,
+                       help="alpha sweep RNG seed")
+    sweep.add_argument("--workers", type=int, default=0,
+                       help="process-parallel workers for config sweeps")
+    sweep.add_argument("--csv", default="", help="export rows to a CSV file")
+    sweep.add_argument("--json", default="", help="export rows to a JSON file")
+    sweep.add_argument("--all-rows", action="store_true",
+                       help="print every grid row (default: first 20)")
+    sweep.set_defaults(fn=cmd_sweep)
 
     figures = sub.add_parser("figures", help="regenerate a paper figure")
     figures.add_argument("figure", help="fig2|fig4|fig7|fig8|headline")

@@ -29,10 +29,12 @@ from repro.cluster.replica import Replica
 from repro.cluster.router import (
     IntensityAwareRouter,
     LeastOutstandingRouter,
+    MinCostRouter,
     RoundRobinRouter,
     Router,
     available_routers,
     build_router,
+    projected_step_seconds,
 )
 
 __all__ = [
@@ -40,10 +42,12 @@ __all__ = [
     "ClusterSummary",
     "IntensityAwareRouter",
     "LeastOutstandingRouter",
+    "MinCostRouter",
     "Replica",
     "ReplicaReport",
     "RoundRobinRouter",
     "Router",
     "available_routers",
     "build_router",
+    "projected_step_seconds",
 ]

@@ -116,6 +116,22 @@ class Replica:
         return len(self.waiting) + len(self.active)
 
     @property
+    def current_tlp(self) -> int:
+        """Speculation length the replica is currently decoding at."""
+        return self._current_tlp
+
+    def outstanding_context_lens(self) -> List[int]:
+        """KV context of every outstanding request (decoded + queued).
+
+        Active requests count their generated tokens; queued requests
+        count their prompt only. Routers use this to project the mean
+        context of the post-admission batch when pricing admission cost.
+        """
+        contexts = [r.input_len + r.generated for r in self.active]
+        contexts.extend(r.input_len for r in self.waiting)
+        return contexts
+
+    @property
     def idle(self) -> bool:
         """True when no prefill/decode work is in flight."""
         return not self.busy

@@ -5,7 +5,7 @@ request is assigned to exactly one replica, and the choice shapes both
 tail latency (load balance) and scheduler behavior (how often each
 replica's FC placement migrates between PUs and FC-PIM).
 
-Three policies:
+Four policies:
 
 * **round-robin** — classic stateless spreading; the baseline every
   serving stack ships.
@@ -16,17 +16,88 @@ Three policies:
   replicas whose projected ``RLP * TLP`` stays on the same side of the
   calibrated ``alpha`` crossover after admission, so batches sit firmly
   on one FC placement instead of hovering at the boundary and thrashing
-  between PUs and FC-PIM as runtime RLP decays.
+  between PUs and FC-PIM as runtime RLP decays. Replicas without a load
+  signal are ranked by projected admission cost (below).
+* **min-cost** — price-aware routing for heterogeneous fleets: every
+  replica's post-admission decoding step is priced through the
+  vectorized :meth:`~repro.systems.base.ServingSystem.price_steps` path
+  and the request goes to the replica whose next iteration stays
+  cheapest. Because each system prices itself, a single cluster can mix
+  PAPI replicas with GPU-only or PIM-only ones and the router stays
+  meaningful — the paper's fixed-platform assumption is not baked in.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Sequence, Tuple, Type
+from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.cluster.replica import Replica
 from repro.errors import ConfigurationError
+from repro.models.workload import build_step_grid
 from repro.serving.request import Request
+
+#: Context quantization for admission pricing: coarse enough that
+#: consecutive arrivals projecting near-identical batches share one
+#: cached price, fine enough that it never flips a routing decision the
+#: cost model could defend (same bucket the design-space sweeps use).
+ADMISSION_CONTEXT_BUCKET = 32
+
+#: Memoized projected prices, held per router instance (router lifetime
+#: matches one cluster run, so system ids stay live for the cache's
+#: whole life): (system id, model, fc target, rlp, tlp, bucketed
+#: context) -> seconds.
+PriceCache = Dict[Tuple[int, str, object, int, int, int], float]
+
+
+def projected_step_seconds(
+    replica: Replica, request: Request, cache: Optional[PriceCache] = None
+) -> float:
+    """Projected next-iteration seconds if ``request`` joins ``replica``.
+
+    Builds the hypothetical post-admission batch — active requests, then
+    FIFO-queued ones, then the candidate, truncated to the replica's
+    batch slots so only requests that could actually compose the next
+    decode batch shape the projection — and prices one decoding step at
+    the batch's (bucketed) mean context through the system's vectorized
+    pricing path. This is the admission-cost signal heterogeneous fleets
+    route on: each replica's own cost model answers, so a GPU-only
+    system reports its launch-overhead-heavy low-batch cost, a PIM
+    system its bandwidth-bound high-batch cost.
+
+    ``cache`` memoizes prices per (system, FC placement, RLP, TLP,
+    bucketed context); routers pass their per-instance dict so the hot
+    per-arrival path prices each distinct operating point once. The
+    planned placement is part of the key (mirroring the step-cost
+    cache), so a PAPI scheduler's standing decision can never serve a
+    stale price.
+    """
+    rlp = min(replica.outstanding() + 1, replica.max_batch_size)
+    contexts = replica.outstanding_context_lens()
+    contexts.append(request.input_len)
+    contexts = contexts[:rlp]
+    mean_context = max(1, round(sum(contexts) / len(contexts)))
+    bucket = ADMISSION_CONTEXT_BUCKET
+    mean_context = max(bucket, round(mean_context / bucket) * bucket)
+    tlp = replica.current_tlp
+    system = replica.system
+    if cache is not None:
+        key = (
+            id(system),
+            replica.model.name,
+            system.plan_fc_target(rlp, tlp),
+            rlp,
+            tlp,
+            mean_context,
+        )
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+    grid = build_step_grid(replica.model, [rlp], [tlp], [mean_context])
+    seconds = float(system.price_steps(grid).seconds[0])
+    if cache is not None:
+        cache[key] = seconds
+    return seconds
 
 
 class Router(abc.ABC):
@@ -91,12 +162,17 @@ class IntensityAwareRouter(Router):
 
     The net effect is that batches are packed up to (but not across) the
     crossover, instead of round-robin's pattern of filling every replica
-    past ``alpha`` and letting each one thrash back at drain time. Falls
-    back to least-outstanding for systems without a load signal
-    (statically placed baselines).
+    past ``alpha`` and letting each one thrash back at drain time.
+    Replicas without a load signal (statically placed baselines) are
+    ranked by vectorized projected admission cost instead — the same
+    signal :class:`MinCostRouter` uses — so a mixed fleet of PAPI and
+    static replicas still routes sensibly.
     """
 
     name = "intensity"
+
+    def __init__(self) -> None:
+        self._price_cache: PriceCache = {}
 
     def select(
         self, request: Request, replicas: Sequence[Replica], now: float
@@ -133,14 +209,61 @@ class IntensityAwareRouter(Router):
         if flip:
             return min(flip)[2]
         if fallback:
-            return min(fallback)[1]
+            ranked = [
+                (
+                    projected_step_seconds(
+                        replicas[i], request, self._price_cache
+                    ),
+                    outstanding,
+                    i,
+                )
+                for outstanding, i in fallback
+            ]
+            return min(ranked)[2]
         raise ConfigurationError("cluster has no replicas")
+
+
+class MinCostRouter(Router):
+    """Route to the replica whose next decoding step stays cheapest.
+
+    Every replica prices its hypothetical post-admission iteration via
+    :func:`projected_step_seconds` (one vectorized ``price_steps`` call
+    per replica), and the request joins the minimum. Ties break toward
+    fewer outstanding requests, then lower index.
+
+    This is the policy that unlocks *mixed fleets*: the systems behind
+    the replicas can be completely different platforms (PAPI next to
+    A100+AttAcc next to PIM-only) because each replica's own cost model
+    produces the admission signal — no scheduler load signal or shared
+    alpha required.
+    """
+
+    name = "min-cost"
+
+    def __init__(self) -> None:
+        self._price_cache: PriceCache = {}
+
+    def select(
+        self, request: Request, replicas: Sequence[Replica], now: float
+    ) -> int:
+        if not replicas:
+            raise ConfigurationError("cluster has no replicas")
+        ranked = [
+            (
+                projected_step_seconds(replica, request, self._price_cache),
+                replica.outstanding(),
+                i,
+            )
+            for i, replica in enumerate(replicas)
+        ]
+        return min(ranked)[2]
 
 
 _ROUTERS: Dict[str, Type[Router]] = {
     RoundRobinRouter.name: RoundRobinRouter,
     LeastOutstandingRouter.name: LeastOutstandingRouter,
     IntensityAwareRouter.name: IntensityAwareRouter,
+    MinCostRouter.name: MinCostRouter,
 }
 
 

@@ -7,7 +7,14 @@ model per-bank bandwidth/compute limits and DRAM-access energy amortized by
 the data-reuse level, which is what differentiates FC-PIM from Attn-PIM.
 """
 
-from repro.devices.base import BoundKind, ComputeDevice, KernelResult
+from repro.devices.base import (
+    BatchComputeDevice,
+    BoundKind,
+    ComputeDevice,
+    KernelResult,
+    KernelResultArray,
+)
+from repro.devices.roofline import evaluate_batch as roofline_evaluate_batch
 from repro.devices.energy import EnergyModel, PIM_ENERGY, GPU_ENERGY
 from repro.devices.area import AreaModel, HBM_PIM_AREA, max_banks_per_die
 from repro.devices.hbm import HBMStackSpec, STANDARD_HBM3_STACK
@@ -39,7 +46,10 @@ from repro.devices.isa import CommandStreamModel, PIMOpcode
 from repro.devices.trace_exec import TraceExecutionResult, execute_partition
 
 __all__ = [
+    "BatchComputeDevice",
     "CommandStreamModel",
+    "KernelResultArray",
+    "roofline_evaluate_batch",
     "FC_PIM_ORGANIZATION",
     "MatrixPartition",
     "NPU_SPEC",

@@ -1,4 +1,4 @@
-"""Device protocol and the common kernel-execution result type."""
+"""Device protocol and the common kernel-execution result types."""
 
 from __future__ import annotations
 
@@ -6,8 +6,10 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, Protocol, runtime_checkable
 
+import numpy as np
+
 from repro.errors import ConfigurationError
-from repro.models.kernels import KernelCost
+from repro.models.kernels import KernelCost, KernelCostArray
 
 
 class BoundKind(enum.Enum):
@@ -49,6 +51,51 @@ class KernelResult:
         return self.energy_joules / self.seconds
 
 
+@dataclass(frozen=True)
+class KernelResultArray:
+    """Outcome of executing one kernel over a grid of points.
+
+    The array analogue of :class:`KernelResult`: field ``i`` of every
+    array prices lane ``i`` of the :class:`KernelCostArray` the device
+    executed. Produced by ``execute_batch`` on device groups; lane values
+    are bit-equal to what the scalar ``execute`` would return for the
+    same cost (``tests/test_price_steps.py`` pins this).
+
+    Attributes:
+        device: Human-readable device name.
+        seconds: Execution time per lane (float64).
+        energy_joules: Energy per lane (float64).
+        compute_bound: True where the lane executed compute-bound.
+        energy_breakdown: Joules by component, each an array per lane.
+    """
+
+    device: str
+    seconds: np.ndarray
+    energy_joules: np.ndarray
+    compute_bound: np.ndarray
+    energy_breakdown: Dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return int(self.seconds.shape[0])
+
+    def at(self, index: int) -> KernelResult:
+        """Extract one lane as a scalar :class:`KernelResult`."""
+        return KernelResult(
+            device=self.device,
+            seconds=float(self.seconds[index]),
+            energy_joules=float(self.energy_joules[index]),
+            bound=(
+                BoundKind.COMPUTE
+                if bool(self.compute_bound[index])
+                else BoundKind.MEMORY
+            ),
+            energy_breakdown={
+                key: float(values[index])
+                for key, values in self.energy_breakdown.items()
+            },
+        )
+
+
 @runtime_checkable
 class ComputeDevice(Protocol):
     """Anything that can price the execution of a kernel cost."""
@@ -65,4 +112,13 @@ class ComputeDevice(Protocol):
 
     def peak_bandwidth(self) -> float:
         """Peak memory bandwidth in bytes/s."""
+        ...
+
+
+@runtime_checkable
+class BatchComputeDevice(ComputeDevice, Protocol):
+    """A device that can price a whole grid of kernel costs at once."""
+
+    def execute_batch(self, costs: KernelCostArray) -> KernelResultArray:
+        """Price every lane of ``costs`` on this device."""
         ...

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.units import pj
 
@@ -70,6 +72,30 @@ class EnergyModel:
             ``static`` entries.
         """
         if min(flops, dram_bytes, transfer_bytes, seconds) < 0:
+            raise ConfigurationError("energy inputs must be non-negative")
+        return {
+            "dram_access": dram_bytes * self.dram_access_per_byte,
+            "transfer": transfer_bytes * self.transfer_per_byte,
+            "compute": flops * self.compute_per_flop,
+            "static": seconds * self.static_power_watts,
+        }
+
+    def kernel_energy_batch(self, flops, dram_bytes, transfer_bytes, seconds):
+        """Vectorized :meth:`kernel_energy`: arrays in, arrays out.
+
+        Accepts numpy arrays (one lane per kernel execution) and returns
+        the same component mapping with array values, computed with the
+        identical per-lane expressions — so lane ``i`` matches the scalar
+        breakdown bit-for-bit. Key insertion order matches
+        :meth:`kernel_energy` so ``sum(breakdown.values())`` accumulates
+        components in the same order on both paths.
+        """
+        if (
+            np.any(flops < 0)
+            or np.any(dram_bytes < 0)
+            or np.any(transfer_bytes < 0)
+            or np.any(seconds < 0)
+        ):
             raise ConfigurationError("energy inputs must be non-negative")
         return {
             "dram_access": dram_bytes * self.dram_access_per_byte,

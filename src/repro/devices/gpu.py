@@ -12,10 +12,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.devices.base import BoundKind, KernelResult
+from repro.devices.base import KernelResult, KernelResultArray
 from repro.devices.energy import EnergyModel, GPU_ENERGY
+from repro.devices.roofline import evaluate, evaluate_batch
 from repro.errors import ConfigurationError
-from repro.models.kernels import KernelCost
+from repro.models.kernels import KernelCost, KernelCostArray
 from repro.units import gb_per_s, gib, tflops, us
 
 
@@ -114,11 +115,12 @@ class GPUGroup:
 
     def execute(self, cost: KernelCost) -> KernelResult:
         """Price ``cost`` on the GPU group (roofline + launch overhead)."""
-        compute_time = cost.flops / self.peak_flops()
-        memory_time = cost.total_bytes / self.peak_bandwidth()
-        busy = max(compute_time, memory_time)
-        seconds = busy + self.spec.kernel_overhead_s
-        bound = BoundKind.COMPUTE if compute_time >= memory_time else BoundKind.MEMORY
+        seconds, bound = evaluate(
+            cost,
+            self.peak_flops(),
+            self.peak_bandwidth(),
+            self.spec.kernel_overhead_s,
+        )
         breakdown = self.energy.kernel_energy(
             flops=cost.flops,
             dram_bytes=cost.weight_bytes,
@@ -132,5 +134,33 @@ class GPUGroup:
             seconds=seconds,
             energy_joules=sum(breakdown.values()),
             bound=bound,
+            energy_breakdown=breakdown,
+        )
+
+    def execute_batch(self, costs: KernelCostArray) -> KernelResultArray:
+        """Price a whole grid of kernel costs in one numpy pass.
+
+        Lane ``i`` is bit-equal to ``execute(costs.at(i))``; the static
+        component scales with the GPU count exactly as in the scalar
+        path before the components are summed.
+        """
+        seconds, compute_bound = evaluate_batch(
+            costs,
+            self.peak_flops(),
+            self.peak_bandwidth(),
+            self.spec.kernel_overhead_s,
+        )
+        breakdown = self.energy.kernel_energy_batch(
+            flops=costs.flops,
+            dram_bytes=costs.weight_bytes,
+            transfer_bytes=costs.activation_bytes,
+            seconds=seconds,
+        )
+        breakdown["static"] = breakdown["static"] * self.count
+        return KernelResultArray(
+            device=self.name,
+            seconds=seconds,
+            energy_joules=sum(breakdown.values()),
+            compute_bound=compute_bound,
             energy_breakdown=breakdown,
         )

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.units import gb_per_s, pj, us
 
@@ -49,6 +51,22 @@ class Link:
     def transfer_energy(self, num_bytes: float) -> float:
         """Joules to move ``num_bytes``."""
         if num_bytes < 0:
+            raise ConfigurationError("bytes must be non-negative")
+        return num_bytes * self.energy_per_byte
+
+    def transfer_time_batch(self, num_bytes, messages: int = 1):
+        """Vectorized :meth:`transfer_time`: ``num_bytes`` per lane.
+
+        Same expression as the scalar path (lane-wise bit-equal); accepts
+        a numpy array of byte counts.
+        """
+        if np.any(num_bytes < 0) or messages <= 0:
+            raise ConfigurationError("bytes must be >= 0 and messages > 0")
+        return messages * self.latency_s + num_bytes / self.bandwidth
+
+    def transfer_energy_batch(self, num_bytes):
+        """Vectorized :meth:`transfer_energy` over a lane array."""
+        if np.any(num_bytes < 0):
             raise ConfigurationError("bytes must be non-negative")
         return num_bytes * self.energy_per_byte
 

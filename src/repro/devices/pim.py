@@ -32,11 +32,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.devices.area import AreaModel, HBM_PIM_AREA
-from repro.devices.base import BoundKind, KernelResult
+from repro.devices.base import KernelResult, KernelResultArray
 from repro.devices.energy import EnergyModel, PIM_ENERGY
 from repro.devices.hbm import HBMStackSpec, STANDARD_HBM3_STACK
+from repro.devices.roofline import evaluate, evaluate_batch
 from repro.errors import ConfigurationError
-from repro.models.kernels import KernelCost
+from repro.models.kernels import KernelCost, KernelCostArray
 from repro.units import gb_per_s, gflops, us
 
 
@@ -191,11 +192,12 @@ class PIMDeviceGroup:
         compute energy scales with FLOPs. Timing is the device roofline
         described in the module docstring.
         """
-        compute_time = cost.flops / self.peak_flops()
-        memory_time = cost.total_bytes / self.peak_bandwidth()
-        busy = max(compute_time, memory_time)
-        seconds = busy + self.config.command_overhead_s
-        bound = BoundKind.COMPUTE if compute_time >= memory_time else BoundKind.MEMORY
+        seconds, bound = evaluate(
+            cost,
+            self.peak_flops(),
+            self.peak_bandwidth(),
+            self.config.command_overhead_s,
+        )
         breakdown = self.energy.kernel_energy(
             flops=cost.flops,
             dram_bytes=cost.weight_bytes,
@@ -207,6 +209,33 @@ class PIMDeviceGroup:
             seconds=seconds,
             energy_joules=sum(breakdown.values()),
             bound=bound,
+            energy_breakdown=breakdown,
+        )
+
+    def execute_batch(self, costs: KernelCostArray) -> KernelResultArray:
+        """Price a whole grid of kernel costs in one numpy pass.
+
+        Lane ``i`` is bit-equal to ``execute(costs.at(i))`` — the batch
+        path runs the same roofline and energy expressions elementwise
+        (see :mod:`repro.devices.roofline`).
+        """
+        seconds, compute_bound = evaluate_batch(
+            costs,
+            self.peak_flops(),
+            self.peak_bandwidth(),
+            self.config.command_overhead_s,
+        )
+        breakdown = self.energy.kernel_energy_batch(
+            flops=costs.flops,
+            dram_bytes=costs.weight_bytes,
+            transfer_bytes=costs.activation_bytes,
+            seconds=seconds,
+        )
+        return KernelResultArray(
+            device=self.name,
+            seconds=seconds,
+            energy_joules=sum(breakdown.values()),
+            compute_bound=compute_bound,
             energy_breakdown=breakdown,
         )
 

@@ -1,0 +1,73 @@
+"""Shared roofline-evaluation core for every compute device.
+
+PIM pools, GPU groups, and NPU/TPU pools all price kernels the same way:
+
+* ``compute_time = flops / peak_flops``
+* ``memory_time  = total_bytes / peak_bandwidth``
+* ``seconds      = max(compute_time, memory_time) + per-kernel overhead``
+
+This module holds that evaluation once, in two shapes that share the
+formulas exactly:
+
+* :func:`evaluate` — one :class:`~repro.models.kernels.KernelCost` at a
+  time, in pure Python floats. This is the serving hot loop; every
+  device's ``execute`` delegates here, which makes the scalar path the
+  size-1 special case of the batch core below (same expressions, same
+  operation order, hence bit-equal results).
+* :func:`evaluate_batch` — a whole
+  :class:`~repro.models.kernels.KernelCostArray` grid in one numpy pass.
+  Elementwise float64 arithmetic performs the identical IEEE-754
+  operations as the scalar path, so lane ``i`` of the batch result is
+  bit-equal to pricing point ``i`` through :func:`evaluate`.
+
+Devices keep their energy accounting to themselves (reuse amortization,
+static-power scaling) — the core prices time and the compute/memory bound
+only.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.devices.base import BoundKind
+from repro.models.kernels import KernelCost, KernelCostArray
+
+
+def evaluate(
+    cost: KernelCost,
+    peak_flops: float,
+    peak_bandwidth: float,
+    overhead_s: float,
+) -> Tuple[float, BoundKind]:
+    """Roofline time of one kernel: ``(seconds, bound)``.
+
+    Ties (compute_time == memory_time) report compute-bound, matching the
+    historical behavior of every device model.
+    """
+    compute_time = cost.flops / peak_flops
+    memory_time = cost.total_bytes / peak_bandwidth
+    busy = max(compute_time, memory_time)
+    seconds = busy + overhead_s
+    bound = BoundKind.COMPUTE if compute_time >= memory_time else BoundKind.MEMORY
+    return seconds, bound
+
+
+def evaluate_batch(
+    costs: KernelCostArray,
+    peak_flops: float,
+    peak_bandwidth: float,
+    overhead_s: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`evaluate`: ``(seconds, compute_bound)`` arrays.
+
+    ``seconds`` is float64 per lane; ``compute_bound`` is a boolean mask
+    (True where the lane is compute-bound, i.e. would report
+    :attr:`BoundKind.COMPUTE`).
+    """
+    compute_time = costs.flops / peak_flops
+    memory_time = costs.total_bytes / peak_bandwidth
+    busy = np.maximum(compute_time, memory_time)
+    seconds = busy + overhead_s
+    return seconds, compute_time >= memory_time

@@ -14,32 +14,54 @@ from repro.models.config import (
 )
 from repro.models.kernels import (
     KernelCost,
+    KernelCostArray,
     KernelKind,
     attention_cost,
+    attention_cost_array,
     fc_cost,
+    fc_cost_array,
     feedforward_cost,
+    feedforward_cost_array,
     projection_cost,
+    projection_cost_array,
     qkv_cost,
+    qkv_cost_array,
 )
-from repro.models.workload import DecodeStep, KernelInvocation, build_decode_step
+from repro.models.workload import (
+    DecodeStep,
+    KernelInvocation,
+    StepGrid,
+    build_decode_step,
+    build_step_grid,
+    cartesian_step_grid,
+)
 from repro.models.roofline import RooflinePoint, arithmetic_intensity, roofline_time
 
 __all__ = [
     "DecodeStep",
     "KernelCost",
+    "KernelCostArray",
     "KernelInvocation",
     "KernelKind",
     "ModelConfig",
     "RooflinePoint",
+    "StepGrid",
     "arithmetic_intensity",
     "attention_cost",
+    "attention_cost_array",
     "available_models",
     "build_decode_step",
+    "build_step_grid",
+    "cartesian_step_grid",
     "fc_cost",
+    "fc_cost_array",
     "feedforward_cost",
+    "feedforward_cost_array",
     "get_model",
     "projection_cost",
+    "projection_cost_array",
     "qkv_cost",
+    "qkv_cost_array",
     "register_model",
     "roofline_time",
 ]

@@ -23,6 +23,8 @@ import enum
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.models.config import ModelConfig
 
@@ -277,6 +279,232 @@ def fc_cost(model: ModelConfig, rlp: int, tlp: int) -> KernelCost:
         weight_bytes=q.weight_bytes + p.weight_bytes + f.weight_bytes,
         activation_bytes=q.activation_bytes + p.activation_bytes + f.activation_bytes,
         tokens=tokens,
+    )
+
+
+# -- batch-first (array-valued) cost layer ---------------------------------
+#
+# The functions below are the vectorized twins of the scalar constructors
+# above: one call prices a whole grid of (RLP, TLP, context) points as
+# numpy arrays. Every arithmetic expression deliberately mirrors its
+# scalar counterpart operation-for-operation (same literals, same
+# association order, integer math kept in int64 until the same conversion
+# point), so each lane of a :class:`KernelCostArray` is bit-equal to the
+# :class:`KernelCost` the scalar function would produce for that point.
+# ``tests/test_kernel_arrays.py`` pins this equivalence.
+
+
+@dataclass(frozen=True)
+class KernelCostArray:
+    """FLOP / byte requirements of one kernel over a grid of points.
+
+    The array analogue of :class:`KernelCost`: each field holds one value
+    per grid point (1-D, equal lengths). Lane ``i`` prices the kernel at
+    the grid's ``i``-th (RLP, TLP, context) combination.
+
+    Attributes:
+        kind: Which kernel this is (one kind per array).
+        flops: Total floating-point operations per point (float64).
+        weight_bytes: Weight (or KV cache) bytes read per point (float64).
+        activation_bytes: Activation bytes moved per point (float64).
+        tokens: Token positions processed per point (int64).
+    """
+
+    kind: KernelKind
+    flops: np.ndarray
+    weight_bytes: np.ndarray
+    activation_bytes: np.ndarray
+    tokens: np.ndarray
+
+    def __post_init__(self) -> None:
+        sizes = {
+            self.flops.shape,
+            self.weight_bytes.shape,
+            self.activation_bytes.shape,
+            self.tokens.shape,
+        }
+        if len(sizes) != 1 or len(self.flops.shape) != 1:
+            raise ConfigurationError(
+                "KernelCostArray fields must be 1-D arrays of equal length"
+            )
+
+    def __len__(self) -> int:
+        return int(self.flops.shape[0])
+
+    @property
+    def total_bytes(self) -> np.ndarray:
+        """All memory traffic of the kernel, per point."""
+        return self.weight_bytes + self.activation_bytes
+
+    @property
+    def arithmetic_intensity(self) -> np.ndarray:
+        """FLOPs per byte of memory traffic, per point (inf where 0 B)."""
+        total = self.total_bytes
+        with np.errstate(divide="ignore"):
+            return np.where(total == 0, np.inf, self.flops / np.where(total == 0, 1.0, total))
+
+    def scaled(self, factor: float) -> "KernelCostArray":
+        """Return a cost array scaled by ``factor`` in every lane."""
+        return KernelCostArray(
+            kind=self.kind,
+            flops=self.flops * factor,
+            weight_bytes=self.weight_bytes * factor,
+            activation_bytes=self.activation_bytes * factor,
+            tokens=self.tokens,
+        )
+
+    def at(self, index: int) -> KernelCost:
+        """Extract one lane as a scalar :class:`KernelCost`."""
+        return KernelCost(
+            kind=self.kind,
+            flops=float(self.flops[index]),
+            weight_bytes=float(self.weight_bytes[index]),
+            activation_bytes=float(self.activation_bytes[index]),
+            tokens=int(self.tokens[index]),
+        )
+
+
+def _as_int_axes(*axes: "Sequence[int]") -> tuple:
+    """Validate and broadcast integer grid axes to equal-length int64."""
+    arrays = [np.asarray(axis, dtype=np.int64) for axis in axes]
+    broadcast = np.broadcast_arrays(*arrays)
+    return tuple(np.ascontiguousarray(a) for a in broadcast)
+
+
+def _validate_array(rlp: np.ndarray, tlp: np.ndarray) -> np.ndarray:
+    if rlp.size and int(rlp.min()) <= 0:
+        raise ConfigurationError(
+            f"RLP (batch size) must be positive, got {int(rlp.min())}"
+        )
+    if tlp.size and int(tlp.min()) <= 0:
+        raise ConfigurationError(
+            f"TLP (speculation length) must be positive, got {int(tlp.min())}"
+        )
+    return rlp * tlp
+
+
+def _gemv_cost_array(
+    kind: KernelKind,
+    model: ModelConfig,
+    weight_params: int,
+    in_dim: int,
+    out_dim: int,
+    tokens: np.ndarray,
+) -> KernelCostArray:
+    """Vectorized :func:`_gemv_cost`: one lane per ``tokens`` entry."""
+    flops = 2.0 * tokens * weight_params
+    weight_bytes = np.full(
+        tokens.shape, float(weight_params * model.dtype_bytes)
+    )
+    activation_bytes = (
+        tokens * (in_dim + out_dim) * model.dtype_bytes
+    ).astype(np.float64)
+    return KernelCostArray(
+        kind=kind,
+        flops=flops,
+        weight_bytes=weight_bytes,
+        activation_bytes=activation_bytes,
+        tokens=tokens,
+    )
+
+
+def qkv_cost_array(
+    model: ModelConfig, rlp: "Sequence[int]", tlp: "Sequence[int]"
+) -> KernelCostArray:
+    """Vectorized :func:`qkv_cost` over broadcastable RLP/TLP axes."""
+    rlp_arr, tlp_arr = _as_int_axes(rlp, tlp)
+    tokens = _validate_array(rlp_arr, tlp_arr)
+    return _gemv_cost_array(
+        KernelKind.QKV,
+        model,
+        model.qkv_weight_params,
+        model.hidden_dim,
+        3 * model.hidden_dim,
+        tokens,
+    )
+
+
+def projection_cost_array(
+    model: ModelConfig, rlp: "Sequence[int]", tlp: "Sequence[int]"
+) -> KernelCostArray:
+    """Vectorized :func:`projection_cost` over broadcastable axes."""
+    rlp_arr, tlp_arr = _as_int_axes(rlp, tlp)
+    tokens = _validate_array(rlp_arr, tlp_arr)
+    return _gemv_cost_array(
+        KernelKind.PROJECTION,
+        model,
+        model.projection_weight_params,
+        model.hidden_dim,
+        model.hidden_dim,
+        tokens,
+    )
+
+
+def feedforward_cost_array(
+    model: ModelConfig, rlp: "Sequence[int]", tlp: "Sequence[int]"
+) -> KernelCostArray:
+    """Vectorized :func:`feedforward_cost` over broadcastable axes."""
+    rlp_arr, tlp_arr = _as_int_axes(rlp, tlp)
+    tokens = _validate_array(rlp_arr, tlp_arr)
+    return _gemv_cost_array(
+        KernelKind.FFN,
+        model,
+        model.ffn_weight_params,
+        model.hidden_dim,
+        model.ffn_dim,
+        tokens,
+    )
+
+
+def attention_cost_array(
+    model: ModelConfig,
+    rlp: "Sequence[int]",
+    tlp: "Sequence[int]",
+    context_len: "Sequence[int]",
+) -> KernelCostArray:
+    """Vectorized :func:`attention_cost` over broadcastable axes.
+
+    Prices mean-context attention for every grid point: lane ``i`` equals
+    ``attention_cost(model, rlp[i], tlp[i], context_len[i])`` bit-for-bit.
+    (Per-request heterogeneous batches stay on the scalar
+    :func:`attention_cost_batch` path — a grid point summarizes its batch
+    by the mean context, exactly like the sweep drivers do.)
+    """
+    rlp_arr, tlp_arr, ctx_arr = _as_int_axes(rlp, tlp, context_len)
+    tokens = _validate_array(rlp_arr, tlp_arr)
+    if ctx_arr.size and int(ctx_arr.min()) <= 0:
+        raise ConfigurationError(
+            f"context_len must be positive, got {int(ctx_arr.min())}"
+        )
+    h = model.hidden_dim
+    flops = 4.0 * rlp_arr * tlp_arr * ctx_arr * h
+    kv_bytes = (2 * rlp_arr * ctx_arr * h * model.dtype_bytes).astype(np.float64)
+    score_elems = rlp_arr * tlp_arr * ctx_arr * model.num_heads
+    activation_bytes = (
+        (2 * tokens * h + 2 * score_elems) * model.dtype_bytes
+    ).astype(np.float64)
+    return KernelCostArray(
+        kind=KernelKind.ATTENTION,
+        flops=flops,
+        weight_bytes=kv_bytes,
+        activation_bytes=activation_bytes,
+        tokens=tokens,
+    )
+
+
+def fc_cost_array(
+    model: ModelConfig, rlp: "Sequence[int]", tlp: "Sequence[int]"
+) -> KernelCostArray:
+    """Vectorized :func:`fc_cost` (QKV + projection + FFN per lane)."""
+    q = qkv_cost_array(model, rlp, tlp)
+    p = projection_cost_array(model, rlp, tlp)
+    f = feedforward_cost_array(model, rlp, tlp)
+    return KernelCostArray(
+        kind=KernelKind.QKV,  # representative FC kind
+        flops=q.flops + p.flops + f.flops,
+        weight_bytes=q.weight_bytes + p.weight_bytes + f.weight_bytes,
+        activation_bytes=q.activation_bytes + p.activation_bytes + f.activation_bytes,
+        tokens=q.tokens,
     )
 
 

@@ -9,19 +9,27 @@ to execute the step and price each kernel on its assigned device.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.models.config import ModelConfig
 from repro.models.kernels import (
     KernelCost,
+    KernelCostArray,
     KernelKind,
     attention_cost,
+    attention_cost_array,
     attention_cost_batch,
     feedforward_cost,
+    feedforward_cost_array,
     projection_cost,
+    projection_cost_array,
     qkv_cost,
+    qkv_cost_array,
 )
 
 
@@ -146,6 +154,125 @@ def build_decode_step(
         invocations=invocations,
         context_lens=None if context_lens is None else tuple(context_lens),
     )
+
+
+@dataclass(frozen=True)
+class StepGrid:
+    """A batch of decoding-iteration specifications, one per grid point.
+
+    The batch-first analogue of :class:`DecodeStep`: point ``i`` describes
+    the decoding iteration ``build_decode_step(model, rlp[i], tlp[i],
+    context_len[i])`` (mean-context accounting). Systems price a whole
+    grid at once via
+    :meth:`~repro.systems.base.ServingSystem.price_steps`, which is how
+    design-space sweeps evaluate thousands of operating points without
+    constructing thousands of :class:`DecodeStep` objects.
+
+    Attributes:
+        model: The model being decoded (one model per grid).
+        rlp: Request-level parallelism per point (int64, 1-D).
+        tlp: Token-level parallelism per point (int64, same length).
+        context_len: Mean per-request KV-cache length per point (int64,
+            same length).
+    """
+
+    model: ModelConfig
+    rlp: np.ndarray
+    tlp: np.ndarray
+    context_len: np.ndarray
+
+    def __post_init__(self) -> None:
+        shapes = {self.rlp.shape, self.tlp.shape, self.context_len.shape}
+        if len(shapes) != 1 or len(self.rlp.shape) != 1:
+            raise ConfigurationError(
+                "StepGrid axes must be 1-D arrays of equal length"
+            )
+        if self.rlp.size == 0:
+            raise ConfigurationError("StepGrid must contain at least one point")
+        for name, axis in (
+            ("rlp", self.rlp),
+            ("tlp", self.tlp),
+            ("context_len", self.context_len),
+        ):
+            if int(axis.min()) <= 0:
+                raise ConfigurationError(
+                    f"StepGrid {name} values must be positive, "
+                    f"got {int(axis.min())}"
+                )
+
+    def __len__(self) -> int:
+        return int(self.rlp.shape[0])
+
+    def step_at(self, index: int) -> DecodeStep:
+        """Materialize one grid point as a scalar :class:`DecodeStep`."""
+        return build_decode_step(
+            self.model,
+            int(self.rlp[index]),
+            int(self.tlp[index]),
+            int(self.context_len[index]),
+        )
+
+    def kernel_arrays(self) -> Tuple[KernelCostArray, ...]:
+        """Per-layer cost arrays of the four kernels, in execution order
+        (QKV, attention, projection, FFN) — the array analogue of
+        :attr:`DecodeStep.invocations`."""
+        return (
+            qkv_cost_array(self.model, self.rlp, self.tlp),
+            attention_cost_array(self.model, self.rlp, self.tlp, self.context_len),
+            projection_cost_array(self.model, self.rlp, self.tlp),
+            feedforward_cost_array(self.model, self.rlp, self.tlp),
+        )
+
+
+def build_step_grid(
+    model: ModelConfig,
+    rlp: Sequence[int],
+    tlp: Sequence[int],
+    context_len: Sequence[int],
+) -> StepGrid:
+    """Build a :class:`StepGrid` from parallel (broadcastable) point axes.
+
+    Scalars broadcast against arrays, so
+    ``build_step_grid(model, [1, 2, 4], 2, 512)`` prices three batch sizes
+    at a fixed speculation length and context.
+    """
+    rlp_arr, tlp_arr, ctx_arr = np.broadcast_arrays(
+        np.asarray(rlp, dtype=np.int64),
+        np.asarray(tlp, dtype=np.int64),
+        np.asarray(context_len, dtype=np.int64),
+    )
+    if rlp_arr.ndim == 0:
+        rlp_arr = rlp_arr.reshape(1)
+        tlp_arr = tlp_arr.reshape(1)
+        ctx_arr = ctx_arr.reshape(1)
+    return StepGrid(
+        model=model,
+        rlp=np.ascontiguousarray(rlp_arr),
+        tlp=np.ascontiguousarray(tlp_arr),
+        context_len=np.ascontiguousarray(ctx_arr),
+    )
+
+
+def cartesian_step_grid(
+    model: ModelConfig,
+    rlp_values: Sequence[int],
+    tlp_values: Sequence[int],
+    context_values: Sequence[int],
+) -> StepGrid:
+    """Build the full cartesian grid over RLP x TLP x context axes.
+
+    Point order is C-order (last axis fastest): ``itertools.product``
+    over ``(rlp_values, tlp_values, context_values)``.
+    """
+    points = list(
+        itertools.product(rlp_values, tlp_values, context_values)
+    )
+    if not points:
+        raise ConfigurationError("cartesian grid axes must be non-empty")
+    rlp_arr, tlp_arr, ctx_arr = (
+        np.array(axis, dtype=np.int64) for axis in zip(*points)
+    )
+    return StepGrid(model=model, rlp=rlp_arr, tlp=tlp_arr, context_len=ctx_arr)
 
 
 def prefill_cost(model: ModelConfig, rlp: int, input_len: int) -> KernelCost:

@@ -13,6 +13,7 @@ iteration (Section 7.1's four designs):
 """
 
 from repro.systems.base import IterationResult, ServingSystem
+from repro.systems.batch import IterationResultArray
 from repro.systems.baselines import (
     A100AttAccSystem,
     A100HBMPIMSystem,
@@ -26,6 +27,7 @@ __all__ = [
     "A100HBMPIMSystem",
     "AttAccOnlySystem",
     "IterationResult",
+    "IterationResultArray",
     "PAPISystem",
     "PIMOnlyPAPISystem",
     "ServingSystem",

@@ -19,12 +19,30 @@ from repro.core.placement import PlacementTarget
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.scheduler import LoadSignal
+    from repro.models.workload import StepGrid
+    from repro.systems.batch import IterationResultArray
 from repro.devices.base import ComputeDevice, KernelResult
 from repro.devices.interconnect import Link
 from repro.errors import CapacityError, ConfigurationError
 from repro.models.config import ModelConfig
 from repro.models.workload import DecodeStep, build_decode_step, prefill_cost
 from repro.units import us
+
+
+def attention_io_bytes(model: ModelConfig, tokens):
+    """Link bytes for one iteration's attention I/O over all layers.
+
+    Per layer: Q vectors plus fresh K/V entries travel to the attention
+    unit; attention context vectors travel back. Polymorphic over an int
+    token count (scalar pricing) and an int64 lane array (batch pricing)
+    — one body, so the two paths cannot drift apart.
+    """
+    elem = model.dtype_bytes
+    h = model.hidden_dim
+    to_attn = tokens * 3 * h * elem  # Q + new K + new V
+    from_attn = tokens * h * elem
+    per_layer_bytes = to_attn + from_attn
+    return per_layer_bytes * model.num_layers
 
 
 @dataclass(frozen=True)
@@ -194,13 +212,7 @@ class ServingSystem(abc.ABC):
         message (latency) per layer.
         """
         link = self.attention_link()
-        tokens = step.rlp * step.tlp
-        elem = step.model.dtype_bytes
-        h = step.model.hidden_dim
-        to_attn = tokens * 3 * h * elem  # Q + new K + new V
-        from_attn = tokens * h * elem
-        per_layer_bytes = to_attn + from_attn
-        total_bytes = per_layer_bytes * step.model.num_layers
+        total_bytes = attention_io_bytes(step.model, step.rlp * step.tlp)
         seconds = link.transfer_time(
             total_bytes, messages=2 * step.model.num_layers
         )
@@ -216,6 +228,21 @@ class ServingSystem(abc.ABC):
         if self.pipeline_chunks > 1 and step.rlp >= self.pipeline_chunks:
             return self._execute_step_pipelined(step, self.pipeline_chunks)
         return self._execute_step_serial(step)
+
+    def price_steps(self, grid: "StepGrid") -> "IterationResultArray":
+        """Price a whole grid of decoding iterations in vectorized passes.
+
+        The batch-first twin of :meth:`execute_step`: point ``i`` of the
+        returned :class:`~repro.systems.batch.IterationResultArray` is
+        bit-equal to ``execute_step(grid.step_at(i))`` — including the
+        sub-batch pipelined dispatch when ``pipeline_chunks > 1`` — but a
+        10k-point grid costs a few dozen numpy passes instead of 10k trips
+        through the scalar cost model. Design-space sweeps and admission-
+        cost projection route through here.
+        """
+        from repro.systems.batch import price_steps as _price_steps
+
+        return _price_steps(self, grid)
 
     def _execute_step_serial(self, step: DecodeStep) -> IterationResult:
         fc_target = self.plan_fc_target(step.rlp, step.tlp)

@@ -49,7 +49,7 @@ def default_trace(count=64, rate=32.0, seed=0):
 class TestRouterRegistry:
     def test_available_routers(self):
         assert available_routers() == (
-            "intensity", "least-outstanding", "round-robin"
+            "intensity", "least-outstanding", "min-cost", "round-robin"
         )
 
     def test_unknown_router_rejected(self):

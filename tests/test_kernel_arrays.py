@@ -1,0 +1,115 @@
+"""Array-valued kernel cost functions vs their scalar twins."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models.config import get_model
+from repro.models.kernels import (
+    KernelCostArray,
+    KernelKind,
+    attention_cost,
+    attention_cost_array,
+    fc_cost,
+    fc_cost_array,
+    feedforward_cost,
+    feedforward_cost_array,
+    projection_cost,
+    projection_cost_array,
+    qkv_cost,
+    qkv_cost_array,
+)
+
+MODEL = get_model("llama-65b")
+RLPS = [1, 2, 3, 7, 16, 64, 257]
+TLPS = [1, 2, 4, 8]
+CONTEXTS = [1, 17, 512, 4096]
+
+FC_PAIRS = (
+    (qkv_cost, qkv_cost_array),
+    (projection_cost, projection_cost_array),
+    (feedforward_cost, feedforward_cost_array),
+    (fc_cost, fc_cost_array),
+)
+
+
+class TestFCArrays:
+    @pytest.mark.parametrize("scalar_fn,array_fn", FC_PAIRS)
+    def test_lanes_bit_equal_scalar(self, scalar_fn, array_fn):
+        rlp = [r for r in RLPS for _ in TLPS]
+        tlp = TLPS * len(RLPS)
+        arr = array_fn(MODEL, rlp, tlp)
+        assert len(arr) == len(rlp)
+        for i, (r, t) in enumerate(zip(rlp, tlp)):
+            scalar = scalar_fn(MODEL, r, t)
+            lane = arr.at(i)
+            assert lane == scalar
+            # Bit-level identity, not just float equality.
+            assert lane.flops.hex() == scalar.flops.hex()
+            assert lane.activation_bytes.hex() == scalar.activation_bytes.hex()
+
+    def test_scalar_broadcast(self):
+        arr = qkv_cost_array(MODEL, [1, 2, 4], 2)
+        assert arr.tokens.tolist() == [2, 4, 8]
+
+    @pytest.mark.parametrize("bad_rlp,bad_tlp", [(0, 1), (-3, 2), (1, 0)])
+    def test_rejects_non_positive_parallelism(self, bad_rlp, bad_tlp):
+        with pytest.raises(ConfigurationError):
+            qkv_cost_array(MODEL, [1, bad_rlp], [1, bad_tlp])
+
+
+class TestAttentionArray:
+    def test_lanes_bit_equal_scalar(self):
+        points = [
+            (r, t, c) for r in RLPS[:5] for t in TLPS for c in CONTEXTS
+        ]
+        rlp, tlp, ctx = zip(*points)
+        arr = attention_cost_array(MODEL, rlp, tlp, ctx)
+        for i, (r, t, c) in enumerate(points):
+            scalar = attention_cost(MODEL, r, t, c)
+            lane = arr.at(i)
+            assert lane == scalar
+            assert lane.flops.hex() == scalar.flops.hex()
+            assert lane.weight_bytes.hex() == scalar.weight_bytes.hex()
+
+    def test_rejects_non_positive_context(self):
+        with pytest.raises(ConfigurationError):
+            attention_cost_array(MODEL, [1], [1], [0])
+
+
+class TestKernelCostArrayType:
+    def test_total_bytes_and_scaled(self):
+        arr = qkv_cost_array(MODEL, [1, 2], [1, 1])
+        np.testing.assert_array_equal(
+            arr.total_bytes, arr.weight_bytes + arr.activation_bytes
+        )
+        doubled = arr.scaled(2.0)
+        np.testing.assert_array_equal(doubled.flops, arr.flops * 2.0)
+        assert doubled.kind is arr.kind
+
+    def test_arithmetic_intensity_matches_scalar(self):
+        arr = attention_cost_array(MODEL, [2, 4], [2, 2], [128, 128])
+        for i in range(2):
+            assert arr.arithmetic_intensity[i] == pytest.approx(
+                arr.at(i).arithmetic_intensity
+            )
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ConfigurationError):
+            KernelCostArray(
+                kind=KernelKind.QKV,
+                flops=np.ones(3),
+                weight_bytes=np.ones(2),
+                activation_bytes=np.ones(3),
+                tokens=np.ones(3, dtype=np.int64),
+            )
+
+    def test_rejects_non_1d(self):
+        with pytest.raises(ConfigurationError):
+            KernelCostArray(
+                kind=KernelKind.QKV,
+                flops=np.ones((2, 2)),
+                weight_bytes=np.ones((2, 2)),
+                activation_bytes=np.ones((2, 2)),
+                tokens=np.ones((2, 2), dtype=np.int64),
+            )

@@ -1,0 +1,253 @@
+"""The unified sweep engine, reimplemented drivers, and the sweep CLI."""
+
+import json
+
+import pytest
+
+from repro.analysis.design_space import (
+    _measure,
+    sweep_attn_link,
+    sweep_fc_stacks,
+    sweep_gpu_count,
+)
+from repro.analysis.sweep import (
+    SweepAxis,
+    SweepResult,
+    SweepRunner,
+    SweepSpec,
+    price_step_sweep,
+    sweep_alpha,
+)
+from repro.cli import main as cli_main
+from repro.cluster import MinCostRouter, Replica, projected_step_seconds
+from repro.errors import ConfigurationError
+from repro.models.config import get_model
+from repro.serving.request import Request
+from repro.systems.papi import PAPISystem
+from repro.systems.registry import build_system
+
+MODEL = get_model("llama-65b")
+
+
+def _double(point):
+    """Module-level measure so worker processes can pickle it."""
+    return point["x"] * 2
+
+
+class TestSweepSpec:
+    def test_of_keeps_axis_order_and_size(self):
+        spec = SweepSpec.of(a=(1, 2), b=(10, 20, 30))
+        assert spec.axis_names == ("a", "b")
+        assert spec.size == 6
+
+    def test_points_last_axis_fastest(self):
+        spec = SweepSpec.of(a=(1, 2), b=(10, 20))
+        assert list(spec.points()) == [
+            {"a": 1, "b": 10}, {"a": 1, "b": 20},
+            {"a": 2, "b": 10}, {"a": 2, "b": 20},
+        ]
+
+    def test_point_arrays_match_points(self):
+        spec = SweepSpec.of(a=(1, 2), b=(10, 20))
+        arrays = spec.point_arrays()
+        assert arrays["a"].tolist() == [1, 1, 2, 2]
+        assert arrays["b"].tolist() == [10, 20, 10, 20]
+
+    def test_rejects_empty_axis(self):
+        with pytest.raises(ConfigurationError):
+            SweepAxis(name="a", values=())
+
+    def test_rejects_duplicate_axes(self):
+        with pytest.raises(ConfigurationError):
+            SweepSpec(axes=(
+                SweepAxis("a", (1,)), SweepAxis("a", (2,)),
+            ))
+
+
+class TestSweepRunner:
+    def test_serial_run_in_grid_order(self):
+        runner = SweepRunner(SweepSpec.of(x=(1, 2, 3)), measure=_double)
+        assert runner.run() == [2, 4, 6]
+
+    def test_workers_match_serial(self):
+        spec = SweepSpec.of(x=tuple(range(8)))
+        serial = SweepRunner(spec, measure=_double).run()
+        parallel = SweepRunner(spec, measure=_double, workers=2).run()
+        assert serial == parallel
+
+    def test_run_requires_measure(self):
+        with pytest.raises(ConfigurationError):
+            SweepRunner(SweepSpec.of(x=(1,))).run()
+
+    def test_step_grid_requires_step_axes(self):
+        runner = SweepRunner(SweepSpec.of(rlp=(1,), tlp=(1,)))
+        with pytest.raises(ConfigurationError):
+            runner.step_grid(MODEL)
+
+    def test_step_grid_rejects_extra_axes(self):
+        runner = SweepRunner(
+            SweepSpec.of(rlp=(1,), tlp=(1,), context=(64,), stacks=(30,))
+        )
+        with pytest.raises(ConfigurationError):
+            runner.step_grid(MODEL)
+
+
+class TestPriceStepSweep:
+    def test_rows_match_scalar_path(self):
+        system = PAPISystem()
+        result = price_step_sweep(system, MODEL, [1, 4], [1, 2], [128, 1024])
+        assert len(result) == 8
+        runner_grid = SweepRunner(
+            SweepSpec.of(rlp=(1, 4), tlp=(1, 2), context=(128, 1024))
+        ).step_grid(MODEL)
+        for i, row in enumerate(result.rows):
+            scalar = system.execute_step(runner_grid.step_at(i))
+            assert row["seconds"] == scalar.seconds
+            assert row["energy_joules"] == scalar.energy_joules
+            assert row["fc_target"] == scalar.fc_target.value
+
+    def test_result_export(self, tmp_path):
+        result = price_step_sweep(PAPISystem(), MODEL, [1, 2], [1], [64])
+        csv_path = tmp_path / "sweep.csv"
+        json_path = tmp_path / "sweep.json"
+        result.write_csv(str(csv_path))
+        result.write_json(str(json_path))
+        lines = csv_path.read_text().strip().splitlines()
+        assert lines[0].startswith("rlp,tlp,context,fc_target,seconds")
+        assert len(lines) == 3
+        payload = json.loads(json_path.read_text())
+        assert payload["columns"][:3] == ["rlp", "tlp", "context"]
+        assert len(payload["rows"]) == 2
+
+    def test_column_accessor(self):
+        result = price_step_sweep(PAPISystem(), MODEL, [1, 2], [1], [64])
+        assert result.column("rlp") == [1, 2]
+        with pytest.raises(ConfigurationError):
+            result.column("nope")
+
+
+class TestDesignSpaceSweeps:
+    def test_workers_match_serial(self):
+        serial = sweep_fc_stacks((10, 30))
+        parallel = sweep_fc_stacks((10, 30), workers=2)
+        assert serial == parallel
+
+    def test_gpu_count_workers_match_serial(self):
+        serial = sweep_gpu_count((2, 6))
+        parallel = sweep_gpu_count((2, 6), workers=2)
+        assert serial == parallel
+
+    def test_labels(self):
+        points = sweep_attn_link()
+        assert [p.label for p in points] == ["pcie-gen5", "cxl", "nvlink"]
+
+    def test_rejects_empty_axes(self):
+        with pytest.raises(ConfigurationError):
+            sweep_fc_stacks(())
+        with pytest.raises(ConfigurationError):
+            sweep_attn_link(())
+        with pytest.raises(ConfigurationError):
+            sweep_gpu_count(())
+
+    def test_fits_model_uses_system_capacity_accounting(self):
+        """The fit check must go through weight_capacity_bytes(), so a
+        system without an fc_pim pool (A100+AttAcc keeps weights in GPU
+        HBM) reports fits_model instead of crashing."""
+        point = _measure(
+            build_system("a100-attacc"), MODEL, batch=2, spec=1, seed=0
+        )
+        assert point.fits_model  # 130 GB of weights vs 480 GB of HBM
+
+    def test_fits_model_false_when_pool_too_small(self):
+        from repro.devices.pim import FC_PIM_CONFIG, PIMDeviceGroup
+
+        system = PAPISystem(fc_pim=PIMDeviceGroup(FC_PIM_CONFIG, 2))
+        point = _measure(system, MODEL, batch=2, spec=1, seed=0)
+        assert not point.fits_model
+
+
+class TestSweepAlpha:
+    def test_returns_summaries_and_calibration(self):
+        results, calibrated = sweep_alpha(
+            alphas=(8.0, 64.0), batch=8, seed=3
+        )
+        assert set(results) == {8.0, 64.0}
+        assert calibrated > 0
+        assert all(s.decode_seconds > 0 for s in results.values())
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            sweep_alpha(alphas=())
+
+
+class TestMinCostRouting:
+    def test_prefers_cheaper_projected_step(self):
+        replicas = [
+            Replica(i, build_system("papi"), MODEL, max_batch_size=4)
+            for i in range(2)
+        ]
+        replicas[0].enqueue(Request(request_id=0, input_len=64, output_len=8))
+        request = Request(request_id=1, input_len=64, output_len=8)
+        # Same system: the busier replica projects a bigger batch and so
+        # a slower next step.
+        cost0 = projected_step_seconds(replicas[0], request)
+        cost1 = projected_step_seconds(replicas[1], request)
+        assert cost1 < cost0
+        assert MinCostRouter().select(request, replicas, 0.0) == 1
+
+    def test_mixed_fleet_serves_all_requests(self):
+        from repro.cluster import ClusterSimulator, build_router
+        from repro.serving.arrivals import poisson_arrivals
+        from repro.serving.dataset import sample_requests
+
+        replicas = [
+            Replica(0, build_system("papi"), MODEL, max_batch_size=8),
+            Replica(1, build_system("a100-attacc"), MODEL, max_batch_size=8),
+            Replica(2, build_system("papi-pim-only"), MODEL, max_batch_size=8),
+        ]
+        requests = poisson_arrivals(
+            sample_requests("creative-writing", 24, seed=5),
+            rate_per_s=24.0, seed=5,
+        )
+        summary = ClusterSimulator(replicas, build_router("min-cost")).run(
+            requests
+        )
+        assert summary.total_requests == 24
+        assert sum(r.requests_served for r in summary.replicas) == 24
+
+
+class TestSweepCLI:
+    def test_grid_export(self, tmp_path, capsys):
+        csv_path = tmp_path / "grid.csv"
+        json_path = tmp_path / "grid.json"
+        rc = cli_main([
+            "sweep", "grid", "--rlp", "1:4", "--tlp", "1", "--context",
+            "128,256", "--csv", str(csv_path), "--json", str(json_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "step grid: 8 points" in out
+        assert len(csv_path.read_text().strip().splitlines()) == 9
+        assert len(json.loads(json_path.read_text())["rows"]) == 8
+
+    def test_config_sweep_mode(self, capsys):
+        rc = cli_main(["sweep", "gpu-count", "--values", "2,4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "2 GPUs" in out and "4 GPUs" in out
+
+    def test_alpha_mode(self, capsys):
+        rc = cli_main([
+            "sweep", "alpha", "--values", "8,64", "--batch", "8",
+        ])
+        assert rc == 0
+        assert "calibrated alpha" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("spec", ["8:1", "1.5", "0:2", "1:2:3:4", "a,b"])
+    def test_bad_axis_spec_rejected(self, spec):
+        with pytest.raises(SystemExit):
+            cli_main(["sweep", "grid", "--rlp", spec])
+
+    def test_unknown_link_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(["sweep", "attn-link", "--values", "warp-drive"])
