@@ -1,0 +1,105 @@
+"""MoE sweep vectorization: batch pricing vs the scalar MoE step path.
+
+The PR-3 acceptance benchmark: a >= 1k-point MoE operating grid (two
+expert configurations x RLP x TLP x context) priced through the
+vectorized ``price_steps`` route and re-priced point-by-point through
+the scalar ``execute_step`` / ``moe_ffn_cost`` reference, asserting
+**zero** mismatches, and emitting the machine-readable
+``results/BENCH_moe_sweep.json`` that CI uploads next to
+``BENCH_sweep.json``.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import run_once
+from repro.analysis.report import format_table
+from repro.models.config import get_model
+from repro.models.moe import MoEModelConfig
+from repro.models.workload import cartesian_step_grid
+from repro.systems.papi import PAPISystem
+
+#: Two expert banks x 40 x 3 x 5 = 1200 operating points spanning both
+#: FC placements and the active-expert saturation curve.
+EXPERT_CONFIGS = ((8, 2, 1024), (64, 2, 1024))
+RLP_VALUES = tuple(range(1, 41))
+TLP_VALUES = (1, 2, 4)
+CONTEXT_VALUES = (256, 512, 1024, 2048, 4096)
+
+BENCH_JSON = Path("results") / "BENCH_moe_sweep.json"
+
+
+def run_moe_sweep_comparison():
+    base = get_model("llama-65b")
+    system = PAPISystem()
+    grids = [
+        cartesian_step_grid(
+            base, RLP_VALUES, TLP_VALUES, CONTEXT_VALUES,
+            moe=MoEModelConfig(
+                base=base, num_experts=experts, experts_per_token=topk,
+                expert_ffn_dim=ffn,
+            ),
+        )
+        for experts, topk, ffn in EXPERT_CONFIGS
+    ]
+
+    # Vectorized route: one price_steps call per expert configuration.
+    t0 = time.perf_counter()
+    priced = [system.price_steps(grid) for grid in grids]
+    vector_seconds = time.perf_counter() - t0
+
+    # Scalar route: one DecodeStep (with the scalar moe_ffn_cost FFN)
+    # + execute_step per point.
+    t0 = time.perf_counter()
+    scalar = [
+        [system.execute_step(grid.step_at(i)) for i in range(len(grid))]
+        for grid in grids
+    ]
+    scalar_seconds = time.perf_counter() - t0
+
+    points = sum(len(grid) for grid in grids)
+    mismatches = sum(
+        1
+        for g, grid in enumerate(grids)
+        for i in range(len(grid))
+        if priced[g].at(i) != scalar[g][i]
+    )
+    payload = {
+        "points": points,
+        "expert_configs": [list(c) for c in EXPERT_CONFIGS],
+        "scalar_seconds": scalar_seconds,
+        "vector_seconds": vector_seconds,
+        "scalar_points_per_second": points / scalar_seconds,
+        "vector_points_per_second": points / vector_seconds,
+        "speedup": scalar_seconds / vector_seconds,
+        "mismatches": mismatches,
+    }
+    BENCH_JSON.parent.mkdir(parents=True, exist_ok=True)
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def test_moe_sweep_vectorization(benchmark, show):
+    payload = run_once(benchmark, run_moe_sweep_comparison)
+
+    show(
+        format_table(
+            ["metric", "value"],
+            [
+                ["grid points", payload["points"]],
+                ["scalar points/s", payload["scalar_points_per_second"]],
+                ["vector points/s", payload["vector_points_per_second"]],
+                ["speedup", payload["speedup"]],
+                ["mismatches", payload["mismatches"]],
+                ["output file", str(BENCH_JSON)],
+            ],
+            title="Vectorized MoE sweep vs scalar moe_ffn_cost pricing",
+        )
+    )
+
+    # The acceptance bar: >= 1k MoE points, zero divergence from the
+    # scalar reference, and a real vectorization win.
+    assert payload["points"] >= 1000
+    assert payload["mismatches"] == 0
+    assert payload["speedup"] >= 5.0, payload

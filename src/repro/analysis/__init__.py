@@ -38,6 +38,8 @@ from repro.analysis.sweep import (
     SweepSpec,
     price_step_sweep,
     sweep_alpha,
+    sweep_moe,
+    sweep_tlp,
 )
 
 __all__ = [
@@ -51,6 +53,8 @@ __all__ = [
     "sweep_attn_link",
     "sweep_fc_stacks",
     "sweep_gpu_count",
+    "sweep_moe",
+    "sweep_tlp",
     "write_csv",
     "write_fig11_csv",
     "write_fig8_csv",

@@ -45,11 +45,16 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.models.config import ModelConfig
+from repro.models.moe import MoEModelConfig
 from repro.models.workload import StepGrid, build_step_grid
 from repro.systems.base import ServingSystem
 
 #: Axis names the vectorized pricing fast path consumes.
 STEP_AXES = ("rlp", "tlp", "context")
+
+#: Configuration axes of the MoE design-space sweep (swept outside the
+#: vectorized step grid — each combination is a distinct model).
+MOE_AXES = ("num_experts", "experts_per_token", "expert_ffn_dim")
 
 
 @dataclass(frozen=True)
@@ -227,11 +232,14 @@ class SweepRunner:
                 return list(pool.map(self.measure, points))
         return [self.measure(point) for point in points]
 
-    def step_grid(self, model: ModelConfig) -> StepGrid:
+    def step_grid(
+        self, model: ModelConfig, moe: Optional[MoEModelConfig] = None
+    ) -> StepGrid:
         """Expand the spec's ``rlp``/``tlp``/``context`` axes to a grid.
 
         Axes beyond the three step axes are rejected — a workload grid
         prices steps only; configuration axes belong on :meth:`run`.
+        Pass ``moe`` to price the grid's FFN as a routed expert bank.
         """
         names = self.spec.axis_names
         missing = [name for name in STEP_AXES if name not in names]
@@ -246,18 +254,25 @@ class SweepRunner:
             )
         arrays = self.spec.point_arrays()
         return build_step_grid(
-            model, arrays["rlp"], arrays["tlp"], arrays["context"]
+            model, arrays["rlp"], arrays["tlp"], arrays["context"], moe=moe
         )
 
-    def price(self, system: ServingSystem, model: ModelConfig) -> SweepResult:
+    def price(
+        self,
+        system: ServingSystem,
+        model: ModelConfig,
+        moe: Optional[MoEModelConfig] = None,
+    ) -> SweepResult:
         """Price the workload grid on ``system`` via the vectorized path.
 
         Returns one row per grid point with the point's axes plus
         ``fc_target``, ``seconds``, ``energy_joules``, and
         ``tokens_per_second`` — bit-equal to pricing each point through
-        the scalar ``execute_step``.
+        the scalar ``execute_step``. With ``moe`` set, every point's FFN
+        is the routed expert bank (still bit-equal to the scalar MoE
+        path).
         """
-        grid = self.step_grid(model)
+        grid = self.step_grid(model, moe=moe)
         priced = system.price_steps(grid)
         tokens_per_second = priced.tokens_per_second()
         rows = []
@@ -362,3 +377,162 @@ def sweep_alpha(
     results = dict(zip(alphas, summaries))
     calibrated = PAPISystem().calibrate(get_model(model_name))
     return results, calibrated
+
+
+def sweep_moe(
+    num_experts_values: Sequence[int] = (8, 16, 32, 64),
+    experts_per_token_values: Sequence[int] = (1, 2, 4),
+    expert_ffn_dim_values: Sequence[int] = (),
+    model_name: str = "llama-65b",
+    system: Optional[ServingSystem] = None,
+    rlp_values: Sequence[int] = (1, 2, 4, 8, 16, 32),
+    tlp_values: Sequence[int] = (1, 2, 4),
+    context_values: Sequence[int] = (512, 2048),
+) -> SweepResult:
+    """MoE design-space sweep: expert-routing axes x operating points.
+
+    The cartesian product of the :data:`MOE_AXES` configuration axes with
+    the ``rlp``/``tlp``/``context`` step axes, priced through the
+    vectorized path: each (num_experts, experts_per_token,
+    expert_ffn_dim) combination is a distinct
+    :class:`~repro.models.moe.MoEModelConfig`, whose whole operating grid
+    is one :meth:`~repro.systems.base.ServingSystem.price_steps` call —
+    bit-equal per point to the scalar
+    :func:`~repro.models.moe.moe_ffn_cost` route.
+
+    Rows add, beyond the axes and the usual pricing columns:
+
+    * ``model`` — the MoE variant's name;
+    * ``active_experts`` — expected distinct experts the point's batch
+      activates (the quantity that sets FC-PIM's per-expert data reuse);
+    * ``fits_model`` — whether *all* experts' weights fit the system's FC
+      weight capacity (sparsity cuts compute, not resident bytes — the
+      HERMES-style bank-capacity pressure axis).
+
+    Invalid combinations (``experts_per_token > num_experts``) are
+    skipped — the remaining grid is exactly the valid design space.
+
+    Args:
+        num_experts_values: Experts-per-layer axis.
+        experts_per_token_values: Top-k routing axis.
+        expert_ffn_dim_values: Expert inner-dimension axis; defaults to
+            ``(ffn_dim // 8, ffn_dim // 4)`` of the base model.
+        model_name: Dense backbone model.
+        system: System pricing the grid (default: a fresh PAPI system).
+        rlp_values / tlp_values / context_values: Operating-point axes.
+    """
+    from repro.models.config import get_model
+    from repro.models.moe import MoEModelConfig, expected_active_experts
+    from repro.systems.papi import PAPISystem
+
+    base = get_model(model_name)
+    if system is None:
+        system = PAPISystem()
+    if not expert_ffn_dim_values:
+        expert_ffn_dim_values = (base.ffn_dim // 8, base.ffn_dim // 4)
+    config_spec = SweepSpec.of(
+        num_experts=tuple(num_experts_values),
+        experts_per_token=tuple(experts_per_token_values),
+        expert_ffn_dim=tuple(expert_ffn_dim_values),
+    )
+    step_spec = SweepSpec.of(
+        rlp=tuple(rlp_values),
+        tlp=tuple(tlp_values),
+        context=tuple(context_values),
+    )
+    weight_capacity = system.weight_capacity_bytes()
+    rows: List[Dict[str, Any]] = []
+    for config in config_spec.points():
+        if config["experts_per_token"] > config["num_experts"]:
+            continue
+        moe = MoEModelConfig(
+            base=base,
+            num_experts=config["num_experts"],
+            experts_per_token=config["experts_per_token"],
+            expert_ffn_dim=config["expert_ffn_dim"],
+        )
+        fits = moe.weight_bytes <= weight_capacity
+        priced = SweepRunner(step_spec).price(system, base, moe=moe)
+        for point in priced.rows:
+            row = dict(config)
+            row["model"] = moe.name
+            row.update(point)
+            row["active_experts"] = expected_active_experts(
+                moe.num_experts,
+                moe.experts_per_token,
+                point["rlp"] * point["tlp"],
+            )
+            row["fits_model"] = fits
+            rows.append(row)
+    if not rows:
+        raise ConfigurationError(
+            "MoE sweep produced no valid (num_experts, experts_per_token) "
+            "combinations"
+        )
+    return SweepResult.from_rows(rows)
+
+
+def _tlp_point(
+    point: Dict[str, Any],
+    model_name: str,
+    batch: int,
+    acceptance_rate: float,
+    seed: int,
+):
+    """Measure one speculation length (module-level: picklable)."""
+    from repro.models.config import get_model
+    from repro.serving.dataset import sample_requests
+    from repro.serving.engine import ServingEngine
+    from repro.serving.speculative import SpeculationConfig
+    from repro.systems.papi import PAPISystem
+
+    engine = ServingEngine(
+        system=PAPISystem(),
+        model=get_model(model_name),
+        speculation=SpeculationConfig(
+            speculation_length=point["speculation_length"],
+            acceptance_rate=acceptance_rate,
+        ),
+        seed=seed,
+        context_mode="mean",
+    )
+    return engine.run(sample_requests("creative-writing", batch, seed=seed))
+
+
+def sweep_tlp(
+    speculation_lengths: Sequence[int] = (1, 2, 4, 8),
+    model_name: str = "llama-65b",
+    batch: int = 32,
+    acceptance_rate: float = 0.8,
+    seed: int = 29,
+    workers: int = 0,
+) -> Dict[int, Any]:
+    """Sensitivity of PAPI serving to the speculation length (TLP).
+
+    Sweeps the ``speculation_length`` axis through full serving runs —
+    the Section 3.2 runtime-tunable knob as a design-space axis. Deeper
+    speculation raises the FC kernels' arithmetic intensity (``RLP *
+    TLP``) but pays draft-model time and, at low acceptance, wasted
+    verification; the sweep exposes where the trade flips.
+
+    Returns:
+        Mapping of each speculation length to its
+        :class:`~repro.serving.metrics.RunSummary`.
+    """
+    if not speculation_lengths:
+        raise ConfigurationError("speculation_lengths must be non-empty")
+    from functools import partial
+
+    runner = SweepRunner(
+        SweepSpec.of(speculation_length=tuple(speculation_lengths)),
+        measure=partial(
+            _tlp_point,
+            model_name=model_name,
+            batch=batch,
+            acceptance_rate=acceptance_rate,
+            seed=seed,
+        ),
+        workers=workers,
+    )
+    summaries = runner.run()
+    return dict(zip(speculation_lengths, summaries))

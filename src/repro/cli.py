@@ -7,8 +7,11 @@ Commands:
 * ``cluster`` — shard a Poisson arrival trace across N replicas under a
   routing policy; report per-replica utilization/reschedules and p99.
 * ``sweep`` — run a design-space sweep: ``grid`` prices an RLP x TLP x
-  context cartesian grid through the vectorized batch path; ``fc-stacks``
-  / ``attn-link`` / ``gpu-count`` / ``alpha`` re-run the serving-level
+  context cartesian grid through the vectorized batch path; ``moe``
+  crosses expert-routing axes (num_experts / top-k / expert FFN dim)
+  with the operating grid, vectorized per MoE variant; ``tlp`` sweeps
+  the speculation length through full serving runs; ``fc-stacks`` /
+  ``attn-link`` / ``gpu-count`` / ``alpha`` re-run the serving-level
   configuration sweeps (optionally process-parallel via ``--workers``).
   All modes export CSV/JSON.
 * ``figures`` — regenerate a paper figure's rows (fig2..fig12, headline).
@@ -26,6 +29,7 @@ from repro import __version__
 from repro.analysis.report import format_table
 from repro.cluster import ClusterSimulator, Replica, available_routers, build_router
 from repro.models.config import available_models, get_model
+from repro.models.moe import MoEModelConfig
 from repro.serving.arrivals import poisson_arrivals
 from repro.serving.dataset import sample_requests
 from repro.serving.engine import CONTEXT_MODES, ServingEngine
@@ -106,10 +110,46 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_tlp_policy(name: str):
+    """Fresh policy instance per replica (adaptive policies are stateful)."""
+    from repro.serving.tlp_policy import AcceptanceAdaptiveTLP, UtilizationAdaptiveTLP
+
+    if name == "fixed":
+        return None
+    if name == "acceptance":
+        return AcceptanceAdaptiveTLP()
+    if name == "utilization":
+        return UtilizationAdaptiveTLP()
+    raise SystemExit(f"unknown TLP policy {name!r}")
+
+
+def _moe_config(args: argparse.Namespace, model) -> MoEModelConfig:
+    if args.experts <= 0:
+        raise SystemExit("--experts must be positive")
+    if not 0 < args.topk <= args.experts:
+        raise SystemExit("--topk must be in (0, --experts]")
+    if args.expert_ffn < 0:
+        raise SystemExit("--expert-ffn must be non-negative")
+    # Default expert width keeps total expert bytes equal to the dense
+    # FFN's, so the demo fleet stays within the same weight capacity.
+    expert_ffn = args.expert_ffn or max(1, model.ffn_dim // args.experts)
+    return MoEModelConfig(
+        base=model,
+        num_experts=args.experts,
+        experts_per_token=args.topk,
+        expert_ffn_dim=expert_ffn,
+    )
+
+
 def cmd_cluster(args: argparse.Namespace) -> int:
     model = get_model(args.model)
-    speculation = SpeculationConfig(speculation_length=args.spec)
+    speculation = SpeculationConfig(
+        speculation_length=args.spec, acceptance_rate=args.acceptance
+    )
     cache = StepCostCache() if args.step_cache else None
+    if args.moe_replicas > args.replicas:
+        raise SystemExit("--moe-replicas cannot exceed --replicas")
+    moe = _moe_config(args, model) if args.moe_replicas > 0 else None
     replicas = [
         Replica(
             replica_id=i,
@@ -117,9 +157,11 @@ def cmd_cluster(args: argparse.Namespace) -> int:
             model=model,
             max_batch_size=args.max_batch,
             speculation=speculation,
+            tlp_policy=_build_tlp_policy(args.tlp_policy),
             seed=args.seed,
             context_mode=args.context_mode,
             step_cache=cache,
+            moe=moe if i < args.moe_replicas else None,
         )
         for i in range(args.replicas)
     ]
@@ -132,31 +174,31 @@ def cmd_cluster(args: argparse.Namespace) -> int:
 
     print(
         format_table(
-            ["replica", "served", "tokens", "iterations", "utilization",
-             "reschedules"],
+            ["replica", "model", "served", "tokens", "iterations",
+             "utilization", "reschedules", "acceptance", "E[experts]"],
             [
-                [r.replica_id, r.requests_served, r.tokens_generated,
-                 r.iterations, r.utilization, r.reschedules]
+                [r.replica_id, r.model, r.requests_served, r.tokens_generated,
+                 r.iterations, r.utilization, r.reschedules,
+                 r.acceptance_rate, r.mean_active_experts]
                 for r in summary.replicas
             ],
             title=f"{args.replicas}x {args.system} / router={summary.router} "
-                  f"({args.requests} requests @ {args.rate}/s)",
+                  f"({args.requests} requests @ {args.rate}/s, "
+                  f"tlp-policy={args.tlp_policy})",
         )
     )
-    print(
-        format_table(
-            ["metric", "value"],
-            [
-                ["makespan seconds", summary.makespan_seconds],
-                ["tokens / second", summary.tokens_per_second],
-                ["p50 latency (s)", summary.latency_percentile(50)],
-                ["p99 latency (s)", summary.latency_percentile(99)],
-                ["mean latency (s)", summary.mean_latency],
-                ["total reschedules", summary.total_reschedules],
-            ],
-            title="Cluster aggregate",
-        )
-    )
+    aggregate_rows = [
+        ["makespan seconds", summary.makespan_seconds],
+        ["tokens / second", summary.tokens_per_second],
+        ["p50 latency (s)", summary.latency_percentile(50)],
+        ["p99 latency (s)", summary.latency_percentile(99)],
+        ["mean latency (s)", summary.mean_latency],
+        ["total reschedules", summary.total_reschedules],
+    ]
+    for key, value in summary.router_cache.items():
+        aggregate_rows.append([f"router cache {key}", value])
+    print(format_table(["metric", "value"], aggregate_rows,
+                       title="Cluster aggregate"))
     return 0
 
 
@@ -218,7 +260,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         sweep_fc_stacks,
         sweep_gpu_count,
     )
-    from repro.analysis.sweep import SweepResult, price_step_sweep, sweep_alpha
+    from repro.analysis.sweep import (
+        SweepResult,
+        price_step_sweep,
+        sweep_alpha,
+        sweep_moe,
+        sweep_tlp,
+    )
 
     mode = args.mode
     if mode == "grid":
@@ -238,6 +286,60 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 [[row.get(col) for col in result.columns] for row in shown],
                 title=f"{args.system} step grid: {len(result)} points "
                       f"({'all' if args.all_rows else 'first 20'} shown)",
+            )
+        )
+    elif mode == "moe":
+        result = sweep_moe(
+            num_experts_values=_parse_axis(args.experts),
+            experts_per_token_values=_parse_axis(args.topk),
+            expert_ffn_dim_values=(
+                _parse_axis(args.expert_ffn) if args.expert_ffn else ()
+            ),
+            model_name=args.model,
+            system=build_system(args.system),
+            rlp_values=_parse_axis(args.rlp),
+            tlp_values=_parse_axis(args.tlp),
+            context_values=_parse_axis(args.context),
+        )
+        shown = result.rows if args.all_rows else result.rows[:20]
+        print(
+            format_table(
+                list(result.columns),
+                [[row.get(col) for col in result.columns] for row in shown],
+                title=f"{args.system} MoE sweep: {len(result)} points "
+                      f"({'all' if args.all_rows else 'first 20'} shown)",
+            )
+        )
+    elif mode == "tlp":
+        lengths = _parse_axis(args.values) if args.values else [1, 2, 4, 8]
+        summaries = sweep_tlp(
+            speculation_lengths=lengths,
+            model_name=args.model,
+            batch=args.batch,
+            acceptance_rate=args.acceptance,
+            seed=args.seed,
+            workers=args.workers,
+        )
+        rows = [
+            {
+                "speculation_length": s,
+                "expected_tokens_per_iter": SpeculationConfig(
+                    speculation_length=s, acceptance_rate=args.acceptance
+                ).expected_tokens_per_iteration(),
+                "decode_seconds": summary.decode_seconds,
+                "draft_seconds": summary.draft_seconds,
+                "tokens_per_second": summary.tokens_per_second,
+                "reschedules": summary.reschedules,
+            }
+            for s, summary in summaries.items()
+        ]
+        result = SweepResult.from_rows(rows)
+        print(
+            format_table(
+                list(result.columns),
+                result.to_table_rows(),
+                title=f"TLP sweep ({args.model}, batch={args.batch}, "
+                      f"acceptance={args.acceptance})",
             )
         )
     elif mode == "alpha":
@@ -414,6 +516,22 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--model", default="llama-65b", help="model name")
     cluster.add_argument("--spec", type=int, default=2,
                          help="speculation length (TLP)")
+    cluster.add_argument("--acceptance", type=float, default=0.8,
+                         help="per-token draft acceptance probability "
+                              "(1.0 = always accept)")
+    cluster.add_argument("--tlp-policy", default="fixed",
+                         choices=("fixed", "acceptance", "utilization"),
+                         help="dynamic speculation-length policy per replica")
+    cluster.add_argument("--moe-replicas", type=int, default=0,
+                         help="how many replicas serve the MoE variant "
+                              "(0 = all dense)")
+    cluster.add_argument("--experts", type=int, default=8,
+                         help="MoE experts per layer (moe replicas)")
+    cluster.add_argument("--topk", type=int, default=2,
+                         help="MoE experts per token (moe replicas)")
+    cluster.add_argument("--expert-ffn", type=int, default=0,
+                         help="expert FFN inner dim (0 = ffn_dim / experts, "
+                              "capacity-neutral)")
     cluster.add_argument("--category", default="creative-writing",
                          choices=("creative-writing", "general-qa"))
     cluster.add_argument("--seed", type=int, default=0)
@@ -425,10 +543,13 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep", help="design-space sweeps (vectorized grid or config axes)"
     )
     sweep.add_argument("mode",
-                       choices=("grid", "fc-stacks", "attn-link",
-                                "gpu-count", "alpha"),
+                       choices=("grid", "moe", "tlp", "fc-stacks",
+                                "attn-link", "gpu-count", "alpha"),
                        help="grid prices RLP x TLP x context through the "
-                            "vectorized path; the rest sweep system configs")
+                            "vectorized path; moe crosses expert-routing "
+                            "axes with that grid; tlp sweeps speculation "
+                            "length through serving runs; the rest sweep "
+                            "system configs")
     sweep.add_argument("--model", default="llama-65b", help="model name")
     sweep.add_argument("--system", default="papi",
                        choices=available_systems(),
@@ -439,15 +560,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="grid TLP axis: comma list and/or lo:hi[:step]")
     sweep.add_argument("--context", default="256:4096:256",
                        help="grid context axis: comma list and/or lo:hi[:step]")
+    sweep.add_argument("--experts", default="8,16,32,64",
+                       help="moe sweep num_experts axis")
+    sweep.add_argument("--topk", default="1,2,4",
+                       help="moe sweep experts_per_token axis")
+    sweep.add_argument("--expert-ffn", default="",
+                       help="moe sweep expert FFN inner-dim axis "
+                            "(default: ffn_dim/8 and ffn_dim/4)")
+    sweep.add_argument("--acceptance", type=float, default=0.8,
+                       help="tlp sweep draft acceptance probability")
     sweep.add_argument("--values", default="",
-                       help="config-axis values for fc-stacks/attn-link/"
+                       help="config-axis values for tlp/fc-stacks/attn-link/"
                             "gpu-count/alpha (defaults per mode)")
     sweep.add_argument("--batch", type=int, default=32,
-                       help="alpha sweep batch size")
+                       help="alpha/tlp sweep batch size")
     sweep.add_argument("--spec", type=int, default=2,
                        help="alpha sweep speculation length")
     sweep.add_argument("--seed", type=int, default=29,
-                       help="alpha sweep RNG seed")
+                       help="alpha/tlp sweep RNG seed")
     sweep.add_argument("--workers", type=int, default=0,
                        help="process-parallel workers for config sweeps")
     sweep.add_argument("--csv", default="", help="export rows to a CSV file")

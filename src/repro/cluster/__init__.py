@@ -30,6 +30,7 @@ from repro.cluster.router import (
     IntensityAwareRouter,
     LeastOutstandingRouter,
     MinCostRouter,
+    PriceCache,
     RoundRobinRouter,
     Router,
     available_routers,
@@ -43,6 +44,7 @@ __all__ = [
     "IntensityAwareRouter",
     "LeastOutstandingRouter",
     "MinCostRouter",
+    "PriceCache",
     "Replica",
     "ReplicaReport",
     "RoundRobinRouter",

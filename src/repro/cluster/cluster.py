@@ -19,8 +19,8 @@ engine, as the unit of evaluation).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
 
 from repro.cluster.replica import Replica
 from repro.cluster.router import Router
@@ -37,23 +37,35 @@ class ReplicaReport:
     Attributes:
         replica_id: Index within the cluster.
         system: The replica's system name.
+        model: The workload served (the MoE variant's name when sparse —
+            mixed fleets report per-replica models).
         requests_served: Requests routed here and finished.
         tokens_generated: Accepted output tokens.
         iterations: Decoding iterations executed.
         reschedules: FC migrations between PUs and FC-PIM.
         busy_seconds: Prefill + decode + draft time.
         utilization: ``busy_seconds`` over the cluster makespan.
+        acceptance_rate: Observed fraction of drafted tokens accepted
+            (1.0 when the replica never speculated).
+        expert_token_visits: Total token-expert visits routed through the
+            replica's MoE FFN (0 for dense replicas).
+        mean_active_experts: Mean distinct experts activated per
+            iteration (0 for dense replicas).
         summary: The replica's full run summary.
     """
 
     replica_id: int
     system: str
+    model: str
     requests_served: int
     tokens_generated: int
     iterations: int
     reschedules: int
     busy_seconds: float
     utilization: float
+    acceptance_rate: float
+    expert_token_visits: int
+    mean_active_experts: float
     summary: RunSummary
 
 
@@ -68,6 +80,9 @@ class ClusterSummary:
             completion, on the simulated clock.
         total_requests: Requests served across all replicas.
         replicas: Per-replica reports, in replica order.
+        router_cache: Admission-price-cache counters (hits, misses,
+            hit_rate, entries, max_entries) for price-aware routers;
+            empty for stateless policies.
     """
 
     router: str
@@ -75,6 +90,7 @@ class ClusterSummary:
     makespan_seconds: float
     total_requests: int
     replicas: List[ReplicaReport]
+    router_cache: Dict[str, float] = field(default_factory=dict)
 
     @property
     def request_latencies(self) -> List[float]:
@@ -162,20 +178,28 @@ class ClusterSimulator:
                 ReplicaReport(
                     replica_id=replica.replica_id,
                     system=summary.system,
+                    model=replica.workload_name,
                     requests_served=replica.requests_served,
                     tokens_generated=summary.tokens_generated,
                     iterations=summary.iterations,
                     reschedules=summary.reschedules,
                     busy_seconds=summary.total_seconds,
                     utilization=summary.utilization,
+                    acceptance_rate=replica.acceptance_rate,
+                    expert_token_visits=replica.expert_token_visits,
+                    mean_active_experts=replica.mean_active_experts,
                     summary=summary,
                 )
             )
         total = sum(report.requests_served for report in reports)
+        price_cache = self.router.price_cache
         return ClusterSummary(
             router=self.router.name,
-            model=self.replicas[0].model.name,
+            model=self.replicas[0].workload_name,
             makespan_seconds=makespan,
             total_requests=total,
             replicas=reports,
+            router_cache=(
+                dict(price_cache.stats()) if price_cache is not None else {}
+            ),
         )

@@ -35,6 +35,8 @@ from typing import Deque, List, Optional, Sequence, Tuple
 from repro.core.scheduler import EOS_TOKEN
 from repro.errors import ConfigurationError, SimulationError
 from repro.models.config import ModelConfig
+from repro.models.moe import MoEModelConfig, expected_active_experts
+from repro.models.workload import workload_name
 from repro.serving.engine import MAX_ITERATIONS, ServingEngine, StepPricer
 from repro.serving.metrics import IterationRecord, RunSummary
 from repro.serving.request import Request, RequestState
@@ -60,6 +62,10 @@ class Replica:
         context_mode: Context accounting mode (see ``ServingEngine``).
         context_bucket: Context quantization bucket.
         step_cache: Optional shared step-cost cache.
+        moe: Optional sparse-expert configuration (must wrap ``model``).
+            An MoE replica prices its FFN as the routed expert bank,
+            checks capacity against all experts' weights, and reports
+            expert-traffic statistics.
     """
 
     def __init__(
@@ -75,12 +81,14 @@ class Replica:
         context_mode: str = "per-request",
         context_bucket: int = 1,
         step_cache: Optional[StepCostCache] = None,
+        moe: Optional[MoEModelConfig] = None,
     ) -> None:
         if max_batch_size <= 0:
             raise ConfigurationError("max_batch_size must be positive")
         self.replica_id = replica_id
         self.system = system
         self.model = model
+        self.moe = moe
         self.max_batch_size = max_batch_size
         self.speculation = speculation
         self.check_capacity = check_capacity
@@ -91,13 +99,14 @@ class Replica:
             context_mode=context_mode,
             context_bucket=context_bucket,
             step_cache=step_cache,
+            moe=moe,
         )
         self.sampler = SpeculativeSampler(speculation, seed=seed + replica_id)
         self.policy: TLPPolicy = (
             tlp_policy if tlp_policy is not None else FixedTLP(speculation.tlp)
         )
         self.tlp_trace = TLPTrace()
-        self.summary = RunSummary(system=system.name, model=model.name)
+        self.summary = RunSummary(system=system.name, model=self.workload_name)
 
         self.waiting: Deque[Request] = deque()
         self.active: List[Request] = []
@@ -108,6 +117,33 @@ class Replica:
         self._iteration = 0
         self._accepted_fraction = 1.0
         self._pending: Optional[Tuple[IterationResult, int]] = None
+        # Speculative-acceptance accounting (drafted vs accepted drafts).
+        self._drafted_tokens = 0
+        self._accepted_draft_tokens = 0
+        # Expert-traffic accounting (MoE replicas only).
+        self.expert_token_visits = 0
+        self._active_expert_sum = 0.0
+
+    @property
+    def workload_name(self) -> str:
+        """Model name as served (see
+        :func:`~repro.models.workload.workload_name`)."""
+        return workload_name(self.model, self.moe)
+
+    @property
+    def acceptance_rate(self) -> float:
+        """Observed fraction of drafted tokens accepted (1.0 before any
+        speculation has run — matching the engine's prior)."""
+        if self._drafted_tokens == 0:
+            return 1.0
+        return self._accepted_draft_tokens / self._drafted_tokens
+
+    @property
+    def mean_active_experts(self) -> float:
+        """Mean distinct experts activated per iteration (0 when dense)."""
+        if self.moe is None or self._iteration == 0:
+            return 0.0
+        return self._active_expert_sum / self._iteration
 
     # -- load view (used by routers) ------------------------------------
 
@@ -188,9 +224,19 @@ class Replica:
             else:
                 outputs.append(0)
                 still_active.append(request)
+        rlp = len(self.active)
         self._accepted_fraction = ServingEngine._accepted_fraction(
-            accepted_total, len(self.active), tlp
+            accepted_total, rlp, tlp
         )
+        if tlp > 1:
+            self._drafted_tokens += rlp * (tlp - 1)
+            self._accepted_draft_tokens += max(0, accepted_total - rlp)
+        if self.moe is not None:
+            tokens = rlp * tlp
+            self.expert_token_visits += tokens * self.moe.experts_per_token
+            self._active_expert_sum += expected_active_experts(
+                self.moe.num_experts, self.moe.experts_per_token, tokens
+            )
         self.system.observe_outputs(outputs)
         self.summary.add_iteration(
             IterationRecord(
@@ -239,7 +285,9 @@ class Replica:
         if self.check_capacity:
             cohort = self.active + fresh
             max_seq = max(r.input_len + r.output_len for r in cohort)
-            self.system.check_capacity(self.model, len(cohort), max_seq)
+            self.system.check_capacity(
+                self.model, len(cohort), max_seq, moe=self.moe
+            )
         self.summary.queueing_seconds += sum(
             max(0.0, now - r.arrival_s) for r in fresh
         )

@@ -36,6 +36,7 @@ from repro.cluster.replica import Replica
 from repro.errors import ConfigurationError
 from repro.models.workload import build_step_grid
 from repro.serving.request import Request
+from repro.serving.stepcache import SystemScopedCache
 
 #: Context quantization for admission pricing: coarse enough that
 #: consecutive arrivals projecting near-identical batches share one
@@ -43,11 +44,24 @@ from repro.serving.request import Request
 #: cost model could defend (same bucket the design-space sweeps use).
 ADMISSION_CONTEXT_BUCKET = 32
 
-#: Memoized projected prices, held per router instance (router lifetime
-#: matches one cluster run, so system ids stay live for the cache's
-#: whole life): (system id, model, fc target, rlp, tlp, bucketed
-#: context) -> seconds.
-PriceCache = Dict[Tuple[int, str, object, int, int, int], float]
+#: An admission-price key within one system's scope:
+#: (workload name, fc target, rlp, tlp, bucketed context).
+PriceKey = Tuple[str, object, int, int, int]
+
+
+class PriceCache(SystemScopedCache):
+    """Bounded LRU of projected admission prices, scoped per system.
+
+    :class:`~repro.serving.stepcache.SystemScopedCache` specialized to
+    the router hot path: long traces with decaying batches and varied
+    context buckets touch an unbounded number of distinct operating
+    points, so a plain dict memo grows for the whole run — this cache
+    caps residency at ``max_entries`` per system, purges a system's
+    entries when it is garbage-collected (so a recycled id can never
+    serve another system's prices, e.g. when one router instance outlives
+    a cluster run), and keeps the hit/miss counters the cluster report
+    surfaces.
+    """
 
 
 def projected_step_seconds(
@@ -65,12 +79,14 @@ def projected_step_seconds(
     system reports its launch-overhead-heavy low-batch cost, a PIM
     system its bandwidth-bound high-batch cost.
 
-    ``cache`` memoizes prices per (system, FC placement, RLP, TLP,
-    bucketed context); routers pass their per-instance dict so the hot
-    per-arrival path prices each distinct operating point once. The
+    ``cache`` memoizes prices per (system, workload, FC placement, RLP,
+    TLP, bucketed context); routers pass their per-instance
+    :class:`PriceCache` so the hot per-arrival path prices each distinct
+    operating point once, with bounded residency across long traces. The
     planned placement is part of the key (mirroring the step-cost
     cache), so a PAPI scheduler's standing decision can never serve a
-    stale price.
+    stale price. MoE replicas price (and key) the routed expert FFN, so
+    a mixed MoE + dense fleet routes on each replica's true cost.
     """
     rlp = min(replica.outstanding() + 1, replica.max_batch_size)
     contexts = replica.outstanding_context_lens()
@@ -83,20 +99,21 @@ def projected_step_seconds(
     system = replica.system
     if cache is not None:
         key = (
-            id(system),
-            replica.model.name,
+            replica.workload_name,
             system.plan_fc_target(rlp, tlp),
             rlp,
             tlp,
             mean_context,
         )
-        cached = cache.get(key)
+        cached = cache.get(system, key)
         if cached is not None:
             return cached
-    grid = build_step_grid(replica.model, [rlp], [tlp], [mean_context])
+    grid = build_step_grid(
+        replica.model, [rlp], [tlp], [mean_context], moe=replica.moe
+    )
     seconds = float(system.price_steps(grid).seconds[0])
     if cache is not None:
-        cache[key] = seconds
+        cache.put(system, key, seconds)
     return seconds
 
 
@@ -111,6 +128,15 @@ class Router(abc.ABC):
         self, request: Request, replicas: Sequence[Replica], now: float
     ) -> int:
         """Index of the replica that should serve ``request``."""
+
+    @property
+    def price_cache(self) -> Optional[PriceCache]:
+        """The router's admission-price memo, when it keeps one.
+
+        Price-aware policies override this so the cluster report can
+        surface hit/miss statistics; stateless policies return ``None``.
+        """
+        return None
 
 
 class RoundRobinRouter(Router):
@@ -171,8 +197,12 @@ class IntensityAwareRouter(Router):
 
     name = "intensity"
 
-    def __init__(self) -> None:
-        self._price_cache: PriceCache = {}
+    def __init__(self, max_cache_entries: int = 4096) -> None:
+        self._price_cache = PriceCache(max_cache_entries)
+
+    @property
+    def price_cache(self) -> PriceCache:
+        return self._price_cache
 
     def select(
         self, request: Request, replicas: Sequence[Replica], now: float
@@ -240,8 +270,12 @@ class MinCostRouter(Router):
 
     name = "min-cost"
 
-    def __init__(self) -> None:
-        self._price_cache: PriceCache = {}
+    def __init__(self, max_cache_entries: int = 4096) -> None:
+        self._price_cache = PriceCache(max_cache_entries)
+
+    @property
+    def price_cache(self) -> PriceCache:
+        return self._price_cache
 
     def select(
         self, request: Request, replicas: Sequence[Replica], now: float

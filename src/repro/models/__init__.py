@@ -27,6 +27,16 @@ from repro.models.kernels import (
     qkv_cost,
     qkv_cost_array,
 )
+from repro.models.moe import (
+    MoEModelConfig,
+    dense_equivalent,
+    expected_active_experts,
+    expected_active_experts_array,
+    expert_placement,
+    moe_ffn_cost,
+    moe_ffn_cost_array,
+    moe_ffn_reuse_level,
+)
 from repro.models.workload import (
     DecodeStep,
     KernelInvocation,
@@ -34,6 +44,8 @@ from repro.models.workload import (
     build_decode_step,
     build_step_grid,
     cartesian_step_grid,
+    step_ffn_cost,
+    step_ffn_cost_array,
 )
 from repro.models.roofline import RooflinePoint, arithmetic_intensity, roofline_time
 
@@ -43,6 +55,7 @@ __all__ = [
     "KernelCostArray",
     "KernelInvocation",
     "KernelKind",
+    "MoEModelConfig",
     "ModelConfig",
     "RooflinePoint",
     "StepGrid",
@@ -53,15 +66,24 @@ __all__ = [
     "build_decode_step",
     "build_step_grid",
     "cartesian_step_grid",
+    "dense_equivalent",
+    "expected_active_experts",
+    "expected_active_experts_array",
+    "expert_placement",
     "fc_cost",
     "fc_cost_array",
     "feedforward_cost",
     "feedforward_cost_array",
     "get_model",
+    "moe_ffn_cost",
+    "moe_ffn_cost_array",
+    "moe_ffn_reuse_level",
     "projection_cost",
     "projection_cost_array",
     "qkv_cost",
     "qkv_cost_array",
     "register_model",
     "roofline_time",
+    "step_ffn_cost",
+    "step_ffn_cost_array",
 ]

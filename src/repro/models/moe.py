@@ -12,6 +12,11 @@ weight movement. This module provides:
   traffic per iteration depends on how many distinct experts the batch
   activates (a coupon-collector-style expectation), which is what drives
   FC-PIM's data-reuse level for MoE.
+* :func:`moe_ffn_cost_array` — the batch-first twin of
+  :func:`moe_ffn_cost`: one call prices a whole grid of (RLP, TLP)
+  points, each lane bit-equal to the scalar constructor, so MoE models
+  flow through :meth:`~repro.systems.base.ServingSystem.price_steps`
+  exactly like dense ones.
 * :func:`expert_placement` — the Section 6.5 bank-interleaved placement:
   slices of every expert in every bank, so any routing pattern keeps all
   FPUs utilized.
@@ -20,11 +25,13 @@ weight movement. This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Sequence
+
+import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.models.config import ModelConfig
-from repro.models.kernels import KernelCost, KernelKind
+from repro.models.kernels import KernelCost, KernelCostArray, KernelKind
 
 
 @dataclass(frozen=True)
@@ -55,7 +62,13 @@ class MoEModelConfig:
 
     @property
     def name(self) -> str:
-        return f"{self.base.name}-moe{self.num_experts}x{self.experts_per_token}"
+        """Unique per configuration — this string keys step/price caches,
+        so every field that changes pricing must appear in it (two
+        variants differing only in expert width price differently)."""
+        return (
+            f"{self.base.name}-moe{self.num_experts}"
+            f"x{self.experts_per_token}d{self.expert_ffn_dim}"
+        )
 
     @property
     def expert_params(self) -> int:
@@ -132,6 +145,75 @@ def moe_ffn_cost(model: MoEModelConfig, rlp: int, tlp: int) -> KernelCost:
     )
     visits_per_expert = max(1, round(tokens * model.experts_per_token / active))
     return KernelCost(
+        kind=KernelKind.FFN,
+        flops=flops,
+        weight_bytes=weight_bytes,
+        activation_bytes=activation_bytes,
+        tokens=visits_per_expert,
+    )
+
+
+def expected_active_experts_array(
+    num_experts: int, experts_per_token: int, tokens: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`expected_active_experts` over a token-count axis.
+
+    Token counts repeat heavily across a sweep grid (every (RLP, TLP)
+    pair with the same product shares one), so the expectation is
+    evaluated once per *unique* count through the scalar function and
+    scattered back — bit-equal to the scalar path by construction, with
+    no reliance on ``np.power`` rounding identically to Python ``**``.
+    """
+    tokens = np.asarray(tokens, dtype=np.int64)
+    if tokens.size == 0:
+        raise ConfigurationError("tokens axis must be non-empty")
+    unique, inverse = np.unique(tokens, return_inverse=True)
+    values = np.array(
+        [
+            expected_active_experts(num_experts, experts_per_token, int(t))
+            for t in unique
+        ]
+    )
+    return values[inverse]
+
+
+def moe_ffn_cost_array(
+    model: MoEModelConfig, rlp: "Sequence[int]", tlp: "Sequence[int]"
+) -> KernelCostArray:
+    """Vectorized :func:`moe_ffn_cost` over broadcastable RLP/TLP axes.
+
+    Lane ``i`` is bit-equal to ``moe_ffn_cost(model, rlp[i], tlp[i])``:
+    every arithmetic expression mirrors the scalar constructor
+    operation-for-operation (same literals, same association order,
+    integer math kept in int64 until the same conversion point), matching
+    the equivalence contract of the dense ``*_cost_array`` twins in
+    :mod:`repro.models.kernels`.
+    """
+    rlp_arr, tlp_arr = np.broadcast_arrays(
+        np.asarray(rlp, dtype=np.int64), np.asarray(tlp, dtype=np.int64)
+    )
+    if rlp_arr.ndim == 0:
+        rlp_arr = rlp_arr.reshape(1)
+        tlp_arr = tlp_arr.reshape(1)
+    if rlp_arr.size and int(rlp_arr.min()) <= 0:
+        raise ConfigurationError("rlp and tlp must be positive")
+    if tlp_arr.size and int(tlp_arr.min()) <= 0:
+        raise ConfigurationError("rlp and tlp must be positive")
+    tokens = rlp_arr * tlp_arr
+    h = model.base.hidden_dim
+    flops = 2.0 * tokens * model.experts_per_token * model.expert_params
+    active = expected_active_experts_array(
+        model.num_experts, model.experts_per_token, tokens
+    )
+    weight_bytes = active * model.expert_params * model.base.dtype_bytes
+    activation_bytes = (
+        tokens * model.experts_per_token * (h + model.expert_ffn_dim)
+        * model.base.dtype_bytes
+    ).astype(np.float64)
+    visits_per_expert = np.maximum(
+        1, np.round(tokens * model.experts_per_token / active)
+    ).astype(np.int64)
+    return KernelCostArray(
         kind=KernelKind.FFN,
         flops=flops,
         weight_bytes=weight_bytes,

@@ -31,6 +31,51 @@ from repro.models.kernels import (
     qkv_cost,
     qkv_cost_array,
 )
+from repro.models.moe import MoEModelConfig, moe_ffn_cost, moe_ffn_cost_array
+
+
+def step_ffn_cost(
+    model: ModelConfig, moe: Optional[MoEModelConfig], rlp: int, tlp: int
+) -> KernelCost:
+    """FFN cost of one layer: dense, or sparse when ``moe`` is given.
+
+    The single dispatch point for a decode step's FFN flavor — both the
+    scalar and the array pricing routes go through here (or its array
+    twin), so dense and MoE steps share every other kernel unchanged.
+    """
+    if moe is None:
+        return feedforward_cost(model, rlp, tlp)
+    return moe_ffn_cost(moe, rlp, tlp)
+
+
+def step_ffn_cost_array(
+    model: ModelConfig,
+    moe: Optional[MoEModelConfig],
+    rlp: "Sequence[int]",
+    tlp: "Sequence[int]",
+) -> KernelCostArray:
+    """Array twin of :func:`step_ffn_cost` (one lane per grid point)."""
+    if moe is None:
+        return feedforward_cost_array(model, rlp, tlp)
+    return moe_ffn_cost_array(moe, rlp, tlp)
+
+
+def _validate_moe(model: ModelConfig, moe: Optional[MoEModelConfig]) -> None:
+    if moe is not None and moe.base is not model and moe.base != model:
+        raise ConfigurationError(
+            f"MoE config wraps base model {moe.base.name!r}, "
+            f"but the step prices model {model.name!r}"
+        )
+
+
+def workload_name(model: ModelConfig, moe: Optional[MoEModelConfig]) -> str:
+    """Model name as priced: the MoE variant's name when sparse.
+
+    The single source of the string that keys step and admission-price
+    caches across layers (decode steps, grids, pricers, replicas) — one
+    definition, so the keys can never desynchronize.
+    """
+    return moe.name if moe is not None else model.name
 
 
 @dataclass(frozen=True)
@@ -68,6 +113,9 @@ class DecodeStep:
         context_lens: Per-request KV-cache lengths when the step was built
             with per-request context accounting; ``None`` for mean-context
             pricing.
+        moe: Sparse-expert configuration when the step's FFN is a routed
+            MoE bank; ``None`` for a dense FFN. Carried so sub-batch
+            pipelining can rebuild chunk steps with the same FFN flavor.
     """
 
     model: ModelConfig
@@ -76,6 +124,12 @@ class DecodeStep:
     mean_context_len: int
     invocations: Sequence[KernelInvocation]
     context_lens: Optional[Tuple[int, ...]] = None
+    moe: Optional[MoEModelConfig] = None
+
+    @property
+    def workload_name(self) -> str:
+        """Model name as priced (see :func:`workload_name`)."""
+        return workload_name(self.model, self.moe)
 
     @property
     def fc_invocations(self) -> List[KernelInvocation]:
@@ -107,6 +161,7 @@ def build_decode_step(
     tlp: int,
     mean_context_len: int,
     context_lens: Optional[Sequence[int]] = None,
+    moe: Optional[MoEModelConfig] = None,
 ) -> DecodeStep:
     """Construct the kernel bundle for one decoding iteration.
 
@@ -119,6 +174,10 @@ def build_decode_step(
             request). When given, the attention kernel is priced as the
             exact sum of per-request costs instead of the rounded-mean
             approximation; ``mean_context_len`` is retained for reporting.
+        moe: Optional sparse-expert configuration (must wrap ``model`` as
+            its base). When given, the FFN invocation prices the routed
+            expert bank (:func:`~repro.models.moe.moe_ffn_cost`); QKV,
+            attention, and projection reuse the dense backbone unchanged.
 
     Returns:
         A :class:`DecodeStep` with QKV, attention, projection, and FFN
@@ -133,6 +192,7 @@ def build_decode_step(
             f"context_lens must have one entry per request: "
             f"got {len(context_lens)} for rlp={rlp}"
         )
+    _validate_moe(model, moe)
     layers = model.num_layers
     if context_lens is None:
         attention = attention_cost(model, rlp, tlp, mean_context_len)
@@ -144,7 +204,9 @@ def build_decode_step(
         KernelInvocation(
             KernelKind.PROJECTION, projection_cost(model, rlp, tlp), layers
         ),
-        KernelInvocation(KernelKind.FFN, feedforward_cost(model, rlp, tlp), layers),
+        KernelInvocation(
+            KernelKind.FFN, step_ffn_cost(model, moe, rlp, tlp), layers
+        ),
     )
     return DecodeStep(
         model=model,
@@ -153,6 +215,7 @@ def build_decode_step(
         mean_context_len=mean_context_len,
         invocations=invocations,
         context_lens=None if context_lens is None else tuple(context_lens),
+        moe=moe,
     )
 
 
@@ -174,12 +237,16 @@ class StepGrid:
         tlp: Token-level parallelism per point (int64, same length).
         context_len: Mean per-request KV-cache length per point (int64,
             same length).
+        moe: Sparse-expert configuration applied to every point's FFN
+            (``None`` for a dense grid). One MoE config per grid, like
+            the model itself.
     """
 
     model: ModelConfig
     rlp: np.ndarray
     tlp: np.ndarray
     context_len: np.ndarray
+    moe: Optional[MoEModelConfig] = None
 
     def __post_init__(self) -> None:
         shapes = {self.rlp.shape, self.tlp.shape, self.context_len.shape}
@@ -189,6 +256,7 @@ class StepGrid:
             )
         if self.rlp.size == 0:
             raise ConfigurationError("StepGrid must contain at least one point")
+        _validate_moe(self.model, self.moe)
         for name, axis in (
             ("rlp", self.rlp),
             ("tlp", self.tlp),
@@ -203,6 +271,11 @@ class StepGrid:
     def __len__(self) -> int:
         return int(self.rlp.shape[0])
 
+    @property
+    def workload_name(self) -> str:
+        """Model name as priced (see :func:`workload_name`)."""
+        return workload_name(self.model, self.moe)
+
     def step_at(self, index: int) -> DecodeStep:
         """Materialize one grid point as a scalar :class:`DecodeStep`."""
         return build_decode_step(
@@ -210,6 +283,7 @@ class StepGrid:
             int(self.rlp[index]),
             int(self.tlp[index]),
             int(self.context_len[index]),
+            moe=self.moe,
         )
 
     def kernel_arrays(self) -> Tuple[KernelCostArray, ...]:
@@ -220,7 +294,7 @@ class StepGrid:
             qkv_cost_array(self.model, self.rlp, self.tlp),
             attention_cost_array(self.model, self.rlp, self.tlp, self.context_len),
             projection_cost_array(self.model, self.rlp, self.tlp),
-            feedforward_cost_array(self.model, self.rlp, self.tlp),
+            step_ffn_cost_array(self.model, self.moe, self.rlp, self.tlp),
         )
 
 
@@ -229,12 +303,14 @@ def build_step_grid(
     rlp: Sequence[int],
     tlp: Sequence[int],
     context_len: Sequence[int],
+    moe: Optional[MoEModelConfig] = None,
 ) -> StepGrid:
     """Build a :class:`StepGrid` from parallel (broadcastable) point axes.
 
     Scalars broadcast against arrays, so
     ``build_step_grid(model, [1, 2, 4], 2, 512)`` prices three batch sizes
-    at a fixed speculation length and context.
+    at a fixed speculation length and context. Pass ``moe`` to price the
+    grid's FFN as a routed expert bank instead of the dense backbone.
     """
     rlp_arr, tlp_arr, ctx_arr = np.broadcast_arrays(
         np.asarray(rlp, dtype=np.int64),
@@ -250,6 +326,7 @@ def build_step_grid(
         rlp=np.ascontiguousarray(rlp_arr),
         tlp=np.ascontiguousarray(tlp_arr),
         context_len=np.ascontiguousarray(ctx_arr),
+        moe=moe,
     )
 
 
@@ -258,6 +335,7 @@ def cartesian_step_grid(
     rlp_values: Sequence[int],
     tlp_values: Sequence[int],
     context_values: Sequence[int],
+    moe: Optional[MoEModelConfig] = None,
 ) -> StepGrid:
     """Build the full cartesian grid over RLP x TLP x context axes.
 
@@ -272,7 +350,9 @@ def cartesian_step_grid(
     rlp_arr, tlp_arr, ctx_arr = (
         np.array(axis, dtype=np.int64) for axis in zip(*points)
     )
-    return StepGrid(model=model, rlp=rlp_arr, tlp=tlp_arr, context_len=ctx_arr)
+    return StepGrid(
+        model=model, rlp=rlp_arr, tlp=tlp_arr, context_len=ctx_arr, moe=moe
+    )
 
 
 def prefill_cost(model: ModelConfig, rlp: int, input_len: int) -> KernelCost:

@@ -23,20 +23,44 @@ def poisson_arrivals(
     rate_per_s: float,
     seed: int = 0,
 ) -> List[Request]:
-    """Assign Poisson-process arrival times to requests (in place).
+    """Assign Poisson-process arrival times to requests.
+
+    Contract: the request objects are stamped **in place**, in the order
+    given — the ``i``-th request receives the ``i``-th arrival of the
+    process. Because inter-arrival gaps are strictly positive, the
+    sequence is monotonically increasing, so the given order *is* arrival
+    order; no reordering happens. The returned list is a new list holding
+    the same (now stamped) request objects.
+
+    Requests that already carry an arrival stamp are rejected: silently
+    re-stamping a trace would desynchronize any schedule derived from the
+    old stamps (e.g. batches already formed from them), and double-calling
+    is almost always a bug.
 
     Args:
-        requests: Requests to stamp, in arrival order.
+        requests: Requests to stamp, in arrival order. Must all have the
+            default ``arrival_s == 0.0`` (unstamped).
         rate_per_s: Mean arrivals per second (lambda).
         seed: RNG seed.
 
     Returns:
-        The same request list, stamped and sorted by arrival time.
+        A new list of the same request objects, stamped with strictly
+        increasing arrival times.
+
+    Raises:
+        ConfigurationError: On a non-positive rate, an empty trace, or a
+            request already stamped with an arrival time.
     """
     if rate_per_s <= 0:
         raise ConfigurationError("rate_per_s must be positive")
     if not requests:
         raise ConfigurationError("requests must be non-empty")
+    stamped = [r.request_id for r in requests if r.arrival_s != 0.0]
+    if stamped:
+        raise ConfigurationError(
+            f"requests {stamped[:5]} already carry arrival stamps; "
+            "poisson_arrivals refuses to re-stamp a trace"
+        )
     rng = np.random.default_rng(seed)
     gaps = rng.exponential(scale=1.0 / rate_per_s, size=len(requests))
     clock = 0.0

@@ -41,7 +41,12 @@ from typing import List, Optional, Sequence, Tuple, Union
 from repro.core.scheduler import EOS_TOKEN
 from repro.errors import ConfigurationError, SimulationError
 from repro.models.config import ModelConfig
-from repro.models.workload import build_decode_step
+from repro.models.moe import MoEModelConfig
+from repro.models.workload import (
+    _validate_moe,
+    build_decode_step,
+    workload_name,
+)
 from repro.serving.batching import ContinuousBatcher, StaticBatcher
 from repro.serving.metrics import IterationRecord, RunSummary
 from repro.serving.request import Request, RequestState
@@ -76,6 +81,8 @@ class StepPricer:
             bucket before pricing (1 = exact). Coarser buckets trade a
             bounded pricing error for step-cache hit rate.
         step_cache: Optional shared LRU of priced steps.
+        moe: Optional sparse-expert configuration (must wrap ``model``).
+            When set, every priced step's FFN is the routed expert bank.
     """
 
     system: ServingSystem
@@ -83,6 +90,7 @@ class StepPricer:
     context_mode: str = "per-request"
     context_bucket: int = 1
     step_cache: Optional[StepCostCache] = None
+    moe: Optional[MoEModelConfig] = None
 
     def __post_init__(self) -> None:
         if self.context_mode not in CONTEXT_MODES:
@@ -92,6 +100,13 @@ class StepPricer:
             )
         if self.context_bucket < 1:
             raise ConfigurationError("context_bucket must be >= 1")
+        _validate_moe(self.model, self.moe)
+
+    @property
+    def workload_name(self) -> str:
+        """Model name as priced (see
+        :func:`~repro.models.workload.workload_name`)."""
+        return workload_name(self.model, self.moe)
 
     def _bucketize(self, context_len: int) -> int:
         bucket = self.context_bucket
@@ -125,19 +140,22 @@ class StepPricer:
 
         if self.step_cache is None:
             step = build_decode_step(
-                self.model, rlp, tlp, mean_context, context_lens=context_lens
+                self.model, rlp, tlp, mean_context,
+                context_lens=context_lens, moe=self.moe,
             )
             return self.system.execute_step(step)
 
-        # The model name is part of the key: a cache (and a system) may be
-        # shared by engines serving different models.
+        # The workload name is part of the key: a cache (and a system) may
+        # be shared by engines serving different models, and an MoE
+        # variant prices differently from its dense backbone.
         fc_target = self.system.plan_fc_target(rlp, tlp)
-        key = (self.model.name, fc_target, rlp, tlp, context_key)
+        key = (self.workload_name, fc_target, rlp, tlp, context_key)
         cached = self.step_cache.get(self.system, key)
         if cached is not None:
             return cached
         step = build_decode_step(
-            self.model, rlp, tlp, mean_context, context_lens=context_lens
+            self.model, rlp, tlp, mean_context,
+            context_lens=context_lens, moe=self.moe,
         )
         result = self.system.execute_step(step)
         self.step_cache.put(self.system, key, result)
@@ -163,6 +181,9 @@ class ServingEngine:
             bit-stable paper-figure reproduction).
         context_bucket: Context-length quantization bucket (1 = exact).
         step_cache: Optional :class:`StepCostCache` shared across runs.
+        moe: Optional sparse-expert configuration (must wrap ``model`` as
+            its base). When set, decoding steps price the routed MoE FFN
+            and capacity checks account for all experts' weights.
     """
 
     system: ServingSystem
@@ -175,10 +196,17 @@ class ServingEngine:
     context_mode: str = "per-request"
     context_bucket: int = 1
     step_cache: Optional[StepCostCache] = None
+    moe: Optional[MoEModelConfig] = None
 
     def __post_init__(self) -> None:
         # Fail on bad knobs at construction, not mid-run.
         self._make_pricer()
+
+    @property
+    def workload_name(self) -> str:
+        """Model name as served (see
+        :func:`~repro.models.workload.workload_name`)."""
+        return workload_name(self.model, self.moe)
 
     def _make_pricer(self) -> StepPricer:
         return StepPricer(
@@ -187,6 +215,7 @@ class ServingEngine:
             context_mode=self.context_mode,
             context_bucket=self.context_bucket,
             step_cache=self.step_cache,
+            moe=self.moe,
         )
 
     def run(self, requests: Sequence[Request]) -> RunSummary:
@@ -226,6 +255,7 @@ class ServingEngine:
             context_mode=self.context_mode,
             context_bucket=self.context_bucket,
             step_cache=self.step_cache,
+            moe=self.moe,
         )
         replica.serve_trace(requests)
         self.tlp_trace = replica.tlp_trace
@@ -234,7 +264,7 @@ class ServingEngine:
     def run_with_batcher(self, batcher: Batcher) -> RunSummary:
         """Serve a workload under an arbitrary batching policy."""
         sampler = SpeculativeSampler(self.speculation, seed=self.seed)
-        summary = RunSummary(system=self.system.name, model=self.model.name)
+        summary = RunSummary(system=self.system.name, model=self.workload_name)
         policy = self.tlp_policy if self.tlp_policy is not None else FixedTLP(
             self.speculation.tlp
         )
@@ -249,7 +279,7 @@ class ServingEngine:
             everyone = batcher.all_requests()
             max_seq = max(r.input_len + r.output_len for r in everyone)
             self.system.check_capacity(
-                self.model, batcher.initial_batch_size, max_seq
+                self.model, batcher.initial_batch_size, max_seq, moe=self.moe
             )
 
         # Initial scheduling uses the system-configured speculation length

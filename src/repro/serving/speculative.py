@@ -41,8 +41,8 @@ class SpeculationConfig:
     def __post_init__(self) -> None:
         if self.speculation_length <= 0:
             raise ConfigurationError("speculation_length must be positive")
-        if not 0.0 <= self.acceptance_rate < 1.0:
-            raise ConfigurationError("acceptance_rate must be in [0, 1)")
+        if not 0.0 <= self.acceptance_rate <= 1.0:
+            raise ConfigurationError("acceptance_rate must be in [0, 1]")
         if self.draft_token_cost_s < 0:
             raise ConfigurationError("draft cost must be non-negative")
 
@@ -52,11 +52,20 @@ class SpeculationConfig:
         return self.speculation_length
 
     def expected_tokens_per_iteration(self) -> float:
-        """E[accepted tokens] = (1 - a^s) / (1 - a); s when a = 0 means 1."""
+        """E[accepted tokens] = (1 - a^s) / (1 - a).
+
+        The closed form has removable singularities at both ends of the
+        acceptance range: ``a = 0`` means only the bonus token survives
+        (1 token), and ``a = 1`` means every draft is accepted, so the
+        ``a -> 1`` limit of the geometric sum is exactly ``s`` — the
+        formula itself would divide by zero there.
+        """
         a = self.acceptance_rate
         s = self.speculation_length
         if s == 1 or a == 0.0:
             return 1.0
+        if a == 1.0:
+            return float(s)
         return (1.0 - a ** s) / (1.0 - a)
 
     def draft_overhead_s(self, speculation_length: Optional[int] = None) -> float:
@@ -107,6 +116,11 @@ class SpeculativeSampler:
         if s == 1:
             return 1
         a = self.config.acceptance_rate
+        if a >= 1.0:
+            # Always-accept boundary: every draw in [0, 1) would pass the
+            # ``draw < a`` test anyway; skip the RNG so the draw stream is
+            # not consumed for an outcome that is already determined.
+            return s
         buffer = self._buffer
         pos = self._pos
         accepted_drafts = 0

@@ -38,12 +38,15 @@ from repro.systems.base import IterationResult, ServingSystem
 StepKey = Tuple[str, Hashable, int, int, Hashable]
 
 
-class StepCostCache:
-    """Bounded LRU of :class:`IterationResult` values, scoped per system.
+class SystemScopedCache:
+    """Bounded LRU of values, scoped per system instance.
 
-    One cache instance can front any number of systems (e.g. every replica
-    of a cluster, or every point of a design-space sweep); entries never
-    leak across systems because the outer map is keyed by system identity.
+    The shared mechanics behind :class:`StepCostCache` (priced decoding
+    steps) and the router's admission-price memo
+    (:class:`~repro.cluster.router.PriceCache`): one cache instance can
+    front any number of systems (e.g. every replica of a cluster, or
+    every point of a design-space sweep); entries never leak across
+    systems because the outer map is keyed by system identity.
 
     Attributes:
         max_entries: Per-system entry cap; least-recently-used entries are
@@ -62,7 +65,7 @@ class StepCostCache:
         # __hash__, so they cannot key a WeakKeyDictionary directly. A
         # finalizer purges a system's entries when it is collected, which
         # both bounds memory and prevents a recycled id from ever reading
-        # another system's prices.
+        # another system's values.
         self._per_system: Dict[int, OrderedDict] = {}
 
     def _entries(self, system: ServingSystem, create: bool) -> Optional[OrderedDict]:
@@ -74,8 +77,8 @@ class StepCostCache:
             weakref.finalize(system, self._per_system.pop, system_id, None)
         return entries
 
-    def get(self, system: ServingSystem, key: StepKey) -> Optional[IterationResult]:
-        """Cached price of ``key`` on ``system``, or ``None`` on a miss."""
+    def get(self, system: ServingSystem, key: Hashable) -> Optional[object]:
+        """Cached value of ``key`` on ``system``, or ``None`` on a miss."""
         entries = self._entries(system, create=False)
         result = entries.get(key) if entries is not None else None
         if result is None:
@@ -85,12 +88,10 @@ class StepCostCache:
         self.hits += 1
         return result
 
-    def put(
-        self, system: ServingSystem, key: StepKey, result: IterationResult
-    ) -> None:
-        """Store one priced step, evicting the LRU entry if at capacity."""
+    def put(self, system: ServingSystem, key: Hashable, value: object) -> None:
+        """Store one value, evicting the LRU entry if at capacity."""
         entries = self._entries(system, create=True)
-        entries[key] = result
+        entries[key] = value
         entries.move_to_end(key)
         if len(entries) > self.max_entries:
             entries.popitem(last=False)
@@ -107,13 +108,20 @@ class StepCostCache:
             return 0.0
         return self.hits / self.lookups
 
+    @property
+    def entries(self) -> int:
+        """Resident entries across all systems."""
+        return sum(len(entries) for entries in self._per_system.values())
+
     def stats(self) -> Dict[str, float]:
-        """Counters for reporting (hits, misses, hit rate, systems)."""
+        """Counters for reporting (hits, misses, hit rate, residency)."""
         return {
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": self.hit_rate,
             "systems": len(self._per_system),
+            "entries": self.entries,
+            "max_entries": self.max_entries,
         }
 
     def clear(self) -> None:
@@ -121,3 +129,12 @@ class StepCostCache:
         self._per_system.clear()
         self.hits = 0
         self.misses = 0
+
+
+class StepCostCache(SystemScopedCache):
+    """Bounded LRU of :class:`IterationResult` values, scoped per system.
+
+    :class:`IterationResult` is frozen, so a cached result can be shared
+    safely; see the module docstring for the key discipline and the
+    :class:`SystemScopedCache` base for the shared LRU mechanics.
+    """

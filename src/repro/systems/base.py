@@ -19,6 +19,7 @@ from repro.core.placement import PlacementTarget
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.scheduler import LoadSignal
+    from repro.models.moe import MoEModelConfig
     from repro.models.workload import StepGrid
     from repro.systems.batch import IterationResultArray
 from repro.devices.base import ComputeDevice, KernelResult
@@ -173,19 +174,27 @@ class ServingSystem(abc.ABC):
         return float(capacity)
 
     def check_capacity(
-        self, model: ModelConfig, batch_size: int, max_seq_len: int
+        self,
+        model: ModelConfig,
+        batch_size: int,
+        max_seq_len: int,
+        moe: Optional["MoEModelConfig"] = None,
     ) -> None:
         """Raise :class:`CapacityError` if the workload cannot fit.
 
         Weights must fit the FC unit's memory; the batch's worst-case KV
         cache must fit the attention unit's memory (Section 3.2's memory
-        capacity limit on initial RLP).
+        capacity limit on initial RLP). An MoE workload must fit *all*
+        experts — sparsity cuts compute, not resident weight bytes, which
+        is exactly the bank-capacity pressure expert placement sweeps
+        probe.
         """
-        weight_need = model.weight_bytes
+        name = model.name if moe is None else moe.name
+        weight_need = model.weight_bytes if moe is None else moe.weight_bytes
         weight_have = self.weight_capacity_bytes()
         if weight_need > weight_have:
             raise CapacityError(
-                f"{self.name}: model weights need {weight_need / 1e9:.0f} GB, "
+                f"{self.name}: {name} weights need {weight_need / 1e9:.0f} GB, "
                 f"only {weight_have / 1e9:.0f} GB available"
             )
         kv_need = batch_size * model.kv_bytes(max_seq_len)
@@ -315,10 +324,12 @@ class ServingSystem(abc.ABC):
                 chunk_lens = step.context_lens[offset:offset + size]
                 mean = max(1, round(sum(chunk_lens) / size))
                 return build_decode_step(
-                    step.model, size, step.tlp, mean, context_lens=chunk_lens
+                    step.model, size, step.tlp, mean,
+                    context_lens=chunk_lens, moe=step.moe,
                 )
             return build_decode_step(
-                step.model, size, step.tlp, step.mean_context_len
+                step.model, size, step.tlp, step.mean_context_len,
+                moe=step.moe,
             )
 
         fc_done = 0.0

@@ -44,11 +44,10 @@ from repro.models.config import ModelConfig
 from repro.models.kernels import (
     KernelCostArray,
     attention_cost_array,
-    feedforward_cost_array,
     projection_cost_array,
     qkv_cost_array,
 )
-from repro.models.workload import StepGrid
+from repro.models.workload import StepGrid, step_ffn_cost_array
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.systems.base import IterationResult, ServingSystem
@@ -262,7 +261,7 @@ def _price_pipelined(
         sub_qkv = qkv_cost_array(model, size, grid.tlp)
         sub_attn = attention_cost_array(model, size, grid.tlp, grid.context_len)
         sub_proj = projection_cost_array(model, size, grid.tlp)
-        sub_ffn = feedforward_cost_array(model, size, grid.tlp)
+        sub_ffn = step_ffn_cost_array(model, grid.moe, size, grid.tlp)
 
         qkv_r = _execute_batch(fc_device, sub_qkv)
         attn_r = _execute_batch(attn_device, sub_attn)
@@ -366,6 +365,7 @@ def price_steps(system: "ServingSystem", grid: StepGrid) -> IterationResultArray
             rlp=grid.rlp[idx],
             tlp=grid.tlp[idx],
             context_len=grid.context_len[idx],
+            moe=grid.moe,
         )
         fc_device = system.fc_unit_for(target)
         pricer = _price_pipelined if piped else _price_serial

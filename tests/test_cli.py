@@ -56,6 +56,46 @@ class TestCommands:
         assert args.router == "intensity"
         assert args.requests == 64
         assert args.step_cache is True
+        assert args.moe_replicas == 0
+        assert args.tlp_policy == "fixed"
+
+    def test_cluster_mixed_moe_fleet(self, capsys):
+        code = main([
+            "cluster", "--replicas", "2", "--moe-replicas", "1",
+            "--router", "min-cost", "--requests", "8", "--rate", "16",
+            "--max-batch", "4", "--tlp-policy", "acceptance", "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "moe" in out  # the MoE replica's model name
+        assert "acceptance" in out
+        assert "router cache hits" in out
+
+    def test_cluster_moe_replicas_capped(self):
+        with pytest.raises(SystemExit):
+            main(["cluster", "--replicas", "2", "--moe-replicas", "3",
+                  "--requests", "4"])
+
+    def test_sweep_moe_small(self, capsys, tmp_path):
+        json_path = tmp_path / "moe.json"
+        code = main([
+            "sweep", "moe", "--experts", "8", "--topk", "2",
+            "--expert-ffn", "1024", "--rlp", "1,4", "--tlp", "1,2",
+            "--context", "512", "--json", str(json_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "active_experts" in out
+        assert json_path.exists()
+
+    def test_sweep_tlp_small(self, capsys):
+        code = main([
+            "sweep", "tlp", "--values", "1,2", "--batch", "4",
+            "--acceptance", "1.0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "expected_tokens_per_iter" in out
 
     def test_cluster_unknown_router_rejected(self):
         with pytest.raises(SystemExit):

@@ -28,8 +28,18 @@ def moe():
 
 
 class TestMoEConfig:
-    def test_name_encodes_routing(self, moe):
-        assert moe.name == "gpt3-66b-moe64x2"
+    def test_name_encodes_routing_and_width(self, moe):
+        # Expert width is part of the name: the name keys price caches,
+        # and width changes pricing.
+        assert moe.name == f"gpt3-66b-moe64x2d{moe.expert_ffn_dim}"
+
+    def test_names_distinct_across_expert_widths(self, moe):
+        other = MoEModelConfig(
+            base=moe.base, num_experts=moe.num_experts,
+            experts_per_token=moe.experts_per_token,
+            expert_ffn_dim=moe.expert_ffn_dim * 2,
+        )
+        assert other.name != moe.name
 
     def test_total_weights_exceed_dense(self, moe):
         assert moe.weight_bytes > moe.base.weight_bytes

@@ -1,0 +1,311 @@
+"""MoE pricing through the full vertical slice.
+
+Pins the PR-3 contract: MoE operating points price batch-first and
+bit-equal to the scalar :func:`~repro.models.moe.moe_ffn_cost` path —
+through :class:`~repro.models.kernels.KernelCostArray`, step grids,
+``price_steps`` on every registered system (serial and pipelined), the
+serving engine's step pricer, and the MoE design-space sweep.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CapacityError, ConfigurationError
+from repro.models.config import get_model
+from repro.models.moe import (
+    MoEModelConfig,
+    expected_active_experts,
+    expected_active_experts_array,
+    moe_ffn_cost,
+    moe_ffn_cost_array,
+)
+from repro.models.workload import build_decode_step, build_step_grid, cartesian_step_grid
+from repro.serving.dataset import sample_requests
+from repro.serving.engine import ServingEngine, StepPricer
+from repro.serving.speculative import SpeculationConfig
+from repro.serving.stepcache import StepCostCache
+from repro.systems.papi import PAPISystem
+from repro.systems.registry import available_systems, build_system
+
+BASE = get_model("llama-65b")
+
+
+def make_moe(num_experts=16, experts_per_token=2, expert_ffn_dim=None):
+    return MoEModelConfig(
+        base=BASE,
+        num_experts=num_experts,
+        experts_per_token=experts_per_token,
+        expert_ffn_dim=expert_ffn_dim or BASE.ffn_dim // num_experts,
+    )
+
+
+class TestMoEArrayEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        num_experts=st.integers(1, 256),
+        experts_per_token=st.integers(1, 8),
+        expert_ffn_dim=st.integers(64, 8192),
+        rlp=st.integers(1, 512),
+        tlp=st.integers(1, 16),
+    )
+    def test_array_lane_bit_equal_to_scalar(
+        self, num_experts, experts_per_token, expert_ffn_dim, rlp, tlp
+    ):
+        """Property: every lane of moe_ffn_cost_array is the exact
+        KernelCost the scalar constructor builds, across expert counts."""
+        experts_per_token = min(experts_per_token, num_experts)
+        moe = MoEModelConfig(
+            base=BASE,
+            num_experts=num_experts,
+            experts_per_token=experts_per_token,
+            expert_ffn_dim=expert_ffn_dim,
+        )
+        arr = moe_ffn_cost_array(moe, [rlp], [tlp])
+        scalar = moe_ffn_cost(moe, rlp, tlp)
+        lane = arr.at(0)
+        assert lane == scalar
+        assert lane.flops.hex() == scalar.flops.hex()
+        assert lane.weight_bytes.hex() == scalar.weight_bytes.hex()
+
+    def test_active_experts_array_matches_scalar(self):
+        tokens = np.array([1, 2, 7, 64, 64, 4096], dtype=np.int64)
+        arr = expected_active_experts_array(64, 2, tokens)
+        for i, t in enumerate(tokens):
+            assert arr[i] == expected_active_experts(64, 2, int(t))
+
+    def test_broadcasting_matches_pointwise(self):
+        moe = make_moe()
+        arr = moe_ffn_cost_array(moe, [1, 2, 5, 33], 2)
+        for i, rlp in enumerate([1, 2, 5, 33]):
+            assert arr.at(i) == moe_ffn_cost(moe, rlp, 2)
+
+    def test_invalid_parallelism_rejected(self):
+        moe = make_moe()
+        with pytest.raises(ConfigurationError):
+            moe_ffn_cost_array(moe, [0], [1])
+        with pytest.raises(ConfigurationError):
+            moe_ffn_cost_array(moe, [1], [0])
+
+
+class TestMoEStepGrid:
+    GRID_AXES = ([1, 2, 5, 16, 33], [1, 2, 4], [1, 100, 2048])
+
+    def test_grid_rejects_mismatched_base(self):
+        other = get_model("opt-30b")
+        moe = make_moe()
+        with pytest.raises(ConfigurationError):
+            build_step_grid(other, [1], [1], [64], moe=moe)
+
+    def test_decode_step_ffn_is_sparse(self):
+        moe = make_moe()
+        dense = build_decode_step(BASE, 4, 2, 256)
+        sparse = build_decode_step(BASE, 4, 2, 256, moe=moe)
+        assert sparse.workload_name == moe.name
+        dense_ffn = dense.invocations[3].per_layer
+        sparse_ffn = sparse.invocations[3].per_layer
+        assert sparse_ffn.flops != dense_ffn.flops
+        # QKV / attention / projection are untouched by routing.
+        for i in range(3):
+            assert sparse.invocations[i].per_layer == dense.invocations[i].per_layer
+
+    @pytest.mark.parametrize("name", available_systems())
+    def test_price_steps_matches_execute_step(self, name):
+        system = build_system(name)
+        grid = cartesian_step_grid(BASE, *self.GRID_AXES, moe=make_moe())
+        priced = system.price_steps(grid)
+        for i in range(len(grid)):
+            scalar = system.execute_step(grid.step_at(i))
+            lane = priced.at(i)
+            assert lane == scalar, f"lane {i} diverged on {name}"
+            assert lane.seconds.hex() == scalar.seconds.hex()
+
+    @pytest.mark.parametrize("chunks", [2, 3])
+    def test_pipelined_price_steps_matches(self, chunks):
+        system = PAPISystem()
+        system.pipeline_chunks = chunks
+        grid = cartesian_step_grid(BASE, *self.GRID_AXES, moe=make_moe())
+        priced = system.price_steps(grid)
+        for i in range(len(grid)):
+            assert priced.at(i) == system.execute_step(grid.step_at(i))
+
+
+class TestMoEServing:
+    def test_step_pricer_prices_moe_ffn(self):
+        moe = make_moe()
+        requests = sample_requests("creative-writing", 4, seed=0)
+        dense = StepPricer(system=PAPISystem(), model=BASE)
+        sparse = StepPricer(system=PAPISystem(), model=BASE, moe=moe)
+        assert sparse.price(requests, 2) != dense.price(requests, 2)
+
+    def test_step_cache_separates_moe_from_dense(self):
+        """One cache + one system serving both flavors must never mix
+        their prices: the workload name is part of the key."""
+        moe = make_moe()
+        system = PAPISystem()
+        cache = StepCostCache()
+        requests = sample_requests("creative-writing", 4, seed=0)
+        dense = StepPricer(system=system, model=BASE, step_cache=cache)
+        sparse = StepPricer(system=system, model=BASE, step_cache=cache, moe=moe)
+        d = dense.price(requests, 2)
+        s = sparse.price(requests, 2)
+        assert d != s
+        # Replayed lookups hit their own entries, not each other's.
+        assert dense.price(requests, 2) == d
+        assert sparse.price(requests, 2) == s
+
+    def test_engine_serves_moe_workload(self):
+        moe = make_moe()
+        engine = ServingEngine(system=PAPISystem(), model=BASE, moe=moe)
+        summary = engine.run(sample_requests("creative-writing", 8, seed=1))
+        assert summary.model == moe.name
+        assert summary.tokens_generated > 0
+
+    def test_engine_rejects_oversized_expert_bank(self):
+        """Sparsity cuts compute, not resident bytes: a bank of wide
+        experts that cannot fit FC memory must fail capacity checks."""
+        huge = MoEModelConfig(
+            base=BASE, num_experts=512, experts_per_token=2,
+            expert_ffn_dim=BASE.ffn_dim,
+        )
+        engine = ServingEngine(system=PAPISystem(), model=BASE, moe=huge)
+        with pytest.raises(CapacityError):
+            engine.run(sample_requests("creative-writing", 4, seed=1))
+
+    def test_pricer_rejects_mismatched_base(self):
+        with pytest.raises(ConfigurationError):
+            StepPricer(
+                system=PAPISystem(), model=get_model("opt-30b"), moe=make_moe()
+            )
+
+
+class TestAlwaysAcceptEngine:
+    @pytest.mark.parametrize("s", [2, 4])
+    def test_engine_accepts_exactly_s_tokens_per_iteration(self, s):
+        """acceptance_rate = 1.0 end to end: every iteration credits
+        exactly s tokens per active request until its eos clip."""
+        output_len = 16
+        requests = sample_requests("creative-writing", 4, seed=2)
+        for r in requests:
+            r.output_len = output_len
+        engine = ServingEngine(
+            system=PAPISystem(),
+            model=BASE,
+            speculation=SpeculationConfig(
+                speculation_length=s, acceptance_rate=1.0
+            ),
+        )
+        summary = engine.run(requests)
+        assert summary.iterations == output_len // s
+        for record in summary.records:
+            assert record.tokens_accepted == record.rlp_before * s
+
+
+class TestMoECluster:
+    def test_mixed_fleet_routes_min_cost_with_bounded_cache(self):
+        """The acceptance-criterion trace: MoE + dense replicas in one
+        cluster, min-cost routing, bounded admission-price cache, and
+        per-replica expert-traffic / acceptance-rate reporting."""
+        from repro.cluster import ClusterSimulator, MinCostRouter, Replica
+        from repro.serving.arrivals import poisson_arrivals
+
+        moe = make_moe()
+        speculation = SpeculationConfig(speculation_length=2)
+        replicas = [
+            Replica(
+                replica_id=i,
+                system=PAPISystem(),
+                model=BASE,
+                max_batch_size=4,
+                speculation=speculation,
+                moe=moe if i % 2 == 0 else None,
+            )
+            for i in range(4)
+        ]
+        router = MinCostRouter(max_cache_entries=64)
+        requests = poisson_arrivals(
+            sample_requests("creative-writing", 24, seed=5), rate_per_s=48.0
+        )
+        summary = ClusterSimulator(replicas, router).run(requests)
+        assert summary.total_requests == 24
+        assert router.price_cache.entries <= 64 * len(replicas)
+        assert summary.router_cache["entries"] <= 64 * len(replicas)
+        by_model = {}
+        for report in summary.replicas:
+            by_model.setdefault(report.model, []).append(report)
+        assert set(by_model) == {moe.name, BASE.name}
+        for report in by_model[moe.name]:
+            if report.iterations:
+                assert report.mean_active_experts > 0
+                assert report.expert_token_visits > 0
+            assert 0.0 <= report.acceptance_rate <= 1.0
+        for report in by_model[BASE.name]:
+            assert report.expert_token_visits == 0
+            assert report.mean_active_experts == 0.0
+
+
+class TestMoESweep:
+    def test_sweep_moe_matches_scalar_reference(self):
+        """Every sweep row re-prices bit-equal through the scalar
+        moe_ffn_cost route (the acceptance-criterion property, at test
+        scale; benchmarks/bench_moe_sweep.py runs it at >= 1k points)."""
+        from repro.analysis.sweep import sweep_moe
+
+        system = PAPISystem()
+        result = sweep_moe(
+            num_experts_values=(8, 32),
+            experts_per_token_values=(2,),
+            expert_ffn_dim_values=(1024,),
+            system=system,
+            rlp_values=(1, 4, 33),
+            tlp_values=(1, 2),
+            context_values=(256,),
+        )
+        assert len(result) == 2 * 1 * 1 * 3 * 2 * 1
+        for row in result.rows:
+            moe = MoEModelConfig(
+                base=BASE,
+                num_experts=row["num_experts"],
+                experts_per_token=row["experts_per_token"],
+                expert_ffn_dim=row["expert_ffn_dim"],
+            )
+            step = build_decode_step(
+                BASE, row["rlp"], row["tlp"], row["context"], moe=moe
+            )
+            scalar = system.execute_step(step)
+            assert row["seconds"] == scalar.seconds
+            assert row["energy_joules"] == scalar.energy_joules
+
+    def test_sweep_moe_skips_invalid_combinations(self):
+        from repro.analysis.sweep import sweep_moe
+
+        result = sweep_moe(
+            num_experts_values=(2, 8),
+            experts_per_token_values=(4,),
+            expert_ffn_dim_values=(512,),
+            rlp_values=(1,),
+            tlp_values=(1,),
+            context_values=(64,),
+        )
+        # top-4 of 2 experts is invalid; only the 8-expert config priced.
+        assert {row["num_experts"] for row in result.rows} == {8}
+
+    def test_sweep_moe_rejects_empty_design_space(self):
+        from repro.analysis.sweep import sweep_moe
+
+        with pytest.raises(ConfigurationError):
+            sweep_moe(
+                num_experts_values=(2,),
+                experts_per_token_values=(4,),
+                expert_ffn_dim_values=(512,),
+            )
+
+    def test_sweep_tlp_decode_time_tracks_speculation(self):
+        from repro.analysis.sweep import sweep_tlp
+
+        results = sweep_tlp(
+            speculation_lengths=(1, 4), batch=8, acceptance_rate=1.0
+        )
+        assert set(results) == {1, 4}
+        # Always-accept: deeper speculation means fewer iterations.
+        assert results[4].iterations < results[1].iterations

@@ -43,6 +43,29 @@ class TestPoissonArrivals:
         with pytest.raises(ConfigurationError):
             poisson_arrivals([], 1.0)
 
+    def test_returns_new_list_of_same_objects(self):
+        """Contract: stamps in place, returns a fresh list container."""
+        originals = make_requests(5)
+        stamped = poisson_arrivals(originals, 4.0, seed=7)
+        assert stamped is not originals
+        assert all(a is b for a, b in zip(stamped, originals))
+        assert all(r.arrival_s > 0 for r in originals)
+
+    def test_given_order_is_arrival_order(self):
+        """Gaps are strictly positive, so the input order is already
+        sorted by arrival — the docstring's 'sorted' claim made explicit."""
+        requests = poisson_arrivals(make_requests(100), 50.0, seed=8)
+        assert requests == sorted(requests, key=lambda r: r.arrival_s)
+
+    def test_rejects_already_stamped_requests(self):
+        requests = poisson_arrivals(make_requests(4), 2.0, seed=9)
+        with pytest.raises(ConfigurationError):
+            poisson_arrivals(requests, 2.0, seed=9)
+        partly = make_requests(3)
+        partly[1].arrival_s = 0.5
+        with pytest.raises(ConfigurationError):
+            poisson_arrivals(partly, 2.0)
+
 
 class TestDynamicBatching:
     def test_dense_arrivals_fill_batches(self):

@@ -32,9 +32,27 @@ class TestSpeculationConfig:
         with pytest.raises(ConfigurationError):
             SpeculationConfig(speculation_length=0)
         with pytest.raises(ConfigurationError):
-            SpeculationConfig(acceptance_rate=1.0)
+            SpeculationConfig(acceptance_rate=1.01)
         with pytest.raises(ConfigurationError):
             SpeculationConfig(acceptance_rate=-0.1)
+
+    @pytest.mark.parametrize("s", [1, 2, 4, 8])
+    def test_always_accept_boundary_yields_s_tokens(self, s):
+        """a = 1.0 is a valid boundary: the a->1 limit of the geometric
+        sum is exactly s, not a division by zero."""
+        config = SpeculationConfig(speculation_length=s, acceptance_rate=1.0)
+        assert config.expected_tokens_per_iteration() == float(s)
+
+    def test_expected_tokens_continuous_near_one(self):
+        """The closed form approaches the a = 1.0 limit smoothly."""
+        s = 6
+        near = SpeculationConfig(
+            speculation_length=s, acceptance_rate=1.0 - 1e-9
+        )
+        exact = SpeculationConfig(speculation_length=s, acceptance_rate=1.0)
+        assert near.expected_tokens_per_iteration() == pytest.approx(
+            exact.expected_tokens_per_iteration(), abs=1e-6
+        )
 
 
 class TestSampler:
@@ -64,3 +82,18 @@ class TestSampler:
         n = 20000
         mean = sum(sampler.accepted_tokens() for _ in range(n)) / n
         assert mean == pytest.approx(config.expected_tokens_per_iteration(), rel=0.03)
+
+    @pytest.mark.parametrize("s", [2, 5, 8])
+    def test_always_accept_sampler_returns_exactly_s(self, s):
+        config = SpeculationConfig(speculation_length=s, acceptance_rate=1.0)
+        sampler = SpeculativeSampler(config, seed=3)
+        assert all(sampler.accepted_tokens() == s for _ in range(200))
+
+    def test_always_accept_does_not_consume_rng(self):
+        """The a = 1.0 fast path must leave the draw stream untouched so
+        a later dynamic-TLP iteration sees the same sequence."""
+        config = SpeculationConfig(speculation_length=4, acceptance_rate=1.0)
+        sampler = SpeculativeSampler(config, seed=7)
+        before = (sampler._pos, sampler._buffer.shape[0])
+        sampler.accepted_tokens()
+        assert (sampler._pos, sampler._buffer.shape[0]) == before
