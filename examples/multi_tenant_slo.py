@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Multi-tenant SLOs: admission control protects a tight-latency tenant.
+
+One declarative :class:`~repro.scenario.ScenarioSpec` describes a
+two-replica PAPI fleet shared by two tenants:
+
+* ``interactive`` — short general-qa requests with a 2.5 s p99 budget;
+* ``batch`` — long creative-writing generations, best effort.
+
+The same scenario runs twice. Without admission control the batch
+tenant's backlog drags the interactive tenant's p99 past its budget;
+with ``admission: "reject"`` (plus the deadline-slack router) the
+cluster sheds the at-risk arrivals and the interactive tenant's served
+p99 drops back under its SLO — the rejections show up explicitly in the
+per-tenant report instead of silently poisoning the tail.
+
+Usage::
+
+    python examples/multi_tenant_slo.py
+"""
+
+import dataclasses
+
+from repro.analysis.report import format_table
+from repro.scenario import (
+    FleetSpec,
+    ReplicaSpec,
+    RoutingSpec,
+    ScenarioSpec,
+    SLOSpec,
+    TenantSpec,
+    TrafficSpec,
+    run_scenario,
+)
+
+BASE = ScenarioSpec(
+    name="two-tenant-slo",
+    fleet=FleetSpec(replicas=(ReplicaSpec(system="papi", count=2),)),
+    tenants=(
+        TenantSpec(
+            name="interactive",
+            traffic=TrafficSpec(
+                category="general-qa", requests=24, rate_per_s=8.0
+            ),
+            slo=SLOSpec(p99_seconds=2.5, admission="admit"),
+        ),
+        TenantSpec(
+            name="batch",
+            traffic=TrafficSpec(
+                category="creative-writing", requests=40, rate_per_s=16.0
+            ),
+        ),
+    ),
+    routing=RoutingSpec(policy="slo-slack"),
+)
+
+
+def main() -> None:
+    rows = []
+    for label, action in (("no admission control", "admit"),
+                          ("reject at-risk", "reject")):
+        interactive, batch = BASE.tenants
+        spec = dataclasses.replace(
+            BASE,
+            tenants=(
+                dataclasses.replace(
+                    interactive,
+                    slo=dataclasses.replace(interactive.slo, admission=action),
+                ),
+                batch,
+            ),
+        )
+        result = run_scenario(spec)
+        for tenant in result.tenants.values():
+            rows.append([
+                label, tenant.tenant, tenant.submitted, tenant.rejected,
+                tenant.served, tenant.p99_latency_s, tenant.slo_p99_seconds,
+                tenant.slo_attainment,
+            ])
+    print(
+        format_table(
+            ["policy", "tenant", "submitted", "rejected", "served",
+             "p99 (s)", "SLO p99 (s)", "attainment"],
+            rows,
+            title="Admission control vs. tail latency (slo-slack routing)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

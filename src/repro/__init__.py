@@ -26,6 +26,7 @@ from repro.core.placement import PlacementTarget
 from repro.core.scheduler import LoadSignal, PAPIScheduler, TLPRegister, calibrate_alpha
 from repro.models.config import ModelConfig, available_models, get_model
 from repro.models.workload import build_decode_step
+from repro.scenario import ScenarioResult, ScenarioSpec, load_scenario, run_scenario
 from repro.serving.dataset import sample_requests
 from repro.serving.engine import ServingEngine
 from repro.serving.metrics import RunSummary, energy_efficiency, speedup
@@ -33,7 +34,7 @@ from repro.serving.speculative import SpeculationConfig
 from repro.serving.stepcache import StepCostCache
 from repro.systems.registry import available_systems, build_system
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "ClusterSimulator",
@@ -43,6 +44,8 @@ __all__ = [
     "PlacementTarget",
     "Replica",
     "RunSummary",
+    "ScenarioResult",
+    "ScenarioSpec",
     "ServingEngine",
     "SpeculationConfig",
     "StepCostCache",
@@ -58,6 +61,8 @@ __all__ = [
     "estimate_fc_intensity",
     "exact_fc_intensity",
     "get_model",
+    "load_scenario",
+    "run_scenario",
     "sample_requests",
     "speedup",
     "__version__",

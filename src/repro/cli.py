@@ -6,6 +6,12 @@ Commands:
 * ``compare`` — run all systems on one workload, normalized to a baseline.
 * ``cluster`` — shard a Poisson arrival trace across N replicas under a
   routing policy; report per-replica utilization/reschedules and p99.
+  The flags are sugar: they assemble a single-tenant
+  :class:`~repro.scenario.ScenarioSpec` and run it through
+  :func:`~repro.scenario.run_scenario`.
+* ``run`` — execute a declarative scenario JSON file (fleet, workload,
+  multi-tenant traffic + SLOs, routing) and report per-replica,
+  aggregate, and per-tenant results; ``--json`` exports the result.
 * ``sweep`` — run a design-space sweep: ``grid`` prices an RLP x TLP x
   context cartesian grid through the vectorized batch path; ``moe``
   crosses expert-routing axes (num_experts / top-k / expert FFN dim)
@@ -16,28 +22,49 @@ Commands:
   All modes export CSV/JSON.
 * ``figures`` — regenerate a paper figure's rows (fig2..fig12, headline).
 * ``calibrate`` — report the offline-calibrated alpha for a model.
-* ``list`` — enumerate registered models, systems, and routers.
+* ``list`` — enumerate registered models, systems, routers, sweep modes,
+  and scenario spec fields.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import List, Optional
 
 from repro import __version__
 from repro.analysis.report import format_table
-from repro.cluster import ClusterSimulator, Replica, available_routers, build_router
+from repro.cluster import available_routers
+from repro.errors import ConfigurationError
 from repro.models.config import available_models, get_model
-from repro.models.moe import MoEModelConfig
-from repro.serving.arrivals import poisson_arrivals
-from repro.serving.dataset import sample_requests
+from repro.scenario import (
+    FleetSpec,
+    MoESpec,
+    ReplicaSpec,
+    RoutingSpec,
+    ScenarioResult,
+    ScenarioSpec,
+    SLOSpec,
+    TenantSpec,
+    TrafficSpec,
+    WorkloadSpec,
+    load_scenario,
+    run_scenario,
+    scenario_spec_fields,
+)
+from repro.serving.dataset import available_categories, sample_requests
 from repro.serving.engine import CONTEXT_MODES, ServingEngine
 from repro.serving.metrics import energy_efficiency, speedup
 from repro.serving.speculative import SpeculationConfig
-from repro.serving.stepcache import StepCostCache
+from repro.serving.tlp_policy import TLP_POLICY_NAMES
 from repro.systems.papi import PAPISystem
 from repro.systems.registry import available_systems, build_system
+
+#: Registered design-space sweep modes (parser choices and ``repro list``).
+SWEEP_MODES = (
+    "grid", "moe", "tlp", "fc-stacks", "attn-link", "gpu-count", "alpha"
+)
 
 
 def _add_workload_args(parser: argparse.ArgumentParser) -> None:
@@ -110,68 +137,66 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
-def _build_tlp_policy(name: str):
-    """Fresh policy instance per replica (adaptive policies are stateful)."""
-    from repro.serving.tlp_policy import AcceptanceAdaptiveTLP, UtilizationAdaptiveTLP
+def scenario_from_cluster_args(args: argparse.Namespace) -> ScenarioSpec:
+    """Assemble the single-tenant scenario the ``cluster`` flags describe.
 
-    if name == "fixed":
-        return None
-    if name == "acceptance":
-        return AcceptanceAdaptiveTLP()
-    if name == "utilization":
-        return UtilizationAdaptiveTLP()
-    raise SystemExit(f"unknown TLP policy {name!r}")
-
-
-def _moe_config(args: argparse.Namespace, model) -> MoEModelConfig:
-    if args.experts <= 0:
-        raise SystemExit("--experts must be positive")
-    if not 0 < args.topk <= args.experts:
-        raise SystemExit("--topk must be in (0, --experts]")
-    if args.expert_ffn < 0:
-        raise SystemExit("--expert-ffn must be non-negative")
-    # Default expert width keeps total expert bytes equal to the dense
-    # FFN's, so the demo fleet stays within the same weight capacity.
-    expert_ffn = args.expert_ffn or max(1, model.ffn_dim // args.experts)
-    return MoEModelConfig(
-        base=model,
-        num_experts=args.experts,
-        experts_per_token=args.topk,
-        expert_ffn_dim=expert_ffn,
-    )
-
-
-def cmd_cluster(args: argparse.Namespace) -> int:
-    model = get_model(args.model)
-    speculation = SpeculationConfig(
-        speculation_length=args.spec, acceptance_rate=args.acceptance
-    )
-    cache = StepCostCache() if args.step_cache else None
+    The first ``--moe-replicas`` replicas serve the MoE variant (their
+    group comes first so replica ids match the historical flag path), the
+    rest the dense default workload.
+    """
+    if args.moe_replicas < 0:
+        raise SystemExit("--moe-replicas must be non-negative")
     if args.moe_replicas > args.replicas:
         raise SystemExit("--moe-replicas cannot exceed --replicas")
-    moe = _moe_config(args, model) if args.moe_replicas > 0 else None
-    replicas = [
-        Replica(
-            replica_id=i,
-            system=build_system(args.system),
-            model=model,
-            max_batch_size=args.max_batch,
-            speculation=speculation,
-            tlp_policy=_build_tlp_policy(args.tlp_policy),
-            seed=args.seed,
-            context_mode=args.context_mode,
-            step_cache=cache,
-            moe=moe if i < args.moe_replicas else None,
-        )
-        for i in range(args.replicas)
-    ]
-    requests = poisson_arrivals(
-        sample_requests(args.category, args.requests, seed=args.seed),
-        rate_per_s=args.rate,
-        seed=args.seed,
+    workload = WorkloadSpec(
+        model=args.model,
+        speculation_length=args.spec,
+        acceptance_rate=args.acceptance,
+        tlp_policy=args.tlp_policy,
+        context_mode=args.context_mode,
     )
-    summary = ClusterSimulator(replicas, build_router(args.router)).run(requests)
+    groups = []
+    if args.moe_replicas > 0:
+        moe = MoESpec(
+            num_experts=args.experts,
+            experts_per_token=args.topk,
+            expert_ffn_dim=args.expert_ffn,
+        )
+        groups.append(
+            ReplicaSpec(
+                system=args.system,
+                count=args.moe_replicas,
+                max_batch_size=args.max_batch,
+                workload=dataclasses.replace(workload, moe=moe),
+            )
+        )
+    if args.replicas - args.moe_replicas > 0:
+        groups.append(
+            ReplicaSpec(
+                system=args.system,
+                count=args.replicas - args.moe_replicas,
+                max_batch_size=args.max_batch,
+            )
+        )
+    return ScenarioSpec(
+        name="cluster",
+        seed=args.seed,
+        workload=workload,
+        fleet=FleetSpec(replicas=tuple(groups), step_cache=args.step_cache),
+        tenants=(
+            TenantSpec(
+                traffic=TrafficSpec(
+                    category=args.category,
+                    requests=args.requests,
+                    rate_per_s=args.rate,
+                ),
+            ),
+        ),
+        routing=RoutingSpec(policy=args.router),
+    )
 
+
+def _print_replica_table(summary, title: str) -> None:
     print(
         format_table(
             ["replica", "model", "served", "tokens", "iterations",
@@ -182,11 +207,12 @@ def cmd_cluster(args: argparse.Namespace) -> int:
                  r.acceptance_rate, r.mean_active_experts]
                 for r in summary.replicas
             ],
-            title=f"{args.replicas}x {args.system} / router={summary.router} "
-                  f"({args.requests} requests @ {args.rate}/s, "
-                  f"tlp-policy={args.tlp_policy})",
+            title=title,
         )
     )
+
+
+def _print_aggregate_table(summary) -> None:
     aggregate_rows = [
         ["makespan seconds", summary.makespan_seconds],
         ["tokens / second", summary.tokens_per_second],
@@ -199,6 +225,64 @@ def cmd_cluster(args: argparse.Namespace) -> int:
         aggregate_rows.append([f"router cache {key}", value])
     print(format_table(["metric", "value"], aggregate_rows,
                        title="Cluster aggregate"))
+
+
+def _print_tenant_table(result: ScenarioResult) -> None:
+    print(
+        format_table(
+            ["tenant", "submitted", "admitted", "rejected", "deferrals",
+             "served", "p50 (s)", "p99 (s)", "SLO p99 (s)", "attainment"],
+            [
+                [t.tenant, t.submitted, t.admitted, t.rejected, t.deferrals,
+                 t.served, t.p50_latency_s, t.p99_latency_s,
+                 t.slo_p99_seconds, t.slo_attainment]
+                for t in result.tenants.values()
+            ],
+            title="Per-tenant SLO report",
+        )
+    )
+
+
+def cmd_cluster(args: argparse.Namespace) -> int:
+    try:
+        result = run_scenario(scenario_from_cluster_args(args))
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
+    summary = result.summary
+    _print_replica_table(
+        summary,
+        title=f"{args.replicas}x {args.system} / router={summary.router} "
+              f"({args.requests} requests @ {args.rate}/s, "
+              f"tlp-policy={args.tlp_policy})",
+    )
+    _print_aggregate_table(summary)
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    try:
+        spec = load_scenario(args.scenario)
+    except OSError as exc:
+        raise SystemExit(f"cannot read scenario file: {exc}") from None
+    except ConfigurationError as exc:
+        raise SystemExit(f"{args.scenario}: {exc}") from None
+    try:
+        result = run_scenario(spec)
+    except ConfigurationError as exc:
+        raise SystemExit(str(exc)) from None
+    summary = result.summary
+    _print_replica_table(
+        summary,
+        title=f"scenario {spec.name!r}: "
+              f"{len(summary.replicas)} replicas / router={summary.router} "
+              f"({len(spec.tenants)} tenants)",
+    )
+    _print_aggregate_table(summary)
+    _print_tenant_table(result)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(result.to_json())
+        print(f"wrote scenario result to {args.json}")
     return 0
 
 
@@ -426,9 +510,15 @@ def cmd_calibrate(args: argparse.Namespace) -> int:
 
 
 def cmd_list(args: argparse.Namespace) -> int:
-    print("models:  " + ", ".join(available_models()))
-    print("systems: " + ", ".join(available_systems()))
-    print("routers: " + ", ".join(available_routers()))
+    print("models:     " + ", ".join(available_models()))
+    print("systems:    " + ", ".join(available_systems()))
+    print("routers:    " + ", ".join(available_routers()))
+    print("sweeps:     " + ", ".join(SWEEP_MODES))
+    print("categories: " + ", ".join(available_categories()))
+    print("tlp-policies: " + ", ".join(TLP_POLICY_NAMES))
+    print("scenario spec fields (repro run <scenario.json>):")
+    for spec_name, field_names in scenario_spec_fields().items():
+        print(f"  {spec_name}: {', '.join(field_names)}")
     return 0
 
 
@@ -539,12 +629,22 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=CONTEXT_MODES)
     cluster.set_defaults(fn=cmd_cluster)
 
+    run = sub.add_parser(
+        "run",
+        help="run a declarative scenario JSON file (fleet, tenants, "
+             "SLOs, routing) through run_scenario()",
+    )
+    run.add_argument("scenario", help="path to a scenario JSON file")
+    run.add_argument("--json", default="",
+                     help="export the full result (aggregate, replicas, "
+                          "per-tenant SLO reports) to a JSON file")
+    run.set_defaults(fn=cmd_run)
+
     sweep = sub.add_parser(
         "sweep", help="design-space sweeps (vectorized grid or config axes)"
     )
     sweep.add_argument("mode",
-                       choices=("grid", "moe", "tlp", "fc-stacks",
-                                "attn-link", "gpu-count", "alpha"),
+                       choices=SWEEP_MODES,
                        help="grid prices RLP x TLP x context through the "
                             "vectorized path; moe crosses expert-routing "
                             "axes with that grid; tlp sweeps speculation "
@@ -594,7 +694,10 @@ def build_parser() -> argparse.ArgumentParser:
     calibrate.add_argument("--model", default="llama-65b")
     calibrate.set_defaults(fn=cmd_calibrate)
 
-    lister = sub.add_parser("list", help="list models and systems")
+    lister = sub.add_parser(
+        "list",
+        help="list models, systems, routers, sweeps, and scenario fields",
+    )
     lister.set_defaults(fn=cmd_list)
     return parser
 

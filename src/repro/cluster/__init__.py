@@ -1,10 +1,13 @@
-"""Multi-replica cluster serving: routing, replicas, event simulation.
+"""Multi-replica cluster serving: routing, admission, event simulation.
 
 Shards traffic across N independent :class:`~repro.systems.base.ServingSystem`
 replicas under a pluggable routing policy, on one discrete-event timeline
 (see :mod:`repro.serving.clock`). The cluster — not a single engine loop —
 is the unit of evaluation: per-replica utilization, FC-migration counts,
-and pooled p50/p99 arrival-to-``<eos>`` latency come out of one run.
+pooled p50/p99 arrival-to-``<eos>`` latency, and per-tenant SLO attainment
+come out of one run. Multi-tenant traffic adds an optional SLO-aware
+admission controller (reject/defer when a tenant's p99 budget is at risk)
+and the deadline-slack router.
 
 Quickstart::
 
@@ -22,9 +25,23 @@ Quickstart::
     )
     summary = ClusterSimulator(replicas, build_router("intensity")).run(requests)
     print(summary.latency_percentile(99), summary.total_reschedules)
+
+For the declarative path — one JSON-serializable spec describing fleet,
+tenants, SLOs, and routing — see :mod:`repro.scenario`.
 """
 
-from repro.cluster.cluster import ClusterSimulator, ClusterSummary, ReplicaReport
+from repro.cluster.admission import (
+    ADMISSION_ACTIONS,
+    AdmissionDecision,
+    SLOAdmissionController,
+    TenantPolicy,
+)
+from repro.cluster.cluster import (
+    ClusterSimulator,
+    ClusterSummary,
+    ReplicaReport,
+    TenantReport,
+)
 from repro.cluster.replica import Replica
 from repro.cluster.router import (
     IntensityAwareRouter,
@@ -33,12 +50,16 @@ from repro.cluster.router import (
     PriceCache,
     RoundRobinRouter,
     Router,
+    SLOSlackRouter,
     available_routers,
     build_router,
+    projected_completion_seconds,
     projected_step_seconds,
 )
 
 __all__ = [
+    "ADMISSION_ACTIONS",
+    "AdmissionDecision",
     "ClusterSimulator",
     "ClusterSummary",
     "IntensityAwareRouter",
@@ -49,7 +70,12 @@ __all__ = [
     "ReplicaReport",
     "RoundRobinRouter",
     "Router",
+    "SLOAdmissionController",
+    "SLOSlackRouter",
+    "TenantPolicy",
+    "TenantReport",
     "available_routers",
     "build_router",
+    "projected_completion_seconds",
     "projected_step_seconds",
 ]

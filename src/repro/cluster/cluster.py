@@ -3,8 +3,10 @@
 The cluster simulator merges every replica's events on a single
 :class:`~repro.serving.clock.EventQueue`:
 
-* ``ARRIVAL`` — the router assigns the request to a replica; if that
-  replica is idle, an ``ADMIT`` is scheduled at the same timestamp.
+* ``ARRIVAL`` — the admission controller (when configured) may reject the
+  request outright or defer it to a later re-arrival; otherwise the
+  router assigns it to a replica, and if that replica is idle an
+  ``ADMIT`` is scheduled at the same timestamp.
 * ``ADMIT`` — the replica pulls waiting requests into its batch and
   schedules its next ``STEP_DONE``.
 * ``STEP_DONE`` — the replica completes one decoding iteration, refills
@@ -20,14 +22,15 @@ engine, as the unit of evaluation).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro.cluster.admission import AdmissionDecision, SLOAdmissionController
 from repro.cluster.replica import Replica
 from repro.cluster.router import Router
 from repro.errors import ConfigurationError, SimulationError
 from repro.serving.clock import EventKind, EventQueue
 from repro.serving.metrics import RunSummary, latency_percentile_of
-from repro.serving.request import Request
+from repro.serving.request import Request, RequestState
 
 
 @dataclass(frozen=True)
@@ -70,6 +73,42 @@ class ReplicaReport:
 
 
 @dataclass(frozen=True)
+class TenantReport:
+    """Per-tenant results of one cluster run.
+
+    Attributes:
+        tenant: Traffic-class label (``Request.tenant``).
+        submitted: Requests the tenant's trace offered.
+        admitted: Requests admitted into a replica (and, because the
+            cluster drains fully, served).
+        rejected: Requests dropped by admission control.
+        deferrals: Deferral events (one request may defer several times).
+        served: Requests that finished decoding.
+        p50_latency_s / p99_latency_s / mean_latency_s: Arrival-to-
+            ``<eos>`` latency over the tenant's served requests (0.0 when
+            nothing was served).
+        slo_p99_seconds: The tenant's per-request latency budget
+            (0.0 = best effort).
+        slo_attainment: Fraction of *submitted* requests that finished
+            within their deadline — rejected requests count as misses, so
+            shedding load cannot inflate the score. Best-effort tenants
+            attain on every served request.
+    """
+
+    tenant: str
+    submitted: int
+    admitted: int
+    rejected: int
+    deferrals: int
+    served: int
+    p50_latency_s: float
+    p99_latency_s: float
+    mean_latency_s: float
+    slo_p99_seconds: float
+    slo_attainment: float
+
+
+@dataclass(frozen=True)
 class ClusterSummary:
     """Aggregated results of one cluster run.
 
@@ -83,6 +122,9 @@ class ClusterSummary:
         router_cache: Admission-price-cache counters (hits, misses,
             hit_rate, entries, max_entries) for price-aware routers;
             empty for stateless policies.
+        tenants: Per-tenant reports keyed by tenant name, in trace
+            arrival order (single-tenant runs report one ``default``
+            entry).
     """
 
     router: str
@@ -91,10 +133,15 @@ class ClusterSummary:
     total_requests: int
     replicas: List[ReplicaReport]
     router_cache: Dict[str, float] = field(default_factory=dict)
+    tenants: Dict[str, TenantReport] = field(default_factory=dict)
 
     @property
     def request_latencies(self) -> List[float]:
-        """Pooled arrival-to-``<eos>`` latencies across replicas."""
+        """Pooled arrival-to-``<eos>`` latencies across replicas.
+
+        Contract: returns the empty list (never raises) when nothing was
+        served — e.g. when admission control rejected the whole trace.
+        """
         pooled: List[float] = []
         for report in self.replicas:
             pooled.extend(report.summary.request_latencies)
@@ -124,31 +171,74 @@ class ClusterSummary:
         return sum(latencies) / len(latencies)
 
     def latency_percentile(self, percentile: float) -> float:
-        """Pooled per-request latency percentile (e.g. 50, 99)."""
-        return latency_percentile_of(self.request_latencies, percentile)
+        """Pooled per-request latency percentile (e.g. 50, 99).
+
+        Contract: an empty sample (no requests served, e.g. a fully
+        rejected trace) returns 0.0 instead of raising, so reports over
+        admission-controlled runs never crash on the degenerate case; an
+        out-of-range percentile still raises ``ConfigurationError``.
+        """
+        return latency_percentile_of(
+            self.request_latencies, percentile, empty_value=0.0
+        )
 
 
 class ClusterSimulator:
-    """Drives N replicas through an arrival trace under a routing policy."""
+    """Drives N replicas through an arrival trace under a routing policy.
 
-    def __init__(self, replicas: Sequence[Replica], router: Router) -> None:
+    Args:
+        replicas: The fleet, in replica-id order.
+        router: Request-to-replica assignment policy.
+        admission: Optional SLO-aware admission controller consulted on
+            every arrival (including re-arrivals of deferred requests);
+            ``None`` admits everything — the pre-multi-tenant behavior.
+    """
+
+    def __init__(
+        self,
+        replicas: Sequence[Replica],
+        router: Router,
+        admission: Optional[SLOAdmissionController] = None,
+    ) -> None:
         if not replicas:
             raise ConfigurationError("cluster needs at least one replica")
         self.replicas = list(replicas)
         self.router = router
+        self.admission = admission
 
     def run(self, requests: Sequence[Request]) -> ClusterSummary:
         """Serve an arrival-stamped trace; returns the cluster summary."""
         if not requests:
             raise ConfigurationError("requests must be non-empty")
         queue = EventQueue()
-        for request in sorted(requests, key=lambda r: r.arrival_s):
+        trace = sorted(requests, key=lambda r: r.arrival_s)
+        stats: Dict[str, Dict[str, int]] = {}
+        for request in trace:
+            tally = stats.setdefault(
+                request.tenant,
+                {"submitted": 0, "rejected": 0, "deferrals": 0},
+            )
+            tally["submitted"] += 1
             queue.push(request.arrival_s, EventKind.ARRIVAL, request)
 
         while not queue.empty:
             event = queue.pop()
             if event.kind is EventKind.ARRIVAL:
                 request = event.payload
+                if self.admission is not None:
+                    decision, backoff = self.admission.decide(
+                        request, self.replicas, queue.now
+                    )
+                    if decision is AdmissionDecision.REJECT:
+                        request.state = RequestState.REJECTED
+                        stats[request.tenant]["rejected"] += 1
+                        continue
+                    if decision is AdmissionDecision.DEFER:
+                        stats[request.tenant]["deferrals"] += 1
+                        queue.push(
+                            queue.now + backoff, EventKind.ARRIVAL, request
+                        )
+                        continue
                 index = self.router.select(request, self.replicas, queue.now)
                 if not 0 <= index < len(self.replicas):
                     raise SimulationError(
@@ -202,4 +292,45 @@ class ClusterSimulator:
             router_cache=(
                 dict(price_cache.stats()) if price_cache is not None else {}
             ),
+            tenants=_tenant_reports(trace, stats),
         )
+
+
+def _tenant_reports(
+    trace: Sequence[Request], stats: Dict[str, Dict[str, int]]
+) -> Dict[str, TenantReport]:
+    """Fold per-request outcomes into per-tenant reports.
+
+    ``trace`` is the full arrival-ordered request list (including rejected
+    requests); ``stats`` the simulator's per-tenant admission counters.
+    Attainment is computed over *submitted* requests so rejections count
+    as SLO misses.
+    """
+    reports: Dict[str, TenantReport] = {}
+    for tenant, tally in stats.items():
+        members = [r for r in trace if r.tenant == tenant]
+        finished = [r for r in members if r.is_finished]
+        latencies = [max(0.0, r.finish_s - r.arrival_s) for r in finished]
+        met = sum(1 for r in finished if r.met_deadline)
+        budgets = [
+            r.deadline_s - r.arrival_s
+            for r in members
+            if r.deadline_s is not None
+        ]
+        submitted = tally["submitted"]
+        reports[tenant] = TenantReport(
+            tenant=tenant,
+            submitted=submitted,
+            admitted=submitted - tally["rejected"],
+            rejected=tally["rejected"],
+            deferrals=tally["deferrals"],
+            served=len(finished),
+            p50_latency_s=latency_percentile_of(latencies, 50, empty_value=0.0),
+            p99_latency_s=latency_percentile_of(latencies, 99, empty_value=0.0),
+            mean_latency_s=(
+                sum(latencies) / len(latencies) if latencies else 0.0
+            ),
+            slo_p99_seconds=max(budgets) if budgets else 0.0,
+            slo_attainment=met / submitted if submitted else 0.0,
+        )
+    return reports

@@ -156,6 +156,18 @@ class Replica:
         """Speculation length the replica is currently decoding at."""
         return self._current_tlp
 
+    def outstanding_remaining_tokens(self) -> int:
+        """Output tokens still owed to every outstanding request.
+
+        Active requests count what decoding hasn't produced yet; queued
+        requests their full generation length. Admission control divides
+        this by per-iteration throughput to project how long the
+        replica's backlog takes to drain ahead of a new arrival.
+        """
+        remaining = sum(r.output_len - r.generated for r in self.active)
+        remaining += sum(r.output_len for r in self.waiting)
+        return remaining
+
     def outstanding_context_lens(self) -> List[int]:
         """KV context of every outstanding request (decoded + queued).
 
@@ -217,6 +229,7 @@ class Replica:
             accepted_total += credited
             if request.is_finished:
                 outputs.append(EOS_TOKEN)
+                request.finish_s = now
                 self.requests_served += 1
                 self.summary.record_request_latency(
                     max(0.0, now - request.arrival_s)

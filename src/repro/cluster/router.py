@@ -5,7 +5,7 @@ request is assigned to exactly one replica, and the choice shapes both
 tail latency (load balance) and scheduler behavior (how often each
 replica's FC placement migrates between PUs and FC-PIM).
 
-Four policies:
+Five policies:
 
 * **round-robin** — classic stateless spreading; the baseline every
   serving stack ships.
@@ -25,11 +25,16 @@ Four policies:
   cheapest. Because each system prices itself, a single cluster can mix
   PAPI replicas with GPU-only or PIM-only ones and the router stays
   meaningful — the paper's fixed-platform assumption is not baked in.
+* **slo-slack** — min-cost extended with deadline slack for multi-tenant
+  SLO traffic: requests carrying a deadline are routed to the cheapest
+  replica that still meets it (most-slack when none can), while
+  best-effort requests fall through to plain min-cost.
 """
 
 from __future__ import annotations
 
 import abc
+import math
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.cluster.replica import Replica
@@ -115,6 +120,40 @@ def projected_step_seconds(
     if cache is not None:
         cache.put(system, key, seconds)
     return seconds
+
+
+def projected_completion_seconds(
+    replica: Replica, request: Request, cache: Optional[PriceCache] = None
+) -> float:
+    """Projected arrival-to-``<eos>`` seconds if ``request`` joins ``replica``.
+
+    A coarse, monotone-in-load completion estimate built from the same
+    vectorized admission price routers already compute:
+
+    * one iteration costs :func:`projected_step_seconds` plus the
+      speculation config's per-iteration draft overhead;
+    * the request itself needs ``ceil(output_len / E[tokens/iteration])``
+      iterations;
+    * the replica's backlog delays it by roughly the time the outstanding
+      output tokens take to drain at full-batch throughput —
+      ``remaining_tokens / (E * max_batch_size)`` iterations — which is
+      what makes a queue of long-generation requests project a much later
+      completion than an equal count of short ones.
+
+    Prefill is deliberately not charged (second-order against decode for
+    the workloads modeled here): this is an *admission signal* for SLO
+    risk, not a latency predictor — what matters is that it grows with
+    queued work and shrinks as the cluster drains, so deferred requests
+    can be admitted once load clears.
+    """
+    step_s = projected_step_seconds(replica, request, cache)
+    per_iteration = step_s + replica.speculation.draft_overhead_s()
+    expected = max(1.0, replica.speculation.expected_tokens_per_iteration())
+    own = math.ceil(request.output_len / expected)
+    backlog = replica.outstanding_remaining_tokens() / (
+        expected * replica.max_batch_size
+    )
+    return (own + backlog) * per_iteration
 
 
 class Router(abc.ABC):
@@ -293,11 +332,59 @@ class MinCostRouter(Router):
         return min(ranked)[2]
 
 
+class SLOSlackRouter(MinCostRouter):
+    """Min-cost routing that first protects each request's deadline.
+
+    Extends :class:`MinCostRouter` with *deadline slack*: for every
+    replica the router projects the request's completion time
+    (:func:`projected_completion_seconds`) and computes the slack left
+    against the request's absolute ``deadline_s``.
+
+    * Among replicas whose projection still meets the deadline
+      (slack >= 0), pick the cheapest next step — exactly min-cost,
+      restricted to the feasible set, so SLO traffic never trades its
+      budget for a marginally cheaper iteration elsewhere.
+    * If no replica can meet the deadline, pick the one with the most
+      slack (least-late), breaking ties toward cheaper steps, fewer
+      outstanding requests, then lower index.
+    * Best-effort requests (``deadline_s is None``) see every replica as
+      infinitely slack and degrade to plain min-cost — a mixed
+      tight-SLO + best-effort trace routes each class appropriately.
+    """
+
+    name = "slo-slack"
+
+    def select(
+        self, request: Request, replicas: Sequence[Replica], now: float
+    ) -> int:
+        if not replicas:
+            raise ConfigurationError("cluster has no replicas")
+        feasible: List[Tuple[float, int, int]] = []  # (cost, outstanding, i)
+        ranked: List[Tuple[float, float, int, int]] = []  # (-slack, cost, ...)
+        for i, replica in enumerate(replicas):
+            cost = projected_step_seconds(replica, request, self._price_cache)
+            if request.deadline_s is None:
+                slack = math.inf
+            else:
+                completion = projected_completion_seconds(
+                    replica, request, self._price_cache
+                )
+                slack = request.deadline_s - (now + completion)
+            outstanding = replica.outstanding()
+            ranked.append((-slack, cost, outstanding, i))
+            if slack >= 0.0:
+                feasible.append((cost, outstanding, i))
+        if feasible:
+            return min(feasible)[2]
+        return min(ranked)[3]
+
+
 _ROUTERS: Dict[str, Type[Router]] = {
     RoundRobinRouter.name: RoundRobinRouter,
     LeastOutstandingRouter.name: LeastOutstandingRouter,
     IntensityAwareRouter.name: IntensityAwareRouter,
     MinCostRouter.name: MinCostRouter,
+    SLOSlackRouter.name: SLOSlackRouter,
 }
 
 

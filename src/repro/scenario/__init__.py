@@ -1,0 +1,75 @@
+"""Declarative scenario API: one typed spec -> one ``run_scenario()``.
+
+Every experiment — single engine run, mixed MoE fleet, multi-tenant SLO
+study — is described by one serializable :class:`ScenarioSpec` and
+executed by one entry point, :func:`run_scenario`. The spec round-trips
+through JSON (``repro run scenario.json`` runs a checked-in file), and
+strict decoding/validation reports errors with field paths.
+
+Quickstart::
+
+    from repro.scenario import (
+        ScenarioSpec, SLOSpec, TenantSpec, TrafficSpec, run_scenario,
+    )
+
+    spec = ScenarioSpec(
+        tenants=(
+            TenantSpec(
+                name="interactive",
+                traffic=TrafficSpec(category="general-qa", requests=32,
+                                    rate_per_s=8.0),
+                slo=SLOSpec(p99_seconds=4.0, admission="reject"),
+            ),
+            TenantSpec(name="batch"),
+        ),
+    )
+    result = run_scenario(spec)
+    print(result.tenants["interactive"].slo_attainment)
+"""
+
+from repro.scenario.build import (
+    build_admission,
+    build_moe_config,
+    build_replicas,
+    build_requests,
+    build_routing,
+)
+from repro.scenario.run import ScenarioResult, run_scenario
+from repro.scenario.spec import (
+    SCENARIO_SCHEMA_VERSION,
+    SPEC_TYPES,
+    FleetSpec,
+    MoESpec,
+    ReplicaSpec,
+    RoutingSpec,
+    ScenarioSpec,
+    SLOSpec,
+    TenantSpec,
+    TrafficSpec,
+    WorkloadSpec,
+    load_scenario,
+    scenario_spec_fields,
+)
+
+__all__ = [
+    "FleetSpec",
+    "MoESpec",
+    "ReplicaSpec",
+    "RoutingSpec",
+    "SCENARIO_SCHEMA_VERSION",
+    "SLOSpec",
+    "SPEC_TYPES",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "TenantSpec",
+    "TrafficSpec",
+    "WorkloadSpec",
+    "build_admission",
+    "build_moe_config",
+    "build_replicas",
+    "build_requests",
+    "build_routing",
+    "load_scenario",
+    "run_scenario",
+    "scenario_spec_fields",
+]

@@ -1,0 +1,138 @@
+"""Builders: one validated :class:`ScenarioSpec` -> runnable cluster parts.
+
+Each builder is the single place a spec field becomes a live object, and
+``repro cluster`` constructs its spec through the same path — so the CLI,
+scenario files, and library callers all assemble experiments identically.
+Determinism contract: a single-tenant scenario built from the historical
+``repro cluster`` flags reproduces that command's trace and fleet exactly
+(same seeds, same request ids, same replica order).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.cluster.admission import SLOAdmissionController, TenantPolicy
+from repro.cluster.replica import Replica
+from repro.cluster.router import PriceCache, Router, build_router
+from repro.models.config import ModelConfig, get_model
+from repro.models.moe import MoEModelConfig
+from repro.scenario.spec import MoESpec, ScenarioSpec, WorkloadSpec
+from repro.serving.arrivals import poisson_arrivals
+from repro.serving.dataset import sample_requests
+from repro.serving.request import Request
+from repro.serving.speculative import SpeculationConfig
+from repro.serving.stepcache import StepCostCache
+from repro.serving.tlp_policy import build_tlp_policy
+from repro.systems.registry import build_system
+
+
+def build_moe_config(model: ModelConfig, spec: MoESpec) -> MoEModelConfig:
+    """Materialize an MoE model config; ``expert_ffn_dim == 0`` picks the
+    capacity-neutral default width (``ffn_dim // num_experts``)."""
+    expert_ffn = spec.expert_ffn_dim or max(
+        1, model.ffn_dim // spec.num_experts
+    )
+    return MoEModelConfig(
+        base=model,
+        num_experts=spec.num_experts,
+        experts_per_token=spec.experts_per_token,
+        expert_ffn_dim=expert_ffn,
+    )
+
+
+def _build_speculation(workload: WorkloadSpec) -> SpeculationConfig:
+    return SpeculationConfig(
+        speculation_length=workload.speculation_length,
+        acceptance_rate=workload.acceptance_rate,
+    )
+
+
+def build_replicas(spec: ScenarioSpec) -> List[Replica]:
+    """The fleet, replica ids assigned in group order."""
+    cache = StepCostCache() if spec.fleet.step_cache else None
+    replicas: List[Replica] = []
+    for group in spec.fleet.replicas:
+        workload = group.workload if group.workload is not None else spec.workload
+        model = get_model(workload.model)
+        moe = (
+            build_moe_config(model, workload.moe)
+            if workload.moe is not None
+            else None
+        )
+        speculation = _build_speculation(workload)
+        for _ in range(group.count):
+            replicas.append(
+                Replica(
+                    replica_id=len(replicas),
+                    system=build_system(group.system),
+                    model=model,
+                    max_batch_size=group.max_batch_size,
+                    speculation=speculation,
+                    tlp_policy=build_tlp_policy(workload.tlp_policy),
+                    seed=spec.seed,
+                    context_mode=workload.context_mode,
+                    step_cache=cache,
+                    moe=moe,
+                )
+            )
+    return replicas
+
+
+def build_requests(spec: ScenarioSpec) -> List[Request]:
+    """Per-tenant Poisson arrival streams, merged into one trace.
+
+    Tenant ``i`` draws request lengths and arrival gaps from
+    ``spec.seed + i`` (independent streams; tenant 0 reproduces the
+    single-tenant trace bit-for-bit). Requests are re-numbered to be
+    unique across tenants, tagged with their tenant name, and — when the
+    tenant carries an SLO budget — stamped with an absolute deadline.
+    """
+    merged: List[Request] = []
+    for index, tenant in enumerate(spec.tenants):
+        traffic = tenant.traffic
+        stream = poisson_arrivals(
+            sample_requests(
+                traffic.category, traffic.requests, seed=spec.seed + index
+            ),
+            rate_per_s=traffic.rate_per_s,
+            seed=spec.seed + index,
+        )
+        budget = tenant.slo.p99_seconds
+        for request in stream:
+            request.request_id = len(merged)
+            request.tenant = tenant.name
+            if budget > 0:
+                request.deadline_s = request.arrival_s + budget
+            merged.append(request)
+    merged.sort(key=lambda r: (r.arrival_s, r.request_id))
+    return merged
+
+
+def build_routing(spec: ScenarioSpec) -> Router:
+    """The scenario's routing policy."""
+    return build_router(spec.routing.policy)
+
+
+def build_admission(
+    spec: ScenarioSpec, price_cache: Optional[PriceCache] = None
+) -> Optional[SLOAdmissionController]:
+    """The SLO admission controller, or ``None`` when every tenant is
+    plain ``admit`` (the controller would be a no-op).
+
+    Pass the scenario router's ``price_cache`` so controller and router
+    share one admission-price memo instead of pricing every operating
+    point twice.
+    """
+    policies = {
+        tenant.name: TenantPolicy(
+            action=tenant.slo.admission,
+            defer_seconds=tenant.slo.defer_seconds,
+            max_defers=tenant.slo.max_defers,
+        )
+        for tenant in spec.tenants
+        if tenant.slo.admission != "admit"
+    }
+    if not policies:
+        return None
+    return SLOAdmissionController(policies, price_cache=price_cache)

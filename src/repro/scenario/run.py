@@ -1,0 +1,104 @@
+"""The single entry point: ``run_scenario(spec) -> ScenarioResult``.
+
+Validates the spec, builds fleet / traffic / router / admission through
+the scenario builders, runs the cluster simulator once, and returns the
+result with per-tenant SLO reports attached — the one door every
+experiment surface (CLI flags, scenario files, library code) goes
+through.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Any, Dict
+
+from repro.cluster.cluster import ClusterSimulator, ClusterSummary, TenantReport
+from repro.scenario.build import (
+    build_admission,
+    build_replicas,
+    build_requests,
+    build_routing,
+)
+from repro.scenario.spec import ScenarioSpec
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One scenario run: the spec that produced it plus the cluster summary.
+
+    Attributes:
+        spec: The validated scenario.
+        summary: The cluster run's aggregate / per-replica / per-tenant
+            results.
+    """
+
+    spec: ScenarioSpec
+    summary: ClusterSummary
+
+    @property
+    def tenants(self) -> Dict[str, TenantReport]:
+        """Per-tenant reports, keyed by tenant name."""
+        return self.summary.tenants
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-able result: scenario, aggregate, replicas, tenants."""
+        summary = self.summary
+        return {
+            "scenario": self.spec.to_dict(),
+            "aggregate": {
+                "router": summary.router,
+                "model": summary.model,
+                "makespan_seconds": summary.makespan_seconds,
+                "total_requests": summary.total_requests,
+                "tokens_generated": summary.tokens_generated,
+                "tokens_per_second": summary.tokens_per_second,
+                "p50_latency_s": summary.latency_percentile(50),
+                "p99_latency_s": summary.latency_percentile(99),
+                "mean_latency_s": summary.mean_latency,
+                "total_reschedules": summary.total_reschedules,
+                "router_cache": dict(summary.router_cache),
+            },
+            "replicas": [
+                {
+                    "replica_id": report.replica_id,
+                    "system": report.system,
+                    "model": report.model,
+                    "requests_served": report.requests_served,
+                    "tokens_generated": report.tokens_generated,
+                    "iterations": report.iterations,
+                    "reschedules": report.reschedules,
+                    "utilization": report.utilization,
+                    "acceptance_rate": report.acceptance_rate,
+                    "expert_token_visits": report.expert_token_visits,
+                    "mean_active_experts": report.mean_active_experts,
+                }
+                for report in summary.replicas
+            ],
+            "tenants": {
+                name: dataclasses.asdict(report)
+                for name, report in summary.tenants.items()
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent) + "\n"
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Validate and run one scenario end to end.
+
+    Raises:
+        ConfigurationError: Naming the offending field path when the spec
+            is invalid.
+    """
+    spec.validate()
+    router = build_routing(spec)
+    simulator = ClusterSimulator(
+        build_replicas(spec),
+        router,
+        admission=build_admission(spec, price_cache=router.price_cache),
+    )
+    summary = simulator.run(build_requests(spec))
+    return ScenarioResult(spec=spec, summary=summary)

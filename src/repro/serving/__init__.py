@@ -8,12 +8,13 @@ decays as requests hit ``<eos>`` (Figure 3), which is precisely the dynamic
 parallelism PAPI's scheduler exploits.
 """
 
-from repro.serving.request import Request, RequestState
+from repro.serving.request import DEFAULT_TENANT, Request, RequestState
 from repro.serving.clock import Event, EventKind, EventQueue
 from repro.serving.dataset import (
     DatasetSpec,
     CREATIVE_WRITING,
     GENERAL_QA,
+    available_categories,
     sample_requests,
 )
 from repro.serving.speculative import SpeculationConfig, SpeculativeSampler
@@ -26,7 +27,9 @@ from repro.serving.stepcache import StepCostCache
 from repro.serving.tlp_policy import (
     AcceptanceAdaptiveTLP,
     FixedTLP,
+    TLP_POLICY_NAMES,
     UtilizationAdaptiveTLP,
+    build_tlp_policy,
 )
 from repro.serving.export import summary_to_dict, summary_to_json
 
@@ -34,6 +37,7 @@ __all__ = [
     "AcceptanceAdaptiveTLP",
     "CREATIVE_WRITING",
     "ContinuousBatcher",
+    "DEFAULT_TENANT",
     "DatasetSpec",
     "Event",
     "EventKind",
@@ -50,7 +54,10 @@ __all__ = [
     "StaticBatcher",
     "StepCostCache",
     "StepPricer",
+    "TLP_POLICY_NAMES",
     "UtilizationAdaptiveTLP",
+    "available_categories",
+    "build_tlp_policy",
     "form_dynamic_batches",
     "max_batch_under_slo",
     "poisson_arrivals",

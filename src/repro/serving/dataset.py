@@ -18,7 +18,7 @@ substitution table.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Tuple
 
 import numpy as np
 
@@ -94,6 +94,11 @@ GENERAL_QA = DatasetSpec(
 )
 
 _SPECS = {spec.name: spec for spec in (CREATIVE_WRITING, GENERAL_QA)}
+
+
+def available_categories() -> Tuple[str, ...]:
+    """Names of all registered request categories, sorted."""
+    return tuple(sorted(_SPECS))
 
 
 def sample_requests(category: str, count: int, seed: int = 0) -> List[Request]:

@@ -3,22 +3,36 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.systems.base import IterationResult
 
 
-def latency_percentile_of(latencies: Sequence[float], percentile: float) -> float:
+def latency_percentile_of(
+    latencies: Sequence[float],
+    percentile: float,
+    empty_value: Optional[float] = None,
+) -> float:
     """Percentile of a latency sample (nearest-rank convention).
 
     Shared by run-level and cluster-level summaries so the two report the
     same convention for the SLO-defining p50/p99 numbers.
+
+    Args:
+        latencies: The sample.
+        percentile: Rank in (0, 100]; out-of-range always raises.
+        empty_value: What an empty sample returns. ``None`` (the default)
+            makes an empty sample an error; callers whose summaries can
+            legitimately be empty (e.g. a cluster whose admission
+            controller rejected every request) pass ``0.0``.
     """
     if not 0 < percentile <= 100:
         raise ConfigurationError("percentile must be in (0, 100]")
     if not latencies:
-        raise ConfigurationError("no request latencies recorded")
+        if empty_value is None:
+            raise ConfigurationError("no request latencies recorded")
+        return empty_value
     ordered = sorted(latencies)
     rank = max(0, int(round(percentile / 100 * len(ordered))) - 1)
     return ordered[rank]

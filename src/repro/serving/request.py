@@ -4,8 +4,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import ConfigurationError, SimulationError
+
+#: Tenant label applied to untagged requests (single-tenant runs).
+DEFAULT_TENANT = "default"
 
 
 class RequestState(enum.Enum):
@@ -15,6 +19,7 @@ class RequestState(enum.Enum):
     PREFILLING = "prefilling"
     DECODING = "decoding"
     FINISHED = "finished"
+    REJECTED = "rejected"
 
 
 @dataclass
@@ -29,6 +34,14 @@ class Request:
         state: Lifecycle state.
         arrival_s: Arrival time (relevant for continuous batching).
         finish_iteration: Decoding iteration at which the request finished.
+        tenant: Traffic-class label for multi-tenant runs; requests of one
+            tenant share an SLO budget and are reported together.
+        deadline_s: Absolute simulated time by which the request should
+            finish to meet its tenant's latency budget (``None`` =
+            best-effort, no deadline). Admission control and the
+            ``slo-slack`` router act on this.
+        finish_s: Simulated completion time, stamped when the request
+            emits ``<eos>`` (-1.0 until then).
     """
 
     request_id: int
@@ -38,6 +51,9 @@ class Request:
     state: RequestState = RequestState.QUEUED
     arrival_s: float = 0.0
     finish_iteration: int = -1
+    tenant: str = DEFAULT_TENANT
+    deadline_s: Optional[float] = None
+    finish_s: float = -1.0
 
     def __post_init__(self) -> None:
         if self.input_len <= 0:
@@ -46,6 +62,10 @@ class Request:
             raise ConfigurationError("output_len must be positive")
         if self.arrival_s < 0:
             raise ConfigurationError("arrival_s must be non-negative")
+        if not self.tenant:
+            raise ConfigurationError("tenant must be non-empty")
+        if self.deadline_s is not None and self.deadline_s < 0:
+            raise ConfigurationError("deadline_s must be non-negative")
 
     @property
     def context_len(self) -> int:
@@ -60,6 +80,19 @@ class Request:
     @property
     def is_finished(self) -> bool:
         return self.state is RequestState.FINISHED
+
+    @property
+    def met_deadline(self) -> bool:
+        """True when the request finished in time.
+
+        Best-effort requests (no deadline) meet it vacuously once they
+        finish; unfinished or rejected requests never do, and neither do
+        requests finished on a path that doesn't stamp ``finish_s``
+        (only the arrival-driven cluster/replica paths do).
+        """
+        if not self.is_finished or self.finish_s < 0:
+            return False
+        return self.deadline_s is None or self.finish_s <= self.deadline_s
 
     def advance(self, tokens: int, iteration: int) -> int:
         """Record ``tokens`` accepted output tokens; cap at ``output_len``.

@@ -12,7 +12,7 @@ possibly triggering a reschedule — the dynamic behaviour PAPI exists for).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Protocol, runtime_checkable
+from typing import List, Optional, Protocol, runtime_checkable
 
 from repro.errors import ConfigurationError
 
@@ -113,6 +113,30 @@ class UtilizationAdaptiveTLP:
             raise ConfigurationError("rlp must be positive")
         wanted = max(1, round(self.target_tokens / rlp))
         return max(self.min_tlp, min(self.max_tlp, wanted))
+
+
+#: Registered dynamic-policy names (``fixed`` means "no dynamic policy":
+#: the replica keeps its speculation config's constant TLP).
+TLP_POLICY_NAMES = ("fixed", "acceptance", "utilization")
+
+
+def build_tlp_policy(name: str) -> Optional[TLPPolicy]:
+    """Instantiate a dynamic TLP policy by registry name.
+
+    Returns a *fresh* instance per call (adaptive policies are stateful,
+    so replicas must not share one), or ``None`` for ``fixed`` — callers
+    fall back to the speculation config's constant TLP.
+    """
+    if name == "fixed":
+        return None
+    if name == "acceptance":
+        return AcceptanceAdaptiveTLP()
+    if name == "utilization":
+        return UtilizationAdaptiveTLP()
+    known = ", ".join(TLP_POLICY_NAMES)
+    raise ConfigurationError(
+        f"unknown TLP policy {name!r}; known policies: {known}"
+    )
 
 
 @dataclass

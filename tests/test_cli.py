@@ -28,6 +28,17 @@ class TestCommands:
         assert "llama-65b" in out
         assert "papi" in out
 
+    def test_list_is_self_documenting(self, capsys):
+        """repro list covers routers, sweep modes, and every scenario
+        spec type with its fields."""
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "slo-slack" in out
+        assert "fc-stacks" in out
+        assert "ScenarioSpec" in out
+        assert "TenantSpec" in out
+        assert "p99_seconds" in out
+
     def test_serve_small(self, capsys):
         code = main([
             "serve", "--system", "papi", "--batch", "2", "--spec", "1",
@@ -76,6 +87,11 @@ class TestCommands:
             main(["cluster", "--replicas", "2", "--moe-replicas", "3",
                   "--requests", "4"])
 
+    def test_cluster_negative_moe_replicas_rejected(self):
+        with pytest.raises(SystemExit, match="non-negative"):
+            main(["cluster", "--replicas", "4", "--moe-replicas", "-2",
+                  "--requests", "4"])
+
     def test_sweep_moe_small(self, capsys, tmp_path):
         json_path = tmp_path / "moe.json"
         code = main([
@@ -100,6 +116,64 @@ class TestCommands:
     def test_cluster_unknown_router_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["cluster", "--router", "coin-flip"])
+
+    def test_cluster_flags_build_equivalent_scenario(self):
+        """The flag path is sugar for a single-tenant ScenarioSpec."""
+        from repro.cli import scenario_from_cluster_args
+
+        args = build_parser().parse_args([
+            "cluster", "--replicas", "3", "--moe-replicas", "1",
+            "--router", "min-cost", "--requests", "8", "--seed", "3",
+        ])
+        spec = scenario_from_cluster_args(args)
+        spec.validate()
+        assert spec.fleet.total_replicas == 3
+        assert spec.fleet.replicas[0].workload.moe is not None
+        assert spec.fleet.replicas[1].workload is None
+        assert spec.routing.policy == "min-cost"
+        assert len(spec.tenants) == 1
+        assert spec.tenants[0].slo.admission == "admit"
+
+    def test_run_scenario_file(self, capsys, tmp_path):
+        scenario = tmp_path / "two_tenant.json"
+        scenario.write_text("""
+        {
+          "name": "cli-two-tenant",
+          "fleet": {"replicas": [{"count": 2, "max_batch_size": 8}]},
+          "tenants": [
+            {"name": "interactive",
+             "traffic": {"category": "general-qa", "requests": 8,
+                         "rate_per_s": 8.0},
+             "slo": {"p99_seconds": 6.0, "admission": "reject"}},
+            {"name": "batch",
+             "traffic": {"category": "general-qa", "requests": 8,
+                         "rate_per_s": 8.0}}
+          ],
+          "routing": {"policy": "slo-slack"}
+        }
+        """)
+        out_json = tmp_path / "result.json"
+        code = main(["run", str(scenario), "--json", str(out_json)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Per-tenant SLO report" in out
+        assert "interactive" in out
+        assert "attainment" in out
+        import json
+
+        payload = json.loads(out_json.read_text())
+        assert "slo_attainment" in payload["tenants"]["interactive"]
+        assert payload["scenario"]["name"] == "cli-two-tenant"
+
+    def test_run_missing_file_rejected(self):
+        with pytest.raises(SystemExit, match="cannot read scenario file"):
+            main(["run", "/nonexistent/scenario.json"])
+
+    def test_run_invalid_scenario_names_field_path(self, tmp_path):
+        scenario = tmp_path / "bad.json"
+        scenario.write_text('{"routing": {"policy": "coin-flip"}}')
+        with pytest.raises(SystemExit, match="routing.policy"):
+            main(["run", str(scenario)])
 
     def test_compare_small(self, capsys):
         code = main([

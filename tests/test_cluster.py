@@ -4,19 +4,24 @@ import pytest
 
 from repro.cluster import (
     ClusterSimulator,
+    ClusterSummary,
     IntensityAwareRouter,
     LeastOutstandingRouter,
     Replica,
     RoundRobinRouter,
+    SLOAdmissionController,
+    SLOSlackRouter,
+    TenantPolicy,
     available_routers,
     build_router,
+    projected_completion_seconds,
 )
 from repro.errors import CapacityError, ConfigurationError
 from repro.models.config import get_model
 from repro.serving.arrivals import poisson_arrivals
 from repro.serving.dataset import sample_requests
 from repro.serving.engine import ServingEngine
-from repro.serving.request import Request
+from repro.serving.request import Request, RequestState
 from repro.serving.speculative import SpeculationConfig
 from repro.systems.registry import build_system
 
@@ -49,7 +54,8 @@ def default_trace(count=64, rate=32.0, seed=0):
 class TestRouterRegistry:
     def test_available_routers(self):
         assert available_routers() == (
-            "intensity", "least-outstanding", "min-cost", "round-robin"
+            "intensity", "least-outstanding", "min-cost", "round-robin",
+            "slo-slack",
         )
 
     def test_unknown_router_rejected(self):
@@ -147,6 +153,196 @@ class TestClusterRuns:
         summary = make_cluster("round-robin").run(default_trace(count=8))
         with pytest.raises(ConfigurationError):
             summary.latency_percentile(0)
+
+
+class TestEmptySummaryContract:
+    def test_percentile_of_empty_summary_is_zero(self):
+        """Documented contract: no served requests -> 0.0, not an error
+        (a fully rejected trace must still be reportable)."""
+        summary = ClusterSummary(
+            router="round-robin", model="llama-65b",
+            makespan_seconds=0.0, total_requests=0, replicas=[],
+        )
+        assert summary.request_latencies == []
+        assert summary.latency_percentile(50) == 0.0
+        assert summary.latency_percentile(99) == 0.0
+        assert summary.mean_latency == 0.0
+
+    def test_empty_summary_still_validates_percentile(self):
+        summary = ClusterSummary(
+            router="round-robin", model="llama-65b",
+            makespan_seconds=0.0, total_requests=0, replicas=[],
+        )
+        with pytest.raises(ConfigurationError):
+            summary.latency_percentile(0)
+        with pytest.raises(ConfigurationError):
+            summary.latency_percentile(101)
+
+
+class TestSLOSlackRouter:
+    def _replicas(self, count=2, max_batch=4):
+        model = get_model("llama-65b")
+        return [
+            Replica(i, build_system("papi"), model, max_batch_size=max_batch)
+            for i in range(count)
+        ]
+
+    def test_best_effort_degrades_to_min_cost(self):
+        """Without a deadline, slo-slack and min-cost agree."""
+        replicas = self._replicas()
+        replicas[0].enqueue(Request(request_id=0, input_len=64, output_len=64))
+        request = Request(request_id=1, input_len=64, output_len=64)
+        slack_pick = SLOSlackRouter().select(request, replicas, 0.0)
+        min_cost_pick = build_router("min-cost").select(request, replicas, 0.0)
+        assert slack_pick == min_cost_pick
+
+    def test_deadline_steers_away_from_backlogged_replica(self):
+        """A tight deadline must avoid the replica whose backlog blows it,
+        even when both replicas price the next step identically."""
+        replicas = self._replicas(count=2, max_batch=4)
+        for i in range(8):
+            replicas[0].enqueue(
+                Request(request_id=i, input_len=64, output_len=512)
+            )
+        tight = projected_completion_seconds(
+            replicas[1], Request(request_id=90, input_len=64, output_len=64)
+        ) * 2.0
+        request = Request(
+            request_id=91, input_len=64, output_len=64, deadline_s=tight
+        )
+        assert SLOSlackRouter().select(request, replicas, 0.0) == 1
+
+    def test_least_late_when_no_replica_feasible(self):
+        """An impossible deadline still routes (most slack), not crashes."""
+        replicas = self._replicas(count=2, max_batch=4)
+        for i in range(8):
+            replicas[0].enqueue(
+                Request(request_id=i, input_len=64, output_len=512)
+            )
+        request = Request(
+            request_id=92, input_len=64, output_len=64, deadline_s=1e-9
+        )
+        assert SLOSlackRouter().select(request, replicas, 0.0) == 1
+
+    def test_projected_completion_grows_with_backlog(self):
+        replicas = self._replicas(count=1, max_batch=4)
+        request = Request(request_id=50, input_len=64, output_len=64)
+        idle = projected_completion_seconds(replicas[0], request)
+        for i in range(6):
+            replicas[0].enqueue(
+                Request(request_id=i, input_len=64, output_len=256)
+            )
+        loaded = projected_completion_seconds(replicas[0], request)
+        assert loaded > idle > 0.0
+
+
+class TestAdmissionControl:
+    def _cluster(self, policies, replicas=1, max_batch=4):
+        model = get_model("llama-65b")
+        members = [
+            Replica(i, build_system("papi"), model, max_batch_size=max_batch)
+            for i in range(replicas)
+        ]
+        return ClusterSimulator(
+            members,
+            build_router("slo-slack"),
+            admission=SLOAdmissionController(policies),
+        )
+
+    def _tenant_trace(self, budget_s, count=6, tenant="tight"):
+        requests = sample_requests("general-qa", count, seed=5)
+        stamped = poisson_arrivals(requests, rate_per_s=16.0, seed=5)
+        for request in stamped:
+            request.tenant = tenant
+            request.deadline_s = request.arrival_s + budget_s
+        return stamped
+
+    def test_impossible_budget_rejects_everything(self):
+        cluster = self._cluster({"tight": TenantPolicy(action="reject")})
+        trace = self._tenant_trace(budget_s=1e-9)
+        summary = cluster.run(trace)
+        report = summary.tenants["tight"]
+        assert report.submitted == len(trace)
+        assert report.rejected == len(trace)
+        assert report.served == 0
+        assert report.slo_attainment == 0.0
+        assert summary.total_requests == 0
+        assert summary.latency_percentile(99) == 0.0
+        assert all(r.state is RequestState.REJECTED for r in trace)
+
+    def test_generous_budget_admits_everything(self):
+        cluster = self._cluster({"tight": TenantPolicy(action="reject")})
+        trace = self._tenant_trace(budget_s=1e9)
+        summary = cluster.run(trace)
+        report = summary.tenants["tight"]
+        assert report.rejected == 0
+        assert report.served == len(trace)
+        assert report.slo_attainment == 1.0
+        assert report.slo_p99_seconds == pytest.approx(1e9)
+
+    def test_defer_bounded_then_rejected(self):
+        """A hopeless deferred request retries max_defers times, then is
+        rejected — deferral never loops forever."""
+        policy = TenantPolicy(action="defer", defer_seconds=0.25, max_defers=3)
+        cluster = self._cluster({"tight": policy})
+        trace = self._tenant_trace(budget_s=1e-9, count=2)
+        summary = cluster.run(trace)
+        report = summary.tenants["tight"]
+        assert report.deferrals == 2 * 3
+        assert report.rejected == 2
+        assert report.served == 0
+
+    def test_served_requests_meet_protected_budget(self):
+        """The acceptance property: with rejection on, every request the
+        tight tenant actually serves lands within its p99 budget."""
+        cluster = self._cluster(
+            {"tight": TenantPolicy(action="reject")}, replicas=2, max_batch=8
+        )
+        trace = self._tenant_trace(budget_s=6.0, count=24)
+        summary = cluster.run(trace)
+        report = summary.tenants["tight"]
+        assert report.served + report.rejected == report.submitted
+        assert report.served > 0
+        assert report.p99_latency_s <= 6.0
+
+    def test_untagged_tenants_pass_through(self):
+        """Tenants without a policy (or without deadlines) are admitted
+        untouched: same results as a controller-free run."""
+        model = get_model("llama-65b")
+
+        def members():
+            return [
+                Replica(i, build_system("papi"), model, max_batch_size=8)
+                for i in range(2)
+            ]
+
+        def trace():
+            return poisson_arrivals(
+                sample_requests("general-qa", 12, seed=7),
+                rate_per_s=16.0, seed=7,
+            )
+
+        plain = ClusterSimulator(members(), build_router("round-robin")).run(
+            trace()
+        )
+        gated = ClusterSimulator(
+            members(),
+            build_router("round-robin"),
+            admission=SLOAdmissionController(
+                {"other": TenantPolicy(action="reject")}
+            ),
+        ).run(trace())
+        assert gated.makespan_seconds == plain.makespan_seconds
+        assert gated.request_latencies == plain.request_latencies
+        assert gated.tenants["default"].rejected == 0
+
+    def test_tenant_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            TenantPolicy(action="drop")
+        with pytest.raises(ConfigurationError):
+            TenantPolicy(defer_seconds=0.0)
+        with pytest.raises(ConfigurationError):
+            TenantPolicy(max_defers=-1)
 
 
 class TestReplica:

@@ -13,6 +13,8 @@ PACKAGES = (
     "repro.systems",
     "repro.serving",
     "repro.analysis",
+    "repro.cluster",
+    "repro.scenario",
 )
 
 
@@ -33,7 +35,7 @@ class TestPublicAPI:
     def test_version_exposed(self):
         import repro
 
-        assert repro.__version__ == "1.1.0"
+        assert repro.__version__ == "1.2.0"
 
     def test_docstrings_on_public_modules(self):
         for package_name in PACKAGES:
