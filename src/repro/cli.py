@@ -9,9 +9,10 @@ Commands:
   The flags are sugar: they assemble a single-tenant
   :class:`~repro.scenario.ScenarioSpec` and run it through
   :func:`~repro.scenario.run_scenario`.
-* ``run`` — execute a declarative scenario JSON file (fleet, workload,
+* ``run`` — execute declarative scenario JSON files (fleet, workload,
   multi-tenant traffic + SLOs, routing) and report per-replica,
-  aggregate, and per-tenant results; ``--json`` exports the result.
+  aggregate, and per-tenant results; several files form a batch that
+  ``--workers`` fans across processes; ``--json`` exports the result(s).
 * ``sweep`` — run a design-space sweep: ``grid`` prices an RLP x TLP x
   context cartesian grid through the vectorized batch path; ``moe``
   crosses expert-routing axes (num_experts / top-k / expert FFN dim)
@@ -51,6 +52,7 @@ from repro.scenario import (
     WorkloadSpec,
     load_scenario,
     run_scenario,
+    run_scenarios,
     scenario_spec_fields,
 )
 from repro.serving.dataset import available_categories, sample_requests
@@ -260,29 +262,44 @@ def cmd_cluster(args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    specs = []
+    for path in args.scenarios:
+        try:
+            specs.append(load_scenario(path))
+        except OSError as exc:
+            raise SystemExit(f"cannot read scenario file: {exc}") from None
+        except ConfigurationError as exc:
+            raise SystemExit(f"{path}: {exc}") from None
     try:
-        spec = load_scenario(args.scenario)
-    except OSError as exc:
-        raise SystemExit(f"cannot read scenario file: {exc}") from None
-    except ConfigurationError as exc:
-        raise SystemExit(f"{args.scenario}: {exc}") from None
-    try:
-        result = run_scenario(spec)
+        results = run_scenarios(specs, workers=args.workers)
     except ConfigurationError as exc:
         raise SystemExit(str(exc)) from None
-    summary = result.summary
-    _print_replica_table(
-        summary,
-        title=f"scenario {spec.name!r}: "
-              f"{len(summary.replicas)} replicas / router={summary.router} "
-              f"({len(spec.tenants)} tenants)",
-    )
-    _print_aggregate_table(summary)
-    _print_tenant_table(result)
+    for result in results:
+        spec = result.spec
+        summary = result.summary
+        _print_replica_table(
+            summary,
+            title=f"scenario {spec.name!r}: "
+                  f"{len(summary.replicas)} replicas / router={summary.router} "
+                  f"({len(spec.tenants)} tenants)",
+        )
+        _print_aggregate_table(summary)
+        _print_tenant_table(result)
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
-            handle.write(result.to_json())
-        print(f"wrote scenario result to {args.json}")
+            if len(results) == 1:
+                handle.write(results[0].to_json())
+            else:
+                import json as _json
+
+                handle.write(
+                    _json.dumps(
+                        [result.to_dict() for result in results], indent=2
+                    )
+                    + "\n"
+                )
+        noun = "result" if len(results) == 1 else "results"
+        print(f"wrote {len(results)} scenario {noun} to {args.json}")
     return 0
 
 
@@ -631,13 +648,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser(
         "run",
-        help="run a declarative scenario JSON file (fleet, tenants, "
-             "SLOs, routing) through run_scenario()",
+        help="run declarative scenario JSON files (fleet, tenants, "
+             "SLOs, routing) through run_scenarios()",
     )
-    run.add_argument("scenario", help="path to a scenario JSON file")
+    run.add_argument("scenarios", nargs="+", metavar="scenario",
+                     help="path(s) to scenario JSON files; several files "
+                          "form a batch (see --workers)")
+    run.add_argument("--workers", type=int, default=0,
+                     help="process-parallel workers for a scenario batch "
+                          "(0/1 runs inline; outputs are identical)")
     run.add_argument("--json", default="",
                      help="export the full result (aggregate, replicas, "
-                          "per-tenant SLO reports) to a JSON file")
+                          "per-tenant SLO reports) to a JSON file; a "
+                          "multi-scenario batch writes a JSON array")
     run.set_defaults(fn=cmd_run)
 
     sweep = sub.add_parser(

@@ -28,7 +28,12 @@ from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.cluster.replica import Replica
-from repro.cluster.router import PriceCache, projected_completion_seconds
+from repro.cluster.router import (
+    PriceCache,
+    projected_completion_seconds,
+    projected_completion_seconds_fleet,
+    projected_step_seconds_fleet,
+)
 from repro.errors import ConfigurationError
 from repro.serving.request import Request
 
@@ -82,6 +87,11 @@ class SLOAdmissionController:
             router price each distinct operating point once between them;
             ``None`` allocates a private cache.
         max_cache_entries: Bound on a privately allocated cache.
+        batched: Price the whole fleet's completion projections in one
+            fleet-batched pass per consultation (see
+            :func:`~repro.cluster.router.projected_completion_seconds_fleet`)
+            instead of one scalar probe per replica. Decisions are
+            bit-identical either way.
     """
 
     def __init__(
@@ -89,11 +99,13 @@ class SLOAdmissionController:
         policies: Mapping[str, TenantPolicy],
         price_cache: Optional[PriceCache] = None,
         max_cache_entries: int = 4096,
+        batched: bool = True,
     ) -> None:
         self.policies = dict(policies)
+        self.batched = batched
         self._price_cache = (
             price_cache if price_cache is not None
-            else PriceCache(max_cache_entries)
+            else PriceCache(max_cache_entries, share_equal_systems=batched)
         )
         self._defers_used: Dict[int, int] = {}
 
@@ -113,10 +125,27 @@ class SLOAdmissionController:
             or request.deadline_s is None
         ):
             return AdmissionDecision.ADMIT, 0.0
-        projected = min(
-            projected_completion_seconds(replica, request, self._price_cache)
-            for replica in replicas
-        )
+        if self.batched:
+            steps = projected_step_seconds_fleet(
+                replicas, request, self._price_cache
+            )
+            completions = projected_completion_seconds_fleet(
+                replicas, request, self._price_cache, step_seconds=steps
+            )
+            # Hand this arrival's projections to the router: if the
+            # request is admitted, select() runs next against identical
+            # replica state and reuses them instead of re-probing.
+            self._price_cache.fleet_memo = (
+                replicas, request, now, steps, completions
+            )
+            projected = min(completions)
+        else:
+            projected = min(
+                projected_completion_seconds(
+                    replica, request, self._price_cache
+                )
+                for replica in replicas
+            )
         if now + projected <= request.deadline_s:
             return AdmissionDecision.ADMIT, 0.0
         if policy.action == "defer":

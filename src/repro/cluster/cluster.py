@@ -22,6 +22,7 @@ engine, as the unit of evaluation).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.admission import AdmissionDecision, SLOAdmissionController
@@ -135,9 +136,17 @@ class ClusterSummary:
     router_cache: Dict[str, float] = field(default_factory=dict)
     tenants: Dict[str, TenantReport] = field(default_factory=dict)
 
-    @property
+    @cached_property
     def request_latencies(self) -> List[float]:
         """Pooled arrival-to-``<eos>`` latencies across replicas.
+
+        Computed once and cached on first access — ``mean_latency`` and
+        every ``latency_percentile`` call share one pooled list instead
+        of re-concatenating the fleet's latency arrays per metric, which
+        matters when reports query several percentiles over a
+        million-request trace. The replica summaries are final by the
+        time a :class:`ClusterSummary` exists, so the cache cannot go
+        stale.
 
         Contract: returns the empty list (never raises) when nothing was
         served — e.g. when admission control rejected the whole trace.
@@ -303,12 +312,19 @@ def _tenant_reports(
 
     ``trace`` is the full arrival-ordered request list (including rejected
     requests); ``stats`` the simulator's per-tenant admission counters.
+    Requests are grouped by tenant in a single pass over the trace (not
+    one rescan per tenant — O(tenants x trace) hurts at fleet scale).
     Attainment is computed over *submitted* requests so rejections count
     as SLO misses.
     """
+    members_by_tenant: Dict[str, List[Request]] = {
+        tenant: [] for tenant in stats
+    }
+    for request in trace:
+        members_by_tenant[request.tenant].append(request)
     reports: Dict[str, TenantReport] = {}
     for tenant, tally in stats.items():
-        members = [r for r in trace if r.tenant == tenant]
+        members = members_by_tenant[tenant]
         finished = [r for r in members if r.is_finished]
         latencies = [max(0.0, r.finish_s - r.arrival_s) for r in finished]
         met = sum(1 for r in finished if r.met_deadline)

@@ -66,6 +66,17 @@ class Replica:
             An MoE replica prices its FFN as the routed expert bank,
             checks capacity against all experts' weights, and reports
             expert-traffic statistics.
+        detail: Metric retention (see
+            :attr:`~repro.serving.metrics.RunSummary.detail`): ``"full"``
+            keeps per-iteration records, ``"aggregate"`` streams them
+            into running totals so million-request traces stay flat in
+            memory.
+        load_accounting: ``"incremental"`` (default) answers the router/
+            admission load views from O(1) counters maintained across
+            ``enqueue``/``_admit``/``advance``; ``"scan"`` recomputes the
+            O(batch + queue) sums on every probe — the pre-optimization
+            reference the equivalence suite and cluster benchmark compare
+            against. Both modes produce bit-identical values.
     """
 
     def __init__(
@@ -82,9 +93,16 @@ class Replica:
         context_bucket: int = 1,
         step_cache: Optional[StepCostCache] = None,
         moe: Optional[MoEModelConfig] = None,
+        detail: str = "full",
+        load_accounting: str = "incremental",
     ) -> None:
         if max_batch_size <= 0:
             raise ConfigurationError("max_batch_size must be positive")
+        if load_accounting not in ("incremental", "scan"):
+            raise ConfigurationError(
+                "load_accounting must be 'incremental' or 'scan', "
+                f"got {load_accounting!r}"
+            )
         self.replica_id = replica_id
         self.system = system
         self.model = model
@@ -106,7 +124,11 @@ class Replica:
             tlp_policy if tlp_policy is not None else FixedTLP(speculation.tlp)
         )
         self.tlp_trace = TLPTrace()
-        self.summary = RunSummary(system=system.name, model=self.workload_name)
+        self._workload_name = workload_name(model, moe)
+        self.summary = RunSummary(
+            system=system.name, model=self._workload_name, detail=detail
+        )
+        self.load_accounting = load_accounting
 
         self.waiting: Deque[Request] = deque()
         self.active: List[Request] = []
@@ -123,12 +145,23 @@ class Replica:
         # Expert-traffic accounting (MoE replicas only).
         self.expert_token_visits = 0
         self._active_expert_sum = 0.0
+        # Incremental load counters (exact integers, so the O(1) load
+        # views below are bit-identical to rescanning the queues).
+        self._remaining_tokens = 0
+        self._active_context_sum = 0
+        self._waiting_context_sum = 0
+        # Admission-probe constants: pure functions of the speculation
+        # config, hoisted out of the per-arrival completion projection.
+        self.draft_overhead_per_iteration_s = speculation.draft_overhead_s()
+        self.expected_tokens_per_iteration = max(
+            1.0, speculation.expected_tokens_per_iteration()
+        )
 
     @property
     def workload_name(self) -> str:
         """Model name as served (see
         :func:`~repro.models.workload.workload_name`)."""
-        return workload_name(self.model, self.moe)
+        return self._workload_name
 
     @property
     def acceptance_rate(self) -> float:
@@ -163,7 +196,13 @@ class Replica:
         requests their full generation length. Admission control divides
         this by per-iteration throughput to project how long the
         replica's backlog takes to drain ahead of a new arrival.
+
+        O(1) from the incremental counters by default; ``"scan"``
+        accounting recomputes the sum (bit-identical — the counters are
+        exact integer arithmetic over the same requests).
         """
+        if self.load_accounting == "incremental":
+            return self._remaining_tokens
         remaining = sum(r.output_len - r.generated for r in self.active)
         remaining += sum(r.output_len for r in self.waiting)
         return remaining
@@ -174,10 +213,51 @@ class Replica:
         Active requests count their generated tokens; queued requests
         count their prompt only. Routers use this to project the mean
         context of the post-admission batch when pricing admission cost.
+        Always a scan — probes that only need the post-admission batch
+        shape should use :meth:`projected_admission_load` instead.
         """
         contexts = [r.input_len + r.generated for r in self.active]
         contexts.extend(r.input_len for r in self.waiting)
         return contexts
+
+    def projected_admission_load(self, input_len: int) -> Tuple[int, int]:
+        """(RLP, mean context) of the batch if a request joined now.
+
+        The O(1) core of the routers' admission-cost probe: the
+        hypothetical post-admission batch is the active requests, then
+        FIFO-queued ones, then the candidate (of prompt length
+        ``input_len``), truncated to the replica's batch slots; the mean
+        context is ``max(1, round(sum / rlp))`` over exactly that batch —
+        bit-identical to scanning :meth:`outstanding_context_lens`,
+        because the integer context sums are maintained incrementally.
+        The truncated batch always keeps every active request (admission
+        never evicts), so only a waiting-queue prefix ever needs walking,
+        and only in the rare same-timestamp race where arrivals queue
+        behind an admission that has not fired yet.
+        """
+        active_count = len(self.active)
+        waiting_count = len(self.waiting)
+        rlp = min(active_count + waiting_count + 1, self.max_batch_size)
+        slots = rlp - active_count  # waiting prefix + maybe the candidate
+        if self.load_accounting != "incremental":
+            contexts = self.outstanding_context_lens()
+            contexts.append(input_len)
+            contexts = contexts[:rlp]
+            return rlp, max(1, round(sum(contexts) / len(contexts)))
+        if slots <= 0:
+            total = self._active_context_sum
+        elif slots > waiting_count:
+            total = self._active_context_sum + self._waiting_context_sum + input_len
+        elif slots == waiting_count:
+            total = self._active_context_sum + self._waiting_context_sum
+        else:
+            total = self._active_context_sum
+            for request in self.waiting:
+                if slots == 0:
+                    break
+                total += request.input_len
+                slots -= 1
+        return rlp, max(1, round(total / rlp))
 
     @property
     def idle(self) -> bool:
@@ -198,6 +278,8 @@ class Replica:
         request.state = RequestState.QUEUED
         self.waiting.append(request)
         self.requests_routed += 1
+        self._remaining_tokens += request.output_len
+        self._waiting_context_sum += request.input_len
 
     def poke(self, now: float) -> Optional[float]:
         """Start serving if idle; returns the next ``STEP_DONE`` time."""
@@ -220,6 +302,7 @@ class Replica:
         self._pending = None
 
         accepted_total = 0
+        finished_context = 0
         outputs: List[int] = []
         still_active: List[Request] = []
         serial = tlp == 1  # no draft model => exactly one token accepted
@@ -231,12 +314,15 @@ class Replica:
                 outputs.append(EOS_TOKEN)
                 request.finish_s = now
                 self.requests_served += 1
+                finished_context += request.input_len + request.output_len
                 self.summary.record_request_latency(
                     max(0.0, now - request.arrival_s)
                 )
             else:
                 outputs.append(0)
                 still_active.append(request)
+        self._remaining_tokens -= accepted_total
+        self._active_context_sum += accepted_total - finished_context
         rlp = len(self.active)
         self._accepted_fraction = ServingEngine._accepted_fraction(
             accepted_total, rlp, tlp
@@ -251,15 +337,18 @@ class Replica:
                 self.moe.num_experts, self.moe.experts_per_token, tokens
             )
         self.system.observe_outputs(outputs)
-        self.summary.add_iteration(
-            IterationRecord(
-                iteration=self._iteration,
-                result=result,
-                tokens_accepted=accepted_total,
-                rlp_before=len(self.active),
-                rlp_after=len(still_active),
+        if self.summary.detail == "full":
+            self.summary.add_iteration(
+                IterationRecord(
+                    iteration=self._iteration,
+                    result=result,
+                    tokens_accepted=accepted_total,
+                    rlp_before=len(self.active),
+                    rlp_after=len(still_active),
+                )
             )
-        )
+        else:
+            self.summary.fold_iteration(result, accepted_total)
         self._iteration += 1
         if self._iteration >= MAX_ITERATIONS:
             raise SimulationError("decoding did not converge (runaway loop)")
@@ -292,6 +381,8 @@ class Replica:
         ):
             request = self.waiting.popleft()
             request.state = RequestState.PREFILLING
+            self._waiting_context_sum -= request.input_len
+            self._active_context_sum += request.input_len + request.generated
             fresh.append(request)
         if not fresh:
             return 0.0
@@ -324,7 +415,17 @@ class Replica:
             self.system.update_tlp(tlp)
             self._current_tlp = tlp
         self.tlp_trace.record(tlp)
-        result = self.pricer.price(self.active, tlp)
+        if (
+            self.load_accounting == "incremental"
+            and self.pricer.context_mode == "mean"
+        ):
+            # The active-context counter is exactly the sum price() would
+            # recompute; skip the O(batch) pass per iteration.
+            result = self.pricer.price_mean_total(
+                rlp, tlp, self._active_context_sum
+            )
+        else:
+            result = self.pricer.price(self.active, tlp)
         draft = self.speculation.draft_overhead_s(tlp)
         self.summary.draft_seconds += draft
         self._pending = (result, tlp)

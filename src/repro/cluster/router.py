@@ -42,6 +42,7 @@ from repro.errors import ConfigurationError
 from repro.models.workload import build_step_grid
 from repro.serving.request import Request
 from repro.serving.stepcache import SystemScopedCache
+from repro.systems.batch import price_steps_at
 
 #: Context quantization for admission pricing: coarse enough that
 #: consecutive arrivals projecting near-identical batches share one
@@ -50,7 +51,10 @@ from repro.serving.stepcache import SystemScopedCache
 ADMISSION_CONTEXT_BUCKET = 32
 
 #: An admission-price key within one system's scope:
-#: (workload name, fc target, rlp, tlp, bucketed context).
+#: (workload name, fc target, rlp, tlp, bucketed context). The scalar
+#: path keys the placement enum member; the fleet-batched path keys its
+#: ``value`` string (whose hash is cached) — the two shapes can never
+#: collide, and each path is self-consistent.
 PriceKey = Tuple[str, object, int, int, int]
 
 
@@ -66,7 +70,47 @@ class PriceCache(SystemScopedCache):
     serve another system's prices, e.g. when one router instance outlives
     a cluster run), and keeps the hit/miss counters the cluster report
     surfaces.
+
+    ``fleet_memo`` carries the *current arrival's* fleet probe from the
+    admission controller to the router: within one ``ARRIVAL`` event the
+    controller decides first and the router selects second against
+    byte-for-byte identical replica state, so the controller's
+    (step, completion) projections can be reused verbatim instead of
+    re-probing the fleet. The memo is only honored for the same request
+    *object*, the same simulated instant, and the same replica list (see
+    :func:`fleet_probe_memo`), which makes staleness structurally
+    impossible: any intervening event changes at least one of the three.
     """
+
+    def __init__(
+        self, max_entries: int = 4096, share_equal_systems: bool = False
+    ) -> None:
+        super().__init__(max_entries, share_equal_systems)
+        self.fleet_memo: Optional[tuple] = None
+
+
+def fleet_probe_memo(
+    cache: Optional[PriceCache],
+    replicas: Sequence[Replica],
+    request: Request,
+    now: float,
+) -> Optional[Tuple[List[float], List[float]]]:
+    """The admission controller's fleet probe for this exact arrival.
+
+    Returns ``(step_seconds, completion_seconds)`` lists when ``cache``
+    holds a memo for the same request object, instant, and replica list;
+    ``None`` otherwise.
+    """
+    if cache is None or cache.fleet_memo is None:
+        return None
+    memo_replicas, memo_request, memo_now, steps, completions = cache.fleet_memo
+    if (
+        memo_request is request
+        and memo_now == now
+        and memo_replicas is replicas
+    ):
+        return steps, completions
+    return None
 
 
 def projected_step_seconds(
@@ -122,6 +166,112 @@ def projected_step_seconds(
     return seconds
 
 
+def projected_step_seconds_fleet(
+    replicas: Sequence[Replica],
+    request: Request,
+    cache: Optional[PriceCache] = None,
+) -> List[float]:
+    """Projected next-iteration seconds for every replica, in one pass.
+
+    The fleet-batched twin of :func:`projected_step_seconds`, and the
+    per-arrival hot path of the price-aware routers and the admission
+    controller: each replica's post-admission batch shape comes from its
+    O(1) load counters (:meth:`Replica.projected_admission_load`), cache
+    hits are answered immediately, and the *misses* are grouped by
+    interchangeable pricing — same workload, configuration-equal system
+    (the shared cache's scope, see
+    :meth:`~repro.serving.stepcache.SystemScopedCache.scope_key`) — and
+    priced in one pinned-target
+    :func:`~repro.systems.batch.price_steps_at` call per group instead of
+    one ``price_steps`` trip per replica. Every returned lane is
+    bit-identical to ``projected_step_seconds(replica, request, cache)``:
+    the same key, the same grid point, the same arithmetic — only the
+    batching differs.
+    """
+    bucket = ADMISSION_CONTEXT_BUCKET
+    input_len = request.input_len
+    seconds: List[Optional[float]] = [None] * len(replicas)
+    keys: List[Optional[PriceKey]] = [None] * len(replicas)
+    targets: List[object] = [None] * len(replicas)
+    # Miss groups: scope id -> (representative replica, [replica index]).
+    groups: Dict[object, Tuple[Replica, List[int]]] = {}
+    # This loop runs replicas x arrivals times; the cache is consulted
+    # through its scope map directly (hit/miss tallies folded in below)
+    # rather than per-probe get() calls, and keys carry the placement's
+    # *value* string (cached hash) instead of the enum member. Hits skip
+    # the LRU recency bump — eviction order is a cache-quality knob,
+    # never a result.
+    if cache is not None:
+        scope_of = cache.scope_key
+        entries_of = cache._per_system.get
+    hits = 0
+    misses = 0
+    for index, replica in enumerate(replicas):
+        rlp, mean_context = replica.projected_admission_load(input_len)
+        mean_context = max(bucket, round(mean_context / bucket) * bucket)
+        tlp = replica._current_tlp
+        system = replica.system
+        target = system.plan_fc_target(rlp, tlp)
+        key = (
+            replica._workload_name,
+            target.value,
+            rlp,
+            tlp,
+            mean_context,
+        )
+        if cache is not None:
+            scope = scope_of(system)
+            entries = entries_of(scope)
+            cached = entries.get(key) if entries is not None else None
+            if cached is not None:
+                hits += 1
+                seconds[index] = cached
+                continue
+            misses += 1
+        else:
+            scope = id(system)
+        keys[index] = key
+        targets[index] = target
+        # Group misses by interchangeable pricing: configuration-equal
+        # system (the cache scope) serving the same workload. Mixed
+        # fleets (MoE next to dense on identical hardware) split here.
+        group_key = (scope, replica._workload_name)
+        group = groups.get(group_key)
+        if group is None:
+            groups[group_key] = (replica, [index])
+        else:
+            group[1].append(index)
+    if cache is not None:
+        cache.hits += hits
+        cache.misses += misses
+    for representative, indices in groups.values():
+        # Identical projections (e.g. a rank of idle equal replicas all
+        # probing the same point) collapse to one grid lane.
+        unique: Dict[PriceKey, List[int]] = {}
+        for index in indices:
+            unique.setdefault(keys[index], []).append(index)
+        lanes = list(unique)
+        grid = build_step_grid(
+            representative.model,
+            [key[2] for key in lanes],
+            [key[3] for key in lanes],
+            [key[4] for key in lanes],
+            moe=representative.moe,
+        )
+        priced = price_steps_at(
+            representative.system,
+            grid,
+            tuple(targets[unique[key][0]] for key in lanes),
+        )
+        for lane, key in enumerate(lanes):
+            value = float(priced.seconds[lane])
+            for index in unique[key]:
+                seconds[index] = value
+                if cache is not None:
+                    cache.put(replicas[index].system, key, value)
+    return seconds
+
+
 def projected_completion_seconds(
     replica: Replica, request: Request, cache: Optional[PriceCache] = None
 ) -> float:
@@ -154,6 +304,37 @@ def projected_completion_seconds(
         expected * replica.max_batch_size
     )
     return (own + backlog) * per_iteration
+
+
+def projected_completion_seconds_fleet(
+    replicas: Sequence[Replica],
+    request: Request,
+    cache: Optional[PriceCache] = None,
+    step_seconds: Optional[Sequence[float]] = None,
+) -> List[float]:
+    """Projected completion seconds for every replica, in one pass.
+
+    The fleet-batched twin of :func:`projected_completion_seconds`: the
+    step prices come from one :func:`projected_step_seconds_fleet` call
+    (or, for callers that already priced the fleet this arrival, the
+    ``step_seconds`` they got back — the ``slo-slack`` router reuses its
+    min-cost pass instead of pricing twice), and the speculation
+    constants are the replicas' hoisted per-iteration values. Lane ``i``
+    is bit-identical to ``projected_completion_seconds(replicas[i], ...)``.
+    """
+    if step_seconds is None:
+        step_seconds = projected_step_seconds_fleet(replicas, request, cache)
+    output_len = request.output_len
+    completions: List[float] = []
+    for replica, step_s in zip(replicas, step_seconds):
+        per_iteration = step_s + replica.draft_overhead_per_iteration_s
+        expected = replica.expected_tokens_per_iteration
+        own = math.ceil(output_len / expected)
+        backlog = replica.outstanding_remaining_tokens() / (
+            expected * replica.max_batch_size
+        )
+        completions.append((own + backlog) * per_iteration)
+    return completions
 
 
 class Router(abc.ABC):
@@ -236,8 +417,13 @@ class IntensityAwareRouter(Router):
 
     name = "intensity"
 
-    def __init__(self, max_cache_entries: int = 4096) -> None:
-        self._price_cache = PriceCache(max_cache_entries)
+    def __init__(
+        self, max_cache_entries: int = 4096, batched: bool = True
+    ) -> None:
+        self.batched = batched
+        self._price_cache = PriceCache(
+            max_cache_entries, share_equal_systems=batched
+        )
 
     @property
     def price_cache(self) -> PriceCache:
@@ -278,16 +464,27 @@ class IntensityAwareRouter(Router):
         if flip:
             return min(flip)[2]
         if fallback:
-            ranked = [
-                (
-                    projected_step_seconds(
-                        replicas[i], request, self._price_cache
-                    ),
-                    outstanding,
-                    i,
+            if self.batched:
+                costs = projected_step_seconds_fleet(
+                    [replicas[i] for _, i in fallback],
+                    request,
+                    self._price_cache,
                 )
-                for outstanding, i in fallback
-            ]
+                ranked = [
+                    (cost, outstanding, i)
+                    for cost, (outstanding, i) in zip(costs, fallback)
+                ]
+            else:
+                ranked = [
+                    (
+                        projected_step_seconds(
+                            replicas[i], request, self._price_cache
+                        ),
+                        outstanding,
+                        i,
+                    )
+                    for outstanding, i in fallback
+                ]
             return min(ranked)[2]
         raise ConfigurationError("cluster has no replicas")
 
@@ -309,12 +506,44 @@ class MinCostRouter(Router):
 
     name = "min-cost"
 
-    def __init__(self, max_cache_entries: int = 4096) -> None:
-        self._price_cache = PriceCache(max_cache_entries)
+    def __init__(
+        self, max_cache_entries: int = 4096, batched: bool = True
+    ) -> None:
+        self.batched = batched
+        self._price_cache = PriceCache(
+            max_cache_entries, share_equal_systems=batched
+        )
 
     @property
     def price_cache(self) -> PriceCache:
         return self._price_cache
+
+    def _step_costs(
+        self,
+        request: Request,
+        replicas: Sequence[Replica],
+        now: Optional[float] = None,
+    ) -> List[float]:
+        """Per-replica projected admission price, batched when enabled.
+
+        With ``now`` given, an admission-controller fleet probe for this
+        exact arrival (same request object, instant, and replica list) is
+        reused instead of re-priced — see :func:`fleet_probe_memo`.
+        """
+        if self.batched:
+            if now is not None:
+                memo = fleet_probe_memo(
+                    self._price_cache, replicas, request, now
+                )
+                if memo is not None:
+                    return memo[0]
+            return projected_step_seconds_fleet(
+                replicas, request, self._price_cache
+            )
+        return [
+            projected_step_seconds(replica, request, self._price_cache)
+            for replica in replicas
+        ]
 
     def select(
         self, request: Request, replicas: Sequence[Replica], now: float
@@ -322,12 +551,10 @@ class MinCostRouter(Router):
         if not replicas:
             raise ConfigurationError("cluster has no replicas")
         ranked = [
-            (
-                projected_step_seconds(replica, request, self._price_cache),
-                replica.outstanding(),
-                i,
+            (cost, replica.outstanding(), i)
+            for i, (cost, replica) in enumerate(
+                zip(self._step_costs(request, replicas, now), replicas)
             )
-            for i, replica in enumerate(replicas)
         ]
         return min(ranked)[2]
 
@@ -359,21 +586,49 @@ class SLOSlackRouter(MinCostRouter):
     ) -> int:
         if not replicas:
             raise ConfigurationError("cluster has no replicas")
+        memo = (
+            fleet_probe_memo(self._price_cache, replicas, request, now)
+            if self.batched
+            else None
+        )
+        costs = (
+            memo[0] if memo is not None
+            else self._step_costs(request, replicas)
+        )
+        if request.deadline_s is None:
+            slacks: Sequence[float] = (math.inf,) * len(replicas)
+        elif self.batched:
+            # Reuse this arrival's projections: the admission controller
+            # probed identical replica state a moment ago (the memo), and
+            # even without one the completion pass shares the step prices
+            # — the scalar path prices twice and hits the cache; the
+            # fleet path skips the second key-build round entirely.
+            completions = (
+                memo[1] if memo is not None
+                else projected_completion_seconds_fleet(
+                    replicas, request, self._price_cache, step_seconds=costs
+                )
+            )
+            deadline = request.deadline_s
+            slacks = [deadline - (now + c) for c in completions]
+        else:
+            slacks = [
+                request.deadline_s
+                - (
+                    now
+                    + projected_completion_seconds(
+                        replica, request, self._price_cache
+                    )
+                )
+                for replica in replicas
+            ]
         feasible: List[Tuple[float, int, int]] = []  # (cost, outstanding, i)
         ranked: List[Tuple[float, float, int, int]] = []  # (-slack, cost, ...)
         for i, replica in enumerate(replicas):
-            cost = projected_step_seconds(replica, request, self._price_cache)
-            if request.deadline_s is None:
-                slack = math.inf
-            else:
-                completion = projected_completion_seconds(
-                    replica, request, self._price_cache
-                )
-                slack = request.deadline_s - (now + completion)
             outstanding = replica.outstanding()
-            ranked.append((-slack, cost, outstanding, i))
-            if slack >= 0.0:
-                feasible.append((cost, outstanding, i))
+            ranked.append((-slacks[i], costs[i], outstanding, i))
+            if slacks[i] >= 0.0:
+                feasible.append((costs[i], outstanding, i))
         if feasible:
             return min(feasible)[2]
         return min(ranked)[3]
@@ -393,12 +648,21 @@ def available_routers() -> Tuple[str, ...]:
     return tuple(sorted(_ROUTERS))
 
 
-def build_router(name: str) -> Router:
-    """Instantiate a routing policy by registry name."""
+def build_router(name: str, batched: bool = True) -> Router:
+    """Instantiate a routing policy by registry name.
+
+    ``batched`` selects fleet-batched admission pricing on the
+    price-aware policies (scalar per-replica pricing when ``False`` —
+    the pre-optimization reference path, bit-identical in routing
+    decisions); stateless policies ignore it.
+    """
     try:
-        return _ROUTERS[name.lower()]()
+        cls = _ROUTERS[name.lower()]
     except KeyError:
         known = ", ".join(sorted(_ROUTERS))
         raise ConfigurationError(
             f"unknown router {name!r}; known routers: {known}"
         ) from None
+    if issubclass(cls, (MinCostRouter, IntensityAwareRouter)):
+        return cls(batched=batched)
+    return cls()

@@ -34,7 +34,7 @@ from repro.scenario.build import (
     build_requests,
     build_routing,
 )
-from repro.scenario.run import ScenarioResult, run_scenario
+from repro.scenario.run import ScenarioResult, run_scenario, run_scenarios
 from repro.scenario.spec import (
     SCENARIO_SCHEMA_VERSION,
     SPEC_TYPES,
@@ -71,5 +71,6 @@ __all__ = [
     "build_routing",
     "load_scenario",
     "run_scenario",
+    "run_scenarios",
     "scenario_spec_fields",
 ]

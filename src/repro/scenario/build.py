@@ -49,8 +49,19 @@ def _build_speculation(workload: WorkloadSpec) -> SpeculationConfig:
 
 
 def build_replicas(spec: ScenarioSpec) -> List[Replica]:
-    """The fleet, replica ids assigned in group order."""
-    cache = StepCostCache() if spec.fleet.step_cache else None
+    """The fleet, replica ids assigned in group order.
+
+    The shared step-cost cache scopes entries by system *configuration*
+    (``share_equal_systems``): a homogeneous fleet prices each distinct
+    decoding step once for all replicas instead of once per replica.
+    Cached results are pure functions of the configuration and the step
+    key (which pins the FC placement), so outputs are unchanged.
+    """
+    cache = (
+        StepCostCache(share_equal_systems=True)
+        if spec.fleet.step_cache
+        else None
+    )
     replicas: List[Replica] = []
     for group in spec.fleet.replicas:
         workload = group.workload if group.workload is not None else spec.workload
@@ -74,6 +85,8 @@ def build_replicas(spec: ScenarioSpec) -> List[Replica]:
                     context_mode=workload.context_mode,
                     step_cache=cache,
                     moe=moe,
+                    detail=spec.fleet.detail,
+                    load_accounting=spec.fleet.load_accounting,
                 )
             )
     return replicas
@@ -110,8 +123,8 @@ def build_requests(spec: ScenarioSpec) -> List[Request]:
 
 
 def build_routing(spec: ScenarioSpec) -> Router:
-    """The scenario's routing policy."""
-    return build_router(spec.routing.policy)
+    """The scenario's routing policy (fleet-batched pricing per spec)."""
+    return build_router(spec.routing.policy, batched=spec.routing.batched)
 
 
 def build_admission(
@@ -135,4 +148,6 @@ def build_admission(
     }
     if not policies:
         return None
-    return SLOAdmissionController(policies, price_cache=price_cache)
+    return SLOAdmissionController(
+        policies, price_cache=price_cache, batched=spec.routing.batched
+    )

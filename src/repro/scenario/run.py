@@ -1,10 +1,14 @@
-"""The single entry point: ``run_scenario(spec) -> ScenarioResult``.
+"""The scenario entry points: ``run_scenario`` and ``run_scenarios``.
 
-Validates the spec, builds fleet / traffic / router / admission through
-the scenario builders, runs the cluster simulator once, and returns the
-result with per-tenant SLO reports attached — the one door every
-experiment surface (CLI flags, scenario files, library code) goes
-through.
+``run_scenario(spec)`` validates the spec, builds fleet / traffic /
+router / admission through the scenario builders, runs the cluster
+simulator once, and returns the result with per-tenant SLO reports
+attached — the one door every experiment surface (CLI flags, scenario
+files, library code) goes through. ``run_scenarios([spec, ...],
+workers=N)`` fans a batch of independent scenarios across the sweep
+engine's process-parallel workers — the way to sweep a design question
+(routing policies, fleet sizes, admission budgets) across many
+full-cluster runs on every core.
 """
 
 from __future__ import annotations
@@ -12,7 +16,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass
-from typing import Any, Dict
+from typing import Any, Dict, List, Sequence
 
 from repro.cluster.cluster import ClusterSimulator, ClusterSummary, TenantReport
 from repro.scenario.build import (
@@ -102,3 +106,47 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
     )
     summary = simulator.run(build_requests(spec))
     return ScenarioResult(spec=spec, summary=summary)
+
+
+def _run_scenario_point(point: Dict[str, Any]) -> ScenarioResult:
+    """Measure one scenario grid point (module-level: picklable)."""
+    return run_scenario(point["scenario"])
+
+
+def run_scenarios(
+    specs: Sequence[ScenarioSpec], workers: int = 0
+) -> List[ScenarioResult]:
+    """Run a batch of scenarios, optionally across worker processes.
+
+    Each scenario is an independent simulation, so the batch rides
+    :class:`~repro.analysis.sweep.SweepRunner`'s process-parallel
+    machinery (one ``scenario`` axis, one full cluster run per point):
+    ``workers > 1`` fans the specs out to a process pool; ``0``/``1``
+    runs them inline. Results come back in spec order either way, and
+    each one is exactly what :func:`run_scenario` returns for that spec
+    — worker parallelism changes wall-clock, never outputs. Prefer
+    ``fleet.detail = "aggregate"`` specs for wide batches: full
+    per-iteration records inflate both memory and the result pickling
+    cost on the way back from the pool.
+
+    Raises:
+        ConfigurationError: Naming the offending spec (by list index and
+            field path) when any spec is invalid — all specs are
+            validated before any simulation starts.
+    """
+    from repro.analysis.sweep import SweepRunner, SweepSpec
+    from repro.errors import ConfigurationError
+
+    if not specs:
+        raise ConfigurationError("run_scenarios needs at least one scenario")
+    for index, spec in enumerate(specs):
+        try:
+            spec.validate()
+        except ConfigurationError as exc:
+            raise ConfigurationError(f"scenarios[{index}]: {exc}") from None
+    runner = SweepRunner(
+        SweepSpec.of(scenario=tuple(specs)),
+        measure=_run_scenario_point,
+        workers=workers,
+    )
+    return runner.run()

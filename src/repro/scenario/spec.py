@@ -266,20 +266,44 @@ class FleetSpec(SpecBase):
         replicas: Replica groups; ids are assigned in group order, so the
             first group holds replicas ``0..count-1`` and so on.
         step_cache: Share one step-cost cache across the fleet.
+        detail: Per-replica metric retention: ``full`` keeps one record
+            per decoding iteration (RLP traces, per-iteration debugging);
+            ``aggregate`` streams iterations into running totals so
+            million-request traces stay flat in memory. Every aggregate
+            and per-tenant number is bit-identical between the modes.
+        load_accounting: ``incremental`` answers router/admission load
+            probes from O(1) counters; ``scan`` recomputes the
+            O(batch + queue) sums per probe — the pre-optimization
+            reference path kept for the equivalence suite and the
+            cluster benchmark. Values are bit-identical.
     """
 
     replicas: Tuple[ReplicaSpec, ...] = (ReplicaSpec(),)
     step_cache: bool = True
+    detail: str = "full"
+    load_accounting: str = "incremental"
 
     @property
     def total_replicas(self) -> int:
         return sum(group.count for group in self.replicas)
 
     def validate(self, path: str = "fleet") -> None:
+        from repro.serving.metrics import DETAIL_MODES
+
         if not self.replicas:
             _fail(_join(path, "replicas"), "must be non-empty")
         for i, group in enumerate(self.replicas):
             group.validate(f"{_join(path, 'replicas')}[{i}]")
+        if self.detail not in DETAIL_MODES:
+            _fail(
+                _join(path, "detail"),
+                f"must be one of {', '.join(DETAIL_MODES)}",
+            )
+        if self.load_accounting not in ("incremental", "scan"):
+            _fail(
+                _join(path, "load_accounting"),
+                "must be 'incremental' or 'scan'",
+            )
 
 
 @dataclass(frozen=True)
@@ -385,9 +409,16 @@ class RoutingSpec(SpecBase):
     Attributes:
         policy: Registered router name (see ``repro list``); use
             ``slo-slack`` for deadline-aware multi-tenant routing.
+        batched: Fleet-batched admission pricing on the price-aware
+            policies and the SLO admission controller (one vectorized
+            pass over all candidate replicas per arrival). ``False``
+            prices replicas one scalar probe at a time — the
+            pre-optimization reference path; decisions and outputs are
+            bit-identical either way.
     """
 
     policy: str = "intensity"
+    batched: bool = True
 
     def validate(self, path: str = "routing") -> None:
         from repro.cluster.router import available_routers

@@ -48,7 +48,7 @@ from repro.models.workload import (
     workload_name,
 )
 from repro.serving.batching import ContinuousBatcher, StaticBatcher
-from repro.serving.metrics import IterationRecord, RunSummary
+from repro.serving.metrics import DETAIL_MODES, IterationRecord, RunSummary
 from repro.serving.request import Request, RequestState
 from repro.serving.speculative import SpeculationConfig, SpeculativeSampler
 from repro.serving.stepcache import StepCostCache
@@ -128,16 +128,43 @@ class StepPricer:
             # input_len + generated inline: context_len is a property and
             # this sum runs once per decoding iteration over the batch.
             total = sum([r.input_len + r.generated for r in active])
-            mean_context = self._bucketize(max(1, round(total / rlp)))
-            context_key: object = mean_context
-        else:
-            bucketize = self._bucketize
-            context_lens = tuple(
-                sorted(bucketize(r.input_len + r.generated) for r in active)
-            )
-            mean_context = max(1, round(sum(context_lens) / rlp))
-            context_key = context_lens
+            return self.price_mean_total(rlp, tlp, total)
+        bucketize = self._bucketize
+        context_lens = tuple(
+            sorted(bucketize(r.input_len + r.generated) for r in active)
+        )
+        mean_context = max(1, round(sum(context_lens) / rlp))
+        context_key: object = context_lens
+        return self._price_resolved(rlp, tlp, mean_context, context_key, context_lens)
 
+    def price_mean_total(
+        self, rlp: int, tlp: int, context_total: int
+    ) -> IterationResult:
+        """Price one mean-mode iteration from a precomputed context sum.
+
+        The O(1) twin of :meth:`price` for ``context_mode="mean"``:
+        callers that already track the batch's total context (the cluster
+        replicas' incremental load counters) skip the per-request sum.
+        Bit-identical to :meth:`price` over the same batch — the mean is
+        the same exact integer arithmetic on the same total.
+        """
+        if self.context_mode != "mean":
+            raise SimulationError(
+                "price_mean_total requires context_mode='mean'"
+            )
+        if rlp <= 0:
+            raise SimulationError("cannot price a step with no active requests")
+        mean_context = self._bucketize(max(1, round(context_total / rlp)))
+        return self._price_resolved(rlp, tlp, mean_context, mean_context, None)
+
+    def _price_resolved(
+        self,
+        rlp: int,
+        tlp: int,
+        mean_context: int,
+        context_key: object,
+        context_lens: Optional[Tuple[int, ...]],
+    ) -> IterationResult:
         if self.step_cache is None:
             step = build_decode_step(
                 self.model, rlp, tlp, mean_context,
@@ -184,6 +211,9 @@ class ServingEngine:
         moe: Optional sparse-expert configuration (must wrap ``model`` as
             its base). When set, decoding steps price the routed MoE FFN
             and capacity checks account for all experts' weights.
+        detail: Metric retention (see :attr:`RunSummary.detail`):
+            ``"full"`` keeps per-iteration records, ``"aggregate"``
+            streams them into running totals for long traces.
     """
 
     system: ServingSystem
@@ -197,10 +227,15 @@ class ServingEngine:
     context_bucket: int = 1
     step_cache: Optional[StepCostCache] = None
     moe: Optional[MoEModelConfig] = None
+    detail: str = "full"
 
     def __post_init__(self) -> None:
         # Fail on bad knobs at construction, not mid-run.
         self._make_pricer()
+        if self.detail not in DETAIL_MODES:
+            raise ConfigurationError(
+                f"detail must be one of {DETAIL_MODES}, got {self.detail!r}"
+            )
 
     @property
     def workload_name(self) -> str:
@@ -256,6 +291,7 @@ class ServingEngine:
             context_bucket=self.context_bucket,
             step_cache=self.step_cache,
             moe=self.moe,
+            detail=self.detail,
         )
         replica.serve_trace(requests)
         self.tlp_trace = replica.tlp_trace
@@ -264,7 +300,9 @@ class ServingEngine:
     def run_with_batcher(self, batcher: Batcher) -> RunSummary:
         """Serve a workload under an arbitrary batching policy."""
         sampler = SpeculativeSampler(self.speculation, seed=self.seed)
-        summary = RunSummary(system=self.system.name, model=self.workload_name)
+        summary = RunSummary(
+            system=self.system.name, model=self.workload_name, detail=self.detail
+        )
         policy = self.tlp_policy if self.tlp_policy is not None else FixedTLP(
             self.speculation.tlp
         )

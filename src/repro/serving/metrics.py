@@ -8,6 +8,9 @@ from typing import Dict, List, Optional, Sequence
 from repro.errors import ConfigurationError
 from repro.systems.base import IterationResult
 
+#: Supported metric-retention modes (see :attr:`RunSummary.detail`).
+DETAIL_MODES = ("full", "aggregate")
+
 
 def latency_percentile_of(
     latencies: Sequence[float],
@@ -83,6 +86,13 @@ class RunSummary:
         makespan_seconds: Simulated wall-clock span of the run. Equals
             ``total_seconds`` for back-to-back batch runs; under sparse
             arrival traces it also covers idle gaps between batches.
+        detail: Metric-retention mode. ``"full"`` (the default) keeps one
+            :class:`IterationRecord` per decoding iteration; on
+            million-iteration traces those objects dominate resident
+            memory, so ``"aggregate"`` folds each iteration into the
+            running totals (every aggregate field above stays bit-identical)
+            and keeps only the compact per-request latency array —
+            ``records`` stays empty and ``rlp_trace()`` returns ``[]``.
     """
 
     system: str
@@ -102,22 +112,44 @@ class RunSummary:
     request_latencies: List[float] = field(default_factory=list)
     queueing_seconds: float = 0.0
     makespan_seconds: float = 0.0
+    detail: str = "full"
+
+    def __post_init__(self) -> None:
+        if self.detail not in DETAIL_MODES:
+            raise ConfigurationError(
+                f"detail must be one of {DETAIL_MODES}, got {self.detail!r}"
+            )
 
     def add_iteration(self, record: IterationRecord) -> None:
-        """Fold one iteration into the summary."""
-        self.records.append(record)
+        """Fold one iteration into the summary (kept in ``records`` only
+        under ``detail="full"``)."""
+        if self.detail == "full":
+            self.records.append(record)
+        self.fold_iteration(record.result, record.tokens_accepted)
+
+    def fold_iteration(
+        self, result: IterationResult, tokens_accepted: int
+    ) -> None:
+        """Fold one iteration's accounting into the running aggregates.
+
+        The streaming core of :meth:`add_iteration`: callers in
+        ``detail="aggregate"`` mode use it directly so long traces never
+        materialize an :class:`IterationRecord` per iteration.
+        """
         self.iterations += 1
-        self.decode_seconds += record.result.seconds
-        self.decode_energy += record.result.energy_joules
-        self.tokens_generated += record.tokens_accepted
-        target = record.result.fc_target.value
+        self.decode_seconds += result.seconds
+        self.decode_energy += result.energy_joules
+        self.tokens_generated += tokens_accepted
+        target = result.fc_target.value
         self.fc_target_iterations[target] = (
             self.fc_target_iterations.get(target, 0) + 1
         )
-        for key, value in record.result.time_breakdown.items():
-            self.time_breakdown[key] = self.time_breakdown.get(key, 0.0) + value
-        for key, value in record.result.energy_breakdown.items():
-            self.energy_breakdown[key] = self.energy_breakdown.get(key, 0.0) + value
+        time_breakdown = self.time_breakdown
+        for key, value in result.time_breakdown.items():
+            time_breakdown[key] = time_breakdown.get(key, 0.0) + value
+        energy_breakdown = self.energy_breakdown
+        for key, value in result.energy_breakdown.items():
+            energy_breakdown[key] = energy_breakdown.get(key, 0.0) + value
 
     @property
     def total_seconds(self) -> float:
@@ -151,7 +183,11 @@ class RunSummary:
         return self.decode_energy / self.tokens_generated
 
     def rlp_trace(self) -> List[int]:
-        """Runtime RLP per iteration (Figure 3's underlying series)."""
+        """Runtime RLP per iteration (Figure 3's underlying series).
+
+        Empty under ``detail="aggregate"`` — the series requires the
+        per-iteration records that mode deliberately drops.
+        """
         return [record.rlp_before for record in self.records]
 
     def record_request_latency(self, latency_s: float) -> None:

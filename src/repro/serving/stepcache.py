@@ -48,33 +48,112 @@ class SystemScopedCache:
     every point of a design-space sweep); entries never leak across
     systems because the outer map is keyed by system identity.
 
+    With ``share_equal_systems=True`` the scope is the system's
+    *configuration* rather than its identity: systems that compare equal
+    (dataclass ``__eq__`` over devices, links, and thresholds) share one
+    entry map. A fleet of 32 identical replicas then prices each distinct
+    operating point once for the whole fleet instead of once per replica —
+    safe because every cached value is a pure function of the system
+    configuration and the key (the planned FC placement is part of the
+    key, so divergent scheduler state between replicas can never alias).
+    Sharing snapshots equality when a system first touches the cache;
+    callers that mutate a system's configuration afterwards (e.g.
+    ``calibrate``) must use a fresh cache.
+
     Attributes:
-        max_entries: Per-system entry cap; least-recently-used entries are
+        max_entries: Per-scope entry cap; least-recently-used entries are
             evicted beyond it.
         hits: Lookups served from the cache.
         misses: Lookups that fell through to the cost model.
     """
 
-    def __init__(self, max_entries: int = 4096) -> None:
+    def __init__(
+        self, max_entries: int = 4096, share_equal_systems: bool = False
+    ) -> None:
         if max_entries <= 0:
             raise ConfigurationError("max_entries must be positive")
         self.max_entries = max_entries
+        self.share_equal_systems = share_equal_systems
         self.hits = 0
         self.misses = 0
-        # Keyed by id(system): dataclass systems define __eq__ without
-        # __hash__, so they cannot key a WeakKeyDictionary directly. A
-        # finalizer purges a system's entries when it is collected, which
-        # both bounds memory and prevents a recycled id from ever reading
-        # another system's values.
+        # Keyed by scope id (see scope_key): dataclass systems define
+        # __eq__ without __hash__, so they cannot key a WeakKeyDictionary
+        # directly. A finalizer purges a system's entries when it is
+        # collected, which both bounds memory and prevents a recycled id
+        # from ever reading another system's values.
         self._per_system: Dict[int, OrderedDict] = {}
+        # Identity -> scope resolution for shared scopes. Scope ids come
+        # from a monotone counter — never from id() — so a recycled
+        # address can never alias a dead system's scope. _scope_by_id is
+        # invalidated per system by a finalizer; _scope_reps holds one
+        # weakly referenced representative system per scope for the
+        # equality probes of systems seen later; _scope_refs counts a
+        # scope's live systems so its entries are purged when the last
+        # one is collected.
+        self._scope_by_id: Dict[int, int] = {}
+        self._scope_reps: list = []
+        self._scope_refs: Dict[int, int] = {}
+        self._next_scope = -1
+
+    def scope_key(self, system: ServingSystem) -> int:
+        """The scope ``system``'s entries live under.
+
+        Identity (``id``) normally; with ``share_equal_systems``, a
+        counter-allocated scope shared by every system that compares
+        equal to its first-seen representative. Fleet-batched pricing
+        also uses this to group replicas whose prices are
+        interchangeable.
+        """
+        if not self.share_equal_systems:
+            return id(system)
+        system_id = id(system)
+        scope = self._scope_by_id.get(system_id)
+        if scope is not None:
+            return scope
+        live = []
+        for ref, rep_scope in self._scope_reps:
+            rep = ref()
+            if rep is None:
+                continue  # prune dead representatives as a side effect
+            live.append((ref, rep_scope))
+            if scope is None and type(rep) is type(system) and rep == system:
+                scope = rep_scope
+        self._scope_reps = live
+        if scope is None:
+            # Counter-allocated (negative, so it can never collide with
+            # an id()-keyed entry if a cache is somehow used both ways).
+            scope = self._next_scope
+            self._next_scope -= 1
+            self._scope_reps.append((weakref.ref(system), scope))
+        self._scope_by_id[system_id] = scope
+        self._scope_refs[scope] = self._scope_refs.get(scope, 0) + 1
+        weakref.finalize(system, self._release_scope, system_id, scope)
+        return scope
+
+    def _release_scope(self, system_id: int, scope: int) -> None:
+        """Finalizer: drop a dead system's identity memo; purge the whole
+        scope (entries and representative) when no live system holds it."""
+        self._scope_by_id.pop(system_id, None)
+        remaining = self._scope_refs.get(scope, 0) - 1
+        if remaining > 0:
+            self._scope_refs[scope] = remaining
+        else:
+            self._scope_refs.pop(scope, None)
+            self._per_system.pop(scope, None)
+            self._scope_reps = [
+                (ref, rep_scope)
+                for ref, rep_scope in self._scope_reps
+                if rep_scope != scope
+            ]
 
     def _entries(self, system: ServingSystem, create: bool) -> Optional[OrderedDict]:
-        system_id = id(system)
-        entries = self._per_system.get(system_id)
+        scope = self.scope_key(system)
+        entries = self._per_system.get(scope)
         if entries is None and create:
             entries = OrderedDict()
-            self._per_system[system_id] = entries
-            weakref.finalize(system, self._per_system.pop, system_id, None)
+            self._per_system[scope] = entries
+            if not self.share_equal_systems:
+                weakref.finalize(system, self._per_system.pop, scope, None)
         return entries
 
     def get(self, system: ServingSystem, key: Hashable) -> Optional[object]:
@@ -125,8 +204,11 @@ class SystemScopedCache:
         }
 
     def clear(self) -> None:
-        """Drop every entry and reset the counters."""
+        """Drop every entry (and scope memos) and reset the counters."""
         self._per_system.clear()
+        self._scope_by_id.clear()
+        self._scope_reps.clear()
+        self._scope_refs.clear()
         self.hits = 0
         self.misses = 0
 

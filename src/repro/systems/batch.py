@@ -325,12 +325,40 @@ def price_steps(system: "ServingSystem", grid: StepGrid) -> IterationResultArray
         raise ConfigurationError(
             f"price_steps expects a StepGrid, got {type(grid).__name__}"
         )
-    n = len(grid)
     rlp_list = grid.rlp.tolist()
     tlp_list = grid.tlp.tolist()
     targets = tuple(
         system.plan_fc_target(r, t) for r, t in zip(rlp_list, tlp_list)
     )
+    return price_steps_at(system, grid, targets)
+
+
+def price_steps_at(
+    system: "ServingSystem",
+    grid: StepGrid,
+    targets: Tuple[PlacementTarget, ...],
+) -> IterationResultArray:
+    """Price ``grid`` with the FC placement of each point pinned.
+
+    Identical to :func:`price_steps` except the per-point FC targets are
+    supplied by the caller instead of re-planned through
+    ``system.plan_fc_target``. This is what lets fleet-batched admission
+    pricing evaluate many *replicas'* projected steps in one vectorized
+    pass on a single configuration-equal system: each replica resolves
+    its own placement against its own scheduler state, and the pinned
+    grid prices every (placement, rlp, tlp, context) point bit-equal to
+    that replica pricing it alone.
+    """
+    if not isinstance(grid, StepGrid):
+        raise ConfigurationError(
+            f"price_steps_at expects a StepGrid, got {type(grid).__name__}"
+        )
+    n = len(grid)
+    if len(targets) != n:
+        raise ConfigurationError(
+            f"price_steps_at needs one FC target per grid point: "
+            f"{len(targets)} targets for {n} points"
+        )
     chunks = system.pipeline_chunks
     pipelined = (
         (grid.rlp >= chunks) if chunks > 1 else np.zeros(n, dtype=bool)

@@ -1,0 +1,257 @@
+"""Batched/scalar cluster equivalence: the optimization contract.
+
+The fleet-scale optimizations — fleet-batched admission pricing
+(``routing.batched``), O(1) incremental load accounting
+(``fleet.load_accounting``), and streaming metrics (``fleet.detail``)
+— all promise *bit-identical* cluster outputs. This suite pins that
+promise across the optimization axes and a matrix of workloads:
+routers x admission policies x dense/MoE x speculation depths. If an
+optimization ever reorders a routing decision, drifts a float, or drops
+a tenant counter, the mismatch surfaces here (and in the
+``bench_cluster`` equivalence gate) instead of silently skewing a study.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.scenario.spec import (
+    FleetSpec,
+    MoESpec,
+    ReplicaSpec,
+    RoutingSpec,
+    ScenarioSpec,
+    SLOSpec,
+    TenantSpec,
+    TrafficSpec,
+    WorkloadSpec,
+)
+from repro.scenario.run import run_scenario
+
+
+def _scenario(
+    policy: str,
+    admission: str = "admit",
+    moe: bool = False,
+    speculation_length: int = 2,
+    context_mode: str = "per-request",
+    requests: int = 48,
+    replicas: int = 3,
+) -> ScenarioSpec:
+    tenants = [
+        TenantSpec(
+            name="interactive",
+            traffic=TrafficSpec(requests=requests, rate_per_s=24.0),
+            slo=SLOSpec(
+                p99_seconds=20.0,
+                admission=admission,
+            ) if admission != "admit" else SLOSpec(p99_seconds=20.0),
+        ),
+        TenantSpec(
+            name="batch",
+            traffic=TrafficSpec(
+                category="general-qa", requests=requests, rate_per_s=24.0
+            ),
+        ),
+    ]
+    workload = WorkloadSpec(
+        speculation_length=speculation_length,
+        context_mode=context_mode,
+        moe=MoESpec(num_experts=8, experts_per_token=2) if moe else None,
+    )
+    return ScenarioSpec(
+        name="equivalence",
+        seed=11,
+        workload=workload,
+        fleet=FleetSpec(
+            replicas=(ReplicaSpec(count=replicas, max_batch_size=8),)
+        ),
+        tenants=tuple(tenants),
+        routing=RoutingSpec(policy=policy),
+    )
+
+
+def _fast(spec: ScenarioSpec) -> ScenarioSpec:
+    """The optimized configuration: batched + incremental + aggregate."""
+    return dataclasses.replace(
+        spec,
+        fleet=dataclasses.replace(
+            spec.fleet, detail="aggregate", load_accounting="incremental"
+        ),
+        routing=dataclasses.replace(spec.routing, batched=True),
+    )
+
+
+def _scalar(spec: ScenarioSpec) -> ScenarioSpec:
+    """The pre-optimization reference: scalar probes + scans + records."""
+    return dataclasses.replace(
+        spec,
+        fleet=dataclasses.replace(
+            spec.fleet, detail="full", load_accounting="scan"
+        ),
+        routing=dataclasses.replace(spec.routing, batched=False),
+    )
+
+
+def aggregate_fields(result) -> dict:
+    """Every output of a cluster run except instrumentation counters.
+
+    ``router_cache`` statistics are deliberately excluded: scope-shared
+    caches count hits/misses differently from per-system ones. Everything
+    a study reads — latencies, throughput, placement, energy, per-tenant
+    SLO accounting — is compared exactly.
+    """
+    summary = result.summary
+    return {
+        "router": summary.router,
+        "makespan": summary.makespan_seconds,
+        "total_requests": summary.total_requests,
+        "tokens": summary.tokens_generated,
+        "latencies": sorted(summary.request_latencies),
+        "p50": summary.latency_percentile(50),
+        "p99": summary.latency_percentile(99),
+        "mean": summary.mean_latency,
+        "reschedules": summary.total_reschedules,
+        "replicas": [
+            {
+                "served": report.requests_served,
+                "tokens": report.tokens_generated,
+                "iterations": report.iterations,
+                "busy": report.busy_seconds,
+                "utilization": report.utilization,
+                "reschedules": report.reschedules,
+                "acceptance": report.acceptance_rate,
+                "expert_visits": report.expert_token_visits,
+                "active_experts": report.mean_active_experts,
+                "decode_seconds": report.summary.decode_seconds,
+                "decode_energy": report.summary.decode_energy,
+                "prefill_seconds": report.summary.prefill_seconds,
+                "queueing_seconds": report.summary.queueing_seconds,
+                "fc_targets": dict(report.summary.fc_target_iterations),
+                "time_breakdown": dict(report.summary.time_breakdown),
+                "energy_breakdown": dict(report.summary.energy_breakdown),
+            }
+            for report in summary.replicas
+        ],
+        "tenants": {
+            name: dataclasses.asdict(report)
+            for name, report in summary.tenants.items()
+        },
+    }
+
+
+CASES = [
+    pytest.param("min-cost", "admit", False, 2, id="min-cost-dense"),
+    pytest.param("min-cost", "admit", True, 2, id="min-cost-moe"),
+    pytest.param("intensity", "admit", False, 2, id="intensity-dense"),
+    pytest.param("intensity", "defer", False, 1, id="intensity-defer-serial"),
+    pytest.param("slo-slack", "admit", False, 2, id="slo-slack-dense"),
+    pytest.param("slo-slack", "reject", False, 2, id="slo-slack-reject"),
+    pytest.param("slo-slack", "defer", False, 4, id="slo-slack-defer-spec4"),
+    pytest.param("slo-slack", "defer", True, 2, id="slo-slack-defer-moe"),
+    pytest.param("least-outstanding", "reject", False, 2, id="least-reject"),
+]
+
+
+class TestBatchedScalarEquivalence:
+    @pytest.mark.parametrize("policy,admission,moe,spec_len", CASES)
+    def test_bit_identical_outputs(self, policy, admission, moe, spec_len):
+        spec = _scenario(
+            policy, admission=admission, moe=moe, speculation_length=spec_len
+        )
+        fast = aggregate_fields(run_scenario(_fast(spec)))
+        scalar = aggregate_fields(run_scenario(_scalar(spec)))
+        assert fast == scalar
+
+    def test_mean_context_mode_equivalent(self):
+        spec = _scenario("slo-slack", admission="defer", context_mode="mean")
+        fast = aggregate_fields(run_scenario(_fast(spec)))
+        scalar = aggregate_fields(run_scenario(_scalar(spec)))
+        assert fast == scalar
+
+    def test_mixed_fleet_groups_split_by_workload(self):
+        """A mixed MoE + dense fleet on identical hardware must not let
+        fleet-batched pricing collapse different workloads into one grid."""
+        base = _scenario("min-cost")
+        moe_group = ReplicaSpec(
+            count=2,
+            max_batch_size=8,
+            workload=dataclasses.replace(
+                base.workload, moe=MoESpec(num_experts=8, experts_per_token=2)
+            ),
+        )
+        dense_group = ReplicaSpec(count=2, max_batch_size=8)
+        spec = dataclasses.replace(
+            base,
+            fleet=dataclasses.replace(
+                base.fleet, replicas=(moe_group, dense_group)
+            ),
+        )
+        fast = aggregate_fields(run_scenario(_fast(spec)))
+        scalar = aggregate_fields(run_scenario(_scalar(spec)))
+        assert fast == scalar
+
+    def test_aggregate_detail_drops_records_only(self):
+        spec = _scenario("min-cost")
+        full = run_scenario(spec)
+        aggregate = run_scenario(
+            dataclasses.replace(
+                spec, fleet=dataclasses.replace(spec.fleet, detail="aggregate")
+            )
+        )
+        for full_report, agg_report in zip(
+            full.summary.replicas, aggregate.summary.replicas
+        ):
+            assert full_report.summary.records, "full mode keeps records"
+            assert agg_report.summary.records == []
+            assert agg_report.summary.rlp_trace() == []
+            assert (
+                full_report.summary.request_latencies
+                == agg_report.summary.request_latencies
+            )
+        assert aggregate_fields(full) == aggregate_fields(aggregate)
+
+    def test_load_accounting_counters_match_scans(self):
+        """The incremental counters answer exactly what a rescan would."""
+        from repro.scenario.build import (
+            build_replicas,
+            build_requests,
+            build_routing,
+        )
+        from repro.cluster.cluster import ClusterSimulator
+        from repro.serving.clock import EventKind
+
+        spec = _scenario("min-cost", requests=32, replicas=2)
+        replicas = build_replicas(spec)
+        probed = []
+
+        class ProbingSimulator(ClusterSimulator):
+            def run(self, requests):  # pragma: no cover - thin shim
+                return super().run(requests)
+
+        simulator = ProbingSimulator(replicas, build_routing(spec))
+        # Interpose on the router to cross-check counters mid-run.
+        original_select = simulator.router.select
+
+        def checking_select(request, fleet, now):
+            for replica in fleet:
+                incremental = replica.outstanding_remaining_tokens()
+                scan = sum(
+                    r.output_len - r.generated for r in replica.active
+                ) + sum(r.output_len for r in replica.waiting)
+                assert incremental == scan
+                rlp_fast, mean_fast = replica.projected_admission_load(
+                    request.input_len
+                )
+                replica.load_accounting = "scan"
+                rlp_scan, mean_scan = replica.projected_admission_load(
+                    request.input_len
+                )
+                replica.load_accounting = "incremental"
+                assert (rlp_fast, mean_fast) == (rlp_scan, mean_scan)
+                probed.append(replica.replica_id)
+            return original_select(request, fleet, now)
+
+        simulator.router.select = checking_select
+        simulator.run(build_requests(spec))
+        assert probed, "router probes exercised the counters"

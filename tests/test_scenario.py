@@ -21,6 +21,7 @@ from repro.scenario import (
     build_requests,
     load_scenario,
     run_scenario,
+    run_scenarios,
     scenario_spec_fields,
 )
 from repro.serving.arrivals import poisson_arrivals
@@ -370,6 +371,109 @@ class TestRunScenario:
         a = run_scenario(spec)
         b = run_scenario(spec)
         assert a.to_dict() == b.to_dict()
+
+
+class TestRunScenarios:
+    def _specs(self):
+        return [
+            ScenarioSpec(
+                name=f"batch-{requests}",
+                tenants=(
+                    TenantSpec(
+                        traffic=TrafficSpec(
+                            category="general-qa",
+                            requests=requests,
+                            rate_per_s=16.0,
+                        )
+                    ),
+                ),
+            )
+            for requests in (6, 10)
+        ]
+
+    def test_matches_individual_runs_in_order(self):
+        specs = self._specs()
+        batch = run_scenarios(specs)
+        assert [result.spec.name for result in batch] == [
+            "batch-6", "batch-10"
+        ]
+        for spec, result in zip(specs, batch):
+            assert result.to_dict() == run_scenario(spec).to_dict()
+
+    def test_workers_do_not_change_outputs(self):
+        specs = self._specs()
+        inline = [result.to_dict() for result in run_scenarios(specs)]
+        pooled = [
+            result.to_dict() for result in run_scenarios(specs, workers=2)
+        ]
+        assert inline == pooled
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ConfigurationError, match="at least one"):
+            run_scenarios([])
+
+    def test_invalid_spec_named_by_index(self):
+        specs = self._specs()
+        specs.append(
+            dataclasses.replace(
+                specs[0], routing=RoutingSpec(policy="coin-flip")
+            )
+        )
+        with pytest.raises(ConfigurationError, match=r"scenarios\[2\]"):
+            run_scenarios(specs)
+
+
+class TestFleetScaleSpecFields:
+    def test_new_fields_round_trip(self):
+        spec = ScenarioSpec(
+            fleet=FleetSpec(detail="aggregate", load_accounting="scan"),
+            routing=RoutingSpec(policy="min-cost", batched=False),
+        )
+        decoded = ScenarioSpec.from_dict(spec.to_dict())
+        assert decoded == spec
+        assert decoded.fleet.detail == "aggregate"
+        assert decoded.fleet.load_accounting == "scan"
+        assert decoded.routing.batched is False
+
+    def test_bad_detail_rejected_with_path(self):
+        spec = ScenarioSpec(fleet=FleetSpec(detail="verbose"))
+        with pytest.raises(ConfigurationError, match="fleet.detail"):
+            spec.validate()
+
+    def test_bad_load_accounting_rejected_with_path(self):
+        spec = ScenarioSpec(fleet=FleetSpec(load_accounting="lazy"))
+        with pytest.raises(ConfigurationError, match="fleet.load_accounting"):
+            spec.validate()
+
+    def test_admission_probe_memo_reused_by_router(self):
+        """Within one arrival, the slo-slack router reuses the admission
+        controller's fleet probe instead of re-pricing the fleet."""
+        from repro.cluster.admission import (
+            AdmissionDecision,
+            SLOAdmissionController,
+            TenantPolicy,
+        )
+        from repro.scenario import build_replicas
+        from repro.serving.request import Request
+
+        spec = ScenarioSpec(
+            fleet=FleetSpec(replicas=(ReplicaSpec(count=3),)),
+        )
+        replicas = build_replicas(spec)
+        router = build_router("slo-slack")
+        controller = SLOAdmissionController(
+            {"default": TenantPolicy(action="reject")},
+            price_cache=router.price_cache,
+        )
+        request = Request(
+            request_id=0, input_len=64, output_len=32, deadline_s=500.0
+        )
+        decision, _ = controller.decide(request, replicas, 0.0)
+        assert decision is AdmissionDecision.ADMIT
+        lookups_after_decide = router.price_cache.lookups
+        index = router.select(request, replicas, 0.0)
+        assert 0 <= index < len(replicas)
+        assert router.price_cache.lookups == lookups_after_decide
 
 
 class TestLoadScenario:

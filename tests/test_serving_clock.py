@@ -31,6 +31,43 @@ class TestEventQueue:
             queue.push(1.0, EventKind.ARRIVAL, index)
         assert [queue.pop().payload for _ in range(5)] == [0, 1, 2, 3, 4]
 
+    def test_mixed_kind_tie_break_is_push_order(self):
+        """Same-timestamp ARRIVAL/ADMIT/STEP_DONE order is pinned.
+
+        The cluster simulator's determinism — and therefore the batched/
+        scalar equivalence contract — relies on ties breaking by push
+        order regardless of event kind: an ADMIT scheduled "now" must not
+        overtake a STEP_DONE pushed earlier at the same instant, and
+        kinds must never reorder among themselves.
+        """
+        queue = EventQueue()
+        queue.push(1.0, EventKind.STEP_DONE, "step-first")
+        queue.push(1.0, EventKind.ARRIVAL, "arrival-second")
+        queue.push(1.0, EventKind.ADMIT, "admit-third")
+        queue.push(1.0, EventKind.ARRIVAL, "arrival-fourth")
+        order = [queue.pop().payload for _ in range(4)]
+        assert order == [
+            "step-first", "arrival-second", "admit-third", "arrival-fourth"
+        ]
+
+    def test_tie_break_survives_interleaved_pushes_mid_drain(self):
+        """Push order keeps ruling ties across pop/push interleavings.
+
+        Mirrors the cluster's arrival pattern: trace arrivals enqueued up
+        front, ADMITs scheduled at the same timestamp while draining. An
+        ADMIT pushed after arrival B must pop after B even though it was
+        scheduled while A (same timestamp) was being handled.
+        """
+        queue = EventQueue()
+        queue.push(1.0, EventKind.ARRIVAL, "A")
+        queue.push(1.0, EventKind.ARRIVAL, "B")
+        assert queue.pop().payload == "A"
+        queue.push(1.0, EventKind.ADMIT, "admit-for-A")
+        assert queue.pop().payload == "B"
+        queue.push(1.0, EventKind.ADMIT, "admit-for-B")
+        assert queue.pop().payload == "admit-for-A"
+        assert queue.pop().payload == "admit-for-B"
+
     def test_push_into_past_rejected(self):
         queue = EventQueue()
         queue.push(2.0, EventKind.ARRIVAL)

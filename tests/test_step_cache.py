@@ -76,6 +76,58 @@ class TestCacheMechanics:
         assert cache.get(system, "k") is None
         assert cache.stats()["hits"] == 0
 
+    def test_shared_scope_serves_equal_systems(self):
+        """``share_equal_systems`` lets configuration-equal systems read
+        each other's entries — the fleet-wide cache behind batched
+        admission pricing."""
+        a, b = build_system("papi"), build_system("papi")
+        model = get_model("llama-65b")
+        result = a.execute_step(build_decode_step(model, 4, 1, 128))
+        cache = StepCostCache(share_equal_systems=True)
+        key = ("llama-65b", "fc-pim", 4, 1, 128)
+        cache.put(a, key, result)
+        assert cache.get(b, key) is result
+        assert cache.scope_key(a) == cache.scope_key(b)
+        assert cache.stats()["systems"] == 1  # one scope for the pair
+
+    def test_shared_scope_still_separates_unequal_systems(self):
+        papi, baseline = build_system("papi"), build_system("a100-attacc")
+        model = get_model("llama-65b")
+        result = papi.execute_step(build_decode_step(model, 4, 1, 128))
+        cache = StepCostCache(share_equal_systems=True)
+        key = ("llama-65b", "fc-pim", 4, 1, 128)
+        cache.put(papi, key, result)
+        assert cache.get(baseline, key) is None
+        assert cache.scope_key(papi) != cache.scope_key(baseline)
+
+    def test_shared_scope_never_derived_from_object_identity(self):
+        """Shared scopes are counter-allocated, so a recycled ``id()``
+        can never alias a dead system's cached prices."""
+        a = build_system("papi")
+        cache = StepCostCache(share_equal_systems=True)
+        assert cache.scope_key(a) != id(a)
+
+    def test_shared_scope_purged_when_last_system_dies(self):
+        import gc
+
+        cache = StepCostCache(share_equal_systems=True)
+        a, b = build_system("papi"), build_system("papi")
+        cache.put(a, ("k",), 1.0)
+        assert cache.get(b, ("k",)) == 1.0
+        del a
+        gc.collect()
+        assert cache.entries == 1  # b keeps the scope alive
+        del b
+        gc.collect()
+        assert cache.entries == 0  # last holder gone -> entries purged
+        assert cache._scope_reps == []
+
+    def test_unshared_cache_keeps_identity_scoping(self):
+        a, b = build_system("papi"), build_system("papi")
+        cache = StepCostCache()
+        assert cache.scope_key(a) == id(a)
+        assert cache.scope_key(a) != cache.scope_key(b)
+
     def test_invalid_capacity_rejected(self):
         with pytest.raises(ConfigurationError):
             StepCostCache(max_entries=0)
