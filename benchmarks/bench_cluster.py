@@ -1,27 +1,31 @@
-"""Cluster simulator at fleet scale: batched vs the scalar reference.
+"""Cluster simulator at fleet scale: vectorized vs batched vs scalar.
 
-The PR-5 acceptance benchmark. Two measurements share one scenario
-family (32 PAPI replicas under ``slo-slack`` routing with SLO admission
+The PR-6 acceptance benchmark. Three measurements share one scenario
+family (PAPI replicas under ``slo-slack`` routing with SLO admission
 control, two tenants, sustained past-capacity Poisson load so routing
 probes see real queues):
 
 * **Equivalence traces** — a matrix of smaller runs (routers x admission
-  x MoE x speculation) executed through both configurations —
-  fleet-batched pricing + O(1) incremental load accounting + aggregate
-  metrics vs scalar per-replica probes + O(queue) rescans + full
-  per-iteration records (the pre-optimization simulator) — asserting
-  **zero** mismatches across every aggregate, per-replica, and
-  per-tenant output.
-* **The headline trace** — 100k requests x 32 replicas timed through
-  both configurations; the acceptance bar is a >= 5x wall-clock speedup.
+  x MoE x speculation) executed through all three cores — the vectorized
+  array core (``core_mode="vectorized"``), the PR 5 fleet-batched event
+  core, and the scalar reference (per-replica probes + O(queue) rescans
+  + full per-iteration records) — asserting **zero** mismatches across
+  every aggregate, per-replica, and per-tenant output.
+* **The headline trace** — 1M requests x 64 replicas timed through the
+  vectorized and the PR 5 batched configurations; the acceptance bar is
+  a >= 5x wall-clock speedup.
+* **The scalar reference leg** — the same scenario at 1/20 scale timed
+  through the scalar and vectorized configurations (the scalar core's
+  O(queue) admission rescans make full scale infeasible); the vectorized
+  core's bar there is >= 30x.
 
 The simulation itself is deterministic (queue depths, routing decisions,
 and every output are bit-reproducible anywhere); only the wall-clock
 seconds vary by host. Results land in ``results/BENCH_cluster.json``.
 
 Scale knobs (env): ``BENCH_CLUSTER_REQUESTS`` / ``BENCH_CLUSTER_REPLICAS``
-trim the headline trace for CI smoke runs — the speedup bar only applies
-at full scale (>= 100k requests), the zero-mismatch gate always.
+trim the headline trace for CI smoke runs — the speedup bars only apply
+at full scale (>= 1M requests), the zero-mismatch gate always.
 """
 
 import dataclasses
@@ -45,23 +49,28 @@ from repro.scenario.spec import (
     WorkloadSpec,
 )
 
-#: Headline trace shape: 100k requests across two tenants on 32 replicas.
-REQUESTS = int(os.environ.get("BENCH_CLUSTER_REQUESTS", "100000"))
-REPLICAS = int(os.environ.get("BENCH_CLUSTER_REPLICAS", "32"))
-#: Per-tenant Poisson rate: combined offered load (800/s) sits well above
-#: the fleet's deterministic service capacity (~420/s on this trace), so
-#: queues deepen through the arrival window and SLO admission control
-#: sheds interactive load — the regime fleet-scale serving actually
-#: operates in, and where the scalar simulator's O(queue) admission
-#: rescans are at their honest worst.
-RATE_PER_TENANT = 400.0
+#: Headline trace shape: 1M requests across two tenants on 64 replicas.
+REQUESTS = int(os.environ.get("BENCH_CLUSTER_REQUESTS", "1000000"))
+REPLICAS = int(os.environ.get("BENCH_CLUSTER_REPLICAS", "64"))
+#: Per-tenant Poisson rate: combined offered load (6400/s) sits far above
+#: the fleet's deterministic service capacity on this trace, so queues
+#: deepen through the arrival window and SLO admission control sheds
+#: interactive load through bounded defer/retry — the regime fleet-scale
+#: serving actually operates in, and where per-arrival admission probing
+#: (the scalar and batched cores' per-replica Python loops) dominates.
+RATE_PER_TENANT = 3200.0
+MAX_BATCH = 64
+#: The scalar reference's O(queue) rescans are quadratic in queue depth;
+#: its leg runs the same scenario at 1/20 scale.
+SCALAR_DIVISOR = 20
 
 BENCH_JSON = Path("results") / "BENCH_cluster.json"
 
 
-def headline_scenario(
-    batched: bool, detail: str, load_accounting: str
-) -> ScenarioSpec:
+def headline_scenario(requests: int = None) -> ScenarioSpec:
+    """The headline scenario at ``requests`` total offered requests."""
+    if requests is None:
+        requests = REQUESTS
     return ScenarioSpec(
         name="bench-cluster",
         seed=17,
@@ -69,48 +78,77 @@ def headline_scenario(
             speculation_length=1, context_mode="mean", acceptance_rate=0.8
         ),
         fleet=FleetSpec(
-            replicas=(ReplicaSpec(count=REPLICAS, max_batch_size=16),),
-            detail=detail,
-            load_accounting=load_accounting,
+            replicas=(
+                ReplicaSpec(count=REPLICAS, max_batch_size=MAX_BATCH),
+            ),
+            detail="aggregate",
+            load_accounting="incremental",
         ),
         tenants=(
             TenantSpec(
                 name="interactive",
                 traffic=TrafficSpec(
                     category="general-qa",
-                    requests=REQUESTS // 2,
+                    requests=requests // 2,
                     rate_per_s=RATE_PER_TENANT,
                 ),
-                slo=SLOSpec(p99_seconds=8.0, admission="defer"),
+                slo=SLOSpec(
+                    p99_seconds=8.0,
+                    admission="defer",
+                    defer_seconds=0.25,
+                    max_defers=8,
+                ),
             ),
             TenantSpec(
                 name="batch",
                 traffic=TrafficSpec(
                     category="general-qa",
-                    requests=REQUESTS // 2,
+                    requests=requests // 2,
                     rate_per_s=RATE_PER_TENANT,
                 ),
             ),
         ),
-        routing=RoutingSpec(policy="slo-slack", batched=batched),
+        routing=RoutingSpec(policy="slo-slack", batched=True),
+    )
+
+
+def _vectorized(spec: ScenarioSpec) -> ScenarioSpec:
+    """The PR 6 array core: flat calendar + fleet arrays + probe cache."""
+    return dataclasses.replace(
+        spec,
+        fleet=dataclasses.replace(
+            spec.fleet,
+            detail="aggregate",
+            load_accounting="incremental",
+            core_mode="vectorized",
+        ),
+        routing=dataclasses.replace(spec.routing, batched=True),
     )
 
 
 def _fast(spec: ScenarioSpec) -> ScenarioSpec:
+    """The PR 5 event core: fleet-batched pricing, incremental counters."""
     return dataclasses.replace(
         spec,
         fleet=dataclasses.replace(
-            spec.fleet, detail="aggregate", load_accounting="incremental"
+            spec.fleet,
+            detail="aggregate",
+            load_accounting="incremental",
+            core_mode="event",
         ),
         routing=dataclasses.replace(spec.routing, batched=True),
     )
 
 
 def _scalar(spec: ScenarioSpec) -> ScenarioSpec:
+    """The scalar reference: per-replica probes, O(queue) rescans."""
     return dataclasses.replace(
         spec,
         fleet=dataclasses.replace(
-            spec.fleet, detail="full", load_accounting="scan"
+            spec.fleet,
+            detail="full",
+            load_accounting="scan",
+            core_mode="event",
         ),
         routing=dataclasses.replace(spec.routing, batched=False),
     )
@@ -185,34 +223,58 @@ def run_cluster_benchmark():
     mismatches = 0
     for case in EQUIVALENCE_CASES:
         spec = equivalence_scenario(*case)
+        vectorized = comparable_outputs(run_scenario(_vectorized(spec)))
         fast = comparable_outputs(run_scenario(_fast(spec)))
         scalar = comparable_outputs(run_scenario(_scalar(spec)))
-        if fast != scalar:
+        if vectorized != fast or fast != scalar:
             mismatches += 1
 
-    base = headline_scenario(True, "aggregate", "incremental")
+    # Headline: vectorized vs the PR 5 batched core at full scale.
+    base = headline_scenario()
+    t0 = time.perf_counter()
+    vec_result = run_scenario(_vectorized(base))
+    vec_seconds = time.perf_counter() - t0
     t0 = time.perf_counter()
     fast_result = run_scenario(_fast(base))
     fast_seconds = time.perf_counter() - t0
-    t0 = time.perf_counter()
-    scalar_result = run_scenario(_scalar(base))
-    scalar_seconds = time.perf_counter() - t0
-    if comparable_outputs(fast_result) != comparable_outputs(scalar_result):
+    if comparable_outputs(vec_result) != comparable_outputs(fast_result):
         mismatches += 1
 
-    summary = fast_result.summary
+    # Scalar reference leg at reduced scale (O(queue) rescans make the
+    # scalar core infeasible at the full trace).
+    scalar_requests = max(2, REQUESTS // SCALAR_DIVISOR)
+    small = headline_scenario(scalar_requests)
+    t0 = time.perf_counter()
+    vec_small_result = run_scenario(_vectorized(small))
+    vec_small_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    scalar_result = run_scenario(_scalar(small))
+    scalar_seconds = time.perf_counter() - t0
+    if comparable_outputs(vec_small_result) != comparable_outputs(
+        scalar_result
+    ):
+        mismatches += 1
+
+    summary = vec_result.summary
     payload = {
         "requests": REQUESTS,
         "replicas": REPLICAS,
         "router": "slo-slack",
         "rate_per_tenant": RATE_PER_TENANT,
-        "equivalence_traces": len(EQUIVALENCE_CASES) + 1,
+        "max_batch_size": MAX_BATCH,
+        "equivalence_traces": len(EQUIVALENCE_CASES) + 2,
         "mismatches": mismatches,
-        "scalar_seconds": scalar_seconds,
+        "vectorized_seconds": vec_seconds,
         "batched_seconds": fast_seconds,
-        "speedup": scalar_seconds / fast_seconds,
-        "scalar_requests_per_second": REQUESTS / scalar_seconds,
+        "speedup": fast_seconds / vec_seconds,
+        "vectorized_requests_per_second": REQUESTS / vec_seconds,
         "batched_requests_per_second": REQUESTS / fast_seconds,
+        "scalar_reference": {
+            "requests": scalar_requests,
+            "scalar_seconds": scalar_seconds,
+            "vectorized_seconds": vec_small_seconds,
+            "speedup": scalar_seconds / vec_small_seconds,
+        },
         "simulated": {
             "makespan_seconds": summary.makespan_seconds,
             "total_requests": summary.total_requests,
@@ -234,28 +296,35 @@ def run_cluster_benchmark():
 def test_cluster_scale(benchmark, show):
     payload = run_once(benchmark, run_cluster_benchmark)
 
+    scalar_ref = payload["scalar_reference"]
     show(
         format_table(
             ["metric", "value"],
             [
                 ["trace", f"{payload['requests']} reqs x "
                           f"{payload['replicas']} replicas (slo-slack)"],
-                ["scalar seconds", payload["scalar_seconds"]],
+                ["vectorized seconds", payload["vectorized_seconds"]],
                 ["batched seconds", payload["batched_seconds"]],
-                ["speedup", payload["speedup"]],
-                ["scalar reqs/s", payload["scalar_requests_per_second"]],
+                ["speedup (vec vs batched)", payload["speedup"]],
+                ["vectorized reqs/s",
+                 payload["vectorized_requests_per_second"]],
                 ["batched reqs/s", payload["batched_requests_per_second"]],
+                ["scalar leg reqs", scalar_ref["requests"]],
+                ["scalar leg seconds", scalar_ref["scalar_seconds"]],
+                ["speedup (vec vs scalar)", scalar_ref["speedup"]],
                 ["equivalence traces", payload["equivalence_traces"]],
                 ["mismatches", payload["mismatches"]],
                 ["output file", str(BENCH_JSON)],
             ],
-            title="Fleet-batched cluster simulator vs scalar reference",
+            title="Vectorized cluster core vs batched and scalar references",
         )
     )
 
-    # The acceptance bar: zero divergence from the scalar reference
-    # always; the >= 5x wall-clock win at the full 100k-request scale
-    # (trimmed CI smoke runs only gate equivalence).
+    # The acceptance bars: zero divergence across all three cores always;
+    # the >= 5x wall-clock win over the PR 5 batched core (and >= 30x
+    # over the scalar reference at its reduced-scale leg) at the full
+    # 1M-request scale — trimmed CI smoke runs only gate equivalence.
     assert payload["mismatches"] == 0
-    if payload["requests"] >= 100_000:
+    if payload["requests"] >= 1_000_000:
         assert payload["speedup"] >= 5.0, payload
+        assert scalar_ref["speedup"] >= 30.0, payload

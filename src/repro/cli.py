@@ -270,8 +270,12 @@ def cmd_run(args: argparse.Namespace) -> int:
             raise SystemExit(f"cannot read scenario file: {exc}") from None
         except ConfigurationError as exc:
             raise SystemExit(f"{path}: {exc}") from None
+    shards = getattr(args, "shards", 1)
     try:
-        results = run_scenarios(specs, workers=args.workers)
+        if shards > 1:
+            results = [run_scenario(spec, shards=shards) for spec in specs]
+        else:
+            results = run_scenarios(specs, workers=args.workers)
     except ConfigurationError as exc:
         raise SystemExit(str(exc)) from None
     for result in results:
@@ -657,6 +661,11 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--workers", type=int, default=0,
                      help="process-parallel workers for a scenario batch "
                           "(0/1 runs inline; outputs are identical)")
+    run.add_argument("--shards", type=int, default=1,
+                     help="split each scenario's tenants across N worker "
+                          "processes (per-tenant traces are bit-identical "
+                          "to --shards 1; each shard serves its tenants "
+                          "on its own fleet copy)")
     run.add_argument("--json", default="",
                      help="export the full result (aggregate, replicas, "
                           "per-tenant SLO reports) to a JSON file; a "

@@ -26,10 +26,18 @@ from functools import cached_property
 from typing import Dict, List, Optional, Sequence
 
 from repro.cluster.admission import AdmissionDecision, SLOAdmissionController
+from repro.cluster.fleetstate import FleetState
 from repro.cluster.replica import Replica
 from repro.cluster.router import Router
 from repro.errors import ConfigurationError, SimulationError
-from repro.serving.clock import EventKind, EventQueue
+from repro.serving.clock import (
+    ADMIT_CODE,
+    ARRIVAL_CODE,
+    STEP_DONE_CODE,
+    EventCalendar,
+    EventKind,
+    EventQueue,
+)
 from repro.serving.metrics import RunSummary, latency_percentile_of
 from repro.serving.request import Request, RequestState
 
@@ -269,7 +277,23 @@ class ClusterSimulator:
                 if done_at is not None:
                     queue.push(done_at, EventKind.STEP_DONE, event.payload)
 
-        makespan = queue.now
+        return self._summarize(trace, stats, queue.now)
+
+    def _summarize(
+        self,
+        trace: Sequence[Request],
+        stats: Dict[str, Dict[str, int]],
+        makespan: float,
+        router_cache: Optional[Dict[str, float]] = None,
+    ) -> ClusterSummary:
+        """Fold the drained fleet into a :class:`ClusterSummary`.
+
+        Shared by the event-driven and vectorized cores — the report
+        layer is identical; only the event loops differ. ``router_cache``
+        overrides the admission-price counters (the vectorized core
+        reports its dense-table statistics); ``None`` reads the router's
+        price cache.
+        """
         reports: List[ReplicaReport] = []
         for replica in self.replicas:
             summary = replica.finalize(makespan)
@@ -291,18 +315,133 @@ class ClusterSimulator:
                 )
             )
         total = sum(report.requests_served for report in reports)
-        price_cache = self.router.price_cache
+        if router_cache is None:
+            price_cache = self.router.price_cache
+            router_cache = (
+                dict(price_cache.stats()) if price_cache is not None else {}
+            )
         return ClusterSummary(
             router=self.router.name,
             model=self.replicas[0].workload_name,
             makespan_seconds=makespan,
             total_requests=total,
             replicas=reports,
-            router_cache=(
-                dict(price_cache.stats()) if price_cache is not None else {}
-            ),
+            router_cache=router_cache,
             tenants=_tenant_reports(trace, stats),
         )
+
+
+class VectorizedClusterSimulator(ClusterSimulator):
+    """The array-backed cluster core (``core_mode="vectorized"``).
+
+    Same cluster semantics as :class:`ClusterSimulator` — the equivalence
+    suite pins the two cores' summaries bit-for-bit — built on three
+    structural changes:
+
+    * The event queue is a :class:`~repro.serving.clock.EventCalendar`:
+      the (pre-sorted) arrival trace lives in a flat array lane consumed
+      by cursor, and only dynamically scheduled events (``ADMIT``,
+      ``STEP_DONE``, deferral re-arrivals) touch a heap — of plain
+      tuples, not ``Event`` objects.
+    * The fleet is wrapped in a
+      :class:`~repro.cluster.fleetstate.FleetState`: per-replica load
+      counters mirrored into fleet-wide numpy arrays (refreshed lazily
+      from a dirty set), so routing probes and admission projections run
+      as vector operations across all replicas at once against dense
+      price tables.
+    * Replicas must be :class:`~repro.cluster.fleetstate.VectorReplica`
+      instances (primitive slot-array step bookkeeping); the scenario
+      builder constructs them when the spec selects the vectorized core.
+    """
+
+    def __init__(
+        self,
+        replicas: Sequence[Replica],
+        router: Router,
+        admission: Optional[SLOAdmissionController] = None,
+    ) -> None:
+        super().__init__(replicas, router, admission)
+        self.fleet = FleetState(self.replicas)
+
+    def run(self, requests: Sequence[Request]) -> ClusterSummary:
+        """Serve an arrival-stamped trace; returns the cluster summary."""
+        if not requests:
+            raise ConfigurationError("requests must be non-empty")
+        trace = sorted(requests, key=lambda r: r.arrival_s)
+        stats: Dict[str, Dict[str, int]] = {}
+        for request in trace:
+            tally = stats.setdefault(
+                request.tenant,
+                {"submitted": 0, "rejected": 0, "deferrals": 0},
+            )
+            tally["submitted"] += 1
+        calendar = EventCalendar(
+            [request.arrival_s for request in trace], trace
+        )
+
+        fleet = self.fleet
+        replicas = self.replicas
+        router = self.router
+        admission = self.admission
+        # Inlined step bursts below bypass the calendar, so its clock can
+        # stall before the true end of the run; the makespan is tracked by
+        # hand — last popped event time, or the last inlined completion.
+        makespan = 0.0
+        while not calendar.empty:
+            now, kind, payload = calendar.pop()
+            makespan = now
+            if kind == ARRIVAL_CODE:
+                request = payload
+                if admission is not None:
+                    decision, backoff = admission.decide(request, fleet, now)
+                    if decision is AdmissionDecision.REJECT:
+                        request.state = RequestState.REJECTED
+                        stats[request.tenant]["rejected"] += 1
+                        continue
+                    if decision is AdmissionDecision.DEFER:
+                        stats[request.tenant]["deferrals"] += 1
+                        calendar.push(now + backoff, ARRIVAL_CODE, request)
+                        continue
+                index = router.select(request, fleet, now)
+                if not 0 <= index < len(replicas):
+                    raise SimulationError(
+                        f"router {router.name!r} returned replica "
+                        f"{index} of {len(replicas)}"
+                    )
+                replica = replicas[index]
+                replica.enqueue(request)
+                fleet.mark_dirty(index)
+                if replica.idle:
+                    calendar.push(now, ADMIT_CODE, index)
+            else:  # ADMIT_CODE / STEP_DONE_CODE
+                replica = replicas[payload]
+                if kind == ADMIT_CODE:
+                    done_at = replica.poke(now)
+                else:
+                    done_at = replica.on_step_done(now)
+                # Inline step burst: while this replica's next completion
+                # strictly precedes every other pending event, no probe or
+                # admission can observe the fleet in between — run the
+                # steps back-to-back without a heap round-trip per step.
+                # Strictly: an event *at* the peeked time holds an older
+                # sequence number than a fresh push, so it must win the
+                # tie and be processed first.
+                peek = calendar.peek_time()
+                while done_at is not None and (
+                    peek is None or done_at < peek
+                ):
+                    makespan = done_at
+                    done_at = replica.on_step_done(done_at)
+                fleet.mark_dirty(payload)
+                if done_at is not None:
+                    calendar.push(done_at, STEP_DONE_CODE, payload)
+
+        router_cache = (
+            dict(fleet.price_stats())
+            if self.router.price_cache is not None
+            else {}
+        )
+        return self._summarize(trace, stats, makespan, router_cache)
 
 
 def _tenant_reports(

@@ -129,6 +129,15 @@ class Replica:
             system=system.name, model=self._workload_name, detail=detail
         )
         self.load_accounting = load_accounting
+        if detail == "aggregate":
+            # Aggregate detail already drops per-iteration records; drop
+            # the scheduler's per-decision history for the same reason
+            # (fleet-scale traces make tens of millions of decisions).
+            # The reschedule counter and standing decision survive, so
+            # every reported number is bit-identical.
+            scheduler = getattr(system, "scheduler", None)
+            if scheduler is not None:
+                scheduler.keep_history = False
 
         self.waiting: Deque[Request] = deque()
         self.active: List[Request] = []

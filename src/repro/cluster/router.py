@@ -37,6 +37,8 @@ import abc
 import math
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
+import numpy as np
+
 from repro.cluster.replica import Replica
 from repro.errors import ConfigurationError
 from repro.models.workload import build_step_grid
@@ -187,7 +189,16 @@ def projected_step_seconds_fleet(
     bit-identical to ``projected_step_seconds(replica, request, cache)``:
     the same key, the same grid point, the same arithmetic — only the
     batching differs.
+
+    When ``replicas`` is a :class:`~repro.cluster.fleetstate.FleetState`
+    (the vectorized core's array-backed fleet view), the probe forwards
+    to its :meth:`~repro.cluster.fleetstate.FleetState.fleet_step_seconds`
+    — the same projections and the same pinned-target pricing, computed
+    as fleet-wide array operations against dense price tables.
     """
+    fleet = getattr(replicas, "fleet_step_seconds", None)
+    if fleet is not None:
+        return fleet(request)
     bucket = ADMISSION_CONTEXT_BUCKET
     input_len = request.input_len
     seconds: List[Optional[float]] = [None] * len(replicas)
@@ -321,7 +332,14 @@ def projected_completion_seconds_fleet(
     min-cost pass instead of pricing twice), and the speculation
     constants are the replicas' hoisted per-iteration values. Lane ``i``
     is bit-identical to ``projected_completion_seconds(replicas[i], ...)``.
+
+    :class:`~repro.cluster.fleetstate.FleetState` fleets forward to the
+    array-parallel
+    :meth:`~repro.cluster.fleetstate.FleetState.fleet_completion_seconds`.
     """
+    fleet = getattr(replicas, "fleet_completion_seconds", None)
+    if fleet is not None:
+        return fleet(request, step_seconds)
     if step_seconds is None:
         step_seconds = projected_step_seconds_fleet(replicas, request, cache)
     output_len = request.output_len
@@ -383,6 +401,11 @@ class LeastOutstandingRouter(Router):
     def select(
         self, request: Request, replicas: Sequence[Replica], now: float
     ) -> int:
+        counts = getattr(replicas, "outstanding_counts", None)
+        if counts is not None:
+            # argmin returns the first minimum — the same (count, index)
+            # tie-break as the scalar scan.
+            return int(np.argmin(counts()))
         return min(
             range(len(replicas)), key=lambda i: (replicas[i].outstanding(), i)
         )
@@ -550,11 +573,16 @@ class MinCostRouter(Router):
     ) -> int:
         if not replicas:
             raise ConfigurationError("cluster has no replicas")
+        costs = self._step_costs(request, replicas, now)
+        counts = getattr(replicas, "outstanding_counts", None)
+        if counts is not None:
+            # lexsort ranks by its *last* key first and is stable, so
+            # (cost, outstanding, index) ordering matches the tuple min.
+            order = np.lexsort((counts(), np.asarray(costs)))
+            return int(order[0])
         ranked = [
             (cost, replica.outstanding(), i)
-            for i, (cost, replica) in enumerate(
-                zip(self._step_costs(request, replicas, now), replicas)
-            )
+            for i, (cost, replica) in enumerate(zip(costs, replicas))
         ]
         return min(ranked)[2]
 
@@ -622,6 +650,18 @@ class SLOSlackRouter(MinCostRouter):
                 )
                 for replica in replicas
             ]
+        counts_fn = getattr(replicas, "outstanding_counts", None)
+        if counts_fn is not None:
+            counts = counts_fn()
+            cost_arr = np.asarray(costs)
+            slack_arr = np.asarray(slacks)
+            feasible_mask = slack_arr >= 0.0
+            if feasible_mask.any():
+                idx = np.nonzero(feasible_mask)[0]
+                order = np.lexsort((counts[idx], cost_arr[idx]))
+                return int(idx[order[0]])
+            order = np.lexsort((counts, cost_arr, -slack_arr))
+            return int(order[0])
         feasible: List[Tuple[float, int, int]] = []  # (cost, outstanding, i)
         ranked: List[Tuple[float, float, int, int]] = []  # (-slack, cost, ...)
         for i, replica in enumerate(replicas):

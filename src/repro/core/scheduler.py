@@ -147,6 +147,15 @@ class PAPIScheduler:
     _current_target: Optional[PlacementTarget] = None
     _iteration: int = 0
     history: List[SchedulerDecision] = field(default_factory=list)
+    #: Retain one SchedulerDecision per iteration in ``history``. Fleet
+    #: runs in ``detail="aggregate"`` mode switch this off: a
+    #: million-request trace makes tens of millions of decisions, and the
+    #: record objects would dominate resident memory. The reschedule
+    #: counter and the standing decision are maintained either way, so
+    #: every reported number is unchanged.
+    keep_history: bool = True
+    _reschedules: int = 0
+    _last_decision: Optional[SchedulerDecision] = None
 
     def __post_init__(self) -> None:
         if self.alpha <= 0:
@@ -167,7 +176,7 @@ class PAPIScheduler:
     @property
     def reschedule_count(self) -> int:
         """How many times FC migrated between PUs and FC-PIM."""
-        return sum(1 for d in self.history if d.rescheduled)
+        return self._reschedules
 
     def _decide(self) -> SchedulerDecision:
         tlp = self.tlp_register.read()
@@ -188,7 +197,11 @@ class PAPIScheduler:
             rescheduled=rescheduled,
         )
         self._current_target = target
-        self.history.append(decision)
+        if rescheduled:
+            self._reschedules += 1
+        self._last_decision = decision
+        if self.keep_history:
+            self.history.append(decision)
         return decision
 
     def initial_schedule(self, batch_size: int, speculation_length: int) -> SchedulerDecision:
@@ -225,7 +238,27 @@ class PAPIScheduler:
         self.rlp -= finished
         if self.rlp == 0:
             # Batch drained; keep the last decision on record.
-            return self.history[-1]
+            return self._last_decision
+        return self._decide()
+
+    def observe_counts(self, finished: int, batch_size: int) -> SchedulerDecision:
+        """Count-based runtime scheduling step (the vectorized core).
+
+        Bit-identical to :meth:`observe_outputs` over a vector holding
+        ``finished`` ``EOS_TOKEN`` entries out of ``batch_size``: the
+        monitor only counts ``<eos>`` occurrences, so the count is all it
+        ever consumes — this entry point skips building the vector.
+        """
+        if batch_size != self.rlp:
+            raise SchedulingError(
+                f"expected {self.rlp} output tokens (one per active request), "
+                f"got {batch_size}"
+            )
+        self._iteration += 1
+        self.rlp -= finished
+        if self.rlp == 0:
+            # Batch drained; keep the last decision on record.
+            return self._last_decision
         return self._decide()
 
     def attention_target(self) -> PlacementTarget:
@@ -247,9 +280,9 @@ class PAPIScheduler:
 
     def placements_for(self, kinds: Sequence[KernelKind]) -> List[Placement]:
         """Placement records for the kernels of the next iteration."""
-        if not self.history:
+        if self._last_decision is None:
             raise SchedulingError("initial_schedule must run first")
-        decision = self.history[-1]
+        decision = self._last_decision
         records = []
         for kind in kinds:
             target = decision.target if kind.is_fc else PlacementTarget.ATTN_PIM

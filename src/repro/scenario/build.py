@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.cluster.admission import SLOAdmissionController, TenantPolicy
+from repro.cluster.fleetstate import VectorReplica
 from repro.cluster.replica import Replica
 from repro.cluster.router import PriceCache, Router, build_router
 from repro.models.config import ModelConfig, get_model
@@ -62,6 +63,9 @@ def build_replicas(spec: ScenarioSpec) -> List[Replica]:
         if spec.fleet.step_cache
         else None
     )
+    replica_cls = (
+        VectorReplica if spec.fleet.core_mode == "vectorized" else Replica
+    )
     replicas: List[Replica] = []
     for group in spec.fleet.replicas:
         workload = group.workload if group.workload is not None else spec.workload
@@ -74,7 +78,7 @@ def build_replicas(spec: ScenarioSpec) -> List[Replica]:
         speculation = _build_speculation(workload)
         for _ in range(group.count):
             replicas.append(
-                Replica(
+                replica_cls(
                     replica_id=len(replicas),
                     system=build_system(group.system),
                     model=model,
@@ -97,19 +101,26 @@ def build_requests(spec: ScenarioSpec) -> List[Request]:
 
     Tenant ``i`` draws request lengths and arrival gaps from
     ``spec.seed + i`` (independent streams; tenant 0 reproduces the
-    single-tenant trace bit-for-bit). Requests are re-numbered to be
-    unique across tenants, tagged with their tenant name, and — when the
-    tenant carries an SLO budget — stamped with an absolute deadline.
+    single-tenant trace bit-for-bit). A tenant carrying a
+    ``seed_offset`` draws from ``spec.seed + seed_offset`` instead, so a
+    sub-spec holding a subset of another scenario's tenants (sharded
+    execution) regenerates each tenant's original stream exactly.
+    Requests are re-numbered to be unique across tenants, tagged with
+    their tenant name, and — when the tenant carries an SLO budget —
+    stamped with an absolute deadline.
     """
     merged: List[Request] = []
     for index, tenant in enumerate(spec.tenants):
         traffic = tenant.traffic
+        offset = (
+            tenant.seed_offset if tenant.seed_offset is not None else index
+        )
         stream = poisson_arrivals(
             sample_requests(
-                traffic.category, traffic.requests, seed=spec.seed + index
+                traffic.category, traffic.requests, seed=spec.seed + offset
             ),
             rate_per_s=traffic.rate_per_s,
-            seed=spec.seed + index,
+            seed=spec.seed + offset,
         )
         budget = tenant.slo.p99_seconds
         for request in stream:

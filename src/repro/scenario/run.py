@@ -18,7 +18,13 @@ import json
 from dataclasses import dataclass
 from typing import Any, Dict, List, Sequence
 
-from repro.cluster.cluster import ClusterSimulator, ClusterSummary, TenantReport
+from repro.cluster.cluster import (
+    ClusterSimulator,
+    ClusterSummary,
+    TenantReport,
+    VectorizedClusterSimulator,
+)
+from repro.errors import ConfigurationError
 from repro.scenario.build import (
     build_admission,
     build_replicas,
@@ -90,22 +96,119 @@ class ScenarioResult:
         return json.dumps(self.to_dict(), indent=indent) + "\n"
 
 
-def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+def run_scenario(spec: ScenarioSpec, shards: int = 1) -> ScenarioResult:
     """Validate and run one scenario end to end.
+
+    ``shards > 1`` splits the scenario's *tenants* round-robin into up to
+    ``shards`` sub-scenarios and runs them on the sweep engine's process
+    pool, one worker per shard. Tenant streams are independent by
+    construction (tenant ``i`` draws from ``spec.seed + i``), and each
+    sub-spec pins its tenants' :attr:`~repro.scenario.spec.TenantSpec.
+    seed_offset` to the tenant's index in the *original* spec — so every
+    tenant's request trace (lengths, arrivals, deadlines) is bit-for-bit
+    the trace the single-process run generates, for any shard count.
+    Shard summaries merge deterministically: makespan is the maximum,
+    counts are summed, per-replica and per-tenant reports keep their
+    original order.
+
+    Fidelity note: each shard serves its tenant group on its *own copy*
+    of the fleet, so sharded runs model no cross-shard queueing
+    contention — use them for throughput at trace scale (independent
+    tenant populations), and ``shards=1`` when tenants must share one
+    fleet's capacity. ``shards=1`` (the default) is always the exact
+    single-process simulation.
 
     Raises:
         ConfigurationError: Naming the offending field path when the spec
-            is invalid.
+            is invalid, or when ``shards`` is not positive.
     """
     spec.validate()
+    if shards < 1:
+        raise ConfigurationError("shards must be positive")
+    if shards > 1 and len(spec.tenants) > 1:
+        return _run_sharded(spec, shards)
     router = build_routing(spec)
-    simulator = ClusterSimulator(
+    simulator_cls = (
+        VectorizedClusterSimulator
+        if spec.fleet.core_mode == "vectorized"
+        else ClusterSimulator
+    )
+    simulator = simulator_cls(
         build_replicas(spec),
         router,
         admission=build_admission(spec, price_cache=router.price_cache),
     )
     summary = simulator.run(build_requests(spec))
     return ScenarioResult(spec=spec, summary=summary)
+
+
+def _shard_specs(spec: ScenarioSpec, shards: int) -> List[ScenarioSpec]:
+    """Round-robin the tenants onto up to ``shards`` sub-scenarios.
+
+    Tenant ``i`` lands on shard ``i % shards`` with its ``seed_offset``
+    pinned to ``i`` (unless the spec already pinned one), so the shard
+    regenerates the tenant's exact single-process stream wherever it
+    runs. Shards that receive no tenants are dropped.
+    """
+    groups: List[List] = [[] for _ in range(shards)]
+    for index, tenant in enumerate(spec.tenants):
+        offset = tenant.seed_offset if tenant.seed_offset is not None else index
+        groups[index % shards].append(
+            dataclasses.replace(tenant, seed_offset=offset)
+        )
+    return [
+        dataclasses.replace(
+            spec,
+            name=f"{spec.name}#shard{shard}",
+            tenants=tuple(group),
+        )
+        for shard, group in enumerate(groups)
+        if group
+    ]
+
+
+def _merge_router_caches(summaries: Sequence[ClusterSummary]) -> Dict[str, Any]:
+    """Sum the shards' admission-price counters; recompute the rate."""
+    merged: Dict[str, Any] = {}
+    for summary in summaries:
+        for key, value in summary.router_cache.items():
+            if key == "hit_rate":
+                continue
+            merged[key] = merged.get(key, 0) + value
+    if merged:
+        total = merged.get("hits", 0) + merged.get("misses", 0)
+        merged["hit_rate"] = merged.get("hits", 0) / total if total else 0.0
+    return merged
+
+
+def _run_sharded(spec: ScenarioSpec, shards: int) -> ScenarioResult:
+    """Run the spec's tenants across a process pool; merge the shards."""
+    shard_specs = _shard_specs(spec, shards)
+    results = run_scenarios(shard_specs, workers=len(shard_specs))
+    summaries = [result.summary for result in results]
+    replicas: List = []
+    for summary in summaries:
+        for report in summary.replicas:
+            replicas.append(
+                dataclasses.replace(report, replica_id=len(replicas))
+            )
+    tenants: Dict[str, TenantReport] = {}
+    for tenant in spec.tenants:
+        for summary in summaries:
+            report = summary.tenants.get(tenant.name)
+            if report is not None:
+                tenants[tenant.name] = report
+                break
+    merged = ClusterSummary(
+        router=summaries[0].router,
+        model=summaries[0].model,
+        makespan_seconds=max(s.makespan_seconds for s in summaries),
+        total_requests=sum(s.total_requests for s in summaries),
+        replicas=replicas,
+        router_cache=_merge_router_caches(summaries),
+        tenants=tenants,
+    )
+    return ScenarioResult(spec=spec, summary=merged)
 
 
 def _run_scenario_point(point: Dict[str, Any]) -> ScenarioResult:

@@ -36,6 +36,11 @@ from repro.serving.request import DEFAULT_TENANT
 #: :meth:`ScenarioSpec.validate` rejects every version but this.
 SCENARIO_SCHEMA_VERSION = 1
 
+#: Cluster simulation cores a scenario can select: the event-queue
+#: reference core and the array-backed vectorized core (bit-identical
+#: summaries; see ``FleetSpec.core_mode``).
+CORE_MODES = ("event", "vectorized")
+
 
 def _join(path: str, name: str) -> str:
     return f"{path}.{name}" if path else name
@@ -276,12 +281,20 @@ class FleetSpec(SpecBase):
             O(batch + queue) sums per probe — the pre-optimization
             reference path kept for the equivalence suite and the
             cluster benchmark. Values are bit-identical.
+        core_mode: Which simulation core drives the cluster. ``event``
+            is the event-queue reference core; ``vectorized`` runs the
+            array-backed core (flat event calendar, fleet-wide numpy
+            load arrays, dense price tables) — bit-identical summaries,
+            several times faster at fleet scale. The vectorized core
+            mirrors the incremental load counters, so it rejects
+            ``load_accounting="scan"``.
     """
 
     replicas: Tuple[ReplicaSpec, ...] = (ReplicaSpec(),)
     step_cache: bool = True
     detail: str = "full"
     load_accounting: str = "incremental"
+    core_mode: str = "event"
 
     @property
     def total_replicas(self) -> int:
@@ -303,6 +316,17 @@ class FleetSpec(SpecBase):
             _fail(
                 _join(path, "load_accounting"),
                 "must be 'incremental' or 'scan'",
+            )
+        if self.core_mode not in CORE_MODES:
+            _fail(
+                _join(path, "core_mode"),
+                f"must be one of {', '.join(CORE_MODES)}",
+            )
+        if self.core_mode == "vectorized" and self.load_accounting != "incremental":
+            _fail(
+                _join(path, "core_mode"),
+                "the vectorized core mirrors the incremental load "
+                "counters; set load_accounting='incremental'",
             )
 
 
@@ -389,15 +413,25 @@ class TenantSpec(SpecBase):
             keys its :class:`~repro.cluster.cluster.TenantReport`.
         traffic: The tenant's offered load.
         slo: The tenant's latency budget and admission policy.
+        seed_offset: Pins the tenant's RNG stream to ``spec.seed +
+            seed_offset`` regardless of the tenant's position in the
+            spec. ``None`` (the default) uses the tenant's list index —
+            the historical convention. Sharded execution
+            (``run_scenario(spec, shards=N)``) sets this on its
+            sub-specs so every tenant draws the exact trace it would
+            draw in the single-process run, whatever shard it lands on.
     """
 
     name: str = DEFAULT_TENANT
     traffic: TrafficSpec = TrafficSpec()
     slo: SLOSpec = SLOSpec()
+    seed_offset: Optional[int] = None
 
     def validate(self, path: str = "tenant") -> None:
         if not self.name:
             _fail(_join(path, "name"), "must be non-empty")
+        if self.seed_offset is not None and self.seed_offset < 0:
+            _fail(_join(path, "seed_offset"), "must be non-negative")
         self.traffic.validate(_join(path, "traffic"))
         self.slo.validate(_join(path, "slo"))
 

@@ -22,8 +22,9 @@ from __future__ import annotations
 
 import enum
 import heapq
-from dataclasses import dataclass, field
-from typing import Any, List, Optional
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.errors import ConfigurationError, SimulationError
 
@@ -36,9 +37,15 @@ class EventKind(enum.Enum):
     STEP_DONE = "step-done"
 
 
-@dataclass(frozen=True)
 class Event:
     """One scheduled occurrence on the simulated timeline.
+
+    A ``__slots__`` class rather than a (frozen) dataclass: the generated
+    ``__init__`` plus frozen ``object.__setattr__`` round-trips are
+    measurable overhead at millions of events per trace, and the slots
+    layout drops the per-instance ``__dict__``. Ordering and equality are
+    unchanged from the dataclass days: events compare on
+    ``(time_s, seq)`` only — ``kind`` and ``payload`` never participate.
 
     Attributes:
         time_s: Simulated timestamp of the event.
@@ -48,10 +55,15 @@ class Event:
             replica index the event belongs to).
     """
 
-    time_s: float
-    seq: int
-    kind: EventKind = field(compare=False)
-    payload: Any = field(compare=False, default=None)
+    __slots__ = ("time_s", "seq", "kind", "payload")
+
+    def __init__(
+        self, time_s: float, seq: int, kind: EventKind, payload: Any = None
+    ) -> None:
+        self.time_s = time_s
+        self.seq = seq
+        self.kind = kind
+        self.payload = payload
 
     def __lt__(self, other: "Event") -> bool:
         # Hand-written instead of dataclass order=True: the generated
@@ -61,6 +73,20 @@ class Event:
         if self.time_s != other.time_s:
             return self.time_s < other.time_s
         return self.seq < other.seq
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return self.time_s == other.time_s and self.seq == other.seq
+
+    def __hash__(self) -> int:
+        return hash((self.time_s, self.seq))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Event(time_s={self.time_s!r}, seq={self.seq!r}, "
+            f"kind={self.kind!r}, payload={self.payload!r})"
+        )
 
 
 class EventQueue:
@@ -108,3 +134,133 @@ class EventQueue:
     def peek(self) -> Optional[Event]:
         """The earliest scheduled event without popping it."""
         return self._heap[0] if self._heap else None
+
+
+#: Integer event-kind codes used by :class:`EventCalendar`. The flat
+#: calendar trades the enum for small ints so dynamic events are plain
+#: tuples (no Event object, no enum identity check per dispatch).
+ARRIVAL_CODE = 0
+ADMIT_CODE = 1
+STEP_DONE_CODE = 2
+
+#: Calendar code -> :class:`EventKind`, for callers that need the enum.
+KIND_OF_CODE = {
+    ARRIVAL_CODE: EventKind.ARRIVAL,
+    ADMIT_CODE: EventKind.ADMIT,
+    STEP_DONE_CODE: EventKind.STEP_DONE,
+}
+
+
+class EventCalendar:
+    """Flat typed event calendar: the vectorized core's event engine.
+
+    The :class:`EventQueue` stores one heap-allocated :class:`Event` per
+    occurrence and heapifies all of them — including the entire arrival
+    trace, which is *already sorted* and known up front. The calendar
+    splits the timeline into two lanes:
+
+    * **Static arrival lane** — the trace's arrival timestamps as one
+      flat float64 numpy array (bulk-inserted once, no per-arrival heap
+      push), consumed by an advancing pointer. Arrival ``i`` owns
+      sequence number ``i``, exactly as if all arrivals had been pushed
+      first — which is what the event-queue core does.
+    * **Dynamic heap** — ADMIT / STEP_DONE / deferred re-ARRIVAL events
+      as primitive ``(time_s, seq, kind_code, payload)`` tuples on a
+      small ``heapq``. Sequence numbers continue monotonically after the
+      arrival lane, so tuple comparison is decided by ``(time_s, seq)``
+      before ever reaching the payload — payloads (request objects,
+      replica indices) ride along without needing comparability.
+
+    Ordering is bit-identical to an :class:`EventQueue` loaded with the
+    same trace: time first, push order breaking ties, arrivals seeded in
+    trace order before any dynamic event exists.
+    """
+
+    def __init__(
+        self, arrival_times: Sequence[float], payloads: Sequence[Any]
+    ) -> None:
+        times = np.ascontiguousarray(arrival_times, dtype=np.float64)
+        if times.ndim != 1 or times.shape[0] != len(payloads):
+            raise ConfigurationError(
+                "arrival times and payloads must be parallel 1-D sequences"
+            )
+        if times.shape[0] and times[0] < 0:
+            raise ConfigurationError("event time must be non-negative")
+        if times.shape[0] > 1 and np.any(np.diff(times) < 0):
+            raise ConfigurationError(
+                "arrival times must be sorted non-decreasing"
+            )
+        self._arrival_times = times
+        # tolist() up front: the hot pop path then reads native floats
+        # instead of materializing one np.float64 per arrival.
+        self._arrival_list: List[float] = times.tolist()
+        self._payloads = list(payloads)
+        self._cursor = 0
+        self._heap: List[Tuple[float, int, int, Any]] = []
+        self._seq = len(self._payloads)
+        self.now = 0.0
+
+    def __len__(self) -> int:
+        return (len(self._arrival_list) - self._cursor) + len(self._heap)
+
+    @property
+    def empty(self) -> bool:
+        return self._cursor >= len(self._arrival_list) and not self._heap
+
+    def push(self, time_s: float, kind_code: int, payload: Any = None) -> None:
+        """Schedule a dynamic event at ``time_s`` (>= the current clock)."""
+        if time_s < self.now:
+            kind = KIND_OF_CODE.get(kind_code, kind_code)
+            raise SimulationError(
+                f"cannot schedule {kind} at {time_s:.6f}s: "
+                f"clock already at {self.now:.6f}s"
+            )
+        heapq.heappush(self._heap, (time_s, self._seq, kind_code, payload))
+        self._seq += 1
+
+    def pop(self) -> Tuple[float, int, Any]:
+        """Earliest ``(time_s, kind_code, payload)``, advancing the clock.
+
+        The static arrival at the cursor and the dynamic heap head race
+        on ``(time_s, seq)`` — arrival sequence numbers are their trace
+        indices, always below every dynamic sequence number, so an
+        arrival wins any exact-timestamp tie against a dynamic event
+        pushed later (identical to the event-queue discipline).
+        """
+        cursor = self._cursor
+        arrivals = self._arrival_list
+        heap = self._heap
+        if cursor < len(arrivals):
+            arrival_time = arrivals[cursor]
+            # Arrival sequence numbers (trace indices) are strictly below
+            # every dynamic sequence number, so at an exact-timestamp tie
+            # the arrival always wins — no need to compare seq.
+            if not heap or arrival_time <= heap[0][0]:
+                self._cursor = cursor + 1
+                self.now = arrival_time
+                return arrival_time, ARRIVAL_CODE, self._payloads[cursor]
+        elif not heap:
+            raise SimulationError("event calendar is empty")
+        time_s, _, kind_code, payload = heapq.heappop(heap)
+        self.now = time_s
+        return time_s, kind_code, payload
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the earliest pending event (``None`` when empty).
+
+        Lets the simulator run a replica's consecutive steps inline while
+        they all precede every other scheduled event — any event *at* the
+        peeked timestamp would outrank a freshly pushed one (its sequence
+        number is older), so inline execution is only safe strictly
+        before this time.
+        """
+        cursor = self._cursor
+        arrivals = self._arrival_list
+        heap = self._heap
+        if cursor < len(arrivals):
+            arrival_time = arrivals[cursor]
+            if not heap or arrival_time <= heap[0][0]:
+                return arrival_time
+        elif not heap:
+            return None
+        return heap[0][0]

@@ -137,6 +137,32 @@ class StepPricer:
         context_key: object = context_lens
         return self._price_resolved(rlp, tlp, mean_context, context_key, context_lens)
 
+    def price_contexts(
+        self, context_lens_raw: Sequence[int], tlp: int
+    ) -> IterationResult:
+        """Price one iteration from raw per-request context lengths.
+
+        The request-free twin of :meth:`price` for callers that track the
+        batch's contexts as plain integers (the vectorized cluster
+        replicas' slot state) instead of :class:`Request` objects.
+        Bit-identical to :meth:`price` over a batch with the same
+        contexts — the same bucketing, the same sorted context key, the
+        same mean arithmetic.
+        """
+        rlp = len(context_lens_raw)
+        if rlp == 0:
+            raise SimulationError("cannot price a step with no active requests")
+        if self.context_mode == "mean":
+            return self.price_mean_total(rlp, tlp, sum(context_lens_raw))
+        bucketize = self._bucketize
+        context_lens = tuple(
+            sorted(bucketize(context) for context in context_lens_raw)
+        )
+        mean_context = max(1, round(sum(context_lens) / rlp))
+        return self._price_resolved(
+            rlp, tlp, mean_context, context_lens, context_lens
+        )
+
     def price_mean_total(
         self, rlp: int, tlp: int, context_total: int
     ) -> IterationResult:

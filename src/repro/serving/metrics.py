@@ -140,7 +140,9 @@ class RunSummary:
         self.decode_seconds += result.seconds
         self.decode_energy += result.energy_joules
         self.tokens_generated += tokens_accepted
-        target = result.fc_target.value
+        # ``_value_`` is ``.value`` without the DynamicClassAttribute
+        # descriptor trip — this fold runs once per decoding iteration.
+        target = result.fc_target._value_
         self.fc_target_iterations[target] = (
             self.fc_target_iterations.get(target, 0) + 1
         )

@@ -139,6 +139,26 @@ class ServingSystem(abc.ABC):
     def observe_outputs(self, output_tokens: Sequence[int]) -> None:
         """Hook called with the gathered output-token vector (PAPI monitors)."""
 
+    def observe_finished(self, finished: int, batch_size: int) -> None:
+        """Count-based twin of :meth:`observe_outputs`.
+
+        The vectorized cluster core reports each iteration as *how many
+        of the batch's requests emitted ``<eos>``* instead of
+        materializing a per-request output vector. The runtime monitors
+        this repo models are count-based (PAPI counts ``<eos>`` tokens to
+        decrement RLP), so the two hooks are informationally equivalent.
+        The default reconstructs an equivalent vector for subclasses that
+        only override :meth:`observe_outputs` — and skips even that when
+        the subclass left the vector hook as the no-op default.
+        """
+        if type(self).observe_outputs is ServingSystem.observe_outputs:
+            return
+        from repro.core.scheduler import EOS_TOKEN
+
+        self.observe_outputs(
+            [EOS_TOKEN] * finished + [0] * (batch_size - finished)
+        )
+
     def update_tlp(self, tlp: int) -> None:
         """Hook called when system software changes the speculation length.
 

@@ -78,6 +78,15 @@ class PAPISystem(ServingSystem):
         """Runtime monitoring: eos counting + re-evaluation (Section 5.2.2)."""
         self.scheduler.observe_outputs(output_tokens)
 
+    def observe_finished(self, finished: int, batch_size: int) -> None:
+        """Count-based runtime monitoring (the vectorized core's path).
+
+        The scheduler's monitor only ever *counts* ``<eos>`` tokens, so
+        handing it the count directly is bit-identical to gathering an
+        output vector first — without allocating one per iteration.
+        """
+        self.scheduler.observe_counts(finished, batch_size)
+
     def update_tlp(self, tlp: int) -> None:
         """Host CPU notification: write the scheduler's TLP register."""
         if tlp != self.scheduler.tlp_register.read():

@@ -1,20 +1,24 @@
-"""Batched/scalar cluster equivalence: the optimization contract.
+"""Batched/scalar/vectorized cluster equivalence: the optimization contract.
 
 The fleet-scale optimizations — fleet-batched admission pricing
 (``routing.batched``), O(1) incremental load accounting
-(``fleet.load_accounting``), and streaming metrics (``fleet.detail``)
-— all promise *bit-identical* cluster outputs. This suite pins that
-promise across the optimization axes and a matrix of workloads:
-routers x admission policies x dense/MoE x speculation depths. If an
-optimization ever reorders a routing decision, drifts a float, or drops
-a tenant counter, the mismatch surfaces here (and in the
-``bench_cluster`` equivalence gate) instead of silently skewing a study.
+(``fleet.load_accounting``), streaming metrics (``fleet.detail``), and
+the array-backed vectorized core (``fleet.core_mode``) — all promise
+*bit-identical* cluster outputs. This suite pins that promise across
+the optimization axes and a matrix of workloads: routers x admission
+policies x dense/MoE x speculation depths, plus a seeded fuzz harness
+that samples the cross-product at random. If an optimization ever
+reorders a routing decision, drifts a float, or drops a tenant counter,
+the mismatch surfaces here (and in the ``bench_cluster`` equivalence
+gate) instead of silently skewing a study.
 """
 
 import dataclasses
+import random
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.scenario.spec import (
     FleetSpec,
     MoESpec,
@@ -93,6 +97,14 @@ def _scalar(spec: ScenarioSpec) -> ScenarioSpec:
     )
 
 
+def _vectorized(spec: ScenarioSpec) -> ScenarioSpec:
+    """The array-backed core on top of the optimized configuration."""
+    fast = _fast(spec)
+    return dataclasses.replace(
+        fast, fleet=dataclasses.replace(fast.fleet, core_mode="vectorized")
+    )
+
+
 def aggregate_fields(result) -> dict:
     """Every output of a cluster run except instrumentation counters.
 
@@ -161,13 +173,17 @@ class TestBatchedScalarEquivalence:
         )
         fast = aggregate_fields(run_scenario(_fast(spec)))
         scalar = aggregate_fields(run_scenario(_scalar(spec)))
+        vectorized = aggregate_fields(run_scenario(_vectorized(spec)))
         assert fast == scalar
+        assert vectorized == scalar
 
     def test_mean_context_mode_equivalent(self):
         spec = _scenario("slo-slack", admission="defer", context_mode="mean")
         fast = aggregate_fields(run_scenario(_fast(spec)))
         scalar = aggregate_fields(run_scenario(_scalar(spec)))
+        vectorized = aggregate_fields(run_scenario(_vectorized(spec)))
         assert fast == scalar
+        assert vectorized == scalar
 
     def test_mixed_fleet_groups_split_by_workload(self):
         """A mixed MoE + dense fleet on identical hardware must not let
@@ -189,7 +205,9 @@ class TestBatchedScalarEquivalence:
         )
         fast = aggregate_fields(run_scenario(_fast(spec)))
         scalar = aggregate_fields(run_scenario(_scalar(spec)))
+        vectorized = aggregate_fields(run_scenario(_vectorized(spec)))
         assert fast == scalar
+        assert vectorized == scalar
 
     def test_aggregate_detail_drops_records_only(self):
         spec = _scenario("min-cost")
@@ -255,3 +273,196 @@ class TestBatchedScalarEquivalence:
         simulator.router.select = checking_select
         simulator.run(build_requests(spec))
         assert probed, "router probes exercised the counters"
+
+
+FUZZ_ROUTERS = (
+    "round-robin", "least-outstanding", "intensity", "min-cost", "slo-slack"
+)
+FUZZ_ADMISSIONS = ("admit", "defer", "reject")
+FUZZ_TLP_POLICIES = ("fixed", "acceptance", "utilization")
+
+
+class TestVectorizedCoreFuzz:
+    """Seeded random sampling of the configuration cross-product.
+
+    Each case draws a router, admission policy, dense/MoE workload,
+    speculation depth, context mode, TLP policy, detail mode, trace
+    seed, and fleet shape from a deterministic RNG, then demands the
+    vectorized, batched, and scalar cores agree bit-for-bit. The cases
+    are reproducible (fixed base seed per case index) so a failure here
+    is a regression, never flakiness.
+    """
+
+    @pytest.mark.parametrize("case_seed", range(6))
+    def test_three_cores_agree(self, case_seed):
+        rng = random.Random(9000 + case_seed)
+        spec = _scenario(
+            rng.choice(FUZZ_ROUTERS),
+            admission=rng.choice(FUZZ_ADMISSIONS),
+            moe=rng.random() < 0.4,
+            speculation_length=rng.choice((1, 2, 4)),
+            context_mode=rng.choice(("per-request", "mean")),
+            requests=rng.randrange(16, 33),
+            replicas=rng.choice((2, 3)),
+        )
+        spec = dataclasses.replace(
+            spec,
+            seed=rng.randrange(1, 10_000),
+            workload=dataclasses.replace(
+                spec.workload, tlp_policy=rng.choice(FUZZ_TLP_POLICIES)
+            ),
+        )
+        vec_spec = _vectorized(spec)
+        if rng.random() < 0.5:
+            # The vectorized core must match under full detail too.
+            vec_spec = dataclasses.replace(
+                vec_spec,
+                fleet=dataclasses.replace(vec_spec.fleet, detail="full"),
+            )
+        scalar = aggregate_fields(run_scenario(_scalar(spec)))
+        fast = aggregate_fields(run_scenario(_fast(spec)))
+        vectorized = aggregate_fields(run_scenario(vec_spec))
+        assert fast == scalar
+        assert vectorized == scalar
+
+
+class TestCoreModeSpec:
+    def test_unknown_core_mode_rejected(self):
+        spec = _scenario("min-cost")
+        spec = dataclasses.replace(
+            spec, fleet=dataclasses.replace(spec.fleet, core_mode="turbo")
+        )
+        with pytest.raises(ConfigurationError):
+            spec.validate()
+
+    def test_vectorized_requires_incremental_accounting(self):
+        spec = _scenario("min-cost")
+        spec = dataclasses.replace(
+            spec,
+            fleet=dataclasses.replace(
+                spec.fleet, core_mode="vectorized", load_accounting="scan"
+            ),
+        )
+        with pytest.raises(ConfigurationError):
+            spec.validate()
+
+
+def _many_tenant_spec(tenants: int = 5, requests: int = 12) -> ScenarioSpec:
+    """A spec with several independent tenants for sharding tests."""
+    categories = ("creative-writing", "general-qa")
+    tenant_specs = tuple(
+        TenantSpec(
+            name=f"tenant-{index}",
+            traffic=TrafficSpec(
+                category=categories[index % len(categories)],
+                requests=requests,
+                rate_per_s=16.0 + 4.0 * index,
+            ),
+            slo=(
+                SLOSpec(p99_seconds=20.0, admission="defer")
+                if index % 2
+                else SLOSpec(p99_seconds=20.0)
+            ),
+        )
+        for index in range(tenants)
+    )
+    return ScenarioSpec(
+        name="sharded",
+        seed=23,
+        workload=WorkloadSpec(speculation_length=2),
+        fleet=FleetSpec(replicas=(ReplicaSpec(count=2, max_batch_size=8),)),
+        tenants=tenant_specs,
+        routing=RoutingSpec(policy="slo-slack"),
+    )
+
+
+def _traces_by_tenant(spec: ScenarioSpec) -> dict:
+    """Tenant name -> the trace facts that define the stream."""
+    from repro.scenario.build import build_requests
+
+    traces: dict = {}
+    for request in build_requests(spec):
+        traces.setdefault(request.tenant, []).append(
+            (
+                request.arrival_s,
+                request.input_len,
+                request.output_len,
+                request.deadline_s,
+            )
+        )
+    return traces
+
+
+class TestShardedScenarios:
+    """``run_scenario(spec, shards=N)``: trace determinism and merging."""
+
+    @pytest.mark.parametrize("shards", [2, 3, 5, 8])
+    def test_per_tenant_traces_bit_identical(self, shards):
+        """Every tenant's stream is the single-process stream, any N.
+
+        The pinned ``seed_offset`` keeps tenant ``i`` drawing from
+        ``spec.seed + i`` no matter which shard serves it or how many
+        tenants share that shard.
+        """
+        from repro.scenario.run import _shard_specs
+
+        spec = _many_tenant_spec()
+        baseline = _traces_by_tenant(spec)
+        seen: dict = {}
+        for sub_spec in _shard_specs(spec, shards):
+            seen.update(_traces_by_tenant(sub_spec))
+        assert seen == baseline
+
+    def test_sharded_run_merges_shard_results(self):
+        from repro.scenario.run import _shard_specs
+
+        spec = _many_tenant_spec(tenants=4, requests=8)
+        merged = run_scenario(spec, shards=2)
+        parts = [run_scenario(sub) for sub in _shard_specs(spec, 2)]
+        assert merged.summary.total_requests == sum(
+            part.summary.total_requests for part in parts
+        )
+        assert merged.summary.makespan_seconds == max(
+            part.summary.makespan_seconds for part in parts
+        )
+        assert [r.replica_id for r in merged.summary.replicas] == list(
+            range(sum(len(part.summary.replicas) for part in parts))
+        )
+        assert list(merged.summary.tenants) == [
+            tenant.name for tenant in spec.tenants
+        ]
+        for part in parts:
+            for name, report in part.summary.tenants.items():
+                assert merged.summary.tenants[name] == report
+
+    def test_sharded_vectorized_matches_sharded_event_core(self):
+        spec = _many_tenant_spec(tenants=4, requests=8)
+        vec_spec = dataclasses.replace(
+            spec,
+            fleet=dataclasses.replace(
+                spec.fleet,
+                core_mode="vectorized",
+                load_accounting="incremental",
+            ),
+        )
+        event = run_scenario(spec, shards=2)
+        vectorized = run_scenario(vec_spec, shards=2)
+        assert aggregate_fields(vectorized) == aggregate_fields(event)
+
+    def test_more_shards_than_tenants_drops_empty_shards(self):
+        from repro.scenario.run import _shard_specs
+
+        spec = _many_tenant_spec(tenants=3)
+        sub_specs = _shard_specs(spec, 8)
+        assert len(sub_specs) == 3
+        assert all(len(sub.tenants) == 1 for sub in sub_specs)
+
+    def test_single_tenant_spec_ignores_sharding(self):
+        spec = _many_tenant_spec(tenants=1)
+        assert aggregate_fields(run_scenario(spec, shards=4)) == (
+            aggregate_fields(run_scenario(spec))
+        )
+
+    def test_non_positive_shards_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_scenario(_many_tenant_spec(), shards=0)

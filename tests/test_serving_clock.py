@@ -1,9 +1,17 @@
-"""Tests for the discrete-event clock and queue."""
+"""Tests for the discrete-event clock, queue, and flat event calendar."""
 
 import pytest
 
 from repro.errors import ConfigurationError, SimulationError
-from repro.serving.clock import EventKind, EventQueue
+from repro.serving.clock import (
+    ADMIT_CODE,
+    ARRIVAL_CODE,
+    STEP_DONE_CODE,
+    Event,
+    EventCalendar,
+    EventKind,
+    EventQueue,
+)
 
 
 class TestEventQueue:
@@ -98,3 +106,124 @@ class TestEventQueue:
         assert len(queue) == 1
         assert queue.peek().payload == "x"
         assert queue.now == 0.0  # peek does not advance the clock
+
+
+class TestEventOrdering:
+    """The slots-based Event keeps the frozen-dataclass ordering pins."""
+
+    def test_orders_by_time_then_seq(self):
+        assert Event(1.0, 0, EventKind.ARRIVAL) < Event(2.0, 0, EventKind.ADMIT)
+        assert Event(1.0, 0, EventKind.STEP_DONE) < Event(1.0, 1, EventKind.ARRIVAL)
+        assert not Event(1.0, 1, EventKind.ARRIVAL) < Event(1.0, 0, EventKind.ARRIVAL)
+
+    def test_kind_and_payload_never_participate(self):
+        a = Event(1.0, 0, EventKind.ARRIVAL, payload=object())
+        b = Event(1.0, 0, EventKind.STEP_DONE, payload=object())
+        assert a == b
+        assert not a < b and not b < a
+        assert hash(a) == hash(b)
+
+    def test_equality_against_non_events(self):
+        assert Event(1.0, 0, EventKind.ARRIVAL) != (1.0, 0)
+
+
+class TestEventCalendar:
+    def test_arrival_lane_pops_in_trace_order(self):
+        calendar = EventCalendar([0.5, 1.0, 2.0], ["a", "b", "c"])
+        assert len(calendar) == 3
+        assert [calendar.pop() for _ in range(3)] == [
+            (0.5, ARRIVAL_CODE, "a"),
+            (1.0, ARRIVAL_CODE, "b"),
+            (2.0, ARRIVAL_CODE, "c"),
+        ]
+        assert calendar.empty
+        assert calendar.now == 2.0
+
+    def test_dynamic_events_interleave_with_arrivals(self):
+        calendar = EventCalendar([0.0, 1.0, 3.0], ["a", "b", "c"])
+        assert calendar.pop()[2] == "a"
+        calendar.push(2.0, STEP_DONE_CODE, "step")
+        calendar.push(0.5, ADMIT_CODE, "admit")
+        order = [calendar.pop()[2] for _ in range(4)]
+        assert order == ["admit", "b", "step", "c"]
+
+    def test_arrival_wins_exact_timestamp_tie(self):
+        """A trace arrival was (logically) pushed before any dynamic
+        event — identical to the EventQueue's push-order discipline."""
+        calendar = EventCalendar([1.0, 2.0], ["a", "b"])
+        assert calendar.pop()[2] == "a"
+        calendar.push(2.0, ADMIT_CODE, "admit-at-2")
+        assert calendar.pop()[2] == "b"
+        assert calendar.pop()[2] == "admit-at-2"
+
+    def test_dynamic_ties_break_in_push_order(self):
+        calendar = EventCalendar([], [])
+        calendar.push(1.0, STEP_DONE_CODE, "first")
+        calendar.push(1.0, ARRIVAL_CODE, "second")
+        calendar.push(1.0, ADMIT_CODE, "third")
+        assert [calendar.pop()[2] for _ in range(3)] == [
+            "first", "second", "third"
+        ]
+
+    def test_deferred_rearrival_rides_the_heap(self):
+        calendar = EventCalendar([0.0, 1.0], ["a", "b"])
+        assert calendar.pop()[2] == "a"
+        calendar.push(1.0, ARRIVAL_CODE, "a-retry")
+        # The static arrival at the same instant still pops first.
+        assert calendar.pop() == (1.0, ARRIVAL_CODE, "b")
+        assert calendar.pop() == (1.0, ARRIVAL_CODE, "a-retry")
+
+    def test_matches_event_queue_ordering(self):
+        """Property pin: calendar and queue drain identically for the
+        same trace plus the same dynamically scheduled events."""
+        arrivals = [0.0, 0.5, 0.5, 1.0, 2.5]
+        payloads = [f"r{i}" for i in range(len(arrivals))]
+        queue = EventQueue()
+        for time_s, payload in zip(arrivals, payloads):
+            queue.push(time_s, EventKind.ARRIVAL, payload)
+        calendar = EventCalendar(arrivals, payloads)
+        dynamic = iter(
+            [(0.5, ADMIT_CODE, "admit"), (1.0, STEP_DONE_CODE, "step"),
+             (2.5, ARRIVAL_CODE, "retry")]
+        )
+        queue_order = []
+        calendar_order = []
+        while not queue.empty:
+            event = queue.pop()
+            queue_order.append((event.time_s, event.payload))
+            item = next(dynamic, None)
+            if item is not None:
+                queue.push(item[0], EventKind.ARRIVAL, item[2])
+        dynamic = iter(
+            [(0.5, ADMIT_CODE, "admit"), (1.0, STEP_DONE_CODE, "step"),
+             (2.5, ARRIVAL_CODE, "retry")]
+        )
+        while not calendar.empty:
+            time_s, _, payload = calendar.pop()
+            calendar_order.append((time_s, payload))
+            item = next(dynamic, None)
+            if item is not None:
+                calendar.push(item[0], item[1], item[2])
+        assert calendar_order == queue_order
+
+    def test_push_into_past_rejected(self):
+        calendar = EventCalendar([2.0], ["a"])
+        calendar.pop()
+        with pytest.raises(SimulationError):
+            calendar.push(1.0, ADMIT_CODE, "late")
+
+    def test_unsorted_arrivals_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EventCalendar([1.0, 0.5], ["a", "b"])
+
+    def test_mismatched_lanes_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EventCalendar([1.0, 2.0], ["a"])
+
+    def test_negative_first_arrival_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EventCalendar([-1.0], ["a"])
+
+    def test_pop_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            EventCalendar([], []).pop()
