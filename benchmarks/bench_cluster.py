@@ -19,6 +19,12 @@ probes see real queues):
   O(queue) admission rescans make full scale infeasible); the vectorized
   core's bar there is >= 30x.
 
+Two more artifacts ride along in the payload: the vectorized core's
+fleet-version verdict-memo counters (``probe_memo`` — the > 0.5 hit
+rate is an acceptance bar at full scale), and a profiled per-phase
+breakdown (``phase_breakdown``: probe pricing vs step execution vs
+event loop vs metrics fold) measured on a reduced trace.
+
 The simulation itself is deterministic (queue depths, routing decisions,
 and every output are bit-reproducible anywhere); only the wall-clock
 seconds vary by host. Results land in ``results/BENCH_cluster.json``.
@@ -28,15 +34,17 @@ trim the headline trace for CI smoke runs — the speedup bars only apply
 at full scale (>= 1M requests), the zero-mismatch gate always.
 """
 
+import cProfile
 import dataclasses
 import json
 import os
+import pstats
 import time
 from pathlib import Path
 
 from benchmarks.conftest import run_once
 from repro.analysis.report import format_table
-from repro.scenario.run import run_scenario
+from repro.scenario.run import apply_core_mode, run_scenario
 from repro.scenario.spec import (
     FleetSpec,
     MoESpec,
@@ -113,45 +121,100 @@ def headline_scenario(requests: int = None) -> ScenarioSpec:
 
 
 def _vectorized(spec: ScenarioSpec) -> ScenarioSpec:
-    """The PR 6 array core: flat calendar + fleet arrays + probe cache."""
-    return dataclasses.replace(
-        spec,
-        fleet=dataclasses.replace(
-            spec.fleet,
-            detail="aggregate",
-            load_accounting="incremental",
-            core_mode="vectorized",
-        ),
-        routing=dataclasses.replace(spec.routing, batched=True),
-    )
+    """The array core: flat calendar + fleet arrays + verdict memo."""
+    return apply_core_mode(spec, "vectorized")
 
 
 def _fast(spec: ScenarioSpec) -> ScenarioSpec:
     """The PR 5 event core: fleet-batched pricing, incremental counters."""
-    return dataclasses.replace(
-        spec,
-        fleet=dataclasses.replace(
-            spec.fleet,
-            detail="aggregate",
-            load_accounting="incremental",
-            core_mode="event",
-        ),
-        routing=dataclasses.replace(spec.routing, batched=True),
-    )
+    return apply_core_mode(spec, "event")
 
 
 def _scalar(spec: ScenarioSpec) -> ScenarioSpec:
     """The scalar reference: per-replica probes, O(queue) rescans."""
-    return dataclasses.replace(
-        spec,
-        fleet=dataclasses.replace(
-            spec.fleet,
-            detail="full",
-            load_accounting="scan",
-            core_mode="event",
-        ),
-        routing=dataclasses.replace(spec.routing, batched=False),
-    )
+    return apply_core_mode(spec, "scalar")
+
+
+#: Where each profiled function's self-time lands in the phase
+#: breakdown. The vectorized run splits into four phases: admission /
+#: routing probe pricing (the fleet-version verdict memo's domain), step
+#: execution on the replicas, the event loop itself (calendar + drain
+#: loop), and the metrics fold.
+_PHASE_FILES = {
+    "metrics.py": "metrics_fold",
+    "cluster.py": "event_loop",
+    "clock.py": "event_loop",
+    "scheduler.py": "step_execution",
+    "papi.py": "step_execution",
+    "baselines.py": "step_execution",
+    "batch.py": "step_execution",
+    "tlp_policy.py": "step_execution",
+    "engine.py": "step_execution",
+    "speculative.py": "step_execution",
+    "intensity.py": "step_execution",
+}
+
+#: ``fleetstate.py`` holds both sides: probe/pricing machinery and the
+#: vectorized replica's step handlers. Function-name prefixes that
+#: belong to the probe-pricing phase.
+_PROBE_PREFIXES = (
+    "probe",
+    "route",
+    "price",
+    "_fleet_step",
+    "_refresh_lanes",
+    "_sync_memo",
+    "_cost_order",
+    "_projected",
+    "_flush",
+    "_steps",
+    "mark_dirty",
+)
+
+
+def _phase_of(filename: str, funcname: str) -> str:
+    name = os.path.basename(filename)
+    if name == "fleetstate.py":
+        if funcname.startswith(_PROBE_PREFIXES):
+            return "probe_pricing"
+        return "step_execution"
+    return _PHASE_FILES.get(name, "other")
+
+
+def profile_phase_breakdown(requests: int) -> dict:
+    """Profile a reduced vectorized trace; bucket self-time by phase.
+
+    cProfile inflates wall-clock severalfold, so the breakdown runs at
+    reduced scale and reports *shares* — the phase mix, not the headline
+    seconds (phase shares are stable across trace length once queues
+    saturate, which this scenario's offered load guarantees early).
+    """
+    spec = _vectorized(headline_scenario(requests))
+    profile = cProfile.Profile()
+    profile.enable()
+    run_scenario(spec)
+    profile.disable()
+    stats = pstats.Stats(profile)
+    phases: dict = {}
+    total = 0.0
+    for (filename, _line, funcname), row in stats.stats.items():
+        self_seconds = row[2]
+        total += self_seconds
+        phase = _phase_of(filename, funcname)
+        phases[phase] = phases.get(phase, 0.0) + self_seconds
+    return {
+        "requests": requests,
+        "profiled_seconds": total,
+        "phases": {
+            phase: {
+                "seconds": seconds,
+                "share": seconds / total if total else 0.0,
+            }
+            for phase, seconds in sorted(
+                phases.items(), key=lambda item: -item[1]
+            )
+        },
+    }
 
 
 #: Equivalence matrix: (router, admission action, MoE?, speculation).
@@ -255,6 +318,8 @@ def run_cluster_benchmark():
     ):
         mismatches += 1
 
+    breakdown = profile_phase_breakdown(max(2, REQUESTS // 20))
+
     summary = vec_result.summary
     payload = {
         "requests": REQUESTS,
@@ -275,6 +340,8 @@ def run_cluster_benchmark():
             "vectorized_seconds": vec_small_seconds,
             "speedup": scalar_seconds / vec_small_seconds,
         },
+        "probe_memo": dict(summary.probe_memo),
+        "phase_breakdown": breakdown,
         "simulated": {
             "makespan_seconds": summary.makespan_seconds,
             "total_requests": summary.total_requests,
@@ -297,34 +364,46 @@ def test_cluster_scale(benchmark, show):
     payload = run_once(benchmark, run_cluster_benchmark)
 
     scalar_ref = payload["scalar_reference"]
+    memo = payload["probe_memo"]
+    rows = [
+        ["trace", f"{payload['requests']} reqs x "
+                  f"{payload['replicas']} replicas (slo-slack)"],
+        ["vectorized seconds", payload["vectorized_seconds"]],
+        ["batched seconds", payload["batched_seconds"]],
+        ["speedup (vec vs batched)", payload["speedup"]],
+        ["vectorized reqs/s",
+         payload["vectorized_requests_per_second"]],
+        ["batched reqs/s", payload["batched_requests_per_second"]],
+        ["scalar leg reqs", scalar_ref["requests"]],
+        ["scalar leg seconds", scalar_ref["scalar_seconds"]],
+        ["speedup (vec vs scalar)", scalar_ref["speedup"]],
+        ["probe memo hit rate", memo.get("hit_rate", 0.0)],
+        ["probe memo hits", memo.get("probe_hits", 0)],
+        ["arrival runs coalesced", memo.get("runs_coalesced", 0)],
+        ["equivalence traces", payload["equivalence_traces"]],
+        ["mismatches", payload["mismatches"]],
+    ]
+    for phase, entry in payload["phase_breakdown"]["phases"].items():
+        rows.append([f"phase {phase}", f"{entry['share']:.1%}"])
+    rows.append(["output file", str(BENCH_JSON)])
     show(
         format_table(
             ["metric", "value"],
-            [
-                ["trace", f"{payload['requests']} reqs x "
-                          f"{payload['replicas']} replicas (slo-slack)"],
-                ["vectorized seconds", payload["vectorized_seconds"]],
-                ["batched seconds", payload["batched_seconds"]],
-                ["speedup (vec vs batched)", payload["speedup"]],
-                ["vectorized reqs/s",
-                 payload["vectorized_requests_per_second"]],
-                ["batched reqs/s", payload["batched_requests_per_second"]],
-                ["scalar leg reqs", scalar_ref["requests"]],
-                ["scalar leg seconds", scalar_ref["scalar_seconds"]],
-                ["speedup (vec vs scalar)", scalar_ref["speedup"]],
-                ["equivalence traces", payload["equivalence_traces"]],
-                ["mismatches", payload["mismatches"]],
-                ["output file", str(BENCH_JSON)],
-            ],
+            rows,
             title="Vectorized cluster core vs batched and scalar references",
         )
     )
 
-    # The acceptance bars: zero divergence across all three cores always;
-    # the >= 5x wall-clock win over the PR 5 batched core (and >= 30x
-    # over the scalar reference at its reduced-scale leg) at the full
-    # 1M-request scale — trimmed CI smoke runs only gate equivalence.
+    # The acceptance bars: zero divergence across all three cores and a
+    # live verdict memo always; the >= 5x wall-clock win over the PR 5
+    # batched core, the >= 30x win over the scalar reference at its
+    # reduced-scale leg, and the > 0.5 memo hit rate only at the full
+    # 1M-request scale — trimmed CI smoke runs gate equivalence and
+    # memo liveness.
     assert payload["mismatches"] == 0
+    assert memo.get("probe_hits", 0) > 0, payload
+    assert payload["phase_breakdown"]["phases"], payload
     if payload["requests"] >= 1_000_000:
         assert payload["speedup"] >= 5.0, payload
         assert scalar_ref["speedup"] >= 30.0, payload
+        assert memo["hit_rate"] > 0.5, payload

@@ -40,6 +40,7 @@ from repro.cluster import available_routers
 from repro.errors import ConfigurationError
 from repro.models.config import available_models, get_model
 from repro.scenario import (
+    CORE_CHOICES,
     FleetSpec,
     MoESpec,
     ReplicaSpec,
@@ -50,6 +51,7 @@ from repro.scenario import (
     TenantSpec,
     TrafficSpec,
     WorkloadSpec,
+    apply_core_mode,
     load_scenario,
     run_scenario,
     run_scenarios,
@@ -225,6 +227,8 @@ def _print_aggregate_table(summary) -> None:
     ]
     for key, value in summary.router_cache.items():
         aggregate_rows.append([f"router cache {key}", value])
+    for key, value in summary.probe_memo.items():
+        aggregate_rows.append([f"probe memo {key}", value])
     print(format_table(["metric", "value"], aggregate_rows,
                        title="Cluster aggregate"))
 
@@ -246,8 +250,11 @@ def _print_tenant_table(result: ScenarioResult) -> None:
 
 
 def cmd_cluster(args: argparse.Namespace) -> int:
+    spec = scenario_from_cluster_args(args)
+    if args.core:
+        spec = apply_core_mode(spec, args.core)
     try:
-        result = run_scenario(scenario_from_cluster_args(args))
+        result = run_scenario(spec)
     except ConfigurationError as exc:
         raise SystemExit(str(exc)) from None
     summary = result.summary
@@ -270,6 +277,8 @@ def cmd_run(args: argparse.Namespace) -> int:
             raise SystemExit(f"cannot read scenario file: {exc}") from None
         except ConfigurationError as exc:
             raise SystemExit(f"{path}: {exc}") from None
+    if getattr(args, "core", ""):
+        specs = [apply_core_mode(spec, args.core) for spec in specs]
     shards = getattr(args, "shards", 1)
     try:
         if shards > 1:
@@ -537,6 +546,8 @@ def cmd_list(args: argparse.Namespace) -> int:
     print("sweeps:     " + ", ".join(SWEEP_MODES))
     print("categories: " + ", ".join(available_categories()))
     print("tlp-policies: " + ", ".join(TLP_POLICY_NAMES))
+    print("core modes: " + ", ".join(CORE_CHOICES)
+          + "  (repro run/cluster --core; bit-identical summaries)")
     print("scenario spec fields (repro run <scenario.json>):")
     for spec_name, field_names in scenario_spec_fields().items():
         print(f"  {spec_name}: {', '.join(field_names)}")
@@ -648,6 +659,11 @@ def build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--seed", type=int, default=0)
     cluster.add_argument("--context-mode", default="per-request",
                          choices=CONTEXT_MODES)
+    cluster.add_argument("--core", default="", choices=CORE_CHOICES,
+                         help="pin the simulation core preset (scalar "
+                              "reference / batched event / vectorized "
+                              "array); all three report bit-identical "
+                              "summaries")
     cluster.set_defaults(fn=cmd_cluster)
 
     run = sub.add_parser(
@@ -666,6 +682,11 @@ def build_parser() -> argparse.ArgumentParser:
                           "processes (per-tenant traces are bit-identical "
                           "to --shards 1; each shard serves its tenants "
                           "on its own fleet copy)")
+    run.add_argument("--core", default="", choices=CORE_CHOICES,
+                     help="override each scenario's simulation core "
+                          "(scalar reference / batched event / vectorized "
+                          "array); summaries are bit-identical across "
+                          "cores")
     run.add_argument("--json", default="",
                      help="export the full result (aggregate, replicas, "
                           "per-tenant SLO reports) to a JSON file; a "

@@ -126,19 +126,29 @@ class SLOAdmissionController:
         ):
             return AdmissionDecision.ADMIT, 0.0
         if self.batched:
-            steps = projected_step_seconds_fleet(
-                replicas, request, self._price_cache
-            )
-            completions = projected_completion_seconds_fleet(
-                replicas, request, self._price_cache, step_seconds=steps
-            )
-            # Hand this arrival's projections to the router: if the
-            # request is admitted, select() runs next against identical
-            # replica state and reuses them instead of re-probing.
-            self._price_cache.fleet_memo = (
-                replicas, request, now, steps, completions
-            )
-            projected = min(completions)
+            probe = getattr(replicas, "probe_min_completion", None)
+            if probe is not None:
+                # Vectorized fleets answer from the fleet-version verdict
+                # memo: bit-identical to min() over the fleet completion
+                # probe, O(1) while no router-visible state changed —
+                # which also covers the router's select() on this same
+                # arrival, so no per-arrival handoff memo is needed.
+                projected = probe(request)
+            else:
+                steps = projected_step_seconds_fleet(
+                    replicas, request, self._price_cache
+                )
+                completions = projected_completion_seconds_fleet(
+                    replicas, request, self._price_cache, step_seconds=steps
+                )
+                # Hand this arrival's projections to the router: if the
+                # request is admitted, select() runs next against
+                # identical replica state and reuses them instead of
+                # re-probing.
+                self._price_cache.fleet_memo = (
+                    replicas, request, now, steps, completions
+                )
+                projected = min(completions)
         else:
             projected = min(
                 projected_completion_seconds(

@@ -41,6 +41,28 @@ from repro.serving.clock import (
 from repro.serving.metrics import RunSummary, latency_percentile_of
 from repro.serving.request import Request, RequestState
 
+#: How far ahead the vectorized core peeks into the pending arrival run
+#: (presorted static lane plus deferral lanes) when it coalesces: deep
+#: enough to batch-project a whole synchronized deferral storm in one
+#: dense matrix pass, while peeking stays O(members) per run — each
+#: member is scanned once, amortized by the run it belongs to.
+ARRIVAL_RUN_PEEK = 64
+
+#: After this many consecutive arrival runs priced no new table point,
+#: the dense price tables are considered converged and the per-run
+#: warm-up pass is skipped: probes answer from the tables directly, and
+#: a late never-seen operating point simply prices through the
+#: incremental lane refresh instead (same floats, slower lookup).
+PRICE_RUN_WARM_STREAK = 64
+
+#: How many upcoming arrivals (per calendar lane) the vectorized core
+#: gathers when it batch-prices admission verdicts for the current
+#: fleet version. Rows are a cache keyed on the version — members not
+#: reached before the next router-visible state change are simply
+#: recomputed then — so the lookahead trades a little wasted pricing in
+#: admit-heavy stretches for one dense pass per storm segment.
+VERDICT_BATCH_LOOKAHEAD = 12
+
 
 @dataclass(frozen=True)
 class ReplicaReport:
@@ -131,6 +153,9 @@ class ClusterSummary:
         router_cache: Admission-price-cache counters (hits, misses,
             hit_rate, entries, max_entries) for price-aware routers;
             empty for stateless policies.
+        probe_memo: Fleet-version verdict-memo counters from the
+            vectorized core (probe_hits, probe_misses, hit_rate,
+            runs_coalesced, version_bumps); empty under the event core.
         tenants: Per-tenant reports keyed by tenant name, in trace
             arrival order (single-tenant runs report one ``default``
             entry).
@@ -142,6 +167,7 @@ class ClusterSummary:
     total_requests: int
     replicas: List[ReplicaReport]
     router_cache: Dict[str, float] = field(default_factory=dict)
+    probe_memo: Dict[str, float] = field(default_factory=dict)
     tenants: Dict[str, TenantReport] = field(default_factory=dict)
 
     @cached_property
@@ -285,6 +311,7 @@ class ClusterSimulator:
         stats: Dict[str, Dict[str, int]],
         makespan: float,
         router_cache: Optional[Dict[str, float]] = None,
+        probe_memo: Optional[Dict[str, float]] = None,
     ) -> ClusterSummary:
         """Fold the drained fleet into a :class:`ClusterSummary`.
 
@@ -292,7 +319,8 @@ class ClusterSimulator:
         layer is identical; only the event loops differ. ``router_cache``
         overrides the admission-price counters (the vectorized core
         reports its dense-table statistics); ``None`` reads the router's
-        price cache.
+        price cache. ``probe_memo`` carries the vectorized core's
+        fleet-version verdict-memo counters (empty otherwise).
         """
         reports: List[ReplicaReport] = []
         for replica in self.replicas:
@@ -327,6 +355,7 @@ class ClusterSimulator:
             total_requests=total,
             replicas=reports,
             router_cache=router_cache,
+            probe_memo=probe_memo if probe_memo is not None else {},
             tenants=_tenant_reports(trace, stats),
         )
 
@@ -383,36 +412,205 @@ class VectorizedClusterSimulator(ClusterSimulator):
         replicas = self.replicas
         router = self.router
         admission = self.admission
+        # Run prefetching only pays off when something consults the price
+        # tables (a price-aware router or an admission controller).
+        prefetch = router.price_cache is not None or admission is not None
         # Inlined step bursts below bypass the calendar, so its clock can
         # stall before the true end of the run; the makespan is tracked by
         # hand — last popped event time, or the last inlined completion.
         makespan = 0.0
+        # Bound-method locals: the drain loop below runs once per arrival
+        # — millions of times per trace — so every attribute walk it
+        # skips is wall-clock.
+        pop_arrival = calendar.pop_arrival
+        push_arrival_after = calendar.push_arrival_after
+        select = router.select
+        probe_min = getattr(fleet, "probe_min_completion", None)
+        # The admission controller's batched fast path, inlined: one
+        # verdict-memo probe and a handful of plain dict/float ops per
+        # storm member, no method-call round trip through decide().
+        # Mirrors SLOAdmissionController.decide branch for branch (the
+        # equivalence suite pins the outcomes); non-batched controllers
+        # keep the reference call.
+        inline_admission = (
+            admission is not None
+            and admission.batched
+            and probe_min is not None
+        )
+        if inline_admission:
+            policies = admission.policies
+            defers_used = admission._defers_used
+            probe_batch = getattr(fleet, "probe_min_batch", None)
+            upcoming = calendar.upcoming_arrivals
+            # Version-keyed verdict rows: request_id -> projected best
+            # completion, batch-priced for the current fleet version.
+            # Batching only engages once a frozen segment proves itself
+            # long (segment_probes) — short admit-heavy segments would
+            # waste most of a lookahead batch, and their repeat lookups
+            # already answer from the per-request verdict memo.
+            batch_rows: Dict[int, float] = {}
+            batch_version = -1
+            probe_version = -1
+            segment_probes = 0
+            row_hits = 0
+            gated_tenants = {
+                tenant
+                for tenant, tenant_policy in policies.items()
+                if tenant_policy.action != "admit"
+            }
+        # Flat per-tenant admission counters, folded back into ``stats``
+        # after the loop: one small-dict update per deferral/rejection
+        # instead of a nested two-level lookup on the multi-million
+        # deferral storms the gated tenants generate.
+        deferral_counts = {tenant: 0 for tenant in stats}
+        rejected_counts = {tenant: 0 for tenant in stats}
+        replica_count = len(replicas)
+        price_cold = prefetch
+        warm_streak = 0
         while not calendar.empty:
             now, kind, payload = calendar.pop()
             makespan = now
             if kind == ARRIVAL_CODE:
-                request = payload
-                if admission is not None:
-                    decision, backoff = admission.decide(request, fleet, now)
-                    if decision is AdmissionDecision.REJECT:
-                        request.state = RequestState.REJECTED
-                        stats[request.tenant]["rejected"] += 1
-                        continue
-                    if decision is AdmissionDecision.DEFER:
-                        stats[request.tenant]["deferrals"] += 1
-                        calendar.push(now + backoff, ARRIVAL_CODE, request)
-                        continue
-                index = router.select(request, fleet, now)
-                if not 0 <= index < len(replicas):
-                    raise SimulationError(
-                        f"router {router.name!r} returned replica "
-                        f"{index} of {len(replicas)}"
-                    )
-                replica = replicas[index]
-                replica.enqueue(request)
-                fleet.mark_dirty(index)
-                if replica.idle:
-                    calendar.push(now, ADMIT_CODE, index)
+                # Arrival-run coalescing: when the presorted lane shows
+                # more arrivals before the next non-arrival event, warm
+                # the run's unseen price-table points in one dense pass,
+                # then drain the whole run here — deferred re-arrivals
+                # join it too — so back-to-back verdicts answer from the
+                # fleet-version memo without an event-loop round trip
+                # per member. Once the tables converge (a long streak of
+                # runs pricing nothing new), the warm-up pass is skipped.
+                if price_cold:
+                    run_ahead = calendar.peek_arrival_run(ARRIVAL_RUN_PEEK)
+                    if run_ahead:
+                        priced = fleet.price_run(
+                            [payload]
+                            + calendar.arrival_run_payloads(run_ahead)
+                        )
+                        if priced:
+                            warm_streak = 0
+                        else:
+                            warm_streak += 1
+                            if warm_streak >= PRICE_RUN_WARM_STREAK:
+                                price_cold = False
+                members = 0
+                while True:
+                    members += 1
+                    request = payload
+                    admitted = True
+                    if inline_admission:
+                        deadline = request.deadline_s
+                        if deadline is not None:
+                            policy = policies.get(request.tenant)
+                            if policy is not None and policy.action != "admit":
+                                # Verdict rows survive while the fleet
+                                # version holds still (rejections and
+                                # deferrals never bump it); a missing or
+                                # stale row triggers one batched pass
+                                # over the gated members coming up.
+                                version = fleet.version
+                                if version == batch_version:
+                                    projected = batch_rows.get(
+                                        request.request_id
+                                    )
+                                    if projected is not None:
+                                        row_hits += 1
+                                else:
+                                    projected = None
+                                if projected is None:
+                                    if version == probe_version:
+                                        segment_probes += 1
+                                    else:
+                                        probe_version = version
+                                        segment_probes = 1
+                                    mins = None
+                                    if segment_probes >= 4:
+                                        gated = [request]
+                                        for member in upcoming(
+                                            VERDICT_BATCH_LOOKAHEAD
+                                        ):
+                                            if (
+                                                member.deadline_s
+                                                is not None
+                                                and member.tenant
+                                                in gated_tenants
+                                            ):
+                                                gated.append(member)
+                                        if len(gated) > 1:
+                                            mins = probe_batch(gated)
+                                    if mins is None:
+                                        projected = probe_min(request)
+                                    else:
+                                        rows = mins.tolist()
+                                        batch_rows = {
+                                            member.request_id: rows[j]
+                                            for j, member in enumerate(
+                                                gated
+                                            )
+                                        }
+                                        batch_version = version
+                                        projected = rows[0]
+                                if now + projected > deadline:
+                                    admitted = False
+                                    if policy.action == "defer":
+                                        used = defers_used.get(
+                                            request.request_id, 0
+                                        )
+                                        if used < policy.max_defers:
+                                            defers_used[
+                                                request.request_id
+                                            ] = used + 1
+                                            deferral_counts[
+                                                request.tenant
+                                            ] += 1
+                                            push_arrival_after(
+                                                policy.defer_seconds,
+                                                request,
+                                            )
+                                        else:
+                                            request.state = (
+                                                RequestState.REJECTED
+                                            )
+                                            rejected_counts[
+                                                request.tenant
+                                            ] += 1
+                                    else:
+                                        request.state = (
+                                            RequestState.REJECTED
+                                        )
+                                        rejected_counts[
+                                            request.tenant
+                                        ] += 1
+                    elif admission is not None:
+                        decision, backoff = admission.decide(
+                            request, fleet, now
+                        )
+                        if decision is AdmissionDecision.REJECT:
+                            request.state = RequestState.REJECTED
+                            rejected_counts[request.tenant] += 1
+                            admitted = False
+                        elif decision is AdmissionDecision.DEFER:
+                            deferral_counts[request.tenant] += 1
+                            push_arrival_after(backoff, request)
+                            admitted = False
+                    if admitted:
+                        index = select(request, fleet, now)
+                        if not 0 <= index < replica_count:
+                            raise SimulationError(
+                                f"router {router.name!r} returned replica "
+                                f"{index} of {len(replicas)}"
+                            )
+                        replica = replicas[index]
+                        replica.enqueue(request)
+                        fleet.mark_dirty(index)
+                        if replica.idle:
+                            calendar.push(now, ADMIT_CODE, index)
+                    nxt = pop_arrival()
+                    if nxt is None:
+                        break
+                    now, payload = nxt
+                    makespan = now
+                if members > 1:
+                    fleet.runs_coalesced += 1
             else:  # ADMIT_CODE / STEP_DONE_CODE
                 replica = replicas[payload]
                 if kind == ADMIT_CODE:
@@ -436,12 +634,20 @@ class VectorizedClusterSimulator(ClusterSimulator):
                 if done_at is not None:
                     calendar.push(done_at, STEP_DONE_CODE, payload)
 
+        for tenant, count in deferral_counts.items():
+            stats[tenant]["deferrals"] += count
+        for tenant, count in rejected_counts.items():
+            stats[tenant]["rejected"] += count
+        if inline_admission:
+            fleet.probe_hits += row_hits
         router_cache = (
             dict(fleet.price_stats())
             if self.router.price_cache is not None
             else {}
         )
-        return self._summarize(trace, stats, makespan, router_cache)
+        return self._summarize(
+            trace, stats, makespan, router_cache, dict(fleet.memo_stats())
+        )
 
 
 def _tenant_reports(

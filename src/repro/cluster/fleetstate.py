@@ -51,6 +51,7 @@ from repro.models.workload import build_step_grid
 from repro.serving.engine import MAX_ITERATIONS, ServingEngine
 from repro.serving.metrics import IterationRecord
 from repro.serving.request import Request, RequestState
+from repro.serving.tlp_policy import FixedTLP
 from repro.systems.baselines import A100AttAccSystem, AttAccOnlySystem
 from repro.systems.batch import price_steps_at
 from repro.systems.papi import PAPISystem, PIMOnlyPAPISystem
@@ -128,6 +129,11 @@ class VectorReplica(Replica):
         # scheduler state (every recognized planner — the probe-time
         # ``rlp=10**6`` sentinel can never match a standing decision).
         self._pure_planner = _planner_kind(self.system) != PLAN_GENERIC
+        # Exactly ``FixedTLP`` (not a subclass) provably returns its
+        # constant from ``next_tlp`` — skip the call per step.
+        self._fixed_tlp = (
+            self.policy.tlp if type(self.policy) is FixedTLP else None
+        )
 
     # -- event handlers ---------------------------------------------------
 
@@ -184,6 +190,9 @@ class VectorReplica(Replica):
         finished_context = 0
         if finished:
             self.requests_served += len(finished)
+            # ``record_request_latency`` inlined: ``max(0.0, ...)``
+            # already guarantees the non-negativity it validates.
+            latencies = summary.request_latencies
             for i in finished:
                 request = active[i]
                 request.generated = request.output_len
@@ -191,9 +200,7 @@ class VectorReplica(Replica):
                 request.finish_iteration = iteration
                 request.finish_s = now
                 finished_context += request.input_len + request.output_len
-                summary.record_request_latency(
-                    max(0.0, now - request.arrival_s)
-                )
+                latencies.append(max(0.0, now - request.arrival_s))
         self._remaining_tokens -= accepted_total
         self._active_context_sum += accepted_total - finished_context
         if tlp == 1:
@@ -322,11 +329,15 @@ class VectorReplica(Replica):
     def _schedule_step(self) -> float:
         """Memoized twin of :meth:`Replica._schedule_step`."""
         rlp = len(self.active)
-        tlp = self.policy.next_tlp(self._iteration, rlp, self._accepted_fraction)
+        tlp = self._fixed_tlp
+        if tlp is None:
+            tlp = self.policy.next_tlp(
+                self._iteration, rlp, self._accepted_fraction
+            )
         if tlp != self._current_tlp:
             self.system.update_tlp(tlp)
             self._current_tlp = tlp
-        self.tlp_trace.record(tlp)
+        self.tlp_trace.values.append(tlp)
         pricer = self.pricer
         # The planned FC placement is part of the key: PAPI's standing
         # decision is scheduler state (it can lag the stateless rule
@@ -522,6 +533,35 @@ class FleetState:
         self._probe_dirty: set = set()
         self._probe_sensitive: set = set()
         self._probe_input_len = -1
+        # Fleet version + verdict memos (the arrival-run coalescing
+        # layer): ``version`` advances on every router-visible state
+        # change (``mark_dirty``), and the memos below — whole-fleet step
+        # vectors, completion vectors, and routing orders keyed by the
+        # probe's plan-group key — are valid exactly while the version
+        # holds still. Back-to-back arrivals against an unchanged fleet
+        # (deferral storms above all) reuse the prior verdict in O(1)
+        # instead of re-pricing O(lanes); any admit or step event bumps
+        # the version and drops the memos wholesale.
+        self.version = 0
+        self._memo_version = 0
+        self._steps_memo: Dict[int, np.ndarray] = {}
+        self._completion_memo: Dict[
+            Tuple[int, int], Tuple[np.ndarray, float]
+        ] = {}
+        self._order_memo: Dict[int, np.ndarray] = {}
+        # Request-independent factors of the completion projection,
+        # shared across a frozen-version segment's distinct output
+        # lengths (``per_iteration`` per steps key, ``backlog`` per
+        # version).
+        self._per_memo: Dict[int, np.ndarray] = {}
+        self._backlog_cache: Optional[np.ndarray] = None
+        self.probe_hits = 0
+        self.probe_misses = 0
+        self.runs_coalesced = 0
+        self._homogeneous = (
+            len(self._groups) == 1 and self._groups[0].indices is None
+        )
+        self._sc_slack = np.empty(n, dtype=np.float64)
         self._flush()
 
     # -- sequence protocol (routers treat the fleet as a list) ------------
@@ -538,9 +578,19 @@ class FleetState:
     # -- counter mirroring -------------------------------------------------
 
     def mark_dirty(self, index: int) -> None:
-        """Note that ``replicas[index]``'s counters changed."""
+        """Note that ``replicas[index]``'s counters changed.
+
+        Advances the fleet version exactly once per call: the simulator
+        marks a replica once per handled event, so the version counts
+        router-visible state changes — admission/routing verdicts cached
+        at an older version can never be served again (see
+        :meth:`_sync_memo`). Decisions that change no fleet state (a
+        rejection, a deferral) never mark, which is precisely why a
+        deferral storm holds the version still and re-probes stay O(1).
+        """
         self._dirty.add(index)
         self._probe_dirty.add(index)
+        self.version += 1
 
     def _flush(self) -> None:
         dirty = self._dirty
@@ -1044,6 +1094,353 @@ class FleetState:
         np.multiply(own, per_iteration, out=own)
         return own.tolist()
 
+    # -- version-keyed verdict memos (arrival-run coalescing) --------------
+
+    #: Residency bound on each verdict memo. Distinct keys per version
+    #: are naturally few (a handful of input-length buckets); the cap is
+    #: a backstop against pathological traces, and clearing a memo can
+    #: only cost recomputation, never correctness.
+    VERDICT_MEMO_ENTRIES = 1 << 13
+
+    def _sync_memo(self) -> None:
+        """Drop every memoized verdict older than the current version."""
+        if self._memo_version != self.version:
+            self._steps_memo.clear()
+            self._completion_memo.clear()
+            self._order_memo.clear()
+            self._per_memo.clear()
+            self._backlog_cache = None
+            self._memo_version = self.version
+
+    def _steps_key(self, input_len: int) -> int:
+        """The plan-group key a probe's step vector depends on.
+
+        A probe reads the candidate's ``input_len`` only through lanes
+        whose projection includes the candidate itself (``slots >
+        waiting`` — the ``_probe_sensitive`` set, a pure function of
+        fleet state and therefore fixed per version). A saturated
+        homogeneous fleet has no such lane, so every input length maps to
+        one shared key (``-1``) — the case deferral storms live in.
+        Valid only after at least one probe ran at the current version
+        (memos are cleared on every bump, so a non-empty memo implies the
+        sensitive set reflects the current state).
+        """
+        if self._homogeneous and not self._probe_sensitive:
+            return -1
+        return input_len
+
+    def probe_steps(self, request: Request) -> np.ndarray:
+        """Version-memoized whole-fleet step vector.
+
+        A hit returns the prior probe's array with zero recomputation; a
+        miss runs :meth:`_fleet_step_array` (incremental per-lane refresh
+        underneath) and memoizes a copy, so later in-place lane refreshes
+        for a *different* input length can never corrupt this entry.
+        Bit-identical either way: within one version no counter a probe
+        reads has changed, so a recompute would reproduce the exact same
+        floats.
+        """
+        self._sync_memo()
+        memo = self._steps_memo
+        if memo:
+            values = memo.get(self._steps_key(request.input_len))
+            if values is not None:
+                self.probe_hits += 1
+                return values
+        self.probe_misses += 1
+        values = self._fleet_step_array(request).copy()
+        if len(memo) >= self.VERDICT_MEMO_ENTRIES:
+            memo.clear()
+        memo[self._steps_key(request.input_len)] = values
+        return values
+
+    def _steps_for(self, request: Request) -> np.ndarray:
+        """:meth:`probe_steps` without touching the query counters.
+
+        For internal second reads inside one logical query (the slack
+        router needs both the completion vector and the step vector):
+        the query already counted once, so this lookup must not.
+        """
+        memo = self._steps_memo
+        if memo:
+            values = memo.get(self._steps_key(request.input_len))
+            if values is not None:
+                return values
+        values = self._fleet_step_array(request).copy()
+        if len(memo) >= self.VERDICT_MEMO_ENTRIES:
+            memo.clear()
+        memo[self._steps_key(request.input_len)] = values
+        return values
+
+    def probe_min_batch(
+        self, requests: Sequence[Request]
+    ) -> Optional[np.ndarray]:
+        """Best projected completions for a slice of arrivals, one pass.
+
+        The arrival-run coalescing fast path: every member is priced
+        against the *current* fleet version, whose projections differ
+        across members only through ``output_len`` when no lane is
+        input-sensitive. One ``(members, replicas)`` broadcast of the
+        completion arithmetic — the same elementwise op sequence as
+        :meth:`probe_completions`, so row ``j`` is bit-identical to the
+        scalar probe for member ``j`` — prices the whole slice; the
+        row-wise minimum is exactly what :meth:`probe_min_completion`
+        would return member by member. Returns ``None`` when members'
+        step vectors could differ (input-sensitive lanes, heterogeneous
+        fleet); callers fall back to the per-member probe. Counts one
+        query (the shared step-vector lookup) per call — the caller
+        counts a hit for each *additional* row it later serves.
+        """
+        self._sync_memo()
+        if self._steps_memo and (
+            not self._homogeneous or self._probe_sensitive
+        ):
+            # A probe already ran at this version, so the sensitivity
+            # set is current: bail before doing any projection work.
+            return None
+        steps = self.probe_steps(requests[0])
+        if not self._homogeneous or self._probe_sensitive:
+            return None
+        per_iteration = self._per_memo.get(-1)
+        if per_iteration is None:
+            per_iteration = np.add(steps, self.draft_overhead)
+            self._per_memo[-1] = per_iteration
+        backlog = self._backlog_cache
+        if backlog is None:
+            backlog = self._backlog_cache = np.divide(
+                self.remaining_tokens, self._drain_denominator
+            )
+        outputs = np.array(
+            [request.output_len for request in requests], dtype=np.int64
+        )
+        grid = np.divide(outputs[:, None], self.expected_tokens)
+        np.ceil(grid, out=grid)
+        np.add(grid, backlog, out=grid)
+        np.multiply(grid, per_iteration, out=grid)
+        return grid.min(axis=1)
+
+    def probe_completions(self, request: Request) -> Tuple[np.ndarray, float]:
+        """Version-memoized ``(completion vector, minimum)`` pair.
+
+        The completion arithmetic is exactly
+        :meth:`fleet_completion_seconds`'s (same elementwise ops, same
+        scratch discipline); the memo key extends the step key with the
+        candidate's ``output_len`` (the only other request field the
+        projection reads). The cached minimum equals ``min()`` over the
+        probe's list form — one float compared bit-for-bit by the
+        admission controller.
+        """
+        self._sync_memo()
+        memo = self._completion_memo
+        if memo:
+            entry = memo.get(
+                (self._steps_key(request.input_len), request.output_len)
+            )
+            if entry is not None:
+                self.probe_hits += 1
+                return entry
+        # The query counts exactly once — through the step-vector lookup
+        # below (hit when the probe vector was reused and only the four
+        # elementwise completion passes ran, miss when the whole fleet
+        # probe recomputed).
+        steps = self.probe_steps(request)
+        key = self._steps_key(request.input_len)
+        # ``per_iteration`` and ``backlog`` are request-independent (per
+        # steps key / per version respectively): compute each once per
+        # frozen-version segment and let every distinct output length in
+        # the segment reuse them — the same float64 operands the
+        # unshared pipeline would rebuild, so results are bit-identical.
+        per_iteration = self._per_memo.get(key)
+        if per_iteration is None:
+            per_iteration = np.add(steps, self.draft_overhead)
+            self._per_memo[key] = per_iteration
+        backlog = self._backlog_cache
+        if backlog is None:
+            backlog = self._backlog_cache = np.divide(
+                self.remaining_tokens, self._drain_denominator
+            )
+        completions = np.divide(request.output_len, self.expected_tokens)
+        np.ceil(completions, out=completions)
+        np.add(completions, backlog, out=completions)
+        np.multiply(completions, per_iteration, out=completions)
+        entry = (completions, float(completions.min()))
+        if len(memo) >= self.VERDICT_MEMO_ENTRIES:
+            memo.clear()
+        memo[(key, request.output_len)] = entry
+        return entry
+
+    def probe_min_completion(self, request: Request) -> float:
+        """The admission controller's fast path: best projected completion.
+
+        Equals ``min(fleet_completion_seconds(request, steps))`` — the
+        value the batched reference compares against the deadline — via
+        the version memo. The hit path is hand-inlined (version check,
+        steps key, one dict probe): deferral storms take it millions of
+        times per trace, so every avoided method call is wall-clock.
+        """
+        if self._memo_version != self.version:
+            self._sync_memo()
+        memo = self._completion_memo
+        if memo:
+            key = (
+                -1
+                if (self._homogeneous and not self._probe_sensitive)
+                else request.input_len
+            )
+            entry = memo.get((key, request.output_len))
+            if entry is not None:
+                self.probe_hits += 1
+                return entry[1]
+        return self.probe_completions(request)[1]
+
+    def _cost_order(self, request: Request, steps: np.ndarray) -> np.ndarray:
+        """Replica indices by (step cost, outstanding, index), memoized.
+
+        ``np.lexsort`` is stable with the last key primary, so the order
+        ranks exactly the reference tuple-min criterion; ``steps`` must
+        come from :meth:`probe_steps` at the current version (which also
+        makes the memo key valid).
+        """
+        memo = self._order_memo
+        key = self._steps_key(request.input_len)
+        order = memo.get(key)
+        if order is None:
+            order = np.lexsort((self.outstanding_counts(), steps))
+            if len(memo) >= self.VERDICT_MEMO_ENTRIES:
+                memo.clear()
+            memo[key] = order
+        return order
+
+    def route_min_cost(self, request: Request) -> int:
+        """The min-cost router's verdict via the version memo.
+
+        Identical to ``lexsort((outstanding, costs))[0]`` over the fleet
+        probe — the reference numpy branch — with both the step vector
+        and the sorted order reused while the version holds still.
+        """
+        self._sync_memo()
+        steps = self.probe_steps(request)
+        return int(self._cost_order(request, steps)[0])
+
+    def route_slo_slack(self, request: Request, now: float) -> int:
+        """The slo-slack router's verdict via the version memos.
+
+        Best-effort requests degrade to :meth:`route_min_cost` exactly as
+        the reference does. Deadline requests recompute only the slack —
+        elementwise ``deadline - (now + c)``, never algebraically
+        rearranged, so feasibility tests see bit-identical floats — and
+        reuse the memoized cost order: the first feasible index in the
+        global (cost, outstanding, index) order is precisely the
+        feasible-subset lexsort winner (stability), so the verdict
+        matches the reference branch for branch. The all-infeasible
+        fallback (reachable only for deadline traffic that bypassed
+        admission) ranks by most slack exactly as the reference.
+        """
+        deadline = request.deadline_s
+        if deadline is None:
+            return self.route_min_cost(request)
+        self._sync_memo()
+        completions, _ = self.probe_completions(request)
+        steps = self._steps_for(request)
+        slack = np.add(completions, now, out=self._sc_slack)
+        np.subtract(deadline, slack, out=slack)
+        feasible = np.greater_equal(slack, 0.0, out=self._sc_mask1)
+        if feasible.any():
+            order = self._cost_order(request, steps)
+            return int(order[int(np.argmax(feasible[order]))])
+        counts = self.outstanding_counts()
+        return int(np.lexsort((counts, steps, np.negative(slack)))[0])
+
+    def price_run(self, requests: Sequence[Request]) -> int:
+        """Warm the dense price tables for a run of arrivals in one pass.
+
+        For every distinct input length in the run, project the fleet's
+        post-admission loads and collect the table points no probe has
+        priced yet; all missing points are then priced through a *single*
+        pinned-target :func:`price_steps_at` call per price group (table
+        entries are pure functions of their key, so prefetching ahead of
+        the member-by-member admission decisions is always sound — an
+        admit between members only changes *which* keys later members
+        look up, and those recompute through the incremental lane
+        refresh). Returns the number of newly priced operating points.
+        """
+        self._flush()
+        groups = self._groups
+        pending: List[Dict[Tuple[int, int, int, int], None]] = [
+            {} for _ in groups
+        ]
+        seen: set = set()
+        for request in requests:
+            input_len = request.input_len
+            if input_len in seen:
+                continue
+            seen.add(input_len)
+            rlp, ctx_index = self._projected_loads(input_len)
+            # ``_projected_loads`` leaves the open-slot counts in its
+            # scratch; when no lane projects the candidate itself
+            # (saturated fleet), every input length shares one
+            # projection — one pass covers the whole run.
+            input_sensitive = bool(
+                np.greater(
+                    self._sc_slots, self.waiting_count, out=self._sc_mask1
+                ).any()
+            )
+            tlp = self.current_tlp
+            codes = self._plan_codes(rlp, tlp)
+            for position, group in enumerate(groups):
+                idx = group.indices
+                if idx is None:
+                    g_codes, g_rlp, g_tlp, g_ctx = codes, rlp, tlp, ctx_index
+                else:
+                    g_codes = codes[idx]
+                    g_rlp = rlp[idx]
+                    g_tlp = tlp[idx]
+                    g_ctx = ctx_index[idx]
+                group.ensure(
+                    int(g_rlp.max()), int(g_tlp.max()), int(g_ctx.max())
+                )
+                values = group.table[g_codes, g_rlp, g_tlp, g_ctx]
+                missing = np.isnan(values)
+                if missing.any():
+                    want = pending[position]
+                    for lane in np.nonzero(missing)[0].tolist():
+                        want[
+                            (
+                                int(g_codes[lane]),
+                                int(g_rlp[lane]),
+                                int(g_tlp[lane]),
+                                int(g_ctx[lane]),
+                            )
+                        ] = None
+            if not input_sensitive:
+                break
+        priced_points = 0
+        for group, want in zip(groups, pending):
+            if not want:
+                continue
+            keys = list(want)
+            representative = group.representative
+            grid = build_step_grid(
+                representative.model,
+                [key[1] for key in keys],
+                [key[2] for key in keys],
+                [key[3] * ADMISSION_CONTEXT_BUCKET for key in keys],
+                moe=representative.moe,
+            )
+            priced = price_steps_at(
+                representative.system,
+                grid,
+                tuple(CODE_TARGETS[key[0]] for key in keys),
+            )
+            table = group.table
+            for lane, key in enumerate(keys):
+                table[key[0], key[1], key[2], key[3]] = float(
+                    priced.seconds[lane]
+                )
+            group.entries += len(keys)
+            priced_points += len(keys)
+        return priced_points
+
     # -- reporting ---------------------------------------------------------
 
     def price_stats(self) -> Dict[str, float]:
@@ -1057,4 +1454,26 @@ class FleetState:
             "systems": len(self._groups),
             "entries": entries,
             "max_entries": entries,
+        }
+
+    def memo_stats(self) -> Dict[str, float]:
+        """Verdict-memo effectiveness counters for the cluster report.
+
+        ``probe_hits`` / ``probe_misses`` count *queries* — admission
+        probes and routing verdicts — exactly once each: a miss is a
+        query that recomputed the whole-fleet probe vector, a hit is one
+        answered from the version-keyed memos (a cached verdict, a
+        batch-priced row, or a verdict assembled from the memoized probe
+        vector and segment factors). ``runs_coalesced`` counts
+        multi-arrival runs the simulator drained in one slice;
+        ``version_bumps`` is the fleet version itself — one bump per
+        router-visible state change.
+        """
+        total = self.probe_hits + self.probe_misses
+        return {
+            "probe_hits": self.probe_hits,
+            "probe_misses": self.probe_misses,
+            "hit_rate": self.probe_hits / total if total else 0.0,
+            "runs_coalesced": self.runs_coalesced,
+            "version_bumps": self.version,
         }

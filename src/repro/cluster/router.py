@@ -573,6 +573,13 @@ class MinCostRouter(Router):
     ) -> int:
         if not replicas:
             raise ConfigurationError("cluster has no replicas")
+        if self.batched:
+            fast = getattr(replicas, "route_min_cost", None)
+            if fast is not None:
+                # Vectorized fleets return the memoized verdict directly:
+                # the same lexsort over the same probe vectors, reused
+                # O(1) while the fleet version holds still.
+                return fast(request)
         costs = self._step_costs(request, replicas, now)
         counts = getattr(replicas, "outstanding_counts", None)
         if counts is not None:
@@ -614,6 +621,14 @@ class SLOSlackRouter(MinCostRouter):
     ) -> int:
         if not replicas:
             raise ConfigurationError("cluster has no replicas")
+        if self.batched:
+            fast = getattr(replicas, "route_slo_slack", None)
+            if fast is not None:
+                # Vectorized fleets return the memoized verdict directly
+                # (slack recomputed elementwise against this arrival's
+                # deadline and clock; everything else reused O(1) while
+                # the fleet version holds still).
+                return fast(request, now)
         memo = (
             fleet_probe_memo(self._price_cache, replicas, request, now)
             if self.batched

@@ -34,7 +34,13 @@ from repro.scenario.build import (
     build_requests,
     build_routing,
 )
-from repro.scenario.run import ScenarioResult, run_scenario, run_scenarios
+from repro.scenario.run import (
+    CORE_CHOICES,
+    ScenarioResult,
+    apply_core_mode,
+    run_scenario,
+    run_scenarios,
+)
 from repro.scenario.spec import (
     SCENARIO_SCHEMA_VERSION,
     SPEC_TYPES,
@@ -52,6 +58,7 @@ from repro.scenario.spec import (
 )
 
 __all__ = [
+    "CORE_CHOICES",
     "FleetSpec",
     "MoESpec",
     "ReplicaSpec",
@@ -64,6 +71,7 @@ __all__ = [
     "TenantSpec",
     "TrafficSpec",
     "WorkloadSpec",
+    "apply_core_mode",
     "build_admission",
     "build_moe_config",
     "build_replicas",

@@ -34,6 +34,52 @@ from repro.scenario.build import (
 from repro.scenario.spec import ScenarioSpec
 
 
+#: Core presets ``apply_core_mode`` accepts. ``scalar`` and ``event``
+#: both run the event-queue simulator — ``scalar`` additionally pins the
+#: reference bookkeeping (full per-iteration records, O(queue) load
+#: rescans, per-replica admission pricing) that the faster presets
+#: replace with incremental counters and fleet-batched pricing.
+CORE_CHOICES = ("scalar", "event", "vectorized")
+
+_CORE_PRESETS = {
+    "scalar": ("full", "scan", "event", False),
+    "event": ("aggregate", "incremental", "event", True),
+    "vectorized": ("aggregate", "incremental", "vectorized", True),
+}
+
+
+def apply_core_mode(spec: ScenarioSpec, core: str) -> ScenarioSpec:
+    """Pin a scenario to one of the three equivalence-contract cores.
+
+    All three produce bit-identical summaries (the equivalence suite
+    pins them); the choice trades introspection detail for speed:
+    ``scalar`` keeps full per-iteration records and reference
+    bookkeeping, ``event`` streams aggregates through the event core's
+    incremental counters, ``vectorized`` adds the fleet arrays and the
+    fleet-version verdict memo on top.
+
+    Raises:
+        ConfigurationError: When ``core`` is not one of
+            :data:`CORE_CHOICES`.
+    """
+    preset = _CORE_PRESETS.get(core)
+    if preset is None:
+        raise ConfigurationError(
+            f"core must be one of {', '.join(CORE_CHOICES)}, got {core!r}"
+        )
+    detail, load_accounting, core_mode, batched = preset
+    return dataclasses.replace(
+        spec,
+        fleet=dataclasses.replace(
+            spec.fleet,
+            detail=detail,
+            load_accounting=load_accounting,
+            core_mode=core_mode,
+        ),
+        routing=dataclasses.replace(spec.routing, batched=batched),
+    )
+
+
 @dataclass(frozen=True)
 class ScenarioResult:
     """One scenario run: the spec that produced it plus the cluster summary.
@@ -69,6 +115,7 @@ class ScenarioResult:
                 "mean_latency_s": summary.mean_latency,
                 "total_reschedules": summary.total_reschedules,
                 "router_cache": dict(summary.router_cache),
+                "probe_memo": dict(summary.probe_memo),
             },
             "replicas": [
                 {
@@ -167,17 +214,28 @@ def _shard_specs(spec: ScenarioSpec, shards: int) -> List[ScenarioSpec]:
     ]
 
 
-def _merge_router_caches(summaries: Sequence[ClusterSummary]) -> Dict[str, Any]:
-    """Sum the shards' admission-price counters; recompute the rate."""
+def _merge_counter_stats(
+    counter_dicts: Sequence[Dict[str, Any]],
+) -> Dict[str, Any]:
+    """Sum the shards' instrumentation counters; recompute the rate.
+
+    Handles both counter layouts the cluster reports: the admission
+    price cache (``hits``/``misses``) and the vectorized core's
+    fleet-version verdict memo (``probe_hits``/``probe_misses``) — any
+    ``hit_rate`` key is dropped from the sum and recomputed from the
+    merged totals.
+    """
     merged: Dict[str, Any] = {}
-    for summary in summaries:
-        for key, value in summary.router_cache.items():
+    for counters in counter_dicts:
+        for key, value in counters.items():
             if key == "hit_rate":
                 continue
             merged[key] = merged.get(key, 0) + value
     if merged:
-        total = merged.get("hits", 0) + merged.get("misses", 0)
-        merged["hit_rate"] = merged.get("hits", 0) / total if total else 0.0
+        hits = merged.get("hits", merged.get("probe_hits", 0))
+        misses = merged.get("misses", merged.get("probe_misses", 0))
+        total = hits + misses
+        merged["hit_rate"] = hits / total if total else 0.0
     return merged
 
 
@@ -205,7 +263,12 @@ def _run_sharded(spec: ScenarioSpec, shards: int) -> ScenarioResult:
         makespan_seconds=max(s.makespan_seconds for s in summaries),
         total_requests=sum(s.total_requests for s in summaries),
         replicas=replicas,
-        router_cache=_merge_router_caches(summaries),
+        router_cache=_merge_counter_stats(
+            [summary.router_cache for summary in summaries]
+        ),
+        probe_memo=_merge_counter_stats(
+            [summary.probe_memo for summary in summaries]
+        ),
         tenants=tenants,
     )
     return ScenarioResult(spec=spec, summary=merged)

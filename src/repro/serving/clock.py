@@ -22,7 +22,9 @@ from __future__ import annotations
 
 import enum
 import heapq
-from typing import Any, List, Optional, Sequence, Tuple
+from collections import deque
+from itertools import islice
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -197,15 +199,32 @@ class EventCalendar:
         self._payloads = list(payloads)
         self._cursor = 0
         self._heap: List[Tuple[float, int, int, Any]] = []
+        # Deferral lanes: one FIFO per fixed backoff value. A deferred
+        # re-arrival is scheduled at ``now + backoff`` with ``now``
+        # nondecreasing and ``backoff`` constant per lane, so each lane's
+        # ``(time, seq)`` entries are pushed already sorted — a deque
+        # append/popleft replaces an O(log n) heap sift on both ends of
+        # every deferral, the dominant event type in a deferral storm.
+        self._defer_lanes: Dict[float, Deque[Tuple[float, int, Any]]] = {}
+        self._lanes: List[Deque[Tuple[float, int, Any]]] = []
+        self._lane_count = 0
         self._seq = len(self._payloads)
         self.now = 0.0
 
     def __len__(self) -> int:
-        return (len(self._arrival_list) - self._cursor) + len(self._heap)
+        return (
+            (len(self._arrival_list) - self._cursor)
+            + len(self._heap)
+            + self._lane_count
+        )
 
     @property
     def empty(self) -> bool:
-        return self._cursor >= len(self._arrival_list) and not self._heap
+        return (
+            self._cursor >= len(self._arrival_list)
+            and not self._heap
+            and not self._lane_count
+        )
 
     def push(self, time_s: float, kind_code: int, payload: Any = None) -> None:
         """Schedule a dynamic event at ``time_s`` (>= the current clock)."""
@@ -218,29 +237,81 @@ class EventCalendar:
         heapq.heappush(self._heap, (time_s, self._seq, kind_code, payload))
         self._seq += 1
 
+    def push_arrival_after(self, delay: float, payload: Any = None) -> None:
+        """Schedule a deferred re-``ARRIVAL`` at ``now + delay``.
+
+        Routes the event through the per-backoff deferral lane instead of
+        the heap. Sound because the lane's push order is its pop order:
+        ``now`` only moves forward and ``delay`` names the lane, so each
+        lane's ``(time, seq)`` entries are appended already sorted (the
+        guard below fails loudly if a caller ever breaks that).
+        """
+        time_s = self.now + delay
+        lane = self._defer_lanes.get(delay)
+        if lane is None:
+            lane = self._defer_lanes[delay] = deque()
+            self._lanes.append(lane)
+        elif lane and time_s < lane[-1][0]:
+            raise SimulationError(
+                f"deferral lane {delay!r} would become unsorted at "
+                f"{time_s:.6f}s"
+            )
+        lane.append((time_s, self._seq, payload))
+        self._seq += 1
+        self._lane_count += 1
+
     def pop(self) -> Tuple[float, int, Any]:
         """Earliest ``(time_s, kind_code, payload)``, advancing the clock.
 
-        The static arrival at the cursor and the dynamic heap head race
-        on ``(time_s, seq)`` — arrival sequence numbers are their trace
-        indices, always below every dynamic sequence number, so an
-        arrival wins any exact-timestamp tie against a dynamic event
-        pushed later (identical to the event-queue discipline).
+        The static arrival at the cursor, the deferral lane heads, and
+        the dynamic heap head race on ``(time_s, seq)`` — arrival
+        sequence numbers are their trace indices, always below every
+        dynamic sequence number, so an arrival wins any exact-timestamp
+        tie against a dynamic event pushed later (identical to the
+        event-queue discipline); lane entries and heap entries compare on
+        their recorded ``(time, seq)`` exactly as if the lanes had been
+        heap-pushed.
         """
+        heap = self._heap
+        if heap:
+            head = heap[0]
+            best_time = head[0]
+            best_seq = head[1]
+        else:
+            best_time = None
+            best_seq = 0
+        best_lane = None
+        if self._lane_count:
+            for lane in self._lanes:
+                if lane:
+                    entry = lane[0]
+                    entry_time = entry[0]
+                    if (
+                        best_time is None
+                        or entry_time < best_time
+                        or (entry_time == best_time and entry[1] < best_seq)
+                    ):
+                        best_time = entry_time
+                        best_seq = entry[1]
+                        best_lane = lane
         cursor = self._cursor
         arrivals = self._arrival_list
-        heap = self._heap
         if cursor < len(arrivals):
             arrival_time = arrivals[cursor]
             # Arrival sequence numbers (trace indices) are strictly below
             # every dynamic sequence number, so at an exact-timestamp tie
             # the arrival always wins — no need to compare seq.
-            if not heap or arrival_time <= heap[0][0]:
+            if best_time is None or arrival_time <= best_time:
                 self._cursor = cursor + 1
                 self.now = arrival_time
                 return arrival_time, ARRIVAL_CODE, self._payloads[cursor]
-        elif not heap:
+        elif best_time is None:
             raise SimulationError("event calendar is empty")
+        if best_lane is not None:
+            entry = best_lane.popleft()
+            self._lane_count -= 1
+            self.now = entry[0]
+            return entry[0], ARRIVAL_CODE, entry[2]
         time_s, _, kind_code, payload = heapq.heappop(heap)
         self.now = time_s
         return time_s, kind_code, payload
@@ -254,13 +325,162 @@ class EventCalendar:
         number is older), so inline execution is only safe strictly
         before this time.
         """
+        heap = self._heap
+        best = heap[0][0] if heap else None
+        if self._lane_count:
+            for lane in self._lanes:
+                if lane:
+                    entry_time = lane[0][0]
+                    if best is None or entry_time < best:
+                        best = entry_time
         cursor = self._cursor
         arrivals = self._arrival_list
-        heap = self._heap
         if cursor < len(arrivals):
             arrival_time = arrivals[cursor]
-            if not heap or arrival_time <= heap[0][0]:
+            if best is None or arrival_time <= best:
                 return arrival_time
-        elif not heap:
-            return None
-        return heap[0][0]
+        return best
+
+    def next_is_arrival(self) -> bool:
+        """Whether the next :meth:`pop` would return an ``ARRIVAL``.
+
+        Lets the simulator drain a *run* of back-to-back arrivals in one
+        inner loop (static-lane arrivals and deferred re-arrivals alike)
+        without a full event-loop round trip per member. Uses the exact
+        :meth:`pop` ordering: a static arrival wins any exact-timestamp
+        tie against the earliest dynamic event; deferral-lane entries are
+        always arrivals; otherwise the heap head's kind code decides.
+        """
+        heap = self._heap
+        if heap:
+            head = heap[0]
+            best_time = head[0]
+            best_seq = head[1]
+        else:
+            best_time = None
+            best_seq = 0
+        lane_best = False
+        if self._lane_count:
+            for lane in self._lanes:
+                if lane:
+                    entry = lane[0]
+                    entry_time = entry[0]
+                    if (
+                        best_time is None
+                        or entry_time < best_time
+                        or (entry_time == best_time and entry[1] < best_seq)
+                    ):
+                        best_time = entry_time
+                        best_seq = entry[1]
+                        lane_best = True
+        cursor = self._cursor
+        arrivals = self._arrival_list
+        if cursor < len(arrivals):
+            if best_time is None or arrivals[cursor] <= best_time:
+                return True
+        if lane_best:
+            return True
+        if heap:
+            return heap[0][2] == ARRIVAL_CODE
+        return False
+
+    def peek_arrival_run(self, limit: int) -> int:
+        """Length of the static arrival lane's pending run (capped).
+
+        Counts the consecutive presorted arrivals from the cursor that
+        would all pop before the dynamic heap's head — static arrivals
+        win exact-timestamp ties, so the boundary is ``time <= head`` —
+        up to ``limit`` (bounding the scan so a huge all-arrival stretch
+        never costs O(trace) per peek). Deferral-lane re-arrivals are
+        *not* counted: they are arrivals too, so they never end a run —
+        use :meth:`upcoming_arrivals` to see them.
+        """
+        cursor = self._cursor
+        times = self._arrival_times
+        n = times.shape[0]
+        if cursor >= n:
+            return 0
+        hi = min(n, cursor + limit)
+        heap = self._heap
+        if not heap:
+            return hi - cursor
+        return int(
+            np.searchsorted(times[cursor:hi], heap[0][0], side="right")
+        )
+
+    def arrival_run_payloads(self, count: int) -> List[Any]:
+        """The next ``count`` static-lane payloads, without consuming them."""
+        cursor = self._cursor
+        return self._payloads[cursor : cursor + count]
+
+    def upcoming_arrivals(self, limit: int) -> List[Any]:
+        """Payloads of arrivals expected to pop soon, without consuming.
+
+        Up to ``limit`` payloads from the presorted static lane plus up
+        to ``limit`` from each deferral lane, in no particular order.
+        This is a *prediction* feed for verdict pre-pricing, not a pop
+        contract: other events may interleave before any of these
+        arrive, so callers must key whatever they precompute on state
+        that such interleaving invalidates (the fleet version).
+        """
+        cursor = self._cursor
+        payloads = self._payloads[cursor : cursor + limit]
+        if self._lane_count:
+            for lane in self._lanes:
+                if lane:
+                    payloads.extend(
+                        entry[2] for entry in islice(lane, 0, limit)
+                    )
+        return payloads
+
+    def pop_arrival(self) -> Optional[Tuple[float, Any]]:
+        """Pop the next event *iff* it is an ``ARRIVAL``.
+
+        Returns ``(time_s, payload)`` — advancing the clock — when the
+        earliest pending event is an arrival (static lane, deferral
+        lane, or a heap-scheduled re-arrival), and ``None`` without
+        popping otherwise (including when the calendar is empty). Fuses
+        :meth:`next_is_arrival` + :meth:`pop` so the drain loop pays one
+        head race per storm member instead of two; the ordering rules
+        are exactly :meth:`pop`'s.
+        """
+        heap = self._heap
+        if heap:
+            head = heap[0]
+            best_time = head[0]
+            best_seq = head[1]
+        else:
+            best_time = None
+            best_seq = 0
+        best_lane = None
+        if self._lane_count:
+            for lane in self._lanes:
+                if lane:
+                    entry = lane[0]
+                    entry_time = entry[0]
+                    if (
+                        best_time is None
+                        or entry_time < best_time
+                        or (entry_time == best_time and entry[1] < best_seq)
+                    ):
+                        best_time = entry_time
+                        best_seq = entry[1]
+                        best_lane = lane
+        cursor = self._cursor
+        arrivals = self._arrival_list
+        if cursor < len(arrivals):
+            arrival_time = arrivals[cursor]
+            if best_time is None or arrival_time <= best_time:
+                self._cursor = cursor + 1
+                self.now = arrival_time
+                return arrival_time, self._payloads[cursor]
+        if best_lane is not None:
+            entry = best_lane.popleft()
+            self._lane_count -= 1
+            self.now = entry[0]
+            return entry[0], entry[2]
+        if heap and heap[0][2] == ARRIVAL_CODE:
+            time_s, _, _, payload = heapq.heappop(heap)
+            self.now = time_s
+            return time_s, payload
+        return None

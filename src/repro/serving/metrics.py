@@ -140,17 +140,28 @@ class RunSummary:
         self.decode_seconds += result.seconds
         self.decode_energy += result.energy_joules
         self.tokens_generated += tokens_accepted
-        # ``_value_`` is ``.value`` without the DynamicClassAttribute
-        # descriptor trip — this fold runs once per decoding iteration.
-        target = result.fc_target._value_
+        # Step results are memoized per operating point, so the same
+        # (frozen, immutable) instance folds millions of times; cache
+        # its unpacked fold ingredients on the instance — ``_value_`` is
+        # ``.value`` without the DynamicClassAttribute descriptor trip,
+        # and the item tuples skip a dict-view allocation per fold.
+        cached = getattr(result, "_fold_items", None)
+        if cached is None:
+            cached = (
+                result.fc_target._value_,
+                tuple(result.time_breakdown.items()),
+                tuple(result.energy_breakdown.items()),
+            )
+            object.__setattr__(result, "_fold_items", cached)
+        target, time_items, energy_items = cached
         self.fc_target_iterations[target] = (
             self.fc_target_iterations.get(target, 0) + 1
         )
         time_breakdown = self.time_breakdown
-        for key, value in result.time_breakdown.items():
+        for key, value in time_items:
             time_breakdown[key] = time_breakdown.get(key, 0.0) + value
         energy_breakdown = self.energy_breakdown
-        for key, value in result.energy_breakdown.items():
+        for key, value in energy_items:
             energy_breakdown[key] = energy_breakdown.get(key, 0.0) + value
 
     @property
