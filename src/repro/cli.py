@@ -41,6 +41,7 @@ from repro.errors import ConfigurationError
 from repro.models.config import available_models, get_model
 from repro.scenario import (
     CORE_CHOICES,
+    REPLICA_ROLES,
     FleetSpec,
     MoESpec,
     ReplicaSpec,
@@ -203,17 +204,54 @@ def scenario_from_cluster_args(args: argparse.Namespace) -> ScenarioSpec:
 def _print_replica_table(summary, title: str) -> None:
     print(
         format_table(
-            ["replica", "model", "served", "tokens", "iterations",
+            ["replica", "model", "role", "served", "tokens", "iterations",
              "utilization", "reschedules", "acceptance", "E[experts]"],
             [
-                [r.replica_id, r.model, r.requests_served, r.tokens_generated,
-                 r.iterations, r.utilization, r.reschedules,
-                 r.acceptance_rate, r.mean_active_experts]
+                [r.replica_id, r.model, r.role, r.requests_served,
+                 r.tokens_generated, r.iterations, r.utilization,
+                 r.reschedules, r.acceptance_rate, r.mean_active_experts]
                 for r in summary.replicas
             ],
             title=title,
         )
     )
+
+
+def _print_pool_tables(summary) -> None:
+    """Per-pool and handoff-latency tables for disaggregated runs."""
+    if not summary.pools:
+        return
+    print(
+        format_table(
+            ["pool", "replicas", "served", "transferred", "tokens",
+             "utilization", "queueing (s)"],
+            [
+                [p.role, p.replicas, p.requests_served,
+                 p.requests_transferred, p.tokens_generated,
+                 p.utilization, p.queueing_seconds]
+                for p in summary.pools.values()
+            ],
+            title="Per-pool report",
+        )
+    )
+    rows = []
+    for label, stats in (
+        ("time to first token", summary.ttft),
+        ("KV-transfer wait", summary.transfer_wait),
+    ):
+        if stats:
+            rows.append(
+                [label, stats["mean_s"], stats["p50_s"], stats["p99_s"],
+                 int(stats["samples"])]
+            )
+    if rows:
+        print(
+            format_table(
+                ["metric", "mean (s)", "p50 (s)", "p99 (s)", "samples"],
+                rows,
+                title="Handoff latency",
+            )
+        )
 
 
 def _print_aggregate_table(summary) -> None:
@@ -296,6 +334,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                   f"{len(summary.replicas)} replicas / router={summary.router} "
                   f"({len(spec.tenants)} tenants)",
         )
+        _print_pool_tables(summary)
         _print_aggregate_table(summary)
         _print_tenant_table(result)
     if args.json:
@@ -548,6 +587,9 @@ def cmd_list(args: argparse.Namespace) -> int:
     print("tlp-policies: " + ", ".join(TLP_POLICY_NAMES))
     print("core modes: " + ", ".join(CORE_CHOICES)
           + "  (repro run/cluster --core; bit-identical summaries)")
+    print("replica roles: " + ", ".join(REPLICA_ROLES)
+          + "  (fleet.replicas[].role; prefill/decode pools need "
+          + "fleet.interconnect)")
     print("scenario spec fields (repro run <scenario.json>):")
     for spec_name, field_names in scenario_spec_fields().items():
         print(f"  {spec_name}: {', '.join(field_names)}")

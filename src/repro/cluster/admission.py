@@ -30,8 +30,10 @@ from typing import Dict, Mapping, Optional, Sequence, Tuple
 from repro.cluster.replica import Replica
 from repro.cluster.router import (
     PriceCache,
+    best_decode_completion_seconds,
     projected_completion_seconds,
     projected_completion_seconds_fleet,
+    projected_prefill_completion_seconds,
     projected_step_seconds_fleet,
 )
 from repro.errors import ConfigurationError
@@ -76,6 +78,63 @@ class TenantPolicy:
             raise ConfigurationError("max_defers must be non-negative")
 
 
+class PathProber:
+    """Completion projection across a disaggregated fleet's full path.
+
+    The admission controller's fleet view for prefill/decode pools: it
+    quacks like a fleet with a ``probe_min_completion`` verdict, but the
+    projection spans the whole handoff — the best prefill pool
+    arrival-to-first-token estimate, plus the KV transfer of the
+    request's first-token context, plus the best completion the decode
+    pool offers. The decode term delegates to
+    :func:`~repro.cluster.router.best_decode_completion_seconds`, so a
+    vectorized decode pool answers from its per-pool verdict memo and a
+    scalar pool from per-replica projections — bit-identical either way.
+
+    Args:
+        prefill_pool: The fleet's prefill replicas.
+        decode_pool: The decode replicas (a list or a
+            :class:`~repro.cluster.fleetstate.FleetState`).
+        interconnect: The KV-transfer cost model
+            (:class:`~repro.cluster.interconnect.Interconnect`).
+        price_cache: The shared router/admission price memo.
+        batched: Probe the decode pool fleet-batched (see
+            :class:`SLOAdmissionController`); projections are
+            bit-identical either way.
+    """
+
+    def __init__(
+        self,
+        prefill_pool: Sequence[Replica],
+        decode_pool: Sequence[Replica],
+        interconnect: object,
+        price_cache: Optional[PriceCache] = None,
+        batched: bool = True,
+    ) -> None:
+        self.prefill_pool = prefill_pool
+        self.decode_pool = decode_pool
+        self.interconnect = interconnect
+        self.price_cache = price_cache
+        self.batched = batched
+
+    def probe_min_completion(self, request: Request) -> float:
+        """Earliest projected arrival-to-``<eos>`` across the full path."""
+        best_prefill = min(
+            projected_prefill_completion_seconds(
+                replica, request, self.price_cache
+            )
+            for replica in self.prefill_pool
+        )
+        transfer = self.interconnect.transfer_seconds(request.input_len + 1)
+        best_decode = best_decode_completion_seconds(
+            self.decode_pool,
+            request,
+            self.price_cache,
+            batched=self.batched,
+        )
+        return best_prefill + transfer + best_decode
+
+
 class SLOAdmissionController:
     """Gates arrivals on each tenant's projected p99-budget risk.
 
@@ -109,6 +168,11 @@ class SLOAdmissionController:
         )
         self._defers_used: Dict[int, int] = {}
 
+    @property
+    def price_cache(self) -> PriceCache:
+        """The admission-price memo (shared with the router when wired)."""
+        return self._price_cache
+
     def decide(
         self, request: Request, replicas: Sequence[Replica], now: float
     ) -> Tuple[AdmissionDecision, float]:
@@ -125,30 +189,33 @@ class SLOAdmissionController:
             or request.deadline_s is None
         ):
             return AdmissionDecision.ADMIT, 0.0
-        if self.batched:
-            probe = getattr(replicas, "probe_min_completion", None)
-            if probe is not None:
-                # Vectorized fleets answer from the fleet-version verdict
-                # memo: bit-identical to min() over the fleet completion
-                # probe, O(1) while no router-visible state changed —
-                # which also covers the router's select() on this same
-                # arrival, so no per-arrival handoff memo is needed.
-                projected = probe(request)
-            else:
-                steps = projected_step_seconds_fleet(
-                    replicas, request, self._price_cache
-                )
-                completions = projected_completion_seconds_fleet(
-                    replicas, request, self._price_cache, step_seconds=steps
-                )
-                # Hand this arrival's projections to the router: if the
-                # request is admitted, select() runs next against
-                # identical replica state and reuses them instead of
-                # re-probing.
-                self._price_cache.fleet_memo = (
-                    replicas, request, now, steps, completions
-                )
-                projected = min(completions)
+        probe = getattr(replicas, "probe_min_completion", None)
+        if probe is not None:
+            # Vectorized fleets answer from the fleet-version verdict
+            # memo (bit-identical to min() over the fleet completion
+            # probe, O(1) while no router-visible state changed — which
+            # also covers the router's select() on this same arrival,
+            # so no per-arrival handoff memo is needed), and
+            # disaggregated fleets from the :class:`PathProber`'s
+            # cross-handoff projection. Both are pinned identical to
+            # their scalar counterparts, so the check precedes the
+            # ``batched`` split.
+            projected = probe(request)
+        elif self.batched:
+            steps = projected_step_seconds_fleet(
+                replicas, request, self._price_cache
+            )
+            completions = projected_completion_seconds_fleet(
+                replicas, request, self._price_cache, step_seconds=steps
+            )
+            # Hand this arrival's projections to the router: if the
+            # request is admitted, select() runs next against
+            # identical replica state and reuses them instead of
+            # re-probing.
+            self._price_cache.fleet_memo = (
+                replicas, request, now, steps, completions
+            )
+            projected = min(completions)
         else:
             projected = min(
                 projected_completion_seconds(

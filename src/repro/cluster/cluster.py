@@ -25,21 +25,27 @@ from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Dict, List, Optional, Sequence
 
-from repro.cluster.admission import AdmissionDecision, SLOAdmissionController
+from repro.cluster.admission import (
+    AdmissionDecision,
+    PathProber,
+    SLOAdmissionController,
+)
 from repro.cluster.fleetstate import FleetState
+from repro.cluster.interconnect import Interconnect
 from repro.cluster.replica import Replica
 from repro.cluster.router import Router
 from repro.errors import ConfigurationError, SimulationError
 from repro.serving.clock import (
     ADMIT_CODE,
     ARRIVAL_CODE,
+    KV_TRANSFER_CODE,
     STEP_DONE_CODE,
     EventCalendar,
     EventKind,
     EventQueue,
 )
 from repro.serving.metrics import RunSummary, latency_percentile_of
-from repro.serving.request import Request, RequestState
+from repro.serving.request import Request, RequestPhase, RequestState
 
 #: How far ahead the vectorized core peeks into the pending arrival run
 #: (presorted static lane plus deferral lanes) when it coalesces: deep
@@ -86,6 +92,9 @@ class ReplicaReport:
         mean_active_experts: Mean distinct experts activated per
             iteration (0 for dense replicas).
         summary: The replica's full run summary.
+        role: Pool role served (``colocated`` / ``prefill`` / ``decode``).
+        requests_transferred: Requests this replica handed to the decode
+            pool at first token (prefill-role replicas only; 0 elsewhere).
     """
 
     replica_id: int
@@ -101,6 +110,37 @@ class ReplicaReport:
     expert_token_visits: int
     mean_active_experts: float
     summary: RunSummary
+    role: str = "colocated"
+    requests_transferred: int = 0
+
+
+@dataclass(frozen=True)
+class PoolReport:
+    """Per-pool rollup of a disaggregated cluster run.
+
+    Attributes:
+        role: ``prefill`` or ``decode``.
+        replicas: Replica count in the pool.
+        requests_served: Requests that *finished* at this pool's replicas
+            (single-token requests finish in the prefill pool; everything
+            else finishes in decode).
+        requests_transferred: KV handoffs the pool emitted (prefill) —
+            always 0 for the decode pool.
+        tokens_generated: Accepted output tokens produced in the pool.
+        busy_seconds: Summed prefill + decode + draft time.
+        utilization: ``busy_seconds`` over ``replicas x makespan``.
+        queueing_seconds: Summed request wait (arrival-to-admission for
+            prefill, transfer-landing-to-admission for decode).
+    """
+
+    role: str
+    replicas: int
+    requests_served: int
+    requests_transferred: int
+    tokens_generated: int
+    busy_seconds: float
+    utilization: float
+    queueing_seconds: float
 
 
 @dataclass(frozen=True)
@@ -159,6 +199,15 @@ class ClusterSummary:
         tenants: Per-tenant reports keyed by tenant name, in trace
             arrival order (single-tenant runs report one ``default``
             entry).
+        pools: Per-pool rollups keyed by role (``prefill`` / ``decode``)
+            for disaggregated fleets; empty on colocated runs.
+        ttft: Time-to-first-token statistics over requests that reached
+            a prefill replica (``mean_s`` / ``p50_s`` / ``p99_s`` /
+            ``samples``); empty on colocated runs, where first-token
+            time is not tracked separately.
+        transfer_wait: KV-transfer wait statistics (first token to
+            transfer completion) over handed-off requests, same keys;
+            empty on colocated runs.
     """
 
     router: str
@@ -169,6 +218,9 @@ class ClusterSummary:
     router_cache: Dict[str, float] = field(default_factory=dict)
     probe_memo: Dict[str, float] = field(default_factory=dict)
     tenants: Dict[str, TenantReport] = field(default_factory=dict)
+    pools: Dict[str, PoolReport] = field(default_factory=dict)
+    ttft: Dict[str, float] = field(default_factory=dict)
+    transfer_wait: Dict[str, float] = field(default_factory=dict)
 
     @cached_property
     def request_latencies(self) -> List[float]:
@@ -235,6 +287,9 @@ class ClusterSimulator:
         admission: Optional SLO-aware admission controller consulted on
             every arrival (including re-arrivals of deferred requests);
             ``None`` admits everything — the pre-multi-tenant behavior.
+        interconnect: KV-transfer cost model between the prefill and
+            decode pools; required exactly when the fleet carries
+            role-typed replicas (and rejected on colocated fleets).
     """
 
     def __init__(
@@ -242,12 +297,85 @@ class ClusterSimulator:
         replicas: Sequence[Replica],
         router: Router,
         admission: Optional[SLOAdmissionController] = None,
+        interconnect: Optional[Interconnect] = None,
     ) -> None:
         if not replicas:
             raise ConfigurationError("cluster needs at least one replica")
         self.replicas = list(replicas)
         self.router = router
         self.admission = admission
+        self.interconnect = interconnect
+        roles = {replica.role for replica in self.replicas}
+        self._disaggregated = roles != {"colocated"}
+        self._prefill_indices: List[int] = []
+        self._decode_indices: List[int] = []
+        if self._disaggregated:
+            if "colocated" in roles:
+                raise ConfigurationError(
+                    "colocated replicas cannot mix with prefill/decode "
+                    "pools; a fleet is either all-colocated or "
+                    "disaggregated"
+                )
+            if "prefill" not in roles or "decode" not in roles:
+                raise ConfigurationError(
+                    "a disaggregated fleet needs both a prefill and a "
+                    "decode pool"
+                )
+            if interconnect is None:
+                raise ConfigurationError(
+                    "a disaggregated fleet needs an interconnect "
+                    "(the KV-transfer cost model)"
+                )
+            for index, replica in enumerate(self.replicas):
+                if replica.role == "prefill":
+                    self._prefill_indices.append(index)
+                else:
+                    self._decode_indices.append(index)
+            self._prefill_pool = [
+                self.replicas[i] for i in self._prefill_indices
+            ]
+            self._decode_pool = [
+                self.replicas[i] for i in self._decode_indices
+            ]
+        elif interconnect is not None:
+            raise ConfigurationError(
+                "only disaggregated fleets (prefill/decode pools) take "
+                "an interconnect"
+            )
+
+    def _path_prober(self, decode_view: Sequence[Replica]) -> PathProber:
+        """The admission controller's cross-handoff completion probe.
+
+        ``decode_view`` is how this core sees the decode pool — the raw
+        replica list on the event cores, the pool's
+        :class:`~repro.cluster.fleetstate.FleetState` on the vectorized
+        core — so the probe's decode term rides whatever machinery the
+        core already prices stage-2 with.
+        """
+        assert self.admission is not None
+        return PathProber(
+            self._prefill_pool,
+            decode_view,
+            self.interconnect,
+            self.admission.price_cache,
+            batched=self.admission.batched,
+        )
+
+    def _ship_transfers(self, replica: Replica, push, now: float) -> None:
+        """Schedule a ``KV_TRANSFER`` for every outbound handoff.
+
+        ``push(time_s, payload)`` schedules one transfer event on the
+        calling core's queue/calendar; each request's KV cache is in
+        flight for the interconnect's cost of its *current* context
+        (prompt + the first token).
+        """
+        interconnect = self.interconnect
+        for request in replica.outbound:
+            push(
+                now + interconnect.transfer_seconds(request.context_len),
+                request,
+            )
+        replica.outbound.clear()
 
     def run(self, requests: Sequence[Request]) -> ClusterSummary:
         """Serve an arrival-stamped trace; returns the cluster summary."""
@@ -264,13 +392,25 @@ class ClusterSimulator:
             tally["submitted"] += 1
             queue.push(request.arrival_s, EventKind.ARRIVAL, request)
 
+        disaggregated = self._disaggregated
+        prober = (
+            self._path_prober(self._decode_pool)
+            if disaggregated and self.admission is not None
+            else None
+        )
+
+        def push_transfer(time_s: float, request: Request) -> None:
+            queue.push(time_s, EventKind.KV_TRANSFER, request)
+
         while not queue.empty:
             event = queue.pop()
             if event.kind is EventKind.ARRIVAL:
                 request = event.payload
                 if self.admission is not None:
                     decision, backoff = self.admission.decide(
-                        request, self.replicas, queue.now
+                        request,
+                        prober if prober is not None else self.replicas,
+                        queue.now,
                     )
                     if decision is AdmissionDecision.REJECT:
                         request.state = RequestState.REJECTED
@@ -282,12 +422,46 @@ class ClusterSimulator:
                             queue.now + backoff, EventKind.ARRIVAL, request
                         )
                         continue
-                index = self.router.select(request, self.replicas, queue.now)
-                if not 0 <= index < len(self.replicas):
-                    raise SimulationError(
-                        f"router {self.router.name!r} returned replica "
-                        f"{index} of {len(self.replicas)}"
+                if disaggregated:
+                    local = self.router.select_path(
+                        request,
+                        self._prefill_pool,
+                        self._decode_pool,
+                        self.interconnect,
+                        queue.now,
                     )
+                    if not 0 <= local < len(self._prefill_pool):
+                        raise SimulationError(
+                            f"router {self.router.name!r} returned prefill "
+                            f"replica {local} of {len(self._prefill_pool)}"
+                        )
+                    index = self._prefill_indices[local]
+                else:
+                    index = self.router.select(
+                        request, self.replicas, queue.now
+                    )
+                    if not 0 <= index < len(self.replicas):
+                        raise SimulationError(
+                            f"router {self.router.name!r} returned replica "
+                            f"{index} of {len(self.replicas)}"
+                        )
+                replica = self.replicas[index]
+                replica.enqueue(request)
+                if replica.idle:
+                    queue.push(queue.now, EventKind.ADMIT, index)
+            elif event.kind is EventKind.KV_TRANSFER:
+                request = event.payload
+                request.transfer_done_s = queue.now
+                request.phase = RequestPhase.DECODE
+                local = self.router.select(
+                    request, self._decode_pool, queue.now
+                )
+                if not 0 <= local < len(self._decode_pool):
+                    raise SimulationError(
+                        f"router {self.router.name!r} returned decode "
+                        f"replica {local} of {len(self._decode_pool)}"
+                    )
+                index = self._decode_indices[local]
                 replica = self.replicas[index]
                 replica.enqueue(request)
                 if replica.idle:
@@ -300,6 +474,8 @@ class ClusterSimulator:
             else:  # STEP_DONE
                 replica = self.replicas[event.payload]
                 done_at = replica.on_step_done(queue.now)
+                if replica.outbound:
+                    self._ship_transfers(replica, push_transfer, queue.now)
                 if done_at is not None:
                     queue.push(done_at, EventKind.STEP_DONE, event.payload)
 
@@ -340,6 +516,8 @@ class ClusterSimulator:
                     expert_token_visits=replica.expert_token_visits,
                     mean_active_experts=replica.mean_active_experts,
                     summary=summary,
+                    role=replica.role,
+                    requests_transferred=replica.requests_transferred,
                 )
             )
         total = sum(report.requests_served for report in reports)
@@ -347,6 +525,25 @@ class ClusterSimulator:
             price_cache = self.router.price_cache
             router_cache = (
                 dict(price_cache.stats()) if price_cache is not None else {}
+            )
+        pools: Dict[str, PoolReport] = {}
+        ttft: Dict[str, float] = {}
+        transfer_wait: Dict[str, float] = {}
+        if self._disaggregated:
+            pools = _pool_reports(reports, makespan)
+            ttft = _sample_stats(
+                [
+                    r.first_token_s - r.arrival_s
+                    for r in trace
+                    if r.first_token_s >= 0.0
+                ]
+            )
+            transfer_wait = _sample_stats(
+                [
+                    r.transfer_done_s - r.first_token_s
+                    for r in trace
+                    if r.transfer_done_s >= 0.0
+                ]
             )
         return ClusterSummary(
             router=self.router.name,
@@ -357,6 +554,9 @@ class ClusterSimulator:
             router_cache=router_cache,
             probe_memo=probe_memo if probe_memo is not None else {},
             tenants=_tenant_reports(trace, stats),
+            pools=pools,
+            ttft=ttft,
+            transfer_wait=transfer_wait,
         )
 
 
@@ -388,14 +588,27 @@ class VectorizedClusterSimulator(ClusterSimulator):
         replicas: Sequence[Replica],
         router: Router,
         admission: Optional[SLOAdmissionController] = None,
+        interconnect: Optional[Interconnect] = None,
     ) -> None:
-        super().__init__(replicas, router, admission)
-        self.fleet = FleetState(self.replicas)
+        super().__init__(replicas, router, admission, interconnect)
+        if self._disaggregated:
+            # Only the decode pool gets the array-backed fleet view: it
+            # is where the per-arrival probes fan out (stage-2 routing,
+            # the PathProber's decode term), while the prefill pool is
+            # probed through the scalar prompt-pass pricer. One
+            # FleetState over a mixed-role fleet would mix pool
+            # semantics in every probe.
+            self.fleet = None
+            self._decode_fleet = FleetState(self._decode_pool)
+        else:
+            self.fleet = FleetState(self.replicas)
 
     def run(self, requests: Sequence[Request]) -> ClusterSummary:
         """Serve an arrival-stamped trace; returns the cluster summary."""
         if not requests:
             raise ConfigurationError("requests must be non-empty")
+        if self._disaggregated:
+            return self._run_disaggregated(requests)
         trace = sorted(requests, key=lambda r: r.arrival_s)
         stats: Dict[str, Dict[str, int]] = {}
         for request in trace:
@@ -648,6 +861,168 @@ class VectorizedClusterSimulator(ClusterSimulator):
         return self._summarize(
             trace, stats, makespan, router_cache, dict(fleet.memo_stats())
         )
+
+    def _run_disaggregated(
+        self, requests: Sequence[Request]
+    ) -> ClusterSummary:
+        """The role-typed twin of :meth:`run`.
+
+        Same two-stage event semantics as the event core's disaggregated
+        path — the equivalence suite pins the summaries — with the decode
+        pool behind its :class:`~repro.cluster.fleetstate.FleetState`:
+        stage-2 routing and the admission prober's decode term answer
+        from the pool's dense tables and verdict memos. The colocated
+        core's arrival-run coalescing and inline step bursts are *not*
+        applied here: handoff events (``KV_TRANSFER``) interleave with
+        steps and arrivals, so the "no probe can observe the fleet in
+        between" invariant those fast paths rely on does not hold.
+        """
+        trace = sorted(requests, key=lambda r: r.arrival_s)
+        stats: Dict[str, Dict[str, int]] = {}
+        for request in trace:
+            tally = stats.setdefault(
+                request.tenant,
+                {"submitted": 0, "rejected": 0, "deferrals": 0},
+            )
+            tally["submitted"] += 1
+        calendar = EventCalendar(
+            [request.arrival_s for request in trace], trace
+        )
+
+        replicas = self.replicas
+        router = self.router
+        admission = self.admission
+        interconnect = self.interconnect
+        decode_fleet = self._decode_fleet
+        prefill_pool = self._prefill_pool
+        prefill_indices = self._prefill_indices
+        decode_indices = self._decode_indices
+        decode_local = {
+            index: local for local, index in enumerate(decode_indices)
+        }
+        prober = (
+            self._path_prober(decode_fleet)
+            if admission is not None
+            else None
+        )
+        makespan = 0.0
+        while not calendar.empty:
+            now, kind, payload = calendar.pop()
+            makespan = now
+            if kind == ARRIVAL_CODE:
+                request = payload
+                if admission is not None:
+                    decision, backoff = admission.decide(
+                        request, prober, now
+                    )
+                    if decision is AdmissionDecision.REJECT:
+                        request.state = RequestState.REJECTED
+                        stats[request.tenant]["rejected"] += 1
+                        continue
+                    if decision is AdmissionDecision.DEFER:
+                        stats[request.tenant]["deferrals"] += 1
+                        calendar.push_arrival_after(backoff, request)
+                        continue
+                local = router.select_path(
+                    request, prefill_pool, decode_fleet, interconnect, now
+                )
+                if not 0 <= local < len(prefill_pool):
+                    raise SimulationError(
+                        f"router {router.name!r} returned prefill "
+                        f"replica {local} of {len(prefill_pool)}"
+                    )
+                index = prefill_indices[local]
+                replica = replicas[index]
+                replica.enqueue(request)
+                if replica.idle:
+                    calendar.push(now, ADMIT_CODE, index)
+            elif kind == KV_TRANSFER_CODE:
+                request = payload
+                request.transfer_done_s = now
+                request.phase = RequestPhase.DECODE
+                local = router.select(request, decode_fleet, now)
+                if not 0 <= local < len(decode_indices):
+                    raise SimulationError(
+                        f"router {router.name!r} returned decode "
+                        f"replica {local} of {len(decode_indices)}"
+                    )
+                index = decode_indices[local]
+                replica = replicas[index]
+                replica.enqueue(request)
+                decode_fleet.mark_dirty(local)
+                if replica.idle:
+                    calendar.push(now, ADMIT_CODE, index)
+            else:  # ADMIT_CODE / STEP_DONE_CODE
+                replica = replicas[payload]
+                if kind == ADMIT_CODE:
+                    done_at = replica.poke(now)
+                else:
+                    done_at = replica.on_step_done(now)
+                if replica.outbound:
+                    for request in replica.outbound:
+                        calendar.push(
+                            now
+                            + interconnect.transfer_seconds(
+                                request.context_len
+                            ),
+                            KV_TRANSFER_CODE,
+                            request,
+                        )
+                    replica.outbound.clear()
+                local = decode_local.get(payload)
+                if local is not None:
+                    decode_fleet.mark_dirty(local)
+                if done_at is not None:
+                    calendar.push(done_at, STEP_DONE_CODE, payload)
+
+        return self._summarize(
+            trace, stats, makespan, None, dict(decode_fleet.memo_stats())
+        )
+
+
+def _pool_reports(
+    reports: Sequence[ReplicaReport], makespan: float
+) -> Dict[str, PoolReport]:
+    """Roll per-replica reports up into per-role pool reports."""
+    pools: Dict[str, PoolReport] = {}
+    for role in ("prefill", "decode"):
+        members = [report for report in reports if report.role == role]
+        if not members:
+            continue
+        busy = sum(report.busy_seconds for report in members)
+        capacity = len(members) * makespan
+        pools[role] = PoolReport(
+            role=role,
+            replicas=len(members),
+            requests_served=sum(r.requests_served for r in members),
+            requests_transferred=sum(
+                r.requests_transferred for r in members
+            ),
+            tokens_generated=sum(r.tokens_generated for r in members),
+            busy_seconds=busy,
+            utilization=min(1.0, busy / capacity) if capacity > 0 else 0.0,
+            queueing_seconds=sum(
+                r.summary.queueing_seconds for r in members
+            ),
+        )
+    return pools
+
+
+def _sample_stats(samples: Sequence[float]) -> Dict[str, float]:
+    """Mean / p50 / p99 / count over a latency sample list.
+
+    The shape both handoff metrics (time-to-first-token, KV-transfer
+    wait) report; an empty sample reports zeros rather than omitting
+    keys, so result consumers can rely on the fields existing whenever
+    the run was disaggregated.
+    """
+    count = len(samples)
+    return {
+        "mean_s": sum(samples) / count if count else 0.0,
+        "p50_s": latency_percentile_of(samples, 50, empty_value=0.0),
+        "p99_s": latency_percentile_of(samples, 99, empty_value=0.0),
+        "samples": float(count),
+    }
 
 
 def _tenant_reports(

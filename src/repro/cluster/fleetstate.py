@@ -139,6 +139,8 @@ class VectorReplica(Replica):
 
     def on_step_done(self, now: float) -> Optional[float]:
         """Slot-array twin of :meth:`Replica.on_step_done`."""
+        if self.role == "prefill":
+            return self._prefill_done(now)
         if self._pending is None:
             raise SimulationError(
                 f"replica {self.replica_id}: STEP_DONE with no step in flight"
@@ -266,7 +268,16 @@ class VectorReplica(Replica):
         :meth:`FleetState._share_price_memos`); every state transition —
         queue pops, context counters, queueing/prefill accounting,
         ``begin_batch`` — matches the reference line for line.
+
+        Role variants mirror :meth:`Replica._admit`: a prefill-role
+        batch departs wholesale at first token and never forms a
+        decoding batch, so the scalar reference body (which keeps no
+        slot mirrors) is already exact for it; a decode-role batch skips
+        the prompt pass and counts queueing from the KV transfer's
+        completion.
         """
+        if self.role == "prefill":
+            return Replica._admit(self, now)
         active = self.active
         waiting = self.waiting
         max_batch = self.max_batch_size
@@ -276,7 +287,7 @@ class VectorReplica(Replica):
         while waiting and len(active) + len(fresh) < max_batch:
             request = waiting.popleft()
             request.state = RequestState.PREFILLING
-            self._waiting_context_sum -= request.input_len
+            self._waiting_context_sum -= request.input_len + request.generated
             self._active_context_sum += request.input_len + request.generated
             fresh.append(request)
         if self.check_capacity:
@@ -297,21 +308,33 @@ class VectorReplica(Replica):
                 )
                 self._capacity_ok.add(key)
         summary = self.summary
-        summary.queueing_seconds += sum(
-            max(0.0, now - r.arrival_s) for r in fresh
-        )
-        count = len(fresh)
-        mean_input = max(
-            1, round(sum(r.input_len for r in fresh) / count)
-        )
-        memo = self._prefill_memo
-        result = memo.get((count, mean_input))
-        if result is None:
-            result = self.system.execute_prefill(self.model, count, mean_input)
-            if self._pure_planner:
-                memo[(count, mean_input)] = result
-        summary.prefill_seconds += result.seconds
-        summary.prefill_energy += result.energy_joules
+        if self.role == "decode":
+            # Transferred requests arrive with their context already
+            # prefilled: no prompt pass, and their wait is measured from
+            # the KV transfer landing, not the cluster arrival.
+            summary.queueing_seconds += sum(
+                max(0.0, now - r.transfer_done_s) for r in fresh
+            )
+            seconds = 0.0
+        else:
+            summary.queueing_seconds += sum(
+                max(0.0, now - r.arrival_s) for r in fresh
+            )
+            count = len(fresh)
+            mean_input = max(
+                1, round(sum(r.input_len for r in fresh) / count)
+            )
+            memo = self._prefill_memo
+            result = memo.get((count, mean_input))
+            if result is None:
+                result = self.system.execute_prefill(
+                    self.model, count, mean_input
+                )
+                if self._pure_planner:
+                    memo[(count, mean_input)] = result
+            summary.prefill_seconds += result.seconds
+            summary.prefill_energy += result.energy_joules
+            seconds = result.seconds
         slot_remaining = self._slot_remaining
         slot_context = self._slot_context
         slot_total = self._slot_total
@@ -324,7 +347,13 @@ class VectorReplica(Replica):
             slot_total.append(input_len + request.output_len)
         active.extend(fresh)
         self.system.begin_batch(len(active), self._current_tlp)
-        return result.seconds
+        return seconds
+
+    def _clear_slots(self) -> None:
+        """A prefill-role batch departs wholesale; reset the mirrors."""
+        self._slot_remaining = []
+        self._slot_context = []
+        self._slot_total = []
 
     def _schedule_step(self) -> float:
         """Memoized twin of :meth:`Replica._schedule_step`."""

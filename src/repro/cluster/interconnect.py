@@ -1,0 +1,56 @@
+"""The prefill->decode KV-transfer link of a disaggregated fleet.
+
+When a fleet splits into prefill and decode pools, every request that
+survives its prompt pass ships its KV cache — one entry per context
+token — across the inter-pool link before a decode replica can admit
+it. This module is the runtime cost model for that hop, mirrored from
+:class:`~repro.scenario.spec.InterconnectSpec` (the spec layer decodes
+and validates; the cluster layer only prices):
+
+``transfer_seconds(context) = hop_latency_s
++ context * kv_bytes_per_token / (bandwidth_gb_s * 1e9)``
+
+The same instance serves three consumers, so the handoff is priced with
+one formula everywhere: the cluster loop schedules each ``KV_TRANSFER``
+event at ``now + transfer_seconds(context_len)``, the price-aware
+routers fold the transfer into full-path costs, and the admission
+controller's :class:`~repro.cluster.admission.PathProber` folds it into
+cross-handoff completion projections.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """KV-transfer cost model between role-typed replica pools.
+
+    Attributes:
+        kv_bytes_per_token: KV-cache footprint per context token, in
+            bytes. The default models a llama-65b-sized cache: 80 layers
+            x 8192 hidden x K+V at fp16 = 2.5 MiB per token.
+        bandwidth_gb_s: Link bandwidth in GB/s (1 GB = 1e9 bytes).
+        hop_latency_s: Fixed per-transfer latency (link setup, routing).
+    """
+
+    kv_bytes_per_token: float = 2_621_440.0
+    bandwidth_gb_s: float = 50.0
+    hop_latency_s: float = 50e-6
+
+    def __post_init__(self) -> None:
+        if self.kv_bytes_per_token <= 0:
+            raise ConfigurationError("kv_bytes_per_token must be positive")
+        if self.bandwidth_gb_s <= 0:
+            raise ConfigurationError("bandwidth_gb_s must be positive")
+        if self.hop_latency_s < 0:
+            raise ConfigurationError("hop_latency_s must be non-negative")
+
+    def transfer_seconds(self, context_tokens: int) -> float:
+        """Seconds to move ``context_tokens`` of KV cache between pools."""
+        return self.hop_latency_s + (
+            context_tokens * self.kv_bytes_per_token
+        ) / (self.bandwidth_gb_s * 1e9)

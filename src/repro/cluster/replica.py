@@ -39,11 +39,17 @@ from repro.models.moe import MoEModelConfig, expected_active_experts
 from repro.models.workload import workload_name
 from repro.serving.engine import MAX_ITERATIONS, ServingEngine, StepPricer
 from repro.serving.metrics import IterationRecord, RunSummary
-from repro.serving.request import Request, RequestState
+from repro.serving.request import Request, RequestPhase, RequestState
 from repro.serving.speculative import SpeculationConfig, SpeculativeSampler
 from repro.serving.stepcache import StepCostCache
 from repro.serving.tlp_policy import FixedTLP, TLPPolicy, TLPTrace
 from repro.systems.base import IterationResult, ServingSystem
+
+#: Pool roles a replica can serve in a disaggregated fleet. ``colocated``
+#: replicas own a request end to end; ``prefill`` replicas finish at the
+#: first output token and hand the request (with its KV cache) to a
+#: ``decode`` replica, which admits it mid-life with pre-filled context.
+REPLICA_ROLES = ("colocated", "prefill", "decode")
 
 
 class Replica:
@@ -77,6 +83,12 @@ class Replica:
             O(batch + queue) sums on every probe — the pre-optimization
             reference the equivalence suite and cluster benchmark compare
             against. Both modes produce bit-identical values.
+        role: Pool role (:data:`REPLICA_ROLES`). ``"colocated"`` is the
+            full request lifecycle; ``"prefill"`` batches prompt passes
+            only, emits each surviving request into :attr:`outbound` at
+            first token, and never decodes; ``"decode"`` admits
+            transferred requests (context already prefilled — no prompt
+            pass is charged) and runs the decoding state machine.
     """
 
     def __init__(
@@ -95,6 +107,7 @@ class Replica:
         moe: Optional[MoEModelConfig] = None,
         detail: str = "full",
         load_accounting: str = "incremental",
+        role: str = "colocated",
     ) -> None:
         if max_batch_size <= 0:
             raise ConfigurationError("max_batch_size must be positive")
@@ -103,6 +116,12 @@ class Replica:
                 "load_accounting must be 'incremental' or 'scan', "
                 f"got {load_accounting!r}"
             )
+        if role not in REPLICA_ROLES:
+            raise ConfigurationError(
+                f"role must be one of {', '.join(REPLICA_ROLES)}, "
+                f"got {role!r}"
+            )
+        self.role = role
         self.replica_id = replica_id
         self.system = system
         self.model = model
@@ -144,6 +163,11 @@ class Replica:
         self.busy = False
         self.requests_routed = 0
         self.requests_served = 0
+        # Prefill-pool handoff: requests that survived their prompt pass
+        # and await a KV transfer. The cluster loop drains this after
+        # every event on a prefill replica and schedules the transfers.
+        self.outbound: List[Request] = []
+        self.requests_transferred = 0
         self._current_tlp = speculation.tlp
         self._iteration = 0
         self._accepted_fraction = 1.0
@@ -213,20 +237,21 @@ class Replica:
         if self.load_accounting == "incremental":
             return self._remaining_tokens
         remaining = sum(r.output_len - r.generated for r in self.active)
-        remaining += sum(r.output_len for r in self.waiting)
+        remaining += sum(r.output_len - r.generated for r in self.waiting)
         return remaining
 
     def outstanding_context_lens(self) -> List[int]:
         """KV context of every outstanding request (decoded + queued).
 
-        Active requests count their generated tokens; queued requests
-        count their prompt only. Routers use this to project the mean
-        context of the post-admission batch when pricing admission cost.
-        Always a scan — probes that only need the post-admission batch
-        shape should use :meth:`projected_admission_load` instead.
+        Every request counts its current KV context (prompt plus tokens
+        generated so far — queued requests at a decode replica arrive
+        mid-life). Routers use this to project the mean context of the
+        post-admission batch when pricing admission cost. Always a scan
+        — probes that only need the post-admission batch shape should
+        use :meth:`projected_admission_load` instead.
         """
         contexts = [r.input_len + r.generated for r in self.active]
-        contexts.extend(r.input_len for r in self.waiting)
+        contexts.extend(r.input_len + r.generated for r in self.waiting)
         return contexts
 
     def projected_admission_load(self, input_len: int) -> Tuple[int, int]:
@@ -264,7 +289,7 @@ class Replica:
             for request in self.waiting:
                 if slots == 0:
                     break
-                total += request.input_len
+                total += request.input_len + request.generated
                 slots -= 1
         return rlp, max(1, round(total / rlp))
 
@@ -283,26 +308,42 @@ class Replica:
     # -- event handlers --------------------------------------------------
 
     def enqueue(self, request: Request) -> None:
-        """Accept a routed request into the waiting queue."""
+        """Accept a routed request into the waiting queue.
+
+        Requests transferred into a decode pool arrive mid-life
+        (``generated > 0``), so the incremental counters track what is
+        genuinely outstanding — remaining output and current KV context
+        — which reduces to the full output/prompt lengths for the fresh
+        arrivals colocated and prefill replicas see.
+        """
         request.state = RequestState.QUEUED
         self.waiting.append(request)
         self.requests_routed += 1
-        self._remaining_tokens += request.output_len
-        self._waiting_context_sum += request.input_len
+        self._remaining_tokens += request.output_len - request.generated
+        self._waiting_context_sum += request.input_len + request.generated
 
     def poke(self, now: float) -> Optional[float]:
-        """Start serving if idle; returns the next ``STEP_DONE`` time."""
+        """Start serving if idle; returns the next ``STEP_DONE`` time.
+
+        A prefill-role replica's "step" is the prompt pass itself: it
+        admits a batch, charges the prefill, and its ``STEP_DONE`` fires
+        when the whole batch reaches first token — no decoding iteration
+        is ever scheduled.
+        """
         if self.busy:
             return None
         duration = self._admit(now)
         if not self.active:
             return None
-        duration += self._schedule_step()
+        if self.role != "prefill":
+            duration += self._schedule_step()
         self.busy = True
         return now + duration
 
     def on_step_done(self, now: float) -> Optional[float]:
         """Complete the in-flight iteration; returns the next one's time."""
+        if self.role == "prefill":
+            return self._prefill_done(now)
         if self._pending is None:
             raise SimulationError(
                 f"replica {self.replica_id}: STEP_DONE with no step in flight"
@@ -370,9 +411,61 @@ class Replica:
         duration += self._schedule_step()
         return now + duration
 
+    def _prefill_done(self, now: float) -> Optional[float]:
+        """A prefill-role batch reached first token; hand off or finish.
+
+        Every request in the batch emits exactly one token. Single-token
+        requests finish here; the rest turn ``TRANSFERRING`` and join
+        :attr:`outbound` for the cluster loop to ship to the decode
+        pool. Either way the whole batch leaves this replica, so the
+        incremental counters shed each request's remaining output and
+        full KV context.
+        """
+        if not self.active:
+            raise SimulationError(
+                f"replica {self.replica_id}: STEP_DONE with no prefill "
+                "batch in flight"
+            )
+        accepted_total = 0
+        departed_remaining = 0
+        departed_context = 0
+        for request in self.active:
+            request.first_token_s = now
+            accepted_total += request.advance(1, self._iteration)
+            if request.is_finished:
+                request.finish_s = now
+                self.requests_served += 1
+                departed_context += request.input_len + request.output_len
+                self.summary.record_request_latency(
+                    max(0.0, now - request.arrival_s)
+                )
+            else:
+                request.phase = RequestPhase.TRANSFERRING
+                self.outbound.append(request)
+                self.requests_transferred += 1
+                departed_remaining += request.output_len - request.generated
+                departed_context += request.input_len + request.generated
+        self._remaining_tokens -= accepted_total + departed_remaining
+        self._active_context_sum += accepted_total - departed_context
+        self.summary.tokens_generated += accepted_total
+        self._iteration += 1
+        if self._iteration >= MAX_ITERATIONS:
+            raise SimulationError("prefill backlog did not converge")
+        self.active = []
+        self._clear_slots()
+        duration = self._admit(now)
+        if not self.active:
+            self.busy = False
+            return None
+        return now + duration
+
+    def _clear_slots(self) -> None:
+        """Hook for slot-mirroring subclasses: a prefill-role batch
+        departs wholesale, so any per-slot state resets with it."""
+
     def finalize(self, makespan_s: float) -> RunSummary:
         """Close out the run summary once the cluster trace has drained."""
-        if self.waiting or self.active or self.busy:
+        if self.waiting or self.active or self.busy or self.outbound:
             raise SimulationError(
                 f"replica {self.replica_id} finalized with work outstanding"
             )
@@ -383,24 +476,45 @@ class Replica:
     # -- internals -------------------------------------------------------
 
     def _admit(self, now: float) -> float:
-        """Fill open batch slots; returns the prefill seconds charged."""
+        """Fill open batch slots; returns the prefill seconds charged.
+
+        Role variants: a decode-role replica admits transferred
+        requests whose context is already prefilled — it charges no
+        prompt pass and counts queueing from the KV transfer's
+        completion, not the cluster arrival. A prefill-role replica
+        charges the prompt pass but never forms a decoding batch (its
+        capacity bound is the first-token context, and the scheduler is
+        never engaged).
+        """
         fresh: List[Request] = []
         while self.waiting and (
             len(self.active) + len(fresh) < self.max_batch_size
         ):
             request = self.waiting.popleft()
             request.state = RequestState.PREFILLING
-            self._waiting_context_sum -= request.input_len
+            self._waiting_context_sum -= request.input_len + request.generated
             self._active_context_sum += request.input_len + request.generated
             fresh.append(request)
         if not fresh:
             return 0.0
         if self.check_capacity:
             cohort = self.active + fresh
-            max_seq = max(r.input_len + r.output_len for r in cohort)
+            if self.role == "prefill":
+                max_seq = max(r.input_len + 1 for r in cohort)
+            else:
+                max_seq = max(r.input_len + r.output_len for r in cohort)
             self.system.check_capacity(
                 self.model, len(cohort), max_seq, moe=self.moe
             )
+        if self.role == "decode":
+            self.summary.queueing_seconds += sum(
+                max(0.0, now - r.transfer_done_s) for r in fresh
+            )
+            for request in fresh:
+                request.state = RequestState.DECODING
+            self.active.extend(fresh)
+            self.system.begin_batch(len(self.active), self._current_tlp)
+            return 0.0
         self.summary.queueing_seconds += sum(
             max(0.0, now - r.arrival_s) for r in fresh
         )
@@ -410,6 +524,11 @@ class Replica:
         result = self.system.execute_prefill(self.model, len(fresh), mean_input)
         self.summary.prefill_seconds += result.seconds
         self.summary.prefill_energy += result.energy_joules
+        if self.role == "prefill":
+            # The batch stays PREFILLING until `_prefill_done` emits the
+            # first tokens; no decoding batch begins on this replica.
+            self.active.extend(fresh)
+            return result.seconds
         for request in fresh:
             request.state = RequestState.DECODING
         self.active.extend(fresh)

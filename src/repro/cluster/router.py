@@ -355,6 +355,115 @@ def projected_completion_seconds_fleet(
     return completions
 
 
+#: Cache-key sentinel for prompt-pass prices. Decode-step keys carry the
+#: planned FC placement in this slot (an enum member on the scalar path,
+#: its value string on the fleet path); the sentinel shares their cache
+#: without ever colliding.
+PREFILL_PRICE_TARGET = "prefill-pass"
+
+
+def projected_prefill_seconds(
+    replica: Replica, request: Request, cache: Optional[PriceCache] = None
+) -> float:
+    """Projected prompt-pass seconds if ``request`` joins ``replica``.
+
+    The prefill-pool twin of :func:`projected_step_seconds`: the
+    hypothetical post-admission batch shape comes from the replica's
+    O(1) :meth:`~repro.cluster.replica.Replica.projected_admission_load`
+    counters, the mean prompt is bucketed like every admission price,
+    and the batch is priced through the system's own (pure)
+    ``execute_prefill`` cost model — so a heterogeneous prefill pool
+    ranks on each platform's true prompt-pass cost. Prices memoize in
+    the shared :class:`PriceCache` under the
+    :data:`PREFILL_PRICE_TARGET` sentinel.
+    """
+    rlp, mean_context = replica.projected_admission_load(request.input_len)
+    bucket = ADMISSION_CONTEXT_BUCKET
+    mean_context = max(bucket, round(mean_context / bucket) * bucket)
+    system = replica.system
+    if cache is not None:
+        key = (
+            replica.workload_name,
+            PREFILL_PRICE_TARGET,
+            rlp,
+            1,
+            mean_context,
+        )
+        cached = cache.get(system, key)
+        if cached is not None:
+            return cached
+    seconds = float(
+        system.execute_prefill(replica.model, rlp, mean_context).seconds
+    )
+    if cache is not None:
+        cache.put(system, key, seconds)
+    return seconds
+
+
+def projected_prefill_completion_seconds(
+    replica: Replica, request: Request, cache: Optional[PriceCache] = None
+) -> float:
+    """Projected arrival-to-first-token seconds at a prefill replica.
+
+    The same coarse, monotone-in-load shape as
+    :func:`projected_completion_seconds`: the request's own prompt pass
+    (:func:`projected_prefill_seconds`) plus the backlog's drain time —
+    the ``outstanding`` requests ahead of it need roughly
+    ``outstanding / max_batch_size`` further passes of comparable cost.
+    """
+    prefill_s = projected_prefill_seconds(replica, request, cache)
+    backlog = replica.outstanding() / replica.max_batch_size
+    return (1.0 + backlog) * prefill_s
+
+
+def best_decode_step_seconds(
+    replicas: Sequence[Replica],
+    request: Request,
+    cache: Optional[PriceCache] = None,
+    batched: bool = True,
+) -> float:
+    """Cheapest projected decode step across a pool.
+
+    The decode-pool term of full-path pricing. Every lane is the pinned
+    :func:`projected_step_seconds` value, so the minimum is identical
+    whether the pool is probed scalar (``batched=False``), fleet-batched,
+    or through a :class:`~repro.cluster.fleetstate.FleetState`.
+    """
+    if batched:
+        return min(projected_step_seconds_fleet(replicas, request, cache))
+    return min(
+        projected_step_seconds(replica, request, cache)
+        for replica in replicas
+    )
+
+
+def best_decode_completion_seconds(
+    replicas: Sequence[Replica],
+    request: Request,
+    cache: Optional[PriceCache] = None,
+    batched: bool = True,
+) -> float:
+    """Earliest projected completion across a decode pool.
+
+    :class:`~repro.cluster.fleetstate.FleetState` pools answer from the
+    memoized
+    :meth:`~repro.cluster.fleetstate.FleetState.probe_min_completion`
+    verdict; list pools take the minimum over the (bit-identical)
+    per-replica projections.
+    """
+    if batched:
+        probe = getattr(replicas, "probe_min_completion", None)
+        if probe is not None:
+            return probe(request)
+        return min(
+            projected_completion_seconds_fleet(replicas, request, cache)
+        )
+    return min(
+        projected_completion_seconds(replica, request, cache)
+        for replica in replicas
+    )
+
+
 class Router(abc.ABC):
     """Assigns each arriving request to a replica index."""
 
@@ -366,6 +475,26 @@ class Router(abc.ABC):
         self, request: Request, replicas: Sequence[Replica], now: float
     ) -> int:
         """Index of the replica that should serve ``request``."""
+
+    def select_path(
+        self,
+        request: Request,
+        prefill_pool: Sequence[Replica],
+        decode_pool: Sequence[Replica],
+        interconnect: object,
+        now: float,
+    ) -> int:
+        """Stage-1 of two-stage routing: pick the prefill replica.
+
+        Disaggregated fleets route twice — the arrival picks a prefill
+        replica here (index *within the prefill pool*), and the decode
+        replica is picked by a plain :meth:`select` over the decode pool
+        when the KV transfer lands. Price-aware policies override this
+        to rank the *full path* (prefill cost + KV transfer + decode
+        cost); load-spreading policies apply their usual rule to the
+        prefill pool, which is where an arrival actually queues.
+        """
+        return self.select(request, prefill_pool, now)
 
     @property
     def price_cache(self) -> Optional[PriceCache]:
@@ -593,6 +722,50 @@ class MinCostRouter(Router):
         ]
         return min(ranked)[2]
 
+    def _path_costs(
+        self,
+        request: Request,
+        prefill_pool: Sequence[Replica],
+        decode_pool: Sequence[Replica],
+        interconnect: object,
+    ) -> List[float]:
+        """Full-path price per prefill replica: prompt pass + KV
+        transfer + the cheapest decode step the pool offers.
+
+        The transfer and decode terms are uniform across prefill
+        candidates (the decode replica is chosen later, when the
+        transfer lands), so they shift every lane identically — the
+        ranking is honest about what a path costs without pretending to
+        know stage-2's outcome ahead of time.
+        """
+        tail = interconnect.transfer_seconds(
+            request.input_len + 1
+        ) + best_decode_step_seconds(
+            decode_pool, request, self._price_cache, batched=self.batched
+        )
+        return [
+            projected_prefill_seconds(replica, request, self._price_cache)
+            + tail
+            for replica in prefill_pool
+        ]
+
+    def select_path(
+        self,
+        request: Request,
+        prefill_pool: Sequence[Replica],
+        decode_pool: Sequence[Replica],
+        interconnect: object,
+        now: float,
+    ) -> int:
+        costs = self._path_costs(
+            request, prefill_pool, decode_pool, interconnect
+        )
+        ranked = [
+            (cost, replica.outstanding(), i)
+            for i, (cost, replica) in enumerate(zip(costs, prefill_pool))
+        ]
+        return min(ranked)[2]
+
 
 class SLOSlackRouter(MinCostRouter):
     """Min-cost routing that first protects each request's deadline.
@@ -683,6 +856,57 @@ class SLOSlackRouter(MinCostRouter):
             outstanding = replica.outstanding()
             ranked.append((-slacks[i], costs[i], outstanding, i))
             if slacks[i] >= 0.0:
+                feasible.append((costs[i], outstanding, i))
+        if feasible:
+            return min(feasible)[2]
+        return min(ranked)[3]
+
+    def select_path(
+        self,
+        request: Request,
+        prefill_pool: Sequence[Replica],
+        decode_pool: Sequence[Replica],
+        interconnect: object,
+        now: float,
+    ) -> int:
+        """Deadline-aware stage-1: project the *whole* handoff.
+
+        Each prefill candidate's completion projection is its
+        arrival-to-first-token estimate plus the KV transfer plus the
+        best completion the decode pool offers — the same cross-handoff
+        projection :class:`~repro.cluster.admission.PathProber` feeds
+        the admission controller. Feasible candidates (projection meets
+        the deadline) rank by full-path cost; when none fit, the
+        least-late candidate wins.
+        """
+        costs = self._path_costs(
+            request, prefill_pool, decode_pool, interconnect
+        )
+        if request.deadline_s is None:
+            ranked_cost = [
+                (cost, replica.outstanding(), i)
+                for i, (cost, replica) in enumerate(zip(costs, prefill_pool))
+            ]
+            return min(ranked_cost)[2]
+        tail = interconnect.transfer_seconds(
+            request.input_len + 1
+        ) + best_decode_completion_seconds(
+            decode_pool, request, self._price_cache, batched=self.batched
+        )
+        deadline = request.deadline_s
+        feasible: List[Tuple[float, int, int]] = []  # (cost, outstanding, i)
+        ranked: List[Tuple[float, float, int, int]] = []  # (-slack, cost, ...)
+        for i, replica in enumerate(prefill_pool):
+            completion = (
+                projected_prefill_completion_seconds(
+                    replica, request, self._price_cache
+                )
+                + tail
+            )
+            slack = deadline - (now + completion)
+            outstanding = replica.outstanding()
+            ranked.append((-slack, costs[i], outstanding, i))
+            if slack >= 0.0:
                 feasible.append((costs[i], outstanding, i))
         if feasible:
             return min(feasible)[2]

@@ -29,6 +29,7 @@ Quickstart::
 
 from repro.scenario.build import (
     build_admission,
+    build_interconnect,
     build_moe_config,
     build_replicas,
     build_requests,
@@ -42,9 +43,11 @@ from repro.scenario.run import (
     run_scenarios,
 )
 from repro.scenario.spec import (
+    REPLICA_ROLES,
     SCENARIO_SCHEMA_VERSION,
     SPEC_TYPES,
     FleetSpec,
+    InterconnectSpec,
     MoESpec,
     ReplicaSpec,
     RoutingSpec,
@@ -60,7 +63,9 @@ from repro.scenario.spec import (
 __all__ = [
     "CORE_CHOICES",
     "FleetSpec",
+    "InterconnectSpec",
     "MoESpec",
+    "REPLICA_ROLES",
     "ReplicaSpec",
     "RoutingSpec",
     "SCENARIO_SCHEMA_VERSION",
@@ -73,6 +78,7 @@ __all__ = [
     "WorkloadSpec",
     "apply_core_mode",
     "build_admission",
+    "build_interconnect",
     "build_moe_config",
     "build_replicas",
     "build_requests",

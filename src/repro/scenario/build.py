@@ -14,6 +14,7 @@ from typing import List, Optional
 
 from repro.cluster.admission import SLOAdmissionController, TenantPolicy
 from repro.cluster.fleetstate import VectorReplica
+from repro.cluster.interconnect import Interconnect
 from repro.cluster.replica import Replica
 from repro.cluster.router import PriceCache, Router, build_router
 from repro.models.config import ModelConfig, get_model
@@ -91,9 +92,27 @@ def build_replicas(spec: ScenarioSpec) -> List[Replica]:
                     moe=moe,
                     detail=spec.fleet.detail,
                     load_accounting=spec.fleet.load_accounting,
+                    role=group.role,
                 )
             )
     return replicas
+
+
+def build_interconnect(spec: ScenarioSpec) -> Optional[Interconnect]:
+    """The fleet's KV-transfer cost model, or ``None`` when colocated.
+
+    Mirrors the validated :class:`~repro.scenario.spec.InterconnectSpec`
+    field for field; spec validation guarantees it is present exactly
+    when the fleet is disaggregated.
+    """
+    interconnect = spec.fleet.interconnect
+    if interconnect is None:
+        return None
+    return Interconnect(
+        kv_bytes_per_token=interconnect.kv_bytes_per_token,
+        bandwidth_gb_s=interconnect.bandwidth_gb_s,
+        hop_latency_s=interconnect.hop_latency_s,
+    )
 
 
 def build_requests(spec: ScenarioSpec) -> List[Request]:

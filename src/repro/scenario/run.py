@@ -15,18 +15,21 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import math
 from dataclasses import dataclass
 from typing import Any, Dict, List, Sequence
 
 from repro.cluster.cluster import (
     ClusterSimulator,
     ClusterSummary,
+    PoolReport,
     TenantReport,
     VectorizedClusterSimulator,
 )
 from repro.errors import ConfigurationError
 from repro.scenario.build import (
     build_admission,
+    build_interconnect,
     build_replicas,
     build_requests,
     build_routing,
@@ -116,13 +119,17 @@ class ScenarioResult:
                 "total_reschedules": summary.total_reschedules,
                 "router_cache": dict(summary.router_cache),
                 "probe_memo": dict(summary.probe_memo),
+                "ttft": dict(summary.ttft),
+                "transfer_wait": dict(summary.transfer_wait),
             },
             "replicas": [
                 {
                     "replica_id": report.replica_id,
                     "system": report.system,
                     "model": report.model,
+                    "role": report.role,
                     "requests_served": report.requests_served,
+                    "requests_transferred": report.requests_transferred,
                     "tokens_generated": report.tokens_generated,
                     "iterations": report.iterations,
                     "reschedules": report.reschedules,
@@ -133,6 +140,10 @@ class ScenarioResult:
                 }
                 for report in summary.replicas
             ],
+            "pools": {
+                role: dataclasses.asdict(report)
+                for role, report in summary.pools.items()
+            },
             "tenants": {
                 name: dataclasses.asdict(report)
                 for name, report in summary.tenants.items()
@@ -184,6 +195,7 @@ def run_scenario(spec: ScenarioSpec, shards: int = 1) -> ScenarioResult:
         build_replicas(spec),
         router,
         admission=build_admission(spec, price_cache=router.price_cache),
+        interconnect=build_interconnect(spec),
     )
     summary = simulator.run(build_requests(spec))
     return ScenarioResult(spec=spec, summary=summary)
@@ -239,6 +251,72 @@ def _merge_counter_stats(
     return merged
 
 
+def _merge_pool_reports(
+    summaries: Sequence[ClusterSummary],
+) -> Dict[str, PoolReport]:
+    """Fold the shards' per-pool rollups, order-independently.
+
+    Every shard serves its tenants on its own fleet copy, so the merged
+    pool spans ``shards x pool size`` replicas; counts are summed (exact
+    integers), float accumulators use ``math.fsum`` (correctly rounded,
+    hence permutation-invariant), and utilization is recomputed against
+    the merged capacity — shard order can never change a digit.
+    """
+    merged: Dict[str, PoolReport] = {}
+    makespan = max(s.makespan_seconds for s in summaries)
+    for role in ("prefill", "decode"):
+        members = [s.pools[role] for s in summaries if role in s.pools]
+        if not members:
+            continue
+        replicas = sum(p.replicas for p in members)
+        busy = math.fsum(p.busy_seconds for p in members)
+        capacity = replicas * makespan
+        merged[role] = PoolReport(
+            role=role,
+            replicas=replicas,
+            requests_served=sum(p.requests_served for p in members),
+            requests_transferred=sum(
+                p.requests_transferred for p in members
+            ),
+            tokens_generated=sum(p.tokens_generated for p in members),
+            busy_seconds=busy,
+            utilization=min(1.0, busy / capacity) if capacity > 0 else 0.0,
+            queueing_seconds=math.fsum(
+                p.queueing_seconds for p in members
+            ),
+        )
+    return merged
+
+
+def _merge_sample_stats(
+    stats_dicts: Sequence[Dict[str, float]],
+) -> Dict[str, float]:
+    """Fold the shards' TTFT / transfer-wait stats, order-independently.
+
+    Sample counts sum exactly; the mean is the sample-weighted mean via
+    ``math.fsum`` (permutation-invariant); the percentiles take the
+    maximum over shards — a deterministic conservative bound, since the
+    per-request samples themselves are not retained across the process
+    pool.
+    """
+    members = [stats for stats in stats_dicts if stats]
+    if not members:
+        return {}
+    samples = math.fsum(stats["samples"] for stats in members)
+    mean = (
+        math.fsum(stats["mean_s"] * stats["samples"] for stats in members)
+        / samples
+        if samples
+        else 0.0
+    )
+    return {
+        "mean_s": mean,
+        "p50_s": max(stats["p50_s"] for stats in members),
+        "p99_s": max(stats["p99_s"] for stats in members),
+        "samples": samples,
+    }
+
+
 def _run_sharded(spec: ScenarioSpec, shards: int) -> ScenarioResult:
     """Run the spec's tenants across a process pool; merge the shards."""
     shard_specs = _shard_specs(spec, shards)
@@ -270,6 +348,11 @@ def _run_sharded(spec: ScenarioSpec, shards: int) -> ScenarioResult:
             [summary.probe_memo for summary in summaries]
         ),
         tenants=tenants,
+        pools=_merge_pool_reports(summaries),
+        ttft=_merge_sample_stats([s.ttft for s in summaries]),
+        transfer_wait=_merge_sample_stats(
+            [s.transfer_wait for s in summaries]
+        ),
     )
     return ScenarioResult(spec=spec, summary=merged)
 

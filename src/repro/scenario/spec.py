@@ -41,6 +41,13 @@ SCENARIO_SCHEMA_VERSION = 1
 #: summaries; see ``FleetSpec.core_mode``).
 CORE_MODES = ("event", "vectorized")
 
+#: Replica-pool roles a fleet can mix: ``colocated`` replicas own a
+#: request end to end (the historical model); ``prefill`` replicas run
+#: the prompt pass only and hand the KV cache to a ``decode`` replica
+#: over the fleet interconnect. A fleet is either all-colocated or a
+#: prefill+decode pool pair — the roles never mix with ``colocated``.
+REPLICA_ROLES = ("colocated", "prefill", "decode")
+
 
 def _join(path: str, name: str) -> str:
     return f"{path}.{name}" if path else name
@@ -239,12 +246,19 @@ class ReplicaSpec(SpecBase):
         workload: Group-specific workload; ``None`` inherits the
             scenario's default workload — mixed fleets give each group
             its own (e.g. one MoE group next to dense ones).
+        role: Pool role (:data:`REPLICA_ROLES`): ``colocated`` replicas
+            own requests end to end; ``prefill`` replicas finish at
+            first token and ship the KV cache to the ``decode`` pool.
+            ``max_batch_size`` is the per-pool batch limit — prefill
+            groups typically run small prompt batches while decode
+            groups pack wide token batches.
     """
 
     system: str = "papi"
     count: int = 1
     max_batch_size: int = 16
     workload: Optional[WorkloadSpec] = None
+    role: str = "colocated"
 
     def validate(self, path: str = "replicas") -> None:
         from repro.systems.registry import available_systems
@@ -259,8 +273,52 @@ class ReplicaSpec(SpecBase):
             _fail(_join(path, "count"), "must be positive")
         if self.max_batch_size <= 0:
             _fail(_join(path, "max_batch_size"), "must be positive")
+        if self.role not in REPLICA_ROLES:
+            _fail(
+                _join(path, "role"),
+                f"must be one of {', '.join(REPLICA_ROLES)}",
+            )
         if self.workload is not None:
             self.workload.validate(_join(path, "workload"))
+
+
+@dataclass(frozen=True)
+class InterconnectSpec(SpecBase):
+    """The prefill->decode KV-transfer link of a disaggregated fleet.
+
+    Moving a request between pools ships its KV cache (one entry per
+    context token) across the inter-pool link, so the handoff costs
+
+    ``hop_latency_s + context_tokens * kv_bytes_per_token
+    / (bandwidth_gb_s * 1e9)``
+
+    seconds. Defaults model a llama-65b-sized cache (80 layers x 8192
+    hidden x K+V at fp16 = 2.5 MiB/token) over a 50 GB/s inter-stack
+    link with a 50 us hop.
+
+    Attributes:
+        kv_bytes_per_token: KV-cache footprint per context token (bytes).
+        bandwidth_gb_s: Link bandwidth in GB/s (1 GB = 1e9 bytes).
+        hop_latency_s: Fixed per-transfer latency (link setup + routing).
+    """
+
+    kv_bytes_per_token: float = 2_621_440.0
+    bandwidth_gb_s: float = 50.0
+    hop_latency_s: float = 50e-6
+
+    def transfer_seconds(self, context_tokens: int) -> float:
+        """Seconds to move ``context_tokens`` of KV cache between pools."""
+        return self.hop_latency_s + (
+            context_tokens * self.kv_bytes_per_token
+        ) / (self.bandwidth_gb_s * 1e9)
+
+    def validate(self, path: str = "interconnect") -> None:
+        if self.kv_bytes_per_token <= 0:
+            _fail(_join(path, "kv_bytes_per_token"), "must be positive")
+        if self.bandwidth_gb_s <= 0:
+            _fail(_join(path, "bandwidth_gb_s"), "must be positive")
+        if self.hop_latency_s < 0:
+            _fail(_join(path, "hop_latency_s"), "must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -288,6 +346,10 @@ class FleetSpec(SpecBase):
             several times faster at fleet scale. The vectorized core
             mirrors the incremental load counters, so it rejects
             ``load_accounting="scan"``.
+        interconnect: KV-transfer link between the prefill and decode
+            pools; required exactly when the fleet is disaggregated
+            (some group's ``role`` is ``prefill``/``decode``) and
+            rejected on all-colocated fleets, where no handoff exists.
     """
 
     replicas: Tuple[ReplicaSpec, ...] = (ReplicaSpec(),)
@@ -295,10 +357,16 @@ class FleetSpec(SpecBase):
     detail: str = "full"
     load_accounting: str = "incremental"
     core_mode: str = "event"
+    interconnect: Optional[InterconnectSpec] = None
 
     @property
     def total_replicas(self) -> int:
         return sum(group.count for group in self.replicas)
+
+    @property
+    def disaggregated(self) -> bool:
+        """True when the fleet routes over prefill/decode pools."""
+        return any(group.role != "colocated" for group in self.replicas)
 
     def validate(self, path: str = "fleet") -> None:
         from repro.serving.metrics import DETAIL_MODES
@@ -328,6 +396,41 @@ class FleetSpec(SpecBase):
                 "the vectorized core mirrors the incremental load "
                 "counters; set load_accounting='incremental'",
             )
+        roles = {group.role for group in self.replicas}
+        if roles != {"colocated"}:
+            if "colocated" in roles:
+                _fail(
+                    _join(path, "replicas"),
+                    "colocated groups cannot mix with prefill/decode "
+                    "pools; a fleet is either all-colocated or "
+                    "disaggregated",
+                )
+            if "prefill" not in roles:
+                _fail(
+                    _join(path, "replicas"),
+                    "a disaggregated fleet needs at least one "
+                    "role='prefill' group",
+                )
+            if "decode" not in roles:
+                _fail(
+                    _join(path, "replicas"),
+                    "a disaggregated fleet needs at least one "
+                    "role='decode' group",
+                )
+            if self.interconnect is None:
+                _fail(
+                    _join(path, "interconnect"),
+                    "a disaggregated fleet must specify the KV-transfer "
+                    "interconnect",
+                )
+        elif self.interconnect is not None:
+            _fail(
+                _join(path, "interconnect"),
+                "only disaggregated fleets (prefill/decode pools) have "
+                "a KV-transfer interconnect",
+            )
+        if self.interconnect is not None:
+            self.interconnect.validate(_join(path, "interconnect"))
 
 
 @dataclass(frozen=True)
@@ -536,6 +639,7 @@ SPEC_TYPES: Tuple[type, ...] = (
     MoESpec,
     FleetSpec,
     ReplicaSpec,
+    InterconnectSpec,
     TenantSpec,
     TrafficSpec,
     SLOSpec,

@@ -37,6 +37,7 @@ class EventKind(enum.Enum):
     ARRIVAL = "arrival"
     ADMIT = "admit"
     STEP_DONE = "step-done"
+    KV_TRANSFER = "kv-transfer"
 
 
 class Event:
@@ -144,12 +145,14 @@ class EventQueue:
 ARRIVAL_CODE = 0
 ADMIT_CODE = 1
 STEP_DONE_CODE = 2
+KV_TRANSFER_CODE = 3
 
 #: Calendar code -> :class:`EventKind`, for callers that need the enum.
 KIND_OF_CODE = {
     ARRIVAL_CODE: EventKind.ARRIVAL,
     ADMIT_CODE: EventKind.ADMIT,
     STEP_DONE_CODE: EventKind.STEP_DONE,
+    KV_TRANSFER_CODE: EventKind.KV_TRANSFER,
 }
 
 

@@ -22,6 +22,22 @@ class RequestState(enum.Enum):
     REJECTED = "rejected"
 
 
+class RequestPhase(enum.Enum):
+    """Which pool of a disaggregated fleet owns the request.
+
+    Colocated fleets never advance a request past ``PREFILL`` — the one
+    replica owns the request end to end and the phase carries no
+    information. In a role-typed fleet the request moves ``PREFILL``
+    (queued/batched at a prefill replica) -> ``TRANSFERRING`` (KV cache
+    in flight on the interconnect) -> ``DECODE`` (queued/batched at a
+    decode replica).
+    """
+
+    PREFILL = "prefill"
+    TRANSFERRING = "transferring"
+    DECODE = "decode"
+
+
 @dataclass
 class Request:
     """One user request.
@@ -42,6 +58,14 @@ class Request:
             ``slo-slack`` router act on this.
         finish_s: Simulated completion time, stamped when the request
             emits ``<eos>`` (-1.0 until then).
+        phase: Pool ownership in a disaggregated fleet (see
+            :class:`RequestPhase`); stays ``PREFILL`` on colocated fleets.
+        first_token_s: Simulated time the first output token was emitted
+            by a prefill-pool replica (-1.0 on colocated fleets, where
+            first-token time is not tracked separately).
+        transfer_done_s: Simulated time the KV transfer to the decode
+            pool completed (-1.0 until then; -1.0 forever on colocated
+            fleets and for requests that finish at first token).
     """
 
     request_id: int
@@ -54,6 +78,9 @@ class Request:
     tenant: str = DEFAULT_TENANT
     deadline_s: Optional[float] = None
     finish_s: float = -1.0
+    phase: RequestPhase = RequestPhase.PREFILL
+    first_token_s: float = -1.0
+    transfer_done_s: float = -1.0
 
     def __post_init__(self) -> None:
         if self.input_len <= 0:

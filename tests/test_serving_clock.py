@@ -6,6 +6,8 @@ from repro.errors import ConfigurationError, SimulationError
 from repro.serving.clock import (
     ADMIT_CODE,
     ARRIVAL_CODE,
+    KIND_OF_CODE,
+    KV_TRANSFER_CODE,
     STEP_DONE_CODE,
     Event,
     EventCalendar,
@@ -204,6 +206,83 @@ class TestEventCalendar:
             item = next(dynamic, None)
             if item is not None:
                 calendar.push(item[0], item[1], item[2])
+        assert calendar_order == queue_order
+
+    def test_kv_transfer_code_maps_to_kind(self):
+        assert KIND_OF_CODE[KV_TRANSFER_CODE] is EventKind.KV_TRANSFER
+
+    def test_kv_transfer_tie_breaks_by_push_order(self):
+        """Same-timestamp KV_TRANSFER/ADMIT/STEP_DONE order is pinned.
+
+        Disaggregated routing relies on it: a prefill batch's handoffs
+        are pushed before the step that frees the next batch, so at an
+        exact-time collision the decode pool must see the transfers in
+        emission order, never reordered around the STEP_DONE.
+        """
+        calendar = EventCalendar([], [])
+        calendar.push(1.0, KV_TRANSFER_CODE, "xfer-first")
+        calendar.push(1.0, STEP_DONE_CODE, "step-second")
+        calendar.push(1.0, KV_TRANSFER_CODE, "xfer-third")
+        calendar.push(1.0, ADMIT_CODE, "admit-fourth")
+        assert [calendar.pop()[2] for _ in range(4)] == [
+            "xfer-first", "step-second", "xfer-third", "admit-fourth"
+        ]
+
+    def test_arrival_wins_tie_against_kv_transfer(self):
+        """Trace arrivals were (logically) pushed at setup, before any
+        handoff existed — the arrival lane outranks exact-time transfers
+        just as it outranks ADMIT/STEP_DONE."""
+        calendar = EventCalendar([1.0, 2.0], ["a", "b"])
+        assert calendar.pop()[2] == "a"
+        calendar.push(2.0, KV_TRANSFER_CODE, "xfer-at-2")
+        assert calendar.pop() == (2.0, ARRIVAL_CODE, "b")
+        assert calendar.pop() == (2.0, KV_TRANSFER_CODE, "xfer-at-2")
+
+    def test_kv_transfer_tie_break_survives_mid_drain_pushes(self):
+        """Push order keeps ruling transfer ties across pop/push
+        interleavings — the disaggregated loop's actual shape, where each
+        popped STEP_DONE emits same-time transfers while draining."""
+        calendar = EventCalendar([], [])
+        calendar.push(1.0, STEP_DONE_CODE, "step-A")
+        calendar.push(1.0, STEP_DONE_CODE, "step-B")
+        assert calendar.pop()[2] == "step-A"
+        calendar.push(1.0, KV_TRANSFER_CODE, "xfer-from-A")
+        assert calendar.pop()[2] == "step-B"
+        calendar.push(1.0, KV_TRANSFER_CODE, "xfer-from-B")
+        assert calendar.pop()[2] == "xfer-from-A"
+        assert calendar.pop()[2] == "xfer-from-B"
+
+    def test_kv_transfer_matches_event_queue_ordering(self):
+        """Property pin: calendar and queue drain identically when the
+        dynamic schedule includes KV_TRANSFER events."""
+        arrivals = [0.0, 0.5, 1.0, 1.0, 2.0]
+        payloads = [f"r{i}" for i in range(len(arrivals))]
+        schedule = [
+            (0.5, KV_TRANSFER_CODE, EventKind.KV_TRANSFER, "xfer-1"),
+            (1.0, STEP_DONE_CODE, EventKind.STEP_DONE, "step"),
+            (1.0, KV_TRANSFER_CODE, EventKind.KV_TRANSFER, "xfer-2"),
+            (2.0, ADMIT_CODE, EventKind.ADMIT, "admit"),
+        ]
+        queue = EventQueue()
+        for time_s, payload in zip(arrivals, payloads):
+            queue.push(time_s, EventKind.ARRIVAL, payload)
+        queue_order = []
+        dynamic = iter(schedule)
+        while not queue.empty:
+            event = queue.pop()
+            queue_order.append((event.time_s, event.payload))
+            item = next(dynamic, None)
+            if item is not None:
+                queue.push(item[0], item[2], item[3])
+        calendar = EventCalendar(arrivals, payloads)
+        calendar_order = []
+        dynamic = iter(schedule)
+        while not calendar.empty:
+            time_s, _, payload = calendar.pop()
+            calendar_order.append((time_s, payload))
+            item = next(dynamic, None)
+            if item is not None:
+                calendar.push(item[0], item[1], item[3])
         assert calendar_order == queue_order
 
     def test_push_into_past_rejected(self):
