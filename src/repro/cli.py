@@ -40,6 +40,7 @@ from repro.cluster import available_routers
 from repro.errors import ConfigurationError
 from repro.models.config import available_models, get_model
 from repro.scenario import (
+    ARRIVAL_PROCESSES,
     CORE_CHOICES,
     REPLICA_ROLES,
     FleetSpec,
@@ -254,6 +255,46 @@ def _print_pool_tables(summary) -> None:
         )
 
 
+def _print_session_tables(summary) -> None:
+    """Prefix-cache and session rollups; skipped for sessionless runs."""
+    if summary.prefix_cache:
+        cache = summary.prefix_cache
+        print(
+            format_table(
+                ["metric", "value"],
+                [
+                    ["lookup hits", int(cache["hits"])],
+                    ["lookup misses", int(cache["misses"])],
+                    ["hit rate", cache["hit_rate"]],
+                    ["evictions", int(cache["evictions"])],
+                    ["prefill tokens saved", int(cache["cached_tokens"])],
+                ],
+                title="Prefix cache",
+            )
+        )
+    sessions = summary.sessions
+    if sessions:
+        latency = sessions["followup_latency"]
+        print(
+            format_table(
+                ["metric", "value"],
+                [
+                    ["sessions", int(sessions["sessions"])],
+                    ["turns submitted", int(sessions["turns_submitted"])],
+                    ["turns served", int(sessions["turns_served"])],
+                    [
+                        "cached prefix tokens",
+                        int(sessions["cached_prefix_tokens"]),
+                    ],
+                    ["follow-up mean (s)", latency["mean_s"]],
+                    ["follow-up p50 (s)", latency["p50_s"]],
+                    ["follow-up p99 (s)", latency["p99_s"]],
+                ],
+                title="Session workload",
+            )
+        )
+
+
 def _print_aggregate_table(summary) -> None:
     aggregate_rows = [
         ["makespan seconds", summary.makespan_seconds],
@@ -335,6 +376,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                   f"({len(spec.tenants)} tenants)",
         )
         _print_pool_tables(summary)
+        _print_session_tables(summary)
         _print_aggregate_table(summary)
         _print_tenant_table(result)
     if args.json:
@@ -587,6 +629,8 @@ def cmd_list(args: argparse.Namespace) -> int:
     print("tlp-policies: " + ", ".join(TLP_POLICY_NAMES))
     print("core modes: " + ", ".join(CORE_CHOICES)
           + "  (repro run/cluster --core; bit-identical summaries)")
+    print("arrival processes: " + ", ".join(ARRIVAL_PROCESSES)
+          + "  (tenants[].traffic.arrival.kind)")
     print("replica roles: " + ", ".join(REPLICA_ROLES)
           + "  (fleet.replicas[].role; prefill/decode pools need "
           + "fleet.interconnect)")

@@ -42,6 +42,7 @@ from repro.cluster.cluster import (
     ReplicaReport,
     TenantReport,
 )
+from repro.cluster.prefixcache import PrefixCache
 from repro.cluster.replica import Replica
 from repro.cluster.router import (
     IntensityAwareRouter,
@@ -50,6 +51,7 @@ from repro.cluster.router import (
     PriceCache,
     RoundRobinRouter,
     Router,
+    SessionAffinityRouter,
     SLOSlackRouter,
     available_routers,
     build_router,
@@ -65,6 +67,7 @@ __all__ = [
     "IntensityAwareRouter",
     "LeastOutstandingRouter",
     "MinCostRouter",
+    "PrefixCache",
     "PriceCache",
     "Replica",
     "ReplicaReport",
@@ -72,6 +75,7 @@ __all__ = [
     "Router",
     "SLOAdmissionController",
     "SLOSlackRouter",
+    "SessionAffinityRouter",
     "TenantPolicy",
     "TenantReport",
     "available_routers",

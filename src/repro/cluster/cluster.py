@@ -208,6 +208,12 @@ class ClusterSummary:
         transfer_wait: KV-transfer wait statistics (first token to
             transfer completion) over handed-off requests, same keys;
             empty on colocated runs.
+        prefix_cache: Summed prefix-cache counters across the fleet's
+            caches (hits, misses, evictions, cached_tokens, hit_rate);
+            empty when no replica carries a cache.
+        sessions: Session-workload statistics (session/turn counts,
+            prefix tokens served from cache, and follow-up-turn latency
+            under ``followup_latency``); empty on session-free traces.
     """
 
     router: str
@@ -221,6 +227,8 @@ class ClusterSummary:
     pools: Dict[str, PoolReport] = field(default_factory=dict)
     ttft: Dict[str, float] = field(default_factory=dict)
     transfer_wait: Dict[str, float] = field(default_factory=dict)
+    prefix_cache: Dict[str, float] = field(default_factory=dict)
+    sessions: Dict[str, object] = field(default_factory=dict)
 
     @cached_property
     def request_latencies(self) -> List[float]:
@@ -305,6 +313,11 @@ class ClusterSimulator:
         self.router = router
         self.admission = admission
         self.interconnect = interconnect
+        # Session bookkeeping: the replica that last admitted each
+        # session's turn — the one whose prefix cache could hold the
+        # session's context. Arrival handling peeks it (read-only) to
+        # stamp the routing-time residency hint.
+        self._session_holder: Dict[int, int] = {}
         roles = {replica.role for replica in self.replicas}
         self._disaggregated = roles != {"colocated"}
         self._prefill_indices: List[int] = []
@@ -361,6 +374,56 @@ class ClusterSimulator:
             batched=self.admission.batched,
         )
 
+    def _hint_prefix(self, request: Request) -> None:
+        """Stamp the routing-time prefix-residency hint on an arrival.
+
+        A side-effect-free ``peek`` at the session holder's cache: the
+        hint lets admission and routing price the turn's discounted
+        prompt pass (``prefill_len``) without perturbing LRU state. The
+        authoritative ``lookup`` happens at admission on whichever
+        replica actually wins the request — a turn routed away from its
+        holder has its hint overwritten by the (missing) lookup there.
+        """
+        holder = self._session_holder.get(request.session_id)
+        if holder is None:
+            return
+        cache = self.replicas[holder].prefix_cache
+        if cache is not None and request.prefix_len > 0:
+            request.cached_prefix_len = cache.peek(
+                request.session_id, request.prefix_len
+            )
+
+    def _spawn_followups(
+        self,
+        replica: Replica,
+        trace: List[Request],
+        stats: Dict[str, Dict[str, int]],
+        push,
+    ) -> None:
+        """Schedule each finished turn's follow-up as a fresh arrival.
+
+        ``push(time_s, request)`` schedules one ``ARRIVAL`` on the
+        calling core's queue/calendar. The follow-up's lengths and think
+        time were pre-drawn at build time; only its arrival time (parent
+        finish + think time), request id (its position in the growing
+        trace — identical across cores because events drain in the same
+        order), and absolute deadline are stamped here. A rejected turn
+        never finishes, so its session's remaining turns are simply
+        never scheduled.
+        """
+        for parent in replica.followups:
+            turn = parent.followup
+            arrival = parent.finish_s + turn.think_time_s
+            turn.request_id = len(trace)
+            turn.arrival_s = arrival
+            turn.arrival_stamped = True
+            if turn.deadline_budget_s > 0:
+                turn.deadline_s = arrival + turn.deadline_budget_s
+            trace.append(turn)
+            stats[turn.tenant]["submitted"] += 1
+            push(arrival, turn)
+        replica.followups.clear()
+
     def _ship_transfers(self, replica: Replica, push, now: float) -> None:
         """Schedule a ``KV_TRANSFER`` for every outbound handoff.
 
@@ -402,10 +465,15 @@ class ClusterSimulator:
         def push_transfer(time_s: float, request: Request) -> None:
             queue.push(time_s, EventKind.KV_TRANSFER, request)
 
+        def push_followup(time_s: float, request: Request) -> None:
+            queue.push(time_s, EventKind.ARRIVAL, request)
+
         while not queue.empty:
             event = queue.pop()
             if event.kind is EventKind.ARRIVAL:
                 request = event.payload
+                if request.session_id is not None:
+                    self._hint_prefix(request)
                 if self.admission is not None:
                     decision, backoff = self.admission.decide(
                         request,
@@ -445,6 +513,8 @@ class ClusterSimulator:
                             f"router {self.router.name!r} returned replica "
                             f"{index} of {len(self.replicas)}"
                         )
+                if request.session_id is not None:
+                    self._session_holder[request.session_id] = index
                 replica = self.replicas[index]
                 replica.enqueue(request)
                 if replica.idle:
@@ -474,6 +544,8 @@ class ClusterSimulator:
             else:  # STEP_DONE
                 replica = self.replicas[event.payload]
                 done_at = replica.on_step_done(queue.now)
+                if replica.followups:
+                    self._spawn_followups(replica, trace, stats, push_followup)
                 if replica.outbound:
                     self._ship_transfers(replica, push_transfer, queue.now)
                 if done_at is not None:
@@ -557,6 +629,8 @@ class ClusterSimulator:
             pools=pools,
             ttft=ttft,
             transfer_wait=transfer_wait,
+            prefix_cache=_prefix_cache_stats(self.replicas),
+            sessions=_session_stats(trace),
         )
 
 
@@ -638,6 +712,10 @@ class VectorizedClusterSimulator(ClusterSimulator):
         pop_arrival = calendar.pop_arrival
         push_arrival_after = calendar.push_arrival_after
         select = router.select
+
+        def push_followup(time_s: float, request: Request) -> None:
+            calendar.push(time_s, ARRIVAL_CODE, request)
+
         probe_min = getattr(fleet, "probe_min_completion", None)
         # The admission controller's batched fast path, inlined: one
         # verdict-memo probe and a handful of plain dict/float ops per
@@ -709,6 +787,8 @@ class VectorizedClusterSimulator(ClusterSimulator):
                 while True:
                     members += 1
                     request = payload
+                    if request.session_id is not None:
+                        self._hint_prefix(request)
                     admitted = True
                     if inline_admission:
                         deadline = request.deadline_s
@@ -812,6 +892,8 @@ class VectorizedClusterSimulator(ClusterSimulator):
                                 f"router {router.name!r} returned replica "
                                 f"{index} of {len(replicas)}"
                             )
+                        if request.session_id is not None:
+                            self._session_holder[request.session_id] = index
                         replica = replicas[index]
                         replica.enqueue(request)
                         fleet.mark_dirty(index)
@@ -830,19 +912,31 @@ class VectorizedClusterSimulator(ClusterSimulator):
                     done_at = replica.poke(now)
                 else:
                     done_at = replica.on_step_done(now)
+                    if replica.followups:
+                        self._spawn_followups(
+                            replica, trace, stats, push_followup
+                        )
                 # Inline step burst: while this replica's next completion
                 # strictly precedes every other pending event, no probe or
                 # admission can observe the fleet in between — run the
                 # steps back-to-back without a heap round-trip per step.
                 # Strictly: an event *at* the peeked time holds an older
                 # sequence number than a fresh push, so it must win the
-                # tie and be processed first.
+                # tie and be processed first. A step that finishes a
+                # session turn pushes its follow-up arrival immediately
+                # and re-peeks — the follow-up may precede this
+                # replica's next completion and must end the burst.
                 peek = calendar.peek_time()
                 while done_at is not None and (
                     peek is None or done_at < peek
                 ):
                     makespan = done_at
                     done_at = replica.on_step_done(done_at)
+                    if replica.followups:
+                        self._spawn_followups(
+                            replica, trace, stats, push_followup
+                        )
+                        peek = calendar.peek_time()
                 fleet.mark_dirty(payload)
                 if done_at is not None:
                     calendar.push(done_at, STEP_DONE_CODE, payload)
@@ -905,12 +999,17 @@ class VectorizedClusterSimulator(ClusterSimulator):
             if admission is not None
             else None
         )
+        def push_followup(time_s: float, request: Request) -> None:
+            calendar.push(time_s, ARRIVAL_CODE, request)
+
         makespan = 0.0
         while not calendar.empty:
             now, kind, payload = calendar.pop()
             makespan = now
             if kind == ARRIVAL_CODE:
                 request = payload
+                if request.session_id is not None:
+                    self._hint_prefix(request)
                 if admission is not None:
                     decision, backoff = admission.decide(
                         request, prober, now
@@ -932,6 +1031,8 @@ class VectorizedClusterSimulator(ClusterSimulator):
                         f"replica {local} of {len(prefill_pool)}"
                     )
                 index = prefill_indices[local]
+                if request.session_id is not None:
+                    self._session_holder[request.session_id] = index
                 replica = replicas[index]
                 replica.enqueue(request)
                 if replica.idle:
@@ -958,6 +1059,10 @@ class VectorizedClusterSimulator(ClusterSimulator):
                     done_at = replica.poke(now)
                 else:
                     done_at = replica.on_step_done(now)
+                    if replica.followups:
+                        self._spawn_followups(
+                            replica, trace, stats, push_followup
+                        )
                 if replica.outbound:
                     for request in replica.outbound:
                         calendar.push(
@@ -1022,6 +1127,60 @@ def _sample_stats(samples: Sequence[float]) -> Dict[str, float]:
         "p50_s": latency_percentile_of(samples, 50, empty_value=0.0),
         "p99_s": latency_percentile_of(samples, 99, empty_value=0.0),
         "samples": float(count),
+    }
+
+
+def _prefix_cache_stats(replicas: Sequence[Replica]) -> Dict[str, float]:
+    """Fleet-wide prefix-cache counters (empty when no replica caches).
+
+    Counters are summed across replicas and the hit rate recomputed
+    from the sums — averaging per-replica rates would weight a
+    one-lookup replica the same as a thousand-lookup one.
+    """
+    counters = [
+        replica.prefix_cache.stats()
+        for replica in replicas
+        if replica.prefix_cache is not None
+    ]
+    if not counters:
+        return {}
+    merged = {
+        key: float(sum(c[key] for c in counters))
+        for key in ("hits", "misses", "evictions", "cached_tokens")
+    }
+    lookups = merged["hits"] + merged["misses"]
+    merged["hit_rate"] = merged["hits"] / lookups if lookups else 0.0
+    return merged
+
+
+def _session_stats(trace: Sequence[Request]) -> Dict[str, object]:
+    """Session-workload rollup (empty when the trace has no sessions).
+
+    ``turns_submitted`` counts session turns that actually entered the
+    simulator — follow-ups whose predecessor was rejected are never
+    scheduled and never appear in the trace. ``followup_latency`` covers
+    non-opening turns only: opening turns are indistinguishable from
+    independent requests, while follow-up latency is where prefix reuse
+    and affinity routing show up.
+    """
+    turns = [r for r in trace if r.session_id is not None]
+    if not turns:
+        return {}
+    finished = [r for r in turns if r.is_finished]
+    return {
+        "sessions": float(len({r.session_id for r in turns})),
+        "turns_submitted": float(len(turns)),
+        "turns_served": float(len(finished)),
+        "cached_prefix_tokens": float(
+            sum(r.cached_prefix_len for r in finished)
+        ),
+        "followup_latency": _sample_stats(
+            [
+                max(0.0, r.finish_s - r.arrival_s)
+                for r in finished
+                if r.turn_index > 0
+            ]
+        ),
     }
 
 

@@ -203,6 +203,8 @@ class VectorReplica(Replica):
                 request.finish_s = now
                 finished_context += request.input_len + request.output_len
                 latencies.append(max(0.0, now - request.arrival_s))
+                if request.followup is not None:
+                    self.followups.append(request)
         self._remaining_tokens -= accepted_total
         self._active_context_sum += accepted_total - finished_context
         if tlp == 1:
@@ -320,9 +322,28 @@ class VectorReplica(Replica):
             summary.queueing_seconds += sum(
                 max(0.0, now - r.arrival_s) for r in fresh
             )
+            if self.prefix_cache is not None:
+                # Same call site and order as the reference ``_admit``,
+                # so LRU state and hit/miss sequences evolve
+                # bit-identically across cores. The memo below stays
+                # sound: the discount enters through ``mean_input``,
+                # and the prefill price is a pure function of
+                # ``(count, mean_input)`` regardless of how the mean
+                # was discounted.
+                for request in fresh:
+                    if request.session_id is None:
+                        continue
+                    if request.prefix_len > 0:
+                        request.cached_prefix_len = self.prefix_cache.lookup(
+                            request.session_id, request.prefix_len
+                        )
+                    self.prefix_cache.insert(
+                        request.session_id,
+                        request.input_len + request.output_len,
+                    )
             count = len(fresh)
             mean_input = max(
-                1, round(sum(r.input_len for r in fresh) / count)
+                1, round(sum(r.prefill_len for r in fresh) / count)
             )
             memo = self._prefill_memo
             result = memo.get((count, mean_input))

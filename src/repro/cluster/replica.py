@@ -32,6 +32,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque, List, Optional, Sequence, Tuple
 
+from repro.cluster.prefixcache import PrefixCache
 from repro.core.scheduler import EOS_TOKEN
 from repro.errors import ConfigurationError, SimulationError
 from repro.models.config import ModelConfig
@@ -89,6 +90,12 @@ class Replica:
             first token, and never decodes; ``"decode"`` admits
             transferred requests (context already prefilled — no prompt
             pass is charged) and runs the decoding state machine.
+        prefix_cache: Optional session prefix/KV cache. When present, a
+            session turn admitted here reuses its resident prefix — only
+            the fresh suffix is charged as prefill — and the turn's
+            final context is made resident for the session's next turn.
+            Decode-role replicas never run a prompt pass, so they take
+            no cache.
     """
 
     def __init__(
@@ -108,6 +115,7 @@ class Replica:
         detail: str = "full",
         load_accounting: str = "incremental",
         role: str = "colocated",
+        prefix_cache: Optional[PrefixCache] = None,
     ) -> None:
         if max_batch_size <= 0:
             raise ConfigurationError("max_batch_size must be positive")
@@ -168,6 +176,11 @@ class Replica:
         # every event on a prefill replica and schedules the transfers.
         self.outbound: List[Request] = []
         self.requests_transferred = 0
+        self.prefix_cache = prefix_cache
+        # Session handoff: finished requests whose session has a next
+        # turn. The cluster loop drains this after every event and
+        # schedules the follow-up arrival at finish + think time.
+        self.followups: List[Request] = []
         self._current_tlp = speculation.tlp
         self._iteration = 0
         self._accepted_fraction = 1.0
@@ -368,6 +381,8 @@ class Replica:
                 self.summary.record_request_latency(
                     max(0.0, now - request.arrival_s)
                 )
+                if request.followup is not None:
+                    self.followups.append(request)
             else:
                 outputs.append(0)
                 still_active.append(request)
@@ -439,6 +454,8 @@ class Replica:
                 self.summary.record_request_latency(
                     max(0.0, now - request.arrival_s)
                 )
+                if request.followup is not None:
+                    self.followups.append(request)
             else:
                 request.phase = RequestPhase.TRANSFERRING
                 self.outbound.append(request)
@@ -465,7 +482,13 @@ class Replica:
 
     def finalize(self, makespan_s: float) -> RunSummary:
         """Close out the run summary once the cluster trace has drained."""
-        if self.waiting or self.active or self.busy or self.outbound:
+        if (
+            self.waiting
+            or self.active
+            or self.busy
+            or self.outbound
+            or self.followups
+        ):
             raise SimulationError(
                 f"replica {self.replica_id} finalized with work outstanding"
             )
@@ -518,8 +541,29 @@ class Replica:
         self.summary.queueing_seconds += sum(
             max(0.0, now - r.arrival_s) for r in fresh
         )
+        if self.prefix_cache is not None:
+            # The serving-path cache read: a resident prefix discounts
+            # the prompt pass to the fresh suffix (KV capacity and
+            # transfer still cover the full context — the cache spares
+            # prompt *computation*, not memory). The turn's final
+            # context becomes resident for the session's next turn;
+            # turns are serial, so it is valid by the time that turn
+            # can arrive. Non-session requests pass through untouched
+            # (prefill_len == input_len), keeping independent traces
+            # byte-identical.
+            for request in fresh:
+                if request.session_id is None:
+                    continue
+                if request.prefix_len > 0:
+                    request.cached_prefix_len = self.prefix_cache.lookup(
+                        request.session_id, request.prefix_len
+                    )
+                self.prefix_cache.insert(
+                    request.session_id,
+                    request.input_len + request.output_len,
+                )
         mean_input = max(
-            1, round(sum(r.input_len for r in fresh) / len(fresh))
+            1, round(sum(r.prefill_len for r in fresh) / len(fresh))
         )
         result = self.system.execute_prefill(self.model, len(fresh), mean_input)
         self.summary.prefill_seconds += result.seconds

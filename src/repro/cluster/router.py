@@ -5,7 +5,7 @@ request is assigned to exactly one replica, and the choice shapes both
 tail latency (load balance) and scheduler behavior (how often each
 replica's FC placement migrates between PUs and FC-PIM).
 
-Five policies:
+Six policies:
 
 * **round-robin** — classic stateless spreading; the baseline every
   serving stack ships.
@@ -29,6 +29,11 @@ Five policies:
   SLO traffic: requests carrying a deadline are routed to the cheapest
   replica that still meets it (most-slack when none can), while
   best-effort requests fall through to plain min-cost.
+* **session-affinity** — slo-slack extended with prefix-cache locality
+  for session workloads: a session's follow-up turns prefer the replica
+  whose cache holds their prefix, as long as its projected cost stays
+  within a tolerance of the fleet minimum (and any deadline still
+  holds); non-session traffic routes exactly as slo-slack.
 """
 
 from __future__ import annotations
@@ -376,8 +381,15 @@ def projected_prefill_seconds(
     ranks on each platform's true prompt-pass cost. Prices memoize in
     the shared :class:`PriceCache` under the
     :data:`PREFILL_PRICE_TARGET` sentinel.
+
+    A session turn carrying a prefix-cache hint (``cached_prefix_len``)
+    projects only its fresh suffix (``prefill_len``) into the batch —
+    the discount the execution path grants at admission — so routing
+    sees cheaper prompt passes for turns whose prefix is resident.
+    Independent requests have ``prefill_len == input_len`` and price
+    exactly as before.
     """
-    rlp, mean_context = replica.projected_admission_load(request.input_len)
+    rlp, mean_context = replica.projected_admission_load(request.prefill_len)
     bucket = ADMISSION_CONTEXT_BUCKET
     mean_context = max(bucket, round(mean_context / bucket) * bucket)
     system = replica.system
@@ -913,12 +925,152 @@ class SLOSlackRouter(MinCostRouter):
         return min(ranked)[3]
 
 
+#: Default cost-degradation the affinity router tolerates to keep a
+#: session on its home replica: the home wins whenever its projected
+#: admission cost is within ``(1 + tolerance)`` of the fleet minimum.
+#: At 0 the policy degrades to exact slo-slack/min-cost; large values
+#: pin sessions regardless of load.
+AFFINITY_TOLERANCE = 0.25
+
+
+class SessionAffinityRouter(SLOSlackRouter):
+    """Slo-slack routing that keeps a session on its prefix-cache home.
+
+    Session turns reuse KV only where their prefix is resident — the
+    replica that served the previous turn. This policy remembers each
+    session's last verdict (its *home*) and overrides the base
+    slo-slack/min-cost verdict with the home whenever the trade is
+    sound:
+
+    * the home's projected admission cost is within ``(1 + tolerance)``
+      of the winner's (locality never buys unbounded load imbalance);
+    * a deadline-carrying turn's projected completion at the home still
+      meets its deadline (affinity composes with, never overrides, the
+      SLO protection).
+
+    Non-session requests — and stage-2 decode-pool routing, where no
+    prefix cache exists — take the parent verdict untouched, so
+    independent traffic routes bit-identically to ``slo-slack``. Every
+    probe this overlay adds goes through the same fleet-batched /
+    vectorized pricing surfaces as the base policy (memoized dense
+    tables on a :class:`~repro.cluster.fleetstate.FleetState`), so the
+    three simulation cores agree bit-for-bit.
+    """
+
+    name = "session-affinity"
+
+    def __init__(
+        self,
+        max_cache_entries: int = 4096,
+        batched: bool = True,
+        tolerance: float = AFFINITY_TOLERANCE,
+    ) -> None:
+        super().__init__(max_cache_entries, batched=batched)
+        if tolerance < 0:
+            raise ConfigurationError("tolerance must be non-negative")
+        self.tolerance = tolerance
+        #: session id -> last verdict index, per routing stage (colocated
+        #: ``select`` and disaggregated ``select_path`` rank different
+        #: pools, so their home indices must never mix).
+        self._session_homes: Dict[int, int] = {}
+        self._path_homes: Dict[int, int] = {}
+
+    def _meets_deadline(
+        self,
+        request: Request,
+        replicas: Sequence[Replica],
+        home: int,
+        costs: Sequence[float],
+        now: float,
+    ) -> bool:
+        """Whether the home's projected completion meets the deadline.
+
+        The slack is computed exactly as the base policy computes it —
+        ``deadline - (now + completion)`` over the same fleet-batched
+        projection — so feasibility here can never disagree with what
+        slo-slack itself would have concluded about the home lane.
+        """
+        if request.deadline_s is None:
+            return True
+        if self.batched:
+            completions = projected_completion_seconds_fleet(
+                replicas, request, self._price_cache, step_seconds=costs
+            )
+            completion = completions[home]
+        else:
+            completion = projected_completion_seconds(
+                replicas[home], request, self._price_cache
+            )
+        return request.deadline_s - (now + completion) >= 0.0
+
+    def select(
+        self, request: Request, replicas: Sequence[Replica], now: float
+    ) -> int:
+        best = super().select(request, replicas, now)
+        session = request.session_id
+        if session is None or replicas[best].role == "decode":
+            # Stage-2 decode routing in a disaggregated fleet: no prefix
+            # cache lives there, so affinity has nothing to buy.
+            return best
+        choice = best
+        home = self._session_homes.get(session)
+        if home is not None and home != best and home < len(replicas):
+            costs = self._step_costs(request, replicas, now)
+            if costs[home] <= costs[best] * (
+                1.0 + self.tolerance
+            ) and self._meets_deadline(request, replicas, home, costs, now):
+                choice = home
+        self._session_homes[session] = choice
+        return choice
+
+    def select_path(
+        self,
+        request: Request,
+        prefill_pool: Sequence[Replica],
+        decode_pool: Sequence[Replica],
+        interconnect: object,
+        now: float,
+    ) -> int:
+        best = super().select_path(
+            request, prefill_pool, decode_pool, interconnect, now
+        )
+        session = request.session_id
+        if session is None:
+            return best
+        choice = best
+        home = self._path_homes.get(session)
+        if home is not None and home != best and home < len(prefill_pool):
+            costs = self._path_costs(
+                request, prefill_pool, decode_pool, interconnect
+            )
+            feasible = True
+            if request.deadline_s is not None:
+                completion = projected_prefill_completion_seconds(
+                    prefill_pool[home], request, self._price_cache
+                ) + interconnect.transfer_seconds(
+                    request.input_len + 1
+                ) + best_decode_completion_seconds(
+                    decode_pool,
+                    request,
+                    self._price_cache,
+                    batched=self.batched,
+                )
+                feasible = request.deadline_s - (now + completion) >= 0.0
+            if feasible and costs[home] <= costs[best] * (
+                1.0 + self.tolerance
+            ):
+                choice = home
+        self._path_homes[session] = choice
+        return choice
+
+
 _ROUTERS: Dict[str, Type[Router]] = {
     RoundRobinRouter.name: RoundRobinRouter,
     LeastOutstandingRouter.name: LeastOutstandingRouter,
     IntensityAwareRouter.name: IntensityAwareRouter,
     MinCostRouter.name: MinCostRouter,
     SLOSlackRouter.name: SLOSlackRouter,
+    SessionAffinityRouter.name: SessionAffinityRouter,
 }
 
 

@@ -43,15 +43,19 @@ from repro.scenario.run import (
     run_scenarios,
 )
 from repro.scenario.spec import (
+    ARRIVAL_PROCESSES,
     REPLICA_ROLES,
     SCENARIO_SCHEMA_VERSION,
     SPEC_TYPES,
+    ArrivalProcessSpec,
     FleetSpec,
     InterconnectSpec,
     MoESpec,
+    PrefixCacheSpec,
     ReplicaSpec,
     RoutingSpec,
     ScenarioSpec,
+    SessionSpec,
     SLOSpec,
     TenantSpec,
     TrafficSpec,
@@ -61,10 +65,13 @@ from repro.scenario.spec import (
 )
 
 __all__ = [
+    "ARRIVAL_PROCESSES",
+    "ArrivalProcessSpec",
     "CORE_CHOICES",
     "FleetSpec",
     "InterconnectSpec",
     "MoESpec",
+    "PrefixCacheSpec",
     "REPLICA_ROLES",
     "ReplicaSpec",
     "RoutingSpec",
@@ -73,6 +80,7 @@ __all__ = [
     "SPEC_TYPES",
     "ScenarioResult",
     "ScenarioSpec",
+    "SessionSpec",
     "TenantSpec",
     "TrafficSpec",
     "WorkloadSpec",

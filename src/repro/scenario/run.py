@@ -102,8 +102,19 @@ class ScenarioResult:
         return self.summary.tenants
 
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-able result: scenario, aggregate, replicas, tenants."""
+        """JSON-able result: scenario, aggregate, replicas, tenants.
+
+        The session-workload keys (``prefix_cache``, ``sessions``) are
+        emitted only when the run actually carried sessions / prefix
+        caches — independent-request results stay byte-identical to
+        what they were before sessions existed.
+        """
         summary = self.summary
+        extras: Dict[str, Any] = {}
+        if summary.prefix_cache:
+            extras["prefix_cache"] = dict(summary.prefix_cache)
+        if summary.sessions:
+            extras["sessions"] = dict(summary.sessions)
         return {
             "scenario": self.spec.to_dict(),
             "aggregate": {
@@ -121,6 +132,7 @@ class ScenarioResult:
                 "probe_memo": dict(summary.probe_memo),
                 "ttft": dict(summary.ttft),
                 "transfer_wait": dict(summary.transfer_wait),
+                **extras,
             },
             "replicas": [
                 {
@@ -317,6 +329,33 @@ def _merge_sample_stats(
     }
 
 
+def _merge_session_stats(
+    session_dicts: Sequence[Dict[str, Any]],
+) -> Dict[str, Any]:
+    """Fold the shards' session rollups, order-independently.
+
+    Counts are exact integer sums (as floats, matching the per-shard
+    shape); the nested follow-up latency folds through
+    :func:`_merge_sample_stats`.
+    """
+    members = [stats for stats in session_dicts if stats]
+    if not members:
+        return {}
+    merged: Dict[str, Any] = {
+        key: float(sum(stats[key] for stats in members))
+        for key in (
+            "sessions",
+            "turns_submitted",
+            "turns_served",
+            "cached_prefix_tokens",
+        )
+    }
+    merged["followup_latency"] = _merge_sample_stats(
+        [stats["followup_latency"] for stats in members]
+    )
+    return merged
+
+
 def _run_sharded(spec: ScenarioSpec, shards: int) -> ScenarioResult:
     """Run the spec's tenants across a process pool; merge the shards."""
     shard_specs = _shard_specs(spec, shards)
@@ -353,6 +392,10 @@ def _run_sharded(spec: ScenarioSpec, shards: int) -> ScenarioResult:
         transfer_wait=_merge_sample_stats(
             [s.transfer_wait for s in summaries]
         ),
+        prefix_cache=_merge_counter_stats(
+            [s.prefix_cache for s in summaries]
+        ),
+        sessions=_merge_session_stats([s.sessions for s in summaries]),
     )
     return ScenarioResult(spec=spec, summary=merged)
 

@@ -322,6 +322,43 @@ class InterconnectSpec(SpecBase):
 
 
 @dataclass(frozen=True)
+class PrefixCacheSpec(SpecBase):
+    """Per-replica KV/prefix cache (LRU over sessions, byte capacity).
+
+    Each replica keeps the final KV context of recently served session
+    turns; a follow-up turn whose conversation prefix is resident only
+    prefills its suffix. Capacity is in bytes — entries are whole
+    session contexts (``context_tokens * bytes_per_token``) and the
+    least-recently-used session is evicted when an insert overflows.
+
+    Attributes:
+        capacity_gb: Cache capacity per replica in GB (1 GB = 1e9 bytes).
+        bytes_per_token: KV-cache footprint per context token (bytes);
+            defaults mirror :class:`InterconnectSpec` (llama-65b-sized
+            fp16 KV, 2.5 MiB/token).
+    """
+
+    capacity_gb: float = 64.0
+    bytes_per_token: float = 2_621_440.0
+
+    @property
+    def capacity_tokens(self) -> int:
+        """Whole context tokens the byte capacity holds."""
+        return int(self.capacity_gb * 1e9 / self.bytes_per_token)
+
+    def validate(self, path: str = "prefix_cache") -> None:
+        if self.capacity_gb <= 0:
+            _fail(_join(path, "capacity_gb"), "must be positive")
+        if self.bytes_per_token <= 0:
+            _fail(_join(path, "bytes_per_token"), "must be positive")
+        if self.capacity_tokens < 1:
+            _fail(
+                _join(path, "capacity_gb"),
+                "capacity must hold at least one context token",
+            )
+
+
+@dataclass(frozen=True)
 class FleetSpec(SpecBase):
     """The cluster's replica groups and shared serving plumbing.
 
@@ -350,6 +387,9 @@ class FleetSpec(SpecBase):
             pools; required exactly when the fleet is disaggregated
             (some group's ``role`` is ``prefill``/``decode``) and
             rejected on all-colocated fleets, where no handoff exists.
+        prefix_cache: Per-replica session prefix cache
+            (:class:`PrefixCacheSpec`); ``None`` disables prefix reuse
+            — every turn prefills its full prompt.
     """
 
     replicas: Tuple[ReplicaSpec, ...] = (ReplicaSpec(),)
@@ -358,6 +398,7 @@ class FleetSpec(SpecBase):
     load_accounting: str = "incremental"
     core_mode: str = "event"
     interconnect: Optional[InterconnectSpec] = None
+    prefix_cache: Optional[PrefixCacheSpec] = None
 
     @property
     def total_replicas(self) -> int:
@@ -431,6 +472,86 @@ class FleetSpec(SpecBase):
             )
         if self.interconnect is not None:
             self.interconnect.validate(_join(path, "interconnect"))
+        if self.prefix_cache is not None:
+            self.prefix_cache.validate(_join(path, "prefix_cache"))
+
+
+#: Arrival processes a tenant's traffic can follow.
+ARRIVAL_PROCESSES = ("poisson", "bursty", "diurnal")
+
+
+@dataclass(frozen=True)
+class ArrivalProcessSpec(SpecBase):
+    """How a tenant's opening requests arrive over time.
+
+    Attributes:
+        kind: One of :data:`ARRIVAL_PROCESSES`. ``poisson`` is the
+            historical memoryless stream; ``bursty`` groups arrivals
+            into Poisson-epoch bursts (mean ``burst_size`` members,
+            same long-run rate); ``diurnal`` modulates the rate on a
+            sinusoidal peak/trough cycle.
+        burst_size: Mean requests per burst (``bursty`` only).
+        period_s: Peak-to-peak cycle length in simulated seconds
+            (``diurnal`` only).
+        peak_to_trough: Ratio of the peak arrival rate to the trough
+            rate (``diurnal`` only; 1 degenerates to Poisson).
+    """
+
+    kind: str = "poisson"
+    burst_size: float = 8.0
+    period_s: float = 60.0
+    peak_to_trough: float = 4.0
+
+    def validate(self, path: str = "arrival") -> None:
+        if self.kind not in ARRIVAL_PROCESSES:
+            _fail(
+                _join(path, "kind"),
+                f"must be one of {', '.join(ARRIVAL_PROCESSES)}",
+            )
+        if self.burst_size < 1:
+            _fail(_join(path, "burst_size"), "must be at least 1")
+        if self.period_s <= 0:
+            _fail(_join(path, "period_s"), "must be positive")
+        if self.peak_to_trough < 1:
+            _fail(_join(path, "peak_to_trough"), "must be at least 1")
+
+
+@dataclass(frozen=True)
+class SessionSpec(SpecBase):
+    """Multi-turn conversation structure for a tenant's traffic.
+
+    Each opening request starts a session of ``turns`` turns. A
+    follow-up turn's prompt is the previous turn's full final context
+    (the reusable prefix) plus a fresh log-normal suffix; its arrival is
+    scheduled dynamically — an exponential think time after the
+    previous turn completes — so session load is conditioned on served
+    latency, not pre-stamped. All randomness (suffix/output lengths,
+    think times) is pre-drawn per tenant at build time, keeping traces
+    bit-identical for any shard count.
+
+    Attributes:
+        turns: Turns per session (1 = independent requests).
+        think_time_s: Mean think time between a turn's completion and
+            the next turn's arrival (exponential).
+        suffix_median: Median follow-up suffix length in tokens
+            (log-normal; the new user message appended to the prefix).
+        suffix_sigma: Log-normal sigma of follow-up suffix lengths.
+    """
+
+    turns: int = 4
+    think_time_s: float = 2.0
+    suffix_median: float = 48.0
+    suffix_sigma: float = 0.5
+
+    def validate(self, path: str = "session") -> None:
+        if self.turns < 1:
+            _fail(_join(path, "turns"), "must be at least 1")
+        if self.think_time_s <= 0:
+            _fail(_join(path, "think_time_s"), "must be positive")
+        if self.suffix_median <= 0:
+            _fail(_join(path, "suffix_median"), "must be positive")
+        if self.suffix_sigma < 0:
+            _fail(_join(path, "suffix_sigma"), "must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -440,13 +561,23 @@ class TrafficSpec(SpecBase):
     Attributes:
         category: Request-length category (``creative-writing`` /
             ``general-qa``).
-        requests: Trace length.
-        rate_per_s: Poisson arrival rate (requests/s).
+        requests: Trace length — the number of *opening* requests; with
+            a ``session`` spec each opens a session of
+            ``session.turns`` turns, so the tenant submits up to
+            ``requests * session.turns`` requests in total (fewer when
+            a turn is rejected, which ends its session).
+        rate_per_s: Mean arrival rate of opening requests (requests/s).
+        arrival: Arrival process of the opening requests; ``None`` is
+            the historical plain Poisson stream.
+        session: Multi-turn session structure; ``None`` keeps every
+            request independent.
     """
 
     category: str = "creative-writing"
     requests: int = 64
     rate_per_s: float = 32.0
+    arrival: Optional[ArrivalProcessSpec] = None
+    session: Optional[SessionSpec] = None
 
     def validate(self, path: str = "traffic") -> None:
         from repro.serving.dataset import available_categories
@@ -461,6 +592,10 @@ class TrafficSpec(SpecBase):
             _fail(_join(path, "requests"), "must be positive")
         if self.rate_per_s <= 0:
             _fail(_join(path, "rate_per_s"), "must be positive")
+        if self.arrival is not None:
+            self.arrival.validate(_join(path, "arrival"))
+        if self.session is not None:
+            self.session.validate(_join(path, "session"))
 
 
 @dataclass(frozen=True)
@@ -640,8 +775,11 @@ SPEC_TYPES: Tuple[type, ...] = (
     FleetSpec,
     ReplicaSpec,
     InterconnectSpec,
+    PrefixCacheSpec,
     TenantSpec,
     TrafficSpec,
+    ArrivalProcessSpec,
+    SessionSpec,
     SLOSpec,
     RoutingSpec,
 )

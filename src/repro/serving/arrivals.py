@@ -4,7 +4,10 @@ Dynamic batching "starts processing a batch once the batch is full or
 exceeds a time limit", so with infrequent arrivals the serving system
 launches batches of very different sizes — the third source of
 initial-RLP variation the paper motivates PAPI with. This module provides
-a seeded Poisson arrival process and the full-or-timeout batch former.
+seeded arrival processes — plain Poisson, bursty (Poisson burst epochs
+carrying several near-simultaneous requests), and diurnal (a Poisson
+stream whose rate follows a sinusoidal peak/trough cycle) — and the
+full-or-timeout batch former.
 """
 
 from __future__ import annotations
@@ -16,6 +19,30 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.serving.request import Request
+
+
+def _require_unstamped(requests: Sequence[Request], process: str) -> None:
+    """Reject traces that already carry arrival stamps.
+
+    Silently re-stamping would desynchronize any schedule derived from
+    the old stamps (e.g. batches already formed from them), and
+    double-calling is almost always a bug. The explicit
+    ``arrival_stamped`` flag is the authoritative signal — a trace whose
+    first arrival legitimately lands at 0.0 is still guarded — while a
+    non-default ``arrival_s`` keeps hand-stamped traces guarded too.
+    """
+    if not requests:
+        raise ConfigurationError("requests must be non-empty")
+    stamped = [
+        r.request_id
+        for r in requests
+        if r.arrival_stamped or r.arrival_s != 0.0
+    ]
+    if stamped:
+        raise ConfigurationError(
+            f"requests {stamped[:5]} already carry arrival stamps; "
+            f"{process} refuses to re-stamp a trace"
+        )
 
 
 def poisson_arrivals(
@@ -30,16 +57,13 @@ def poisson_arrivals(
     process. Because inter-arrival gaps are strictly positive, the
     sequence is monotonically increasing, so the given order *is* arrival
     order; no reordering happens. The returned list is a new list holding
-    the same (now stamped) request objects.
-
-    Requests that already carry an arrival stamp are rejected: silently
-    re-stamping a trace would desynchronize any schedule derived from the
-    old stamps (e.g. batches already formed from them), and double-calling
-    is almost always a bug.
+    the same (now stamped) request objects, each with
+    ``arrival_stamped = True``.
 
     Args:
-        requests: Requests to stamp, in arrival order. Must all have the
-            default ``arrival_s == 0.0`` (unstamped).
+        requests: Requests to stamp, in arrival order. Must all be
+            unstamped (``arrival_stamped`` unset and ``arrival_s`` at
+            its 0.0 default).
         rate_per_s: Mean arrivals per second (lambda).
         seed: RNG seed.
 
@@ -53,20 +77,104 @@ def poisson_arrivals(
     """
     if rate_per_s <= 0:
         raise ConfigurationError("rate_per_s must be positive")
-    if not requests:
-        raise ConfigurationError("requests must be non-empty")
-    stamped = [r.request_id for r in requests if r.arrival_s != 0.0]
-    if stamped:
-        raise ConfigurationError(
-            f"requests {stamped[:5]} already carry arrival stamps; "
-            "poisson_arrivals refuses to re-stamp a trace"
-        )
+    _require_unstamped(requests, "poisson_arrivals")
     rng = np.random.default_rng(seed)
     gaps = rng.exponential(scale=1.0 / rate_per_s, size=len(requests))
     clock = 0.0
     for request, gap in zip(requests, gaps):
         clock += float(gap)
         request.arrival_s = clock
+        request.arrival_stamped = True
+    return list(requests)
+
+
+def bursty_arrivals(
+    requests: Sequence[Request],
+    rate_per_s: float,
+    burst_size: float,
+    seed: int = 0,
+    spacing_s: float = 1e-3,
+) -> List[Request]:
+    """Assign bursty arrival times: Poisson burst epochs, grouped members.
+
+    Burst epochs form a Poisson process of rate ``rate_per_s /
+    burst_size`` (so the long-run request rate stays ``rate_per_s``);
+    each epoch carries ``1 + Poisson(burst_size - 1)`` requests spaced
+    ``spacing_s`` apart. When a burst outlasts the gap to the next
+    epoch, the next burst starts one spacing after the previous member —
+    arrival times stay strictly increasing, so the given order is
+    arrival order (same in-place stamping contract as
+    :func:`poisson_arrivals`).
+
+    Raises:
+        ConfigurationError: On a non-positive rate or spacing, a burst
+            size below 1, an empty trace, or an already-stamped trace.
+    """
+    if rate_per_s <= 0:
+        raise ConfigurationError("rate_per_s must be positive")
+    if burst_size < 1:
+        raise ConfigurationError("burst_size must be at least 1")
+    if spacing_s <= 0:
+        raise ConfigurationError("spacing_s must be positive")
+    _require_unstamped(requests, "bursty_arrivals")
+    rng = np.random.default_rng(seed)
+    epoch_scale = burst_size / rate_per_s
+    clock = 0.0
+    epoch = 0.0
+    index = 0
+    while index < len(requests):
+        epoch += float(rng.exponential(scale=epoch_scale))
+        start = epoch if index == 0 else max(epoch, clock + spacing_s)
+        members = 1 + int(rng.poisson(burst_size - 1.0))
+        for member in range(min(members, len(requests) - index)):
+            clock = start + member * spacing_s
+            requests[index].arrival_s = clock
+            requests[index].arrival_stamped = True
+            index += 1
+    return list(requests)
+
+
+def diurnal_arrivals(
+    requests: Sequence[Request],
+    rate_per_s: float,
+    period_s: float,
+    peak_to_trough: float,
+    seed: int = 0,
+) -> List[Request]:
+    """Assign arrival times from a sinusoidally rate-modulated process.
+
+    The instantaneous rate is ``rate_per_s * m(t)`` with ``m(t) = 1 +
+    ((p - 1) / (p + 1)) * sin(2*pi*t / period_s)`` for ``p =
+    peak_to_trough`` — peak rate ``2p/(p+1)`` and trough ``2/(p+1)``
+    times the mean, averaging ``rate_per_s`` over a period. Gaps are
+    unit exponentials scaled by the rate at the *current* time (a
+    first-order approximation of the inhomogeneous Poisson process —
+    exact as gaps shrink relative to the period). ``p = 1`` degenerates
+    to a plain Poisson stream. Same in-place stamping contract as
+    :func:`poisson_arrivals`; arrival times are strictly increasing.
+
+    Raises:
+        ConfigurationError: On a non-positive rate or period, a
+            peak-to-trough ratio below 1, an empty trace, or an
+            already-stamped trace.
+    """
+    if rate_per_s <= 0:
+        raise ConfigurationError("rate_per_s must be positive")
+    if period_s <= 0:
+        raise ConfigurationError("period_s must be positive")
+    if peak_to_trough < 1:
+        raise ConfigurationError("peak_to_trough must be at least 1")
+    _require_unstamped(requests, "diurnal_arrivals")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(scale=1.0, size=len(requests))
+    swing = (peak_to_trough - 1.0) / (peak_to_trough + 1.0)
+    omega = 2.0 * np.pi / period_s
+    clock = 0.0
+    for request, gap in zip(requests, gaps):
+        modulation = 1.0 + swing * float(np.sin(omega * clock))
+        clock += float(gap) / (rate_per_s * modulation)
+        request.arrival_s = clock
+        request.arrival_stamped = True
     return list(requests)
 
 
@@ -99,6 +207,11 @@ def form_dynamic_batches(
     A batch opens when its first request arrives; it launches when it
     reaches ``max_batch_size`` (trigger ``"full"``) or when ``timeout_s``
     elapses since it opened (trigger ``"timeout"``), whichever is first.
+
+    Boundary semantics (pinned): an arrival landing *exactly* at the
+    open batch's deadline still joins it — only a strictly later
+    arrival (or the end of the trace) closes the batch as a timeout,
+    which then launches at the deadline, not at the closing arrival.
 
     Args:
         requests: Requests with ``arrival_s`` stamped, sorted by arrival.

@@ -26,6 +26,20 @@ from repro.errors import ConfigurationError
 from repro.serving.request import Request
 
 
+def sample_lognormal_lengths(
+    rng: np.random.Generator,
+    median: float,
+    sigma: float,
+    count: int,
+    max_len: int = 2048,
+) -> np.ndarray:
+    """Seeded log-normal token lengths, rounded and clipped to
+    ``[1, max_len]`` — the one sampling primitive every length
+    distribution (category prompts/outputs, session suffixes) shares."""
+    raw = rng.lognormal(mean=np.log(median), sigma=sigma, size=count)
+    return np.clip(np.rint(raw), 1, max_len).astype(int)
+
+
 @dataclass(frozen=True)
 class DatasetSpec:
     """Length distribution of one request category.
@@ -57,8 +71,21 @@ class DatasetSpec:
     def _sample_lengths(
         self, rng: np.random.Generator, median: float, sigma: float, count: int
     ) -> np.ndarray:
-        raw = rng.lognormal(mean=np.log(median), sigma=sigma, size=count)
-        return np.clip(np.rint(raw), 1, self.max_len).astype(int)
+        return sample_lognormal_lengths(
+            rng, median, sigma, count, max_len=self.max_len
+        )
+
+    def sample_output_lengths(
+        self, rng: np.random.Generator, count: int
+    ) -> np.ndarray:
+        """Draw generation lengths from the category's output
+        distribution using the caller's RNG (session follow-up turns
+        reuse the category statistics without re-seeding)."""
+        if count <= 0:
+            raise ConfigurationError("count must be positive")
+        return self._sample_lengths(
+            rng, self.output_median, self.output_sigma, count
+        )
 
     def sample(self, count: int, seed: int = 0) -> List[Request]:
         """Draw ``count`` requests with seeded, reproducible lengths."""
@@ -101,14 +128,18 @@ def available_categories() -> Tuple[str, ...]:
     return tuple(sorted(_SPECS))
 
 
-def sample_requests(category: str, count: int, seed: int = 0) -> List[Request]:
-    """Sample requests from a named category (``creative-writing`` /
-    ``general-qa``)."""
+def get_dataset(category: str) -> DatasetSpec:
+    """The registered length distribution for a named category."""
     try:
-        spec = _SPECS[category]
+        return _SPECS[category]
     except KeyError:
         known = ", ".join(sorted(_SPECS))
         raise ConfigurationError(
             f"unknown dataset category {category!r}; known: {known}"
         ) from None
-    return spec.sample(count, seed=seed)
+
+
+def sample_requests(category: str, count: int, seed: int = 0) -> List[Request]:
+    """Sample requests from a named category (``creative-writing`` /
+    ``general-qa``)."""
+    return get_dataset(category).sample(count, seed=seed)

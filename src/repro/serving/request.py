@@ -66,6 +66,33 @@ class Request:
         transfer_done_s: Simulated time the KV transfer to the decode
             pool completed (-1.0 until then; -1.0 forever on colocated
             fleets and for requests that finish at first token).
+        arrival_stamped: Whether an arrival process assigned
+            ``arrival_s``. The explicit flag distinguishes "unstamped"
+            from a legitimate 0.0 stamp, so re-stamp guards and dynamic
+            scheduling never conflate the two.
+        session_id: Multi-turn session this request belongs to (``None``
+            for independent requests). Turns of one session share a
+            growing conversation prefix.
+        turn_index: Zero-based position within the session (0 = the
+            opening turn; follow-up turns are scheduled dynamically when
+            their predecessor finishes).
+        prefix_len: Leading tokens of ``input_len`` that repeat the
+            previous turn's final context — the reusable (cacheable)
+            prefix. Always 0 for turn 0 and independent requests, and
+            strictly less than ``input_len`` (a turn appends at least
+            one new token).
+        cached_prefix_len: Prefix tokens actually resident in the
+            serving replica's prefix cache. Stamped as a routing-time
+            hint at arrival and finalized at admission; the prompt pass
+            only prefills ``input_len - cached_prefix_len`` tokens.
+        followup: The session's next turn, scheduled ``think_time_s``
+            after this request finishes (``None`` = last turn).
+        think_time_s: Pre-drawn think-time delay between the previous
+            turn's completion and this turn's arrival (0.0 for turn 0
+            and independent requests).
+        deadline_budget_s: Tenant latency budget carried by dynamically
+            scheduled turns; converted to an absolute ``deadline_s``
+            when the arrival time is stamped (0.0 = best-effort).
     """
 
     request_id: int
@@ -81,6 +108,14 @@ class Request:
     phase: RequestPhase = RequestPhase.PREFILL
     first_token_s: float = -1.0
     transfer_done_s: float = -1.0
+    arrival_stamped: bool = False
+    session_id: Optional[int] = None
+    turn_index: int = 0
+    prefix_len: int = 0
+    cached_prefix_len: int = 0
+    followup: Optional["Request"] = None
+    think_time_s: float = 0.0
+    deadline_budget_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.input_len <= 0:
@@ -93,11 +128,38 @@ class Request:
             raise ConfigurationError("tenant must be non-empty")
         if self.deadline_s is not None and self.deadline_s < 0:
             raise ConfigurationError("deadline_s must be non-negative")
+        if self.prefix_len < 0 or self.prefix_len >= self.input_len:
+            raise ConfigurationError(
+                "prefix_len must be in [0, input_len)"
+            )
+        if not 0 <= self.cached_prefix_len <= self.prefix_len:
+            raise ConfigurationError(
+                "cached_prefix_len must be in [0, prefix_len]"
+            )
+        if self.turn_index < 0:
+            raise ConfigurationError("turn_index must be non-negative")
+        if self.think_time_s < 0:
+            raise ConfigurationError("think_time_s must be non-negative")
+        if self.deadline_budget_s < 0:
+            raise ConfigurationError(
+                "deadline_budget_s must be non-negative"
+            )
 
     @property
     def context_len(self) -> int:
         """Current KV-cache length: prompt plus generated tokens."""
         return self.input_len + self.generated
+
+    @property
+    def prefill_len(self) -> int:
+        """Prompt tokens the prompt pass must actually compute.
+
+        A resident prefix discounts the prefill to the suffix only; the
+        KV context (and hence decode attention cost) stays the full
+        prompt either way. Equals ``input_len`` whenever no prefix is
+        cached — independent requests never see a discount.
+        """
+        return self.input_len - self.cached_prefix_len
 
     @property
     def remaining(self) -> int:

@@ -55,7 +55,7 @@ class TestRouterRegistry:
     def test_available_routers(self):
         assert available_routers() == (
             "intensity", "least-outstanding", "min-cost", "round-robin",
-            "slo-slack",
+            "session-affinity", "slo-slack",
         )
 
     def test_unknown_router_rejected(self):

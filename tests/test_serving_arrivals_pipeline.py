@@ -9,6 +9,8 @@ from repro.models.config import get_model
 from repro.models.workload import build_decode_step
 from repro.serving.arrivals import (
     FormedBatch,
+    bursty_arrivals,
+    diurnal_arrivals,
     form_dynamic_batches,
     poisson_arrivals,
 )
@@ -66,6 +68,112 @@ class TestPoissonArrivals:
         with pytest.raises(ConfigurationError):
             poisson_arrivals(partly, 2.0)
 
+    def test_rejects_stamped_trace_even_at_time_zero(self):
+        """The explicit flag closes the old sentinel hole: a trace
+        legitimately stamped at ``arrival_s == 0.0`` used to look
+        unstamped to the ``arrival_s != 0.0`` check and was silently
+        re-stamped."""
+        requests = make_requests(3)
+        for request in requests:
+            request.arrival_stamped = True  # stamped, all at 0.0
+        with pytest.raises(ConfigurationError):
+            poisson_arrivals(requests, 2.0)
+
+    def test_stamping_sets_the_flag(self):
+        requests = make_requests(4)
+        assert not any(r.arrival_stamped for r in requests)
+        poisson_arrivals(requests, 2.0, seed=1)
+        assert all(r.arrival_stamped for r in requests)
+
+
+class TestBurstyArrivals:
+    def test_arrival_times_strictly_increase(self):
+        requests = bursty_arrivals(
+            make_requests(200), rate_per_s=20.0, burst_size=8.0, seed=1
+        )
+        times = [r.arrival_s for r in requests]
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+    def test_long_run_rate_preserved(self):
+        """Burst epochs are rarer by 1/burst_size but carry burst_size
+        members on average — the request rate stays ``rate_per_s``."""
+        requests = bursty_arrivals(
+            make_requests(5000), rate_per_s=25.0, burst_size=10.0, seed=2
+        )
+        mean_gap = requests[-1].arrival_s / len(requests)
+        assert mean_gap == pytest.approx(1 / 25.0, rel=0.15)
+
+    def test_gaps_burstier_than_poisson(self):
+        """The squared coefficient of variation of inter-arrival gaps
+        exceeds the Poisson baseline of 1 — the clumping is real."""
+        requests = bursty_arrivals(
+            make_requests(4000), rate_per_s=10.0, burst_size=8.0, seed=3
+        )
+        times = [r.arrival_s for r in requests]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        mean = sum(gaps) / len(gaps)
+        var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        assert var / mean**2 > 2.0
+
+    def test_deterministic_given_seed(self):
+        a = bursty_arrivals(make_requests(50), 10.0, 4.0, seed=4)
+        b = bursty_arrivals(make_requests(50), 10.0, 4.0, seed=4)
+        assert [r.arrival_s for r in a] == [r.arrival_s for r in b]
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            bursty_arrivals(make_requests(2), 0.0, 4.0)
+        with pytest.raises(ConfigurationError):
+            bursty_arrivals(make_requests(2), 1.0, 0.5)
+        with pytest.raises(ConfigurationError):
+            bursty_arrivals(make_requests(2), 1.0, 4.0, spacing_s=0.0)
+        stamped = bursty_arrivals(make_requests(2), 1.0, 4.0, seed=5)
+        with pytest.raises(ConfigurationError):
+            bursty_arrivals(stamped, 1.0, 4.0, seed=5)
+
+
+class TestDiurnalArrivals:
+    def test_arrival_times_strictly_increase(self):
+        requests = diurnal_arrivals(
+            make_requests(200), rate_per_s=20.0, period_s=10.0,
+            peak_to_trough=4.0, seed=1,
+        )
+        times = [r.arrival_s for r in requests]
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+    def test_ratio_one_degenerates_to_poisson(self):
+        plain = poisson_arrivals(make_requests(100), 10.0, seed=2)
+        flat = diurnal_arrivals(
+            make_requests(100), rate_per_s=10.0, period_s=60.0,
+            peak_to_trough=1.0, seed=2,
+        )
+        assert [r.arrival_s for r in flat] == [r.arrival_s for r in plain]
+
+    def test_peak_phase_denser_than_trough_phase(self):
+        """More arrivals land in the rate peak's half-period than the
+        trough's (the sinusoid's first half-period is the peak)."""
+        period = 40.0
+        requests = diurnal_arrivals(
+            make_requests(4000), rate_per_s=50.0, period_s=period,
+            peak_to_trough=6.0, seed=3,
+        )
+        peak = sum(
+            1 for r in requests if (r.arrival_s % period) < period / 2
+        )
+        trough = len(requests) - peak
+        assert peak > 1.5 * trough
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            diurnal_arrivals(make_requests(2), 0.0, 60.0, 4.0)
+        with pytest.raises(ConfigurationError):
+            diurnal_arrivals(make_requests(2), 1.0, 0.0, 4.0)
+        with pytest.raises(ConfigurationError):
+            diurnal_arrivals(make_requests(2), 1.0, 60.0, 0.5)
+        stamped = diurnal_arrivals(make_requests(2), 1.0, 60.0, 4.0, seed=5)
+        with pytest.raises(ConfigurationError):
+            diurnal_arrivals(stamped, 1.0, 60.0, 4.0, seed=5)
+
 
 class TestDynamicBatching:
     def test_dense_arrivals_fill_batches(self):
@@ -116,6 +224,53 @@ class TestDynamicBatching:
             form_dynamic_batches(make_requests(2), 2, 0.0)
         with pytest.raises(ConfigurationError):
             form_dynamic_batches([], 2, 1.0)
+
+    @staticmethod
+    def _stamped(times):
+        requests = make_requests(len(times))
+        for request, time_s in zip(requests, times):
+            request.arrival_s = time_s
+            request.arrival_stamped = True
+        return requests
+
+    def test_arrival_exactly_at_deadline_joins_open_batch(self):
+        """Pinned boundary: the timeout check is strict (``>``), so an
+        arrival landing exactly at ``open + timeout_s`` is a member, not
+        the opener of the next batch."""
+        requests = self._stamped([0.0, 1.0])
+        batches = form_dynamic_batches(requests, max_batch_size=8,
+                                       timeout_s=1.0)
+        assert len(batches) == 1
+        assert batches[0].initial_rlp == 2
+        assert batches[0].triggered_by == "timeout"
+
+    def test_arrival_just_past_deadline_opens_next_batch(self):
+        requests = self._stamped([0.0, 1.0 + 1e-9])
+        batches = form_dynamic_batches(requests, max_batch_size=8,
+                                       timeout_s=1.0)
+        assert [b.initial_rlp for b in batches] == [1, 1]
+        assert batches[0].triggered_by == "timeout"
+        assert batches[0].start_s == pytest.approx(1.0)
+
+    def test_timeout_batch_launches_at_deadline_not_closing_arrival(self):
+        """The timed-out batch's ``start_s`` is the deadline it hit, not
+        the later arrival that revealed the timeout."""
+        requests = self._stamped([0.0, 0.2, 5.0])
+        batches = form_dynamic_batches(requests, max_batch_size=8,
+                                       timeout_s=0.5)
+        assert batches[0].start_s == pytest.approx(0.5)
+        assert batches[0].initial_rlp == 2
+        assert batches[1].requests[0].arrival_s == pytest.approx(5.0)
+
+    def test_deadline_member_then_full_launch(self):
+        """A deadline-boundary member can still complete a full batch,
+        which launches immediately at its arrival."""
+        requests = self._stamped([0.0, 1.0])
+        batches = form_dynamic_batches(requests, max_batch_size=2,
+                                       timeout_s=1.0)
+        assert len(batches) == 1
+        assert batches[0].triggered_by == "full"
+        assert batches[0].start_s == pytest.approx(1.0)
 
 
 class TestPipelinedExecution:
