@@ -40,10 +40,12 @@ import json
 import os
 import pstats
 import time
+from contextlib import contextmanager
 from pathlib import Path
 
 from benchmarks.conftest import run_once
 from repro.analysis.report import format_table
+from repro.cluster.replica import Replica
 from repro.scenario.run import apply_core_mode, run_scenario
 from repro.scenario.spec import (
     FleetSpec,
@@ -136,22 +138,52 @@ def _scalar(spec: ScenarioSpec) -> ScenarioSpec:
 
 
 #: Where each profiled function's self-time lands in the phase
-#: breakdown. The vectorized run splits into four phases: admission /
-#: routing probe pricing (the fleet-version verdict memo's domain), step
-#: execution on the replicas, the event loop itself (calendar + drain
-#: loop), and the metrics fold.
+#: breakdown. The vectorized run splits into named phases: admission /
+#: routing probe pricing (the fleet-version verdict memo's domain), the
+#: cost-model evaluation behind each priced step (``step_pricing`` —
+#: the device/model/system stack the step cache fronts), step execution
+#: on the replicas, routing + admission control, calendar maintenance,
+#: the event loop itself, request/trace construction, and the metrics
+#: fold. Whole directories whose every module belongs to one phase are
+#: mapped first; ``other`` is left for interpreter and numpy built-ins
+#: that cProfile cannot attribute to a repo module.
+_PHASE_DIRS = {
+    "devices": "step_pricing",
+    "dram": "step_pricing",
+    "models": "step_pricing",
+    "systems": "step_pricing",
+    "analysis": "harness",
+}
+
 _PHASE_FILES = {
+    # serving/
     "metrics.py": "metrics_fold",
-    "cluster.py": "event_loop",
-    "clock.py": "event_loop",
-    "scheduler.py": "step_execution",
-    "papi.py": "step_execution",
-    "baselines.py": "step_execution",
-    "batch.py": "step_execution",
-    "tlp_policy.py": "step_execution",
-    "engine.py": "step_execution",
+    "clock.py": "calendar",
+    "engine.py": "step_pricing",
+    "stepcache.py": "step_pricing",
     "speculative.py": "step_execution",
+    "tlp_policy.py": "step_execution",
+    "batching.py": "step_execution",
+    "dataset.py": "request_build",
+    "arrivals.py": "request_build",
+    "request.py": "request_build",
+    "slo.py": "routing_admission",
+    # core/
+    "scheduler.py": "step_execution",
     "intensity.py": "step_execution",
+    "placement.py": "step_pricing",
+    # cluster/ (fleetstate.py is split by function below)
+    "cluster.py": "event_loop",
+    "replica.py": "step_execution",
+    "router.py": "routing_admission",
+    "admission.py": "routing_admission",
+    "prefixcache.py": "routing_admission",
+    "interconnect.py": "event_loop",
+    # scenario/
+    "build.py": "request_build",
+    "spec.py": "request_build",
+    "run.py": "harness",
+    "cli.py": "harness",
 }
 
 #: ``fleetstate.py`` holds both sides: probe/pricing machinery and the
@@ -178,6 +210,10 @@ def _phase_of(filename: str, funcname: str) -> str:
         if funcname.startswith(_PROBE_PREFIXES):
             return "probe_pricing"
         return "step_execution"
+    parent = os.path.basename(os.path.dirname(filename))
+    phase = _PHASE_DIRS.get(parent)
+    if phase is not None:
+        return phase
     return _PHASE_FILES.get(name, "other")
 
 
@@ -187,7 +223,10 @@ def profile_phase_breakdown(requests: int) -> dict:
     cProfile inflates wall-clock severalfold, so the breakdown runs at
     reduced scale and reports *shares* — the phase mix, not the headline
     seconds (phase shares are stable across trace length once queues
-    saturate, which this scenario's offered load guarantees early).
+    saturate, which this scenario's offered load guarantees early). The
+    profiled scale is labelled in the result (``requests`` and
+    ``share_of_headline``) so a trimmed CI breakdown is never mistaken
+    for the full-scale mix.
     """
     spec = _vectorized(headline_scenario(requests))
     profile = cProfile.Profile()
@@ -204,6 +243,7 @@ def profile_phase_breakdown(requests: int) -> dict:
         phases[phase] = phases.get(phase, 0.0) + self_seconds
     return {
         "requests": requests,
+        "share_of_headline": requests / REQUESTS if REQUESTS else 1.0,
         "profiled_seconds": total,
         "phases": {
             phase: {
@@ -215,6 +255,22 @@ def profile_phase_breakdown(requests: int) -> dict:
             )
         },
     }
+
+
+@contextmanager
+def _macro_stepping_disabled():
+    """Force the per-iteration path for a before/after phase breakdown.
+
+    Patches :meth:`Replica.compress_run` (the single macro entry point —
+    ``VectorReplica`` inherits it) to decline every attempt, so the same
+    trace replays through the reference per-iteration loop.
+    """
+    original = Replica.compress_run
+    Replica.compress_run = lambda self, now, horizon: None
+    try:
+        yield
+    finally:
+        Replica.compress_run = original
 
 
 #: Equivalence matrix: (router, admission action, MoE?, speculation).
@@ -318,7 +374,13 @@ def run_cluster_benchmark():
     ):
         mismatches += 1
 
-    breakdown = profile_phase_breakdown(max(2, REQUESTS // 20))
+    # Profiled leg: at least 20k requests (capped at the headline scale)
+    # so queues saturate and the mix is representative — a 200-request
+    # sliver is all cold caches and trace construction.
+    profile_requests = max(2, min(REQUESTS, max(REQUESTS // 20, 20_000)))
+    breakdown = profile_phase_breakdown(profile_requests)
+    with _macro_stepping_disabled():
+        breakdown_macro_off = profile_phase_breakdown(profile_requests)
 
     summary = vec_result.summary
     payload = {
@@ -341,7 +403,9 @@ def run_cluster_benchmark():
             "speedup": scalar_seconds / vec_small_seconds,
         },
         "probe_memo": dict(summary.probe_memo),
+        "step_macro": dict(summary.step_macro),
         "phase_breakdown": breakdown,
+        "phase_breakdown_macro_off": breakdown_macro_off,
         "simulated": {
             "makespan_seconds": summary.makespan_seconds,
             "total_requests": summary.total_requests,
@@ -382,9 +446,17 @@ def test_cluster_scale(benchmark, show):
         ["arrival runs coalesced", memo.get("runs_coalesced", 0)],
         ["equivalence traces", payload["equivalence_traces"]],
         ["mismatches", payload["mismatches"]],
+        ["macro steps", int(payload["step_macro"].get("macro_steps", 0))],
+        ["iterations compressed",
+         int(payload["step_macro"].get("iterations_compressed", 0))],
     ]
+    off_phases = payload["phase_breakdown_macro_off"]["phases"]
     for phase, entry in payload["phase_breakdown"]["phases"].items():
-        rows.append([f"phase {phase}", f"{entry['share']:.1%}"])
+        before = off_phases.get(phase, {}).get("share", 0.0)
+        rows.append(
+            [f"phase {phase}", f"{entry['share']:.1%} (macro off: "
+                               f"{before:.1%})"]
+        )
     rows.append(["output file", str(BENCH_JSON)])
     show(
         format_table(
@@ -403,6 +475,9 @@ def test_cluster_scale(benchmark, show):
     assert payload["mismatches"] == 0
     assert memo.get("probe_hits", 0) > 0, payload
     assert payload["phase_breakdown"]["phases"], payload
+    assert payload["step_macro"].get("iterations_compressed", 0) > 0, (
+        payload
+    )
     if payload["requests"] >= 1_000_000:
         assert payload["speedup"] >= 5.0, payload
         assert scalar_ref["speedup"] >= 30.0, payload

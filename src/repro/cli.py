@@ -308,6 +308,8 @@ def _print_aggregate_table(summary) -> None:
         aggregate_rows.append([f"router cache {key}", value])
     for key, value in summary.probe_memo.items():
         aggregate_rows.append([f"probe memo {key}", value])
+    for key, value in summary.step_macro.items():
+        aggregate_rows.append([f"step macro {key}", int(value)])
     print(format_table(["metric", "value"], aggregate_rows,
                        title="Cluster aggregate"))
 

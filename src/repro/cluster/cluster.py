@@ -214,6 +214,14 @@ class ClusterSummary:
         sessions: Session-workload statistics (session/turn counts,
             prefix tokens served from cache, and follow-up-turn latency
             under ``followup_latency``); empty on session-free traces.
+        step_macro: Macro-stepping counters summed across the fleet:
+            ``macro_steps`` (closed-form advances taken),
+            ``iterations_compressed`` (iterations they covered), and
+            ``fallback_<reason>`` counts for runs that stepped
+            per-iteration instead (``admittable``, ``finish_due``,
+            ``horizon``, ``iteration_cap``, plus the static
+            ``context_mode`` / ``tlp_policy`` / ``speculation_draws``
+            latches). Empty when no replica ever attempted one.
     """
 
     router: str
@@ -229,6 +237,7 @@ class ClusterSummary:
     transfer_wait: Dict[str, float] = field(default_factory=dict)
     prefix_cache: Dict[str, float] = field(default_factory=dict)
     sessions: Dict[str, object] = field(default_factory=dict)
+    step_macro: Dict[str, float] = field(default_factory=dict)
 
     @cached_property
     def request_latencies(self) -> List[float]:
@@ -468,8 +477,13 @@ class ClusterSimulator:
         def push_followup(time_s: float, request: Request) -> None:
             queue.push(time_s, EventKind.ARRIVAL, request)
 
+        # Inline macro-bursts below bypass the queue, so its clock can
+        # stall before the true end of the run; the makespan is tracked
+        # by hand — last popped event time, or last inlined completion.
+        makespan = 0.0
         while not queue.empty:
             event = queue.pop()
+            makespan = queue.now
             if event.kind is EventKind.ARRIVAL:
                 request = event.payload
                 if request.session_id is not None:
@@ -536,22 +550,51 @@ class ClusterSimulator:
                 replica.enqueue(request)
                 if replica.idle:
                     queue.push(queue.now, EventKind.ADMIT, index)
-            elif event.kind is EventKind.ADMIT:
+            else:  # ADMIT / STEP_DONE
                 replica = self.replicas[event.payload]
-                done_at = replica.poke(queue.now)
-                if done_at is not None:
-                    queue.push(done_at, EventKind.STEP_DONE, event.payload)
-            else:  # STEP_DONE
-                replica = self.replicas[event.payload]
-                done_at = replica.on_step_done(queue.now)
-                if replica.followups:
-                    self._spawn_followups(replica, trace, stats, push_followup)
-                if replica.outbound:
-                    self._ship_transfers(replica, push_transfer, queue.now)
+                if event.kind is EventKind.ADMIT:
+                    done_at = replica.poke(queue.now)
+                else:
+                    done_at = replica.on_step_done(queue.now)
+                    if replica.followups:
+                        self._spawn_followups(
+                            replica, trace, stats, push_followup
+                        )
+                    if replica.outbound:
+                        self._ship_transfers(replica, push_transfer, queue.now)
+                # Inline step burst: while this replica's next completion
+                # strictly precedes every pending event, nothing can
+                # observe the fleet in between — run (and, when the batch
+                # is frozen, macro-compress) the steps back-to-back
+                # without a heap round-trip per step. Events pushed from
+                # inside the burst keep the relative order the
+                # event-per-step loop would have given them, so ties
+                # still break identically. Completions inside the burst
+                # happen at their own times, not the stalled queue clock
+                # — follow-ups and KV handoffs are stamped with the
+                # inline completion time.
+                peek = queue.peek_time()
+                while done_at is not None and (
+                    peek is None or done_at < peek
+                ):
+                    compressed = replica.compress_run(done_at, peek)
+                    if compressed is not None:
+                        done_at, makespan = compressed
+                        continue
+                    makespan = done_at
+                    done_at = replica.on_step_done(makespan)
+                    if replica.followups:
+                        self._spawn_followups(
+                            replica, trace, stats, push_followup
+                        )
+                        peek = queue.peek_time()
+                    if replica.outbound:
+                        self._ship_transfers(replica, push_transfer, makespan)
+                        peek = queue.peek_time()
                 if done_at is not None:
                     queue.push(done_at, EventKind.STEP_DONE, event.payload)
 
-        return self._summarize(trace, stats, queue.now)
+        return self._summarize(trace, stats, makespan)
 
     def _summarize(
         self,
@@ -617,6 +660,10 @@ class ClusterSimulator:
                     if r.transfer_done_s >= 0.0
                 ]
             )
+        step_macro: Dict[str, float] = {}
+        for replica in self.replicas:
+            for key, value in replica.step_macro.items():
+                step_macro[key] = step_macro.get(key, 0.0) + value
         return ClusterSummary(
             router=self.router.name,
             model=self.replicas[0].workload_name,
@@ -631,6 +678,7 @@ class ClusterSimulator:
             transfer_wait=transfer_wait,
             prefix_cache=_prefix_cache_stats(self.replicas),
             sessions=_session_stats(trace),
+            step_macro=step_macro,
         )
 
 
@@ -758,9 +806,19 @@ class VectorizedClusterSimulator(ClusterSimulator):
         replica_count = len(replicas)
         price_cold = prefetch
         warm_streak = 0
+        # Sessionless traces never spawn follow-up arrivals from a step
+        # completion, so a foreign STEP_DONE cannot schedule an
+        # interaction event inside another replica's macro run — the
+        # burst horizon relaxes from "every pending event" to "the next
+        # interaction event" (peek_interaction_time). Session traces
+        # keep the strict horizon.
+        sessions_active = any(
+            request.session_id is not None for request in trace
+        )
         while not calendar.empty:
             now, kind, payload = calendar.pop()
-            makespan = now
+            if now > makespan:
+                makespan = now
             if kind == ARRIVAL_CODE:
                 # Arrival-run coalescing: when the presorted lane shows
                 # more arrivals before the next non-arrival event, warm
@@ -903,7 +961,8 @@ class VectorizedClusterSimulator(ClusterSimulator):
                     if nxt is None:
                         break
                     now, payload = nxt
-                    makespan = now
+                    if now > makespan:
+                        makespan = now
                 if members > 1:
                     fleet.runs_coalesced += 1
             else:  # ADMIT_CODE / STEP_DONE_CODE
@@ -917,26 +976,43 @@ class VectorizedClusterSimulator(ClusterSimulator):
                             replica, trace, stats, push_followup
                         )
                 # Inline step burst: while this replica's next completion
-                # strictly precedes every other pending event, no probe or
-                # admission can observe the fleet in between — run the
-                # steps back-to-back without a heap round-trip per step.
-                # Strictly: an event *at* the peeked time holds an older
-                # sequence number than a fresh push, so it must win the
-                # tie and be processed first. A step that finishes a
-                # session turn pushes its follow-up arrival immediately
-                # and re-peeks — the follow-up may precede this
-                # replica's next completion and must end the burst.
-                peek = calendar.peek_time()
+                # strictly precedes every event that could observe it, no
+                # probe or admission can see the fleet in between — run
+                # the steps back-to-back without a heap round-trip per
+                # step. On a session trace the horizon is every pending
+                # event (strict peek: a foreign completion may push a
+                # follow-up arrival that must end the burst); on a
+                # sessionless trace foreign STEP_DONE events touch only
+                # their own replica, so the horizon relaxes to the next
+                # *interaction* event — in the post-arrival drain phase
+                # that is usually never, and whole request lifetimes run
+                # inline. Strictly: an event *at* the horizon holds an
+                # older sequence number than a fresh push, so it must win
+                # the tie and be processed first. Frozen batches
+                # macro-compress: compress_run executes the whole
+                # finish-free run up to the horizon in closed form and
+                # returns the new in-flight completion.
+                if sessions_active:
+                    horizon = calendar.peek_time()
+                else:
+                    horizon = calendar.peek_interaction_time()
                 while done_at is not None and (
-                    peek is None or done_at < peek
+                    horizon is None or done_at < horizon
                 ):
-                    makespan = done_at
+                    compressed = replica.compress_run(done_at, horizon)
+                    if compressed is not None:
+                        done_at, watermark = compressed
+                        if watermark > makespan:
+                            makespan = watermark
+                        continue
+                    if done_at > makespan:
+                        makespan = done_at
                     done_at = replica.on_step_done(done_at)
                     if replica.followups:
                         self._spawn_followups(
                             replica, trace, stats, push_followup
                         )
-                        peek = calendar.peek_time()
+                        horizon = calendar.peek_time()
                 fleet.mark_dirty(payload)
                 if done_at is not None:
                     calendar.push(done_at, STEP_DONE_CODE, payload)
@@ -966,10 +1042,16 @@ class VectorizedClusterSimulator(ClusterSimulator):
         pool behind its :class:`~repro.cluster.fleetstate.FleetState`:
         stage-2 routing and the admission prober's decode term answer
         from the pool's dense tables and verdict memos. The colocated
-        core's arrival-run coalescing and inline step bursts are *not*
-        applied here: handoff events (``KV_TRANSFER``) interleave with
-        steps and arrivals, so the "no probe can observe the fleet in
-        between" invariant those fast paths rely on does not hold.
+        core's arrival-run coalescing is *not* applied here: handoff
+        events (``KV_TRANSFER``) interleave with arrivals, so the
+        frozen-segment invariant it relies on does not hold. Inline step
+        bursts *are*: they engage only while a replica's next completion
+        strictly precedes every pending event (arrivals and transfers
+        included), which is exactly the window in which no probe can
+        observe the fleet — outbound handoffs produced inside a burst
+        are shipped at their inline completion times and re-peek the
+        calendar, so a transfer landing before the next step still ends
+        the burst.
         """
         trace = sorted(requests, key=lambda r: r.arrival_s)
         stats: Dict[str, Dict[str, int]] = {}
@@ -1074,6 +1156,39 @@ class VectorizedClusterSimulator(ClusterSimulator):
                             request,
                         )
                     replica.outbound.clear()
+                # Inline step burst (see the colocated loop): sound here
+                # because it only engages while this replica's next
+                # completion strictly precedes every pending event —
+                # transfers and arrivals included — and every push from
+                # inside the burst uses the inline completion time, then
+                # re-peeks.
+                peek = calendar.peek_time()
+                while done_at is not None and (
+                    peek is None or done_at < peek
+                ):
+                    compressed = replica.compress_run(done_at, peek)
+                    if compressed is not None:
+                        done_at, makespan = compressed
+                        continue
+                    makespan = done_at
+                    done_at = replica.on_step_done(makespan)
+                    if replica.followups:
+                        self._spawn_followups(
+                            replica, trace, stats, push_followup
+                        )
+                        peek = calendar.peek_time()
+                    if replica.outbound:
+                        for request in replica.outbound:
+                            calendar.push(
+                                makespan
+                                + interconnect.transfer_seconds(
+                                    request.context_len
+                                ),
+                                KV_TRANSFER_CODE,
+                                request,
+                            )
+                        replica.outbound.clear()
+                        peek = calendar.peek_time()
                 local = decode_local.get(payload)
                 if local is not None:
                     decode_fleet.mark_dirty(local)

@@ -427,6 +427,47 @@ class VectorReplica(Replica):
         self._pending = (result, tlp)
         return draft + result.seconds
 
+    # -- macro-stepping hooks (see Replica.compress_run) -------------------
+
+    def _macro_min_remaining(self) -> int:
+        """Fewest remaining tokens, from the slot mirror."""
+        return min(self._slot_remaining)
+
+    def _macro_advance_slots(self, per_slot: int) -> None:
+        """Advance the slot mirrors uniformly (no slot can finish).
+
+        ``_slot_total`` is invariant during decoding; request objects are
+        only touched at finish/compaction, which a frozen run excludes.
+        """
+        self._slot_remaining = [
+            rem - per_slot for rem in self._slot_remaining
+        ]
+        self._slot_context = [ctx + per_slot for ctx in self._slot_context]
+
+    def _macro_pricer(self, rlp: int, tlp: int):
+        """Layer the per-replica step memo over the run pricer.
+
+        Keys match :meth:`_schedule_step`'s mean-mode discipline —
+        ``(target code, rlp, tlp, raw mean)`` — so a macro-run and the
+        per-iteration path populate one shared (group-shareable) memo.
+        """
+        price_mean = self.pricer.run_pricer(rlp, tlp)
+        target = self.system.plan_fc_target(rlp, tlp)
+        code = 0 if target is PlacementTarget.PU else 1
+        memo = self._price_memo
+
+        def price(raw_mean: int):
+            key = (code, rlp, tlp, raw_mean)
+            result = memo.get(key)
+            if result is None:
+                result = price_mean(raw_mean)
+                if len(memo) >= STEP_MEMO_ENTRIES:
+                    memo.clear()
+                memo[key] = result
+            return result
+
+        return price
+
 
 class _PriceGroup:
     """One interchangeable-pricing group of a fleet's replicas.

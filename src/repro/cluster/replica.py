@@ -30,7 +30,9 @@ either loop's semantics and that test is the tripwire.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Sequence, Tuple
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.cluster.prefixcache import PrefixCache
 from repro.core.scheduler import EOS_TOKEN
@@ -51,6 +53,21 @@ from repro.systems.base import IterationResult, ServingSystem
 #: first output token and hand the request (with its KV cache) to a
 #: ``decode`` replica, which admits it mid-life with pre-filled context.
 REPLICA_ROLES = ("colocated", "prefill", "decode")
+
+#: Iterations a macro-step must cover before the closed-form setup pays
+#: for itself; shorter frozen runs fall back to per-iteration stepping.
+MACRO_MIN_RUN = 2
+
+#: Upper bound on iterations folded by one macro-step. Bounds the
+#: temporary pricing/time arrays; a longer frozen run simply compresses
+#: as several consecutive macro-steps.
+MACRO_MAX_RUN = 16384
+
+#: Runs at or below this length use plain int/float arithmetic instead
+#: of the numpy pipeline: array allocation and ufunc dispatch cost more
+#: than they save until runs reach tens of iterations, and short runs
+#: dominate (a slot finishes every ~mean_output/batch iterations).
+MACRO_SMALL_RUN = 64
 
 
 class Replica:
@@ -202,6 +219,18 @@ class Replica:
         self.expected_tokens_per_iteration = max(
             1.0, speculation.expected_tokens_per_iteration()
         )
+        # Macro-stepping state (see :meth:`compress_run`): fallback/engage
+        # counters for reporting, a static-ineligibility latch, and the
+        # tokens every slot deterministically accepts per frozen iteration
+        # (resolved lazily on the first attempt).
+        self.step_macro: Dict[str, int] = {}
+        self._macro_off = False
+        self._macro_steady: Optional[int] = None
+        # Pricing closures are loop-invariant per (rlp, tlp): the fc
+        # target, cache scope, and memo object they capture are stable
+        # for a replica's lifetime, so rebuilding them per macro-run
+        # (closure construction + scope resolution) is pure overhead.
+        self._macro_pricer_cache: Dict[Tuple[int, int], Any] = {}
 
     @property
     def workload_name(self) -> str:
@@ -425,6 +454,350 @@ class Replica:
             return None
         duration += self._schedule_step()
         return now + duration
+
+    def compress_run(
+        self, now: float, horizon: Optional[float]
+    ) -> Optional[Tuple[float, float]]:
+        """Execute a frozen run of decoding iterations in closed form.
+
+        Called by the cluster loops in place of :meth:`on_step_done` when
+        the in-flight iteration completes at ``now``, strictly before the
+        next external calendar event at ``horizon`` (``None`` = none
+        pending). If the batch is *frozen* — nothing admittable, fixed
+        TLP, deterministic per-slot acceptance — the run of iterations up
+        to the first slot completion, the horizon, or the iteration cap
+        is priced segment-by-segment (one lookup per context-bucket
+        crossing), timed with one sequential ``np.add.accumulate`` chain
+        (bit-identical to the per-iteration float adds), and folded into
+        every counter the per-iteration path would have touched.
+
+        Returns ``(next_done_at, last_completed_at)`` — the completion
+        time of the newly scheduled (still in-flight) iteration and of
+        the run's last *completed* iteration (the caller's makespan
+        watermark) — or ``None`` to fall back to per-iteration stepping
+        (``step_macro`` records why). A ``None`` return mutates no
+        simulation state; any pricing performed only warms caches.
+        """
+        if self._macro_off:
+            return None
+        pending = self._pending
+        if pending is None:
+            return None
+        counters = self.step_macro
+        steady = self._macro_steady
+        if steady is None:
+            reason = self._macro_eligibility()
+            if reason is not None:
+                # Statically ineligible: latch off so the per-iteration
+                # burst loop pays one flag test, not a re-diagnosis.
+                self._macro_off = True
+                counters["fallback_" + reason] = 1
+                return None
+            steady = self._macro_steady = self.speculation.steady_slot_tokens(
+                self.policy.tlp
+            )
+        active = self.active
+        if self.waiting and len(active) < self.max_batch_size:
+            counters["fallback_admittable"] = (
+                counters.get("fallback_admittable", 0) + 1
+            )
+            return None
+        result_first, tlp = pending
+        if tlp != self.policy.tlp:
+            counters["fallback_tlp_policy"] = (
+                counters.get("fallback_tlp_policy", 0) + 1
+            )
+            return None
+        # K's four limiting terms: first slot completion, the iteration
+        # cap, the hard per-step bound, and (below) the horizon.
+        min_remaining = self._macro_min_remaining()
+        finish_free = (min_remaining - 1) // steady
+        if finish_free < MACRO_MIN_RUN:
+            counters["fallback_finish_due"] = (
+                counters.get("fallback_finish_due", 0) + 1
+            )
+            return None
+        iteration_room = MAX_ITERATIONS - 1 - self._iteration
+        if iteration_room < MACRO_MIN_RUN:
+            counters["fallback_iteration_cap"] = (
+                counters.get("fallback_iteration_cap", 0) + 1
+            )
+            return None
+        cap = min(finish_free, iteration_room, MACRO_MAX_RUN)
+        draft = self.speculation.draft_overhead_s(tlp)
+        if horizon is not None:
+            # Durations are nondecreasing in context, so the in-flight
+            # iteration's duration lower-bounds the rest: at most
+            # (horizon - now) / d1 more iterations can fit (+1 slack for
+            # the exact strict-inequality cut below).
+            first_duration = draft + result_first.seconds
+            if first_duration <= 0.0:
+                counters["fallback_horizon"] = (
+                    counters.get("fallback_horizon", 0) + 1
+                )
+                return None
+            estimate = 2 + int((horizon - now) / first_duration)
+            if estimate < MACRO_MIN_RUN:
+                counters["fallback_horizon"] = (
+                    counters.get("fallback_horizon", 0) + 1
+                )
+                return None
+            cap = min(cap, estimate)
+        rlp = len(active)
+        per_iteration = rlp * steady
+        pricer_key = (rlp, tlp)
+        price = self._macro_pricer_cache.get(pricer_key)
+        if price is None:
+            price = self._macro_pricer(rlp, tlp)
+            self._macro_pricer_cache[pricer_key] = price
+
+        # Price iterations 2..cap+1 (cap completion candidates plus the
+        # run's outgoing in-flight step). The context total entering
+        # iteration i is total_0 + (i-1) * per_iteration; its raw mean
+        # and bucketized mean replicate price_mean_total's arithmetic
+        # exactly (np.round is round-half-even, bitwise equal to the
+        # builtin on these int-ratio inputs, so the short-run scalar
+        # path below and the long-run vector path are interchangeable).
+        total_0 = self._active_context_sum
+        bucket = self.pricer.context_bucket
+        if cap <= MACRO_SMALL_RUN:
+            # Scalar path: typical runs are a handful of iterations
+            # (completions recur every ~1/steady_output_fraction steps),
+            # where the vector pipeline's array setup costs more than it
+            # saves. Plain int/float arithmetic is the reference
+            # computation itself.
+            seg_starts: List[int] = []
+            seg_counts: List[int] = []
+            segment_results: List[IterationResult] = []
+            times_list = [now]
+            clock = now
+            total = total_0
+            previous_mean = -1
+            step_duration = 0.0
+            for index in range(cap):
+                total += per_iteration
+                raw_mean = round(total / rlp)
+                if raw_mean < 1:
+                    raw_mean = 1
+                if bucket <= 1:
+                    mean = raw_mean
+                else:
+                    mean = round(raw_mean / bucket) * bucket
+                    if mean < bucket:
+                        mean = bucket
+                if mean != previous_mean:
+                    previous_mean = mean
+                    seg_starts.append(index)
+                    seg_counts.append(1)
+                    result = price(raw_mean)
+                    segment_results.append(result)
+                    step_duration = draft + result.seconds
+                else:
+                    seg_counts[-1] += 1
+                clock = clock + step_duration
+                times_list.append(clock)
+            if horizon is None:
+                run = cap
+            else:
+                # Count completion candidates strictly before the
+                # horizon (the burst loop's done_at < peek test), plus
+                # the already-completed in-flight iteration.
+                run = 1
+                for candidate in times_list[1:]:
+                    if candidate < horizon:
+                        run += 1
+                    else:
+                        break
+                if run > cap:
+                    run = cap
+                if run < MACRO_MIN_RUN:
+                    counters["fallback_horizon"] = (
+                        counters.get("fallback_horizon", 0) + 1
+                    )
+                    return None
+            segment_index = 0
+            for index, start in enumerate(seg_starts):
+                if start <= run - 1:
+                    segment_index = index
+                else:
+                    break
+            counts: Sequence[int] = seg_counts
+            done_at = times_list[run]
+            watermark = times_list[run - 1]
+        else:
+            totals = (
+                total_0
+                + np.arange(1, cap + 1, dtype=np.int64) * per_iteration
+            )
+            raw_means = np.maximum(np.round(totals / rlp), 1.0).astype(
+                np.int64
+            )
+            if bucket <= 1:
+                bucket_means = raw_means
+            else:
+                bucket_means = np.maximum(
+                    np.round(raw_means / bucket).astype(np.int64) * bucket,
+                    bucket,
+                )
+            boundaries = (
+                np.flatnonzero(bucket_means[1:] != bucket_means[:-1]) + 1
+            )
+            starts = np.concatenate(([0], boundaries))
+            counts = np.diff(np.concatenate((starts, [cap])))
+            segment_results = [price(int(raw_means[s])) for s in starts]
+
+            # Completion times: tau_1 = now, tau_{i+1} = tau_i + (draft
+            # + seconds_{i+1}) — the same one-add-per-iteration chain
+            # the event loop performs, as one sequential accumulate.
+            segment_durations = np.array(
+                [draft + result.seconds for result in segment_results]
+            )
+            times = np.empty(cap + 1, dtype=np.float64)
+            times[0] = now
+            times[1:] = np.repeat(segment_durations, counts)
+            np.add.accumulate(times, out=times)
+            if horizon is None:
+                run = cap
+            else:
+                # times[1:] holds tau_2..tau_{cap+1}; count those
+                # strictly before the horizon.
+                run = 1 + int(
+                    np.searchsorted(times[1:], horizon, side="left")
+                )
+                if run > cap:
+                    run = cap
+                if run < MACRO_MIN_RUN:
+                    counters["fallback_horizon"] = (
+                        counters.get("fallback_horizon", 0) + 1
+                    )
+                    return None
+            # Iteration run+1 leaves in flight; its segment holds array
+            # index run-1 (index j prices iteration j+2).
+            segment_index = (
+                int(np.searchsorted(starts, run - 1, side="right")) - 1
+            )
+            done_at = float(times[run])
+            watermark = float(times[run - 1])
+
+        # Commit: replicate every side effect of `run` on_step_done +
+        # _schedule_step rounds. No request finishes, so the slot state
+        # advances uniformly and the monitor sees finish-free batches.
+        self._macro_advance_slots(steady * run)
+        self._remaining_tokens -= per_iteration * run
+        self._active_context_sum += per_iteration * run
+        self._accepted_fraction = 1.0
+        if tlp > 1:
+            drafted = rlp * (tlp - 1) * run
+            self._drafted_tokens += drafted
+            self._accepted_draft_tokens += drafted
+        if self.moe is not None:
+            tokens = rlp * tlp
+            self.expert_token_visits += (
+                tokens * self.moe.experts_per_token * run
+            )
+            expected = expected_active_experts(
+                self.moe.num_experts, self.moe.experts_per_token, tokens
+            )
+            if run <= MACRO_SMALL_RUN:
+                expert_sum = self._active_expert_sum
+                for _ in range(run):
+                    expert_sum += expected
+                self._active_expert_sum = expert_sum
+            else:
+                chain = np.empty(run + 1, dtype=np.float64)
+                chain[0] = self._active_expert_sum
+                chain[1:] = expected
+                np.add.accumulate(chain, out=chain)
+                self._active_expert_sum = float(chain[-1])
+        self.system.observe_steady(run, rlp)
+
+        # Fold completed iterations 1..run: the in-flight result, then
+        # the priced segments truncated to the run length.
+        fold_segments: List[Tuple[IterationResult, int]] = [(result_first, 1)]
+        needed = run - 1
+        for index, count in enumerate(counts):
+            if needed <= 0:
+                break
+            take = int(count) if count < needed else needed
+            fold_segments.append((segment_results[index], take))
+            needed -= take
+        summary = self.summary
+        if summary.detail == "full":
+            records = summary.records
+            iteration = self._iteration
+            for result, count in fold_segments:
+                for _ in range(count):
+                    records.append(
+                        IterationRecord(
+                            iteration=iteration,
+                            result=result,
+                            tokens_accepted=per_iteration,
+                            rlp_before=rlp,
+                            rlp_after=rlp,
+                        )
+                    )
+                    iteration += 1
+        summary.fold_run_segments(fold_segments, per_iteration)
+        if draft != 0.0:
+            if run <= MACRO_SMALL_RUN:
+                draft_total = summary.draft_seconds
+                for _ in range(run):
+                    draft_total += draft
+                summary.draft_seconds = draft_total
+            else:
+                chain = np.empty(run + 1, dtype=np.float64)
+                chain[0] = summary.draft_seconds
+                chain[1:] = draft
+                np.add.accumulate(chain, out=chain)
+                summary.draft_seconds = float(chain[-1])
+        self.tlp_trace.values.extend([tlp] * run)
+        self._iteration += run
+        self._pending = (segment_results[segment_index], tlp)
+        counters["macro_steps"] = counters.get("macro_steps", 0) + 1
+        counters["iterations_compressed"] = (
+            counters.get("iterations_compressed", 0) + run
+        )
+        return done_at, watermark
+
+    def _macro_eligibility(self) -> Optional[str]:
+        """Why this replica can never macro-step, or ``None`` if it can.
+
+        Static gates: closed-form pricing needs the rounded-mean context
+        path; a frozen TLP needs exactly :class:`FixedTLP` (a subclass
+        could vary its answer); and the per-slot acceptance must be
+        deterministic *without consuming the sampler's RNG stream*
+        (``tlp == 1``, or ``acceptance_rate >= 1.0`` — see
+        :meth:`SpeculationConfig.steady_slot_tokens`), otherwise skipping
+        the per-iteration draws would desynchronize later samples.
+        """
+        if self.pricer.context_mode != "mean":
+            return "context_mode"
+        if type(self.policy) is not FixedTLP:
+            return "tlp_policy"
+        if self.speculation.steady_slot_tokens(self.policy.tlp) is None:
+            return "speculation_draws"
+        return None
+
+    def _macro_min_remaining(self) -> int:
+        """Fewest output tokens any active request still owes."""
+        return min(r.output_len - r.generated for r in self.active)
+
+    def _macro_advance_slots(self, per_slot: int) -> None:
+        """Advance every active slot by ``per_slot`` accepted tokens.
+
+        Only called with ``per_slot`` strictly below every slot's
+        remaining budget, so no request can finish and request state
+        stays ``DECODING`` throughout — the closed form of ``run``
+        consecutive ``Request.advance`` credits.
+        """
+        for request in self.active:
+            request.generated += per_slot
+
+    def _macro_pricer(self, rlp: int, tlp: int):
+        """Mean-mode pricing callable for one frozen run (see
+        :meth:`StepPricer.run_pricer`); slot-mirroring subclasses layer
+        their per-replica memo on top."""
+        return self.pricer.run_pricer(rlp, tlp)
 
     def _prefill_done(self, now: float) -> Optional[float]:
         """A prefill-role batch reached first token; hand off or finish.

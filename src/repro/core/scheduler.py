@@ -261,6 +261,32 @@ class PAPIScheduler:
             return self._last_decision
         return self._decide()
 
+    def observe_steady(self, count: int, batch_size: int) -> SchedulerDecision:
+        """Observe ``count`` steady iterations (no finishes) in one call.
+
+        The macro-stepping cores' collapse of ``count`` consecutive
+        :meth:`observe_counts` calls with ``finished=0``: RLP and the TLP
+        register are unchanged throughout, so every one of those calls
+        re-derives the same decision with ``rescheduled=False`` — the
+        iteration counter is the only state that moves. One ``_decide``
+        suffices unless per-decision history is kept, in which case the
+        loop is replayed so ``history`` stays bit-identical.
+        """
+        if batch_size != self.rlp:
+            raise SchedulingError(
+                f"expected {self.rlp} output tokens (one per active request), "
+                f"got {batch_size}"
+            )
+        if count <= 0:
+            raise SchedulingError("steady-run count must be positive")
+        if self.keep_history:
+            for _ in range(count):
+                self._iteration += 1
+                decision = self._decide()
+            return decision
+        self._iteration += count
+        return self._decide()
+
     def attention_target(self) -> PlacementTarget:
         """Attention kernels are always memory-bound => always Attn-PIM."""
         return PlacementTarget.ATTN_PIM

@@ -115,6 +115,8 @@ class ScenarioResult:
             extras["prefix_cache"] = dict(summary.prefix_cache)
         if summary.sessions:
             extras["sessions"] = dict(summary.sessions)
+        if summary.step_macro:
+            extras["step_macro"] = dict(summary.step_macro)
         return {
             "scenario": self.spec.to_dict(),
             "aggregate": {
@@ -247,15 +249,25 @@ def _merge_counter_stats(
     price cache (``hits``/``misses``) and the vectorized core's
     fleet-version verdict memo (``probe_hits``/``probe_misses``) — any
     ``hit_rate`` key is dropped from the sum and recomputed from the
-    merged totals.
+    merged totals. Pure counter dicts with no hit/miss shape (e.g. the
+    macro-stepping counters) merge as plain sums — no rate is invented
+    for them.
     """
     merged: Dict[str, Any] = {}
+    saw_rate = False
     for counters in counter_dicts:
         for key, value in counters.items():
             if key == "hit_rate":
+                saw_rate = True
                 continue
             merged[key] = merged.get(key, 0) + value
-    if merged:
+    if merged and (
+        saw_rate
+        or "hits" in merged
+        or "misses" in merged
+        or "probe_hits" in merged
+        or "probe_misses" in merged
+    ):
         hits = merged.get("hits", merged.get("probe_hits", 0))
         misses = merged.get("misses", merged.get("probe_misses", 0))
         total = hits + misses
@@ -396,6 +408,9 @@ def _run_sharded(spec: ScenarioSpec, shards: int) -> ScenarioResult:
             [s.prefix_cache for s in summaries]
         ),
         sessions=_merge_session_stats([s.sessions for s in summaries]),
+        step_macro=_merge_counter_stats(
+            [s.step_macro for s in summaries]
+        ),
     )
     return ScenarioResult(spec=spec, summary=merged)
 

@@ -138,6 +138,18 @@ class EventQueue:
         """The earliest scheduled event without popping it."""
         return self._heap[0] if self._heap else None
 
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the earliest pending event (``None`` when empty).
+
+        The burst horizon for inline step execution: a replica's
+        consecutive completions may be processed without a heap round
+        trip while they all fall *strictly* before this time — an event
+        *at* the peeked timestamp holds an older sequence number than
+        anything pushed now, so it must win the tie and be processed
+        first. Same contract as :meth:`EventCalendar.peek_time`.
+        """
+        return self._heap[0].time_s if self._heap else None
+
 
 #: Integer event-kind codes used by :class:`EventCalendar`. The flat
 #: calendar trades the enum for small ints so dynamic events are plain
@@ -211,6 +223,12 @@ class EventCalendar:
         self._defer_lanes: Dict[float, Deque[Tuple[float, int, Any]]] = {}
         self._lanes: List[Deque[Tuple[float, int, Any]]] = []
         self._lane_count = 0
+        # Side heap of bare timestamps mirroring every dynamic push that
+        # is *not* a STEP_DONE — the feed for
+        # :meth:`peek_interaction_time`. Entries are discarded lazily
+        # once the clock passes them (pops are monotone, so anything
+        # strictly before ``now`` has already left the main heap).
+        self._interaction_heap: List[float] = []
         self._seq = len(self._payloads)
         self.now = 0.0
 
@@ -238,6 +256,8 @@ class EventCalendar:
                 f"clock already at {self.now:.6f}s"
             )
         heapq.heappush(self._heap, (time_s, self._seq, kind_code, payload))
+        if kind_code != STEP_DONE_CODE:
+            heapq.heappush(self._interaction_heap, time_s)
         self._seq += 1
 
     def push_arrival_after(self, delay: float, payload: Any = None) -> None:
@@ -342,6 +362,40 @@ class EventCalendar:
             arrival_time = arrivals[cursor]
             if best is None or arrival_time <= best:
                 return arrival_time
+        return best
+
+    def peek_interaction_time(self) -> Optional[float]:
+        """Earliest pending event that is not a ``STEP_DONE`` (or None).
+
+        The macro-stepping horizon for a sessionless trace: a replica's
+        own step completions are invisible to every other actor (no
+        probe, router, or admission controller runs between them), so a
+        frozen replica may advance past *foreign* ``STEP_DONE`` events —
+        but never past the next event that observes or mutates shared
+        fleet state: an arrival (static lane, deferral lane, or dynamic
+        re-push), an ``ADMIT`` poke, or a ``KV_TRANSFER`` handoff.
+        Dynamic pushes are mirrored into a side heap of bare
+        timestamps, cleaned lazily as the clock passes them; an entry
+        *at* ``now`` may already have popped, which only makes the
+        horizon conservative (never unsound).
+        """
+        aux = self._interaction_heap
+        now = self.now
+        while aux and aux[0] < now:
+            heapq.heappop(aux)
+        best = aux[0] if aux else None
+        if self._lane_count:
+            for lane in self._lanes:
+                if lane:
+                    entry_time = lane[0][0]
+                    if best is None or entry_time < best:
+                        best = entry_time
+        cursor = self._cursor
+        arrivals = self._arrival_list
+        if cursor < len(arrivals):
+            arrival_time = arrivals[cursor]
+            if best is None or arrival_time < best:
+                best = arrival_time
         return best
 
     def next_is_arrival(self) -> bool:

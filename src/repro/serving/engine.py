@@ -36,7 +36,7 @@ which runs the single-replica case of the cluster event loop in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.scheduler import EOS_TOKEN
 from repro.errors import ConfigurationError, SimulationError
@@ -182,6 +182,60 @@ class StepPricer:
             raise SimulationError("cannot price a step with no active requests")
         mean_context = self._bucketize(max(1, round(context_total / rlp)))
         return self._price_resolved(rlp, tlp, mean_context, mean_context, None)
+
+    def run_pricer(
+        self, rlp: int, tlp: int
+    ) -> Callable[[int], IterationResult]:
+        """A mean-mode pricing closure with the invariant key hoisted.
+
+        Over a frozen batch (no admissions, no finishes, constant TLP
+        policy) every step of a macro-run prices at the same ``(rlp,
+        tlp)`` and the same planned FC target, so the workload name, the
+        placement plan, and the cache's per-system scope resolution are
+        loop invariants. The returned ``price_mean(raw_mean)`` is
+        bit-identical to ``price_mean_total(rlp, tlp, total)`` for
+        ``raw_mean == max(1, round(total / rlp))`` — same bucketing, same
+        cache key, same counters per lookup.
+        """
+        if self.context_mode != "mean":
+            raise SimulationError("run_pricer requires context_mode='mean'")
+        if rlp <= 0:
+            raise SimulationError("cannot price a step with no active requests")
+        model = self.model
+        moe = self.moe
+        system = self.system
+        bucketize = self._bucketize
+        cache = self.step_cache
+        if cache is None:
+
+            def price_uncached(raw_mean: int) -> IterationResult:
+                mean_context = bucketize(raw_mean)
+                step = build_decode_step(
+                    model, rlp, tlp, mean_context, context_lens=None, moe=moe
+                )
+                return system.execute_step(step)
+
+            return price_uncached
+        name = self.workload_name
+        fc_target = system.plan_fc_target(rlp, tlp)
+        entries = cache.scope_entries(system)
+        get_in = cache.get_in
+        put_in = cache.put_in
+
+        def price_mean(raw_mean: int) -> IterationResult:
+            mean_context = bucketize(raw_mean)
+            key = (name, fc_target, rlp, tlp, mean_context)
+            cached = get_in(entries, key)
+            if cached is not None:
+                return cached
+            step = build_decode_step(
+                model, rlp, tlp, mean_context, context_lens=None, moe=moe
+            )
+            result = system.execute_step(step)
+            put_in(entries, key, result)
+            return result
+
+        return price_mean
 
     def _price_resolved(
         self,

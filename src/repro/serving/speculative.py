@@ -68,6 +68,33 @@ class SpeculationConfig:
             return float(s)
         return (1.0 - a ** s) / (1.0 - a)
 
+    def steady_slot_tokens(
+        self, speculation_length: Optional[int] = None
+    ) -> Optional[int]:
+        """Per-slot accepted tokens when acceptance needs no RNG draw.
+
+        :class:`SpeculativeSampler.accepted_tokens` short-circuits two
+        regimes without consuming the draw stream: ``s == 1`` (no draft
+        model — always exactly the bonus token) and ``acceptance_rate >=
+        1.0`` (every draft passes). In both, every slot of every
+        iteration accepts the same constant, so a run of iterations can
+        be advanced in closed form while leaving the sampler's stream
+        position untouched. Returns that constant, or ``None`` when
+        sampling is stochastic (draws are consumed iteration-major,
+        slot-minor, so they cannot be batched per slot without
+        reordering the stream).
+        """
+        s = speculation_length if speculation_length is not None else (
+            self.speculation_length
+        )
+        if s <= 0:
+            raise ConfigurationError("speculation_length must be positive")
+        if s == 1:
+            return 1
+        if self.acceptance_rate >= 1.0:
+            return s
+        return None
+
     def draft_overhead_s(self, speculation_length: Optional[int] = None) -> float:
         """Draft-model time per iteration (serial over s-1 drafted tokens).
 

@@ -156,6 +156,33 @@ class SystemScopedCache:
                 weakref.finalize(system, self._per_system.pop, scope, None)
         return entries
 
+    def scope_entries(self, system: ServingSystem) -> OrderedDict:
+        """The system's entry map, created if absent.
+
+        Hoists the scope resolution (identity memo or equality probe) out
+        of a hot loop: callers that price many steps for one system grab
+        the map once and use :meth:`get_in` / :meth:`put_in` per lookup.
+        The map stays valid as long as the caller holds the system alive.
+        """
+        return self._entries(system, create=True)
+
+    def get_in(self, entries: OrderedDict, key: Hashable) -> Optional[object]:
+        """:meth:`get` against a pre-resolved entry map."""
+        result = entries.get(key)
+        if result is None:
+            self.misses += 1
+            return None
+        entries.move_to_end(key)
+        self.hits += 1
+        return result
+
+    def put_in(self, entries: OrderedDict, key: Hashable, value: object) -> None:
+        """:meth:`put` against a pre-resolved entry map."""
+        entries[key] = value
+        entries.move_to_end(key)
+        if len(entries) > self.max_entries:
+            entries.popitem(last=False)
+
     def get(self, system: ServingSystem, key: Hashable) -> Optional[object]:
         """Cached value of ``key`` on ``system``, or ``None`` on a miss."""
         entries = self._entries(system, create=False)

@@ -159,6 +159,26 @@ class ServingSystem(abc.ABC):
             [EOS_TOKEN] * finished + [0] * (batch_size - finished)
         )
 
+    def observe_steady(self, count: int, batch_size: int) -> None:
+        """Observe ``count`` finish-free iterations in one call.
+
+        The macro-stepping serving cores collapse a run of iterations in
+        which no request finishes; this hook is the matching collapse of
+        ``count`` back-to-back ``observe_finished(0, batch_size)`` calls.
+        The default is exact for any subclass: systems that left both
+        per-iteration hooks as no-ops skip entirely, and everything else
+        replays the per-iteration calls so stateful monitors see the
+        identical sequence. Systems whose monitor is provably
+        steady-state-idempotent (PAPI) override this with a closed form.
+        """
+        if (
+            type(self).observe_outputs is ServingSystem.observe_outputs
+            and type(self).observe_finished is ServingSystem.observe_finished
+        ):
+            return
+        for _ in range(count):
+            self.observe_finished(0, batch_size)
+
     def update_tlp(self, tlp: int) -> None:
         """Hook called when system software changes the speculation length.
 

@@ -87,6 +87,16 @@ class PAPISystem(ServingSystem):
         """
         self.scheduler.observe_counts(finished, batch_size)
 
+    def observe_steady(self, count: int, batch_size: int) -> None:
+        """Closed-form monitoring of a finish-free run of iterations.
+
+        With no ``<eos>`` tokens, RLP never moves, so the scheduler's
+        re-evaluation is the same non-rescheduling decision every
+        iteration; the scheduler advances its iteration counter in one
+        step (replaying per-decision history when it keeps one).
+        """
+        self.scheduler.observe_steady(count, batch_size)
+
     def update_tlp(self, tlp: int) -> None:
         """Host CPU notification: write the scheduler's TLP register."""
         if tlp != self.scheduler.tlp_register.read():

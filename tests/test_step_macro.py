@@ -1,0 +1,365 @@
+"""Macro-stepping: closed-form frozen-run compression, pinned exactly.
+
+When a replica's batch is *frozen* — nothing admittable, fixed TLP,
+deterministic per-slot speculation — the cluster cores compress whole
+runs of decoding iterations into one closed-form advance
+(:meth:`Replica.compress_run`). The contract is the same bit-identical
+one every core optimization carries: a macro-stepped run must be
+indistinguishable, in every output a study reads, from the per-iteration
+reference. This suite pins that contract two ways:
+
+* **Seeded fuzz** across routers x speculation (including the
+  ``acceptance_rate=1.0`` boundary, where multi-token speculation
+  becomes deterministic and macro-eligible) x sessions x disaggregated
+  pools, all under ``context_mode="mean"`` so macro-stepping actually
+  engages — the three cores must agree bit-for-bit.
+* **Unit pins on K's limiting terms**: a macro-step's length is
+  ``min(iterations to the first slot completion, iterations before the
+  next calendar event, the global iteration cap, the per-step bound)``
+  — each limit and its fallback counter is exercised directly, and a
+  macro-stepped replica is replayed against a per-iteration twin.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.cluster.replica import (
+    MACRO_MAX_RUN,
+    MACRO_MIN_RUN,
+    Replica,
+)
+from repro.scenario.build import build_replicas, build_requests
+from repro.scenario.run import apply_core_mode, run_scenario
+from repro.scenario.spec import (
+    FleetSpec,
+    InterconnectSpec,
+    ReplicaSpec,
+    RoutingSpec,
+    ScenarioSpec,
+    SessionSpec,
+    SLOSpec,
+    TenantSpec,
+    TrafficSpec,
+    WorkloadSpec,
+)
+from repro.serving.engine import MAX_ITERATIONS
+
+from tests.test_cluster_equivalence import aggregate_fields
+
+
+def _mean_mode_scenario(
+    policy: str = "least-outstanding",
+    speculation_length: int = 1,
+    acceptance_rate: float = 0.8,
+    sessions: bool = False,
+    disaggregated: bool = False,
+    requests: int = 40,
+    seed: int = 11,
+) -> ScenarioSpec:
+    """A macro-eligible scenario: mean context, fixed TLP, frozen-prone.
+
+    The offered rate sits above service capacity so batches freeze
+    (waiting queues stay non-empty) and the post-arrival drain phase is
+    long — the regime macro-stepping targets.
+    """
+    traffic = TrafficSpec(
+        category="general-qa",
+        requests=requests,
+        rate_per_s=32.0,
+        session=SessionSpec(turns=3, think_time_s=0.5) if sessions else None,
+    )
+    if disaggregated:
+        fleet = FleetSpec(
+            replicas=(
+                ReplicaSpec(count=1, max_batch_size=8, role="prefill"),
+                ReplicaSpec(count=2, max_batch_size=8, role="decode"),
+            ),
+            interconnect=InterconnectSpec(),
+        )
+    else:
+        fleet = FleetSpec(
+            replicas=(ReplicaSpec(count=2, max_batch_size=8),)
+        )
+    return ScenarioSpec(
+        name="step-macro",
+        seed=seed,
+        workload=WorkloadSpec(
+            speculation_length=speculation_length,
+            acceptance_rate=acceptance_rate,
+            context_mode="mean",
+        ),
+        tenants=(
+            TenantSpec(name="interactive", traffic=traffic),
+            TenantSpec(
+                name="batch",
+                traffic=TrafficSpec(
+                    category="general-qa", requests=requests, rate_per_s=32.0
+                ),
+                slo=SLOSpec(p99_seconds=30.0),
+            ),
+        ),
+        fleet=fleet,
+        routing=RoutingSpec(policy=policy),
+    )
+
+
+def _run_three_cores(spec: ScenarioSpec):
+    scalar = run_scenario(apply_core_mode(spec, "scalar"))
+    event = run_scenario(apply_core_mode(spec, "event"))
+    vectorized = run_scenario(apply_core_mode(spec, "vectorized"))
+    return scalar, event, vectorized
+
+
+class TestMacroEngagement:
+    def test_macro_steps_engage_and_match_on_mean_mode(self):
+        """The canonical case: frozen batches compress, outputs agree."""
+        spec = _mean_mode_scenario()
+        scalar, event, vectorized = _run_three_cores(spec)
+        assert aggregate_fields(event) == aggregate_fields(scalar)
+        assert aggregate_fields(vectorized) == aggregate_fields(scalar)
+        for result in (scalar, event, vectorized):
+            macro = result.summary.step_macro
+            assert macro.get("iterations_compressed", 0) > 0, macro
+            assert macro.get("macro_steps", 0) > 0, macro
+
+    def test_acceptance_one_boundary_is_macro_eligible(self):
+        """acceptance_rate=1.0 makes tlp>1 deterministic: s tokens/slot,
+        no RNG draw — macro-stepping must engage, and still bit-match."""
+        spec = _mean_mode_scenario(
+            speculation_length=4, acceptance_rate=1.0
+        )
+        scalar, event, vectorized = _run_three_cores(spec)
+        assert aggregate_fields(event) == aggregate_fields(scalar)
+        assert aggregate_fields(vectorized) == aggregate_fields(scalar)
+        macro = vectorized.summary.step_macro
+        assert macro.get("iterations_compressed", 0) > 0, macro
+
+    def test_partial_acceptance_speculation_latches_off(self):
+        """acceptance in (0, 1) with tlp>1 draws per-slot randomness —
+        the closed form cannot batch the draws, so the replica latches
+        macro-stepping off (and the cores still agree)."""
+        spec = _mean_mode_scenario(
+            speculation_length=2, acceptance_rate=0.7
+        )
+        scalar, event, vectorized = _run_three_cores(spec)
+        assert aggregate_fields(event) == aggregate_fields(scalar)
+        assert aggregate_fields(vectorized) == aggregate_fields(scalar)
+        macro = vectorized.summary.step_macro
+        assert macro.get("iterations_compressed", 0) == 0, macro
+        assert macro.get("fallback_speculation_draws", 0) > 0, macro
+
+    def test_per_request_context_latches_off(self):
+        spec = dataclasses.replace(
+            _mean_mode_scenario(),
+            workload=WorkloadSpec(
+                speculation_length=1, context_mode="per-request"
+            ),
+        )
+        result = run_scenario(apply_core_mode(spec, "vectorized"))
+        macro = result.summary.step_macro
+        assert macro.get("iterations_compressed", 0) == 0, macro
+        assert macro.get("fallback_context_mode", 0) > 0, macro
+
+    def test_adaptive_tlp_policy_latches_off(self):
+        spec = dataclasses.replace(
+            _mean_mode_scenario(),
+            workload=WorkloadSpec(
+                speculation_length=2,
+                context_mode="mean",
+                tlp_policy="acceptance",
+            ),
+        )
+        scalar, event, vectorized = _run_three_cores(spec)
+        assert aggregate_fields(event) == aggregate_fields(scalar)
+        assert aggregate_fields(vectorized) == aggregate_fields(scalar)
+        macro = vectorized.summary.step_macro
+        assert macro.get("iterations_compressed", 0) == 0, macro
+        assert macro.get("fallback_tlp_policy", 0) > 0, macro
+
+
+FUZZ_ROUTERS = (
+    "round-robin", "least-outstanding", "intensity", "min-cost", "slo-slack"
+)
+#: (speculation_length, acceptance_rate) pairs: serial decoding, the
+#: deterministic acceptance boundary, and draw-bound speculation.
+FUZZ_SPECULATION = ((1, 0.8), (4, 1.0), (2, 0.8), (3, 1.0))
+
+
+class TestMacroFuzz:
+    """Seeded sampling of routers x speculation x sessions x pools.
+
+    Every case runs ``context_mode="mean"`` (the macro-eligible mode)
+    through all three cores and demands bit-identical outputs; the
+    sampled axes cover the interactions the macro path must survive —
+    session follow-ups arriving mid-drain, disaggregated handoffs
+    ending bursts, deterministic speculation, every router.
+    """
+
+    @pytest.mark.parametrize("case_seed", range(8))
+    def test_three_cores_agree(self, case_seed):
+        rng = random.Random(7100 + case_seed)
+        speculation_length, acceptance = rng.choice(FUZZ_SPECULATION)
+        spec = _mean_mode_scenario(
+            policy=rng.choice(FUZZ_ROUTERS),
+            speculation_length=speculation_length,
+            acceptance_rate=acceptance,
+            sessions=rng.random() < 0.5,
+            disaggregated=rng.random() < 0.4,
+            requests=rng.randrange(24, 49),
+            seed=rng.randrange(1, 10_000),
+        )
+        scalar, event, vectorized = _run_three_cores(spec)
+        assert aggregate_fields(event) == aggregate_fields(scalar)
+        assert aggregate_fields(vectorized) == aggregate_fields(scalar)
+
+    def test_fuzz_axes_actually_compress_somewhere(self):
+        """The fuzz would be vacuous if no sampled case ever engaged the
+        macro path; the deterministic-speculation serial case must."""
+        spec = _mean_mode_scenario(policy="round-robin")
+        result = run_scenario(apply_core_mode(spec, "vectorized"))
+        assert result.summary.step_macro.get(
+            "iterations_compressed", 0
+        ) > 0
+
+
+def _fresh_replica(
+    spec: ScenarioSpec = None, active: int = 4
+) -> Replica:
+    """One replica of ``spec`` with ``active`` requests decoding.
+
+    The requests are enqueued directly (no router) and poked once, so
+    the batch is mid-decode with one iteration in flight — exactly the
+    state :meth:`compress_run` is called in.
+    """
+    if spec is None:
+        spec = _mean_mode_scenario()
+    replica = build_replicas(spec)[0]
+    for request in build_requests(spec)[:active]:
+        replica.enqueue(request)
+    done_at = replica.poke(0.0)
+    assert done_at is not None
+    return replica
+
+
+class TestLimitingTerms:
+    """Each of K's limiting terms, driven directly on one replica."""
+
+    def test_finish_due_limits_run_to_first_slot_completion(self):
+        replica = _fresh_replica()
+        min_remaining = min(
+            r.output_len - r.generated for r in replica.active
+        )
+        compressed = replica.compress_run(1.0, None)
+        macro = replica.step_macro
+        if min_remaining - 1 >= MACRO_MIN_RUN:
+            assert compressed is not None
+            # The run stops strictly before the earliest slot finishes:
+            # exactly min_remaining - 1 iterations are compressed.
+            assert macro["iterations_compressed"] == min_remaining - 1
+            next_done, watermark = compressed
+            assert watermark > 1.0
+            assert next_done > watermark
+        else:
+            assert compressed is None
+            assert macro["fallback_finish_due"] == 1
+
+    def test_near_horizon_falls_back(self):
+        replica = _fresh_replica()
+        pending_result, _tlp = replica._pending
+        # A horizon tighter than two further iterations cannot fit a
+        # macro run; the attempt must decline without mutating state.
+        iteration_before = replica._iteration
+        compressed = replica.compress_run(
+            1.0, 1.0 + 0.5 * pending_result.seconds
+        )
+        assert compressed is None
+        assert replica.step_macro["fallback_horizon"] == 1
+        assert replica._iteration == iteration_before
+
+    def test_horizon_caps_run_length_exactly(self):
+        """A horizon admitting k iterations compresses exactly the
+        iterations that complete strictly before it."""
+        replica = _fresh_replica()
+        twin = _fresh_replica()
+        # Per-iteration reference: walk the twin to find completion
+        # times, then set the horizon between the 3rd and 4th.
+        times = []
+        done_at = 1.0
+        for _ in range(6):
+            times.append(done_at)
+            done_at = twin.on_step_done(done_at)
+        # Completions at times[0..3] land strictly before the horizon
+        # (the in-flight one at ``now`` plus three more), times[4] does
+        # not — the macro run must process exactly those four.
+        horizon = times[4] - 1e-9
+        compressed = replica.compress_run(1.0, horizon)
+        assert compressed is not None
+        next_done, watermark = compressed
+        assert replica.step_macro["iterations_compressed"] == 4
+        assert watermark == times[3]
+        assert next_done == times[4]
+        assert next_done >= horizon
+
+    def test_iteration_cap_falls_back(self):
+        replica = _fresh_replica()
+        replica._iteration = MAX_ITERATIONS - 1
+        compressed = replica.compress_run(1.0, None)
+        assert compressed is None
+        assert replica.step_macro["fallback_iteration_cap"] == 1
+
+    def test_admittable_waiting_request_falls_back(self):
+        """A waiting request with batch room unfreezes the batch."""
+        spec = _mean_mode_scenario()
+        replica = build_replicas(spec)[0]
+        requests = build_requests(spec)
+        for request in requests[:2]:
+            replica.enqueue(request)
+        done_at = replica.poke(0.0)
+        assert done_at is not None
+        # Queue one more than poke admitted; batch (size 8) has room.
+        replica.waiting.append(requests[2])
+        compressed = replica.compress_run(done_at, None)
+        assert compressed is None
+        assert replica.step_macro["fallback_admittable"] == 1
+
+    def test_macro_run_matches_per_iteration_twin(self):
+        """The pinned equivalence, one replica at a time: a macro-step
+        must leave the replica in the bit-identical state the same
+        number of on_step_done rounds would."""
+        replica = _fresh_replica()
+        twin = _fresh_replica()
+        compressed = replica.compress_run(1.0, None)
+        assert compressed is not None
+        next_done, watermark = compressed
+        run = int(replica.step_macro["iterations_compressed"])
+        assert run >= MACRO_MIN_RUN
+        done_at = 1.0
+        for _ in range(run):
+            watermark_twin = done_at
+            done_at = twin.on_step_done(done_at)
+        assert watermark == watermark_twin
+        assert next_done == done_at
+        assert replica._iteration == twin._iteration
+        assert replica._remaining_tokens == twin._remaining_tokens
+        assert replica._active_context_sum == twin._active_context_sum
+        summary, twin_summary = replica.summary, twin.summary
+        assert summary.iterations == twin_summary.iterations
+        assert summary.decode_seconds == twin_summary.decode_seconds
+        assert summary.decode_energy == twin_summary.decode_energy
+        assert summary.tokens_generated == twin_summary.tokens_generated
+        assert summary.time_breakdown == twin_summary.time_breakdown
+        assert summary.energy_breakdown == twin_summary.energy_breakdown
+        assert dict(summary.fc_target_iterations) == dict(
+            twin_summary.fc_target_iterations
+        )
+
+    def test_macro_max_run_bounds_one_step(self):
+        assert MACRO_MAX_RUN >= MACRO_MIN_RUN
+        replica = _fresh_replica()
+        compressed = replica.compress_run(1.0, None)
+        if compressed is not None:
+            assert (
+                replica.step_macro["iterations_compressed"] <= MACRO_MAX_RUN
+            )
